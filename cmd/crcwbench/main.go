@@ -1,0 +1,158 @@
+// Command crcwbench regenerates the paper's evaluation figures.
+//
+// Each paper figure (5 through 12) is a time-vs-parameter sweep comparing
+// concurrent-write methods; crcwbench runs one figure or all of them,
+// prints a paper-style table with per-point and geometric-mean speedups,
+// and can additionally emit CSV for plotting.
+//
+// Usage:
+//
+//	crcwbench [flags]
+//
+//	-figure N       figure to run: 5..12, or 0 for all (default 0)
+//	-threads P      worker count for fixed-thread figures
+//	-reps R         repetitions per point (median reported)
+//	-seed S         workload generation seed
+//	-methods LIST   comma-separated subset: caslt,gatekeeper,
+//	                gatekeeper-checked,naive,mutex
+//	-paper          use the paper's full-size parameters (needs a large
+//	                machine; the default is a scaled-down sweep with the
+//	                same shape)
+//	-csv FILE       also write raw medians as CSV
+//	-v              log per-point progress to stderr
+//	-tiny           miniature smoke-test sweep
+//
+// Instead of a timing figure, three analyses are available:
+//
+//	-opcount        the Section-6 validation: atomic operations per
+//	                concurrent-write step on one cell, as P_PRAM grows
+//	-kernelops      selection-protocol operation counts over full BFS and
+//	                CC runs (instrumented resolvers)
+//	-simulations    one Priority write step per rung of the CW hierarchy
+//	                (native / common-CW all-pairs / EREW tournament)
+//
+// Examples:
+//
+//	crcwbench -figure 5
+//	crcwbench -figure 10 -threads 8 -reps 5 -csv fig10.csv
+//	crcwbench -paper -figure 7
+//	crcwbench -kernelops
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"crcwpram/internal/bench"
+	"crcwpram/internal/core/cw"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "crcwbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("crcwbench", flag.ContinueOnError)
+	var (
+		figure      = fs.Int("figure", 0, "paper figure to reproduce (5..12), 0 = all")
+		threads     = fs.Int("threads", 0, "worker count for fixed-thread figures (0 = default)")
+		reps        = fs.Int("reps", 0, "repetitions per point (0 = default)")
+		seed        = fs.Int64("seed", 0, "workload seed (0 = default)")
+		methods     = fs.String("methods", "", "comma-separated method subset (empty = figure's paper set)")
+		paper       = fs.Bool("paper", false, "use the paper's full-size parameters")
+		csvPath     = fs.String("csv", "", "also write raw medians as CSV to this file")
+		verbose     = fs.Bool("v", false, "log per-point progress to stderr")
+		tiny        = fs.Bool("tiny", false, "miniature sweep for smoke tests (seconds, shapes not meaningful)")
+		opcount     = fs.Bool("opcount", false, "run the Section-6 atomic-operation-count validation instead of a timing figure")
+		kernelops   = fs.Bool("kernelops", false, "count selection-protocol operations over full BFS/CC runs instead of timing")
+		simulations = fs.Bool("simulations", false, "time one Priority write step per rung of the CW hierarchy instead of a figure")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := bench.DefaultConfig()
+	if *paper {
+		cfg = bench.PaperConfig()
+	}
+	if *tiny {
+		if *paper {
+			return fmt.Errorf("-tiny and -paper are mutually exclusive")
+		}
+		cfg = bench.TinyConfig()
+	}
+	if *threads > 0 {
+		cfg.Threads = *threads
+	}
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+	if *methods != "" {
+		for _, name := range strings.Split(*methods, ",") {
+			m, ok := cw.ParseMethod(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("unknown method %q (known: %v)", name, cw.Methods)
+			}
+			cfg.Methods = append(cfg.Methods, m)
+		}
+	}
+
+	if *opcount {
+		rows := bench.OpCountTable(cfg.Threads, []int{1000, 10000, 100000, 1000000})
+		return bench.FormatOpCounts(os.Stdout, cfg.Threads, rows)
+	}
+	if *kernelops {
+		nv, ne := cfg.BFSVertices, cfg.BFSEdges
+		rows := bench.KernelOpCounts(cfg.Threads, nv, ne, cfg.Seed)
+		return bench.FormatKernelOps(os.Stdout, nv, ne, rows)
+	}
+	if *simulations {
+		rows := bench.SimulationTable(cfg.Threads, cfg.Reps, []int{64, 256, 1024, 4096}, cfg.Seed)
+		return bench.FormatSimulations(os.Stdout, rows)
+	}
+
+	ids := bench.SortedFigureIDs()
+	if *figure != 0 {
+		ids = []int{*figure}
+	}
+
+	var csvFile *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return fmt.Errorf("create csv: %w", err)
+		}
+		defer f.Close()
+		csvFile = f
+	}
+
+	for i, id := range ids {
+		table, err := bench.Figure(id, cfg)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := table.Format(os.Stdout); err != nil {
+			return err
+		}
+		if csvFile != nil {
+			if err := table.WriteCSV(csvFile); err != nil {
+				return fmt.Errorf("write csv: %w", err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crcwpram/internal/race"
+)
+
+// capture redirects the process stdout around f. The CLI writes through
+// os.Stdout directly, so tests swap the file descriptor.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outCh := make(chan string, 1)
+	go func() {
+		var sb strings.Builder
+		b := make([]byte, 64*1024)
+		for {
+			n, err := r.Read(b)
+			sb.Write(b[:n])
+			if err != nil {
+				break
+			}
+		}
+		outCh <- sb.String()
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	return <-outCh, runErr
+}
+
+func TestRunSingleFigureTiny(t *testing.T) {
+	if race.Enabled {
+		t.Skip("figure 5's paper method set includes the intentionally racy naive variant")
+	}
+	out, err := capture(t, func() error { return run([]string{"-tiny", "-figure", "5"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig5", "naive", "gatekeeper", "caslt", "geomean"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "fig6") {
+		t.Fatal("-figure 5 also ran figure 6")
+	}
+}
+
+func TestRunAllFiguresTiny(t *testing.T) {
+	args := []string{"-tiny", "-reps", "1"}
+	if race.Enabled {
+		args = append(args, "-methods", "gatekeeper,caslt")
+	}
+	out, err := capture(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"} {
+		if !strings.Contains(out, fig) {
+			t.Fatalf("output missing %s", fig)
+		}
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	_, err := capture(t, func() error {
+		return run([]string{"-tiny", "-figure", "10", "-csv", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.HasPrefix(text, "figure,") || !strings.Contains(text, "fig10") {
+		t.Fatalf("csv content wrong:\n%s", text)
+	}
+	if strings.Contains(text, "naive") {
+		t.Fatal("CC csv contains naive series")
+	}
+}
+
+func TestRunMethodFilter(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-tiny", "-figure", "5", "-methods", "caslt,mutex"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "caslt") || !strings.Contains(out, "mutex") {
+		t.Fatalf("filtered methods missing:\n%s", out)
+	}
+	if strings.Contains(out, "gatekeeper") {
+		t.Fatal("filtered-out method present")
+	}
+}
+
+func TestRunOpCount(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-opcount", "-threads", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "section-6") || !strings.Contains(out, "P_PRAM") {
+		t.Fatalf("opcount output wrong:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-figure", "4"},
+		{"-figure", "13"},
+		{"-methods", "bogus"},
+		{"-tiny", "-paper"},
+		{"-nonexistent-flag"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crcwpram/internal/graph"
+)
+
+func TestGenerateBinaryAndStats(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bin")
+	if err := run([]string{"-kind", "connected", "-n", "100", "-m", "300", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.ReadBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 100 || g.NumEdges() != 300 {
+		t.Fatalf("generated n=%d m=%d, want 100/300", g.NumVertices(), g.NumEdges())
+	}
+	if graph.CountComponents(g) != 1 {
+		t.Fatal("connected graph is not connected")
+	}
+
+	// -stats mode on the file we just wrote.
+	if err := run([]string{"-stats", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateTextFormat(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := run([]string{"-kind", "star", "-n", "10", "-format", "text", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "# 10 9 undirected") {
+		t.Fatalf("text header wrong: %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+	g, err := graph.ReadEdgeList(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 9 {
+		t.Fatal("star hub degree wrong after round trip")
+	}
+}
+
+func TestAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	kinds := []string{"random", "connected", "rmat", "star", "path", "cycle", "grid", "complete"}
+	for _, kind := range kinds {
+		path := filepath.Join(dir, kind+".bin")
+		args := []string{"-kind", kind, "-n", "50", "-m", "100", "-scale", "6", "-rows", "5", "-cols", "6", "-o", path}
+		if err := run(args); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := graph.ReadBinary(f); err != nil {
+			t.Fatalf("%s: unreadable output: %v", kind, err)
+		}
+		f.Close()
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "bogus"},
+		{"-format", "bogus", "-o", filepath.Join(t.TempDir(), "x")},
+		{"-stats", "/nonexistent/file"},
+		{"-bad-flag"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// BFS runs the paper's Rodinia-style breadth-first search (Figure 3) on a
+// generated random graph with every safe concurrent-write method, checks
+// every result against the sequential baseline, and reports times — a
+// miniature of the paper's Figures 7-9.
+//
+// Run:
+//
+//	go run ./examples/bfs [-n 20000] [-m 200000] [-threads 4] [-reps 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"crcwpram/internal/alg/bfs"
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
+	"crcwpram/internal/stats"
+)
+
+func main() {
+	n := flag.Int("n", 20000, "vertices")
+	m := flag.Int("m", 200000, "edges")
+	threads := flag.Int("threads", 4, "worker count")
+	reps := flag.Int("reps", 3, "repetitions per method (median reported)")
+	seed := flag.Int64("seed", 42, "graph seed")
+	flag.Parse()
+
+	g := graph.ConnectedRandom(*n, *m, *seed)
+	fmt.Println("graph:", graph.ComputeStats(g))
+
+	mach := machine.New(*threads)
+	defer mach.Close()
+	k := bfs.NewKernel(mach, g)
+
+	seq := bfs.Sequential(g, 0)
+	fmt.Printf("BFS from vertex 0: depth %d\n\n", seq.Depth)
+
+	methods := []cw.Method{cw.Naive, cw.Gatekeeper, cw.GatekeeperChecked, cw.CASLT, cw.Mutex}
+	medians := map[cw.Method]time.Duration{}
+	for _, method := range methods {
+		var s stats.Sample
+		for r := 0; r < *reps; r++ {
+			k.Prepare(0)
+			start := time.Now()
+			res := k.Run(method)
+			s.Add(time.Since(start))
+			if err := bfs.Validate(g, 0, res, method.SafeForArbitrary()); err != nil {
+				log.Fatalf("%v: %v", method, err)
+			}
+		}
+		medians[method] = s.Median()
+		fmt.Printf("%-19s %12s\n", method, stats.FormatDuration(s.Median()))
+	}
+
+	fmt.Println("\nspeedup vs naive (Rodinia's approach — the paper's Figure 7 comparison):")
+	for _, method := range methods {
+		if method == cw.Naive {
+			continue
+		}
+		fmt.Printf("%-19s %8s\n", method, stats.FormatRatio(stats.Speedup(medians[cw.Naive], medians[method])))
+	}
+}

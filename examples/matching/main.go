@@ -1,0 +1,51 @@
+// Matching runs the randomized CRCW maximal-matching kernel (after the
+// paper's reference [23]) on a generated graph: a two-level arbitrary
+// concurrent write per round — heads race on tails' proposal slots, then
+// tails race on heads' acceptance slots — all guarded by CAS-LT with zero
+// per-round re-initialization.
+//
+// Run:
+//
+//	go run ./examples/matching [-n 20000] [-m 60000] [-threads 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"crcwpram/internal/alg/matching"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
+)
+
+func main() {
+	n := flag.Int("n", 20000, "vertices")
+	m := flag.Int("m", 60000, "edges")
+	threads := flag.Int("threads", 4, "worker count")
+	seed := flag.Int64("seed", 42, "graph seed")
+	flag.Parse()
+
+	g := graph.RandomUndirected(*n, *m, *seed)
+	fmt.Println("graph:", graph.ComputeStats(g))
+
+	mach := machine.New(*threads)
+	defer mach.Close()
+	k := matching.NewKernel(mach, g)
+
+	greedy := matching.SequentialGreedy(g)
+	fmt.Printf("sequential greedy matching: %d pairs\n", greedy.Size())
+
+	for trial := uint64(1); trial <= 3; trial++ {
+		k.Prepare()
+		start := time.Now()
+		r := k.Run(trial)
+		elapsed := time.Since(start)
+		if err := matching.Validate(g, r); err != nil {
+			log.Fatalf("trial %d: %v", trial, err)
+		}
+		fmt.Printf("parallel run (seed %d): %d pairs in %d rounds, %v — valid & maximal\n",
+			trial, r.Size(), r.Iterations, elapsed.Round(10*time.Microsecond))
+	}
+}

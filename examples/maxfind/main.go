@@ -1,0 +1,84 @@
+// Maxfind runs the paper's constant-time maximum kernel (Figure 4) with
+// every concurrent-write method and reports times and speedups — a
+// miniature of the paper's Figures 5 and 6.
+//
+// Run:
+//
+//	go run ./examples/maxfind [-n 4096] [-threads 4] [-reps 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"crcwpram/internal/alg/maxfind"
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/stats"
+)
+
+func main() {
+	n := flag.Int("n", 4096, "list size (the kernel does n^2 comparisons)")
+	threads := flag.Int("threads", 4, "worker count")
+	reps := flag.Int("reps", 3, "repetitions per method (median reported)")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(1))
+	list := make([]uint32, *n)
+	for i := range list {
+		list[i] = rng.Uint32()
+	}
+	want := maxfind.Sequential(list)
+	fmt.Printf("list of %d elements; true maximum list[%d] = %d\n\n", *n, want, list[want])
+
+	m := machine.New(*threads)
+	defer m.Close()
+	k := maxfind.NewKernel(m, *n)
+
+	methods := []cw.Method{cw.Naive, cw.Gatekeeper, cw.GatekeeperChecked, cw.CASLT, cw.Mutex}
+	medians := map[cw.Method]time.Duration{}
+	for _, method := range methods {
+		var s stats.Sample
+		for r := 0; r < *reps; r++ {
+			k.Prepare(list) // untimed initialization, as in the paper
+			start := time.Now()
+			got := k.Run(method)
+			s.Add(time.Since(start))
+			if got != want {
+				log.Fatalf("%v returned %d, want %d", method, got, want)
+			}
+		}
+		medians[method] = s.Median()
+		fmt.Printf("%-19s %12s\n", method, stats.FormatDuration(s.Median()))
+	}
+
+	fmt.Println("\nspeedup vs naive (the paper's Figure 5 comparison):")
+	for _, method := range methods {
+		if method == cw.Naive {
+			continue
+		}
+		fmt.Printf("%-19s %8s\n", method, stats.FormatRatio(stats.Speedup(medians[cw.Naive], medians[method])))
+	}
+
+	// The work-efficient comparisons the paper's conclusion motivates.
+	fmt.Println("\nwork-efficient algorithms (same result, W(N) instead of W(N^2)):")
+	for _, alt := range []struct {
+		name string
+		run  func() int
+	}{
+		{"tournament (EREW)", func() int { return maxfind.TournamentMax(m, list) }},
+		{"reduction (priority CW)", func() int { return maxfind.ReduceMax(m, list) }},
+		{"doubly-log (CRCW)", func() int { return maxfind.DoublyLogMax(m, list) }},
+	} {
+		start := time.Now()
+		got := alt.run()
+		d := time.Since(start)
+		if got != want {
+			log.Fatalf("%s returned %d, want %d", alt.name, got, want)
+		}
+		fmt.Printf("%-26s %12s\n", alt.name, stats.FormatDuration(d))
+	}
+}

@@ -1,0 +1,3 @@
+module crcwpram
+
+go 1.24

@@ -1,0 +1,366 @@
+// Package bfs implements the paper's second benchmark: the Rodinia-style
+// level-synchronous Breadth-First Search of Figure 3, in one variant per
+// concurrent-write method.
+//
+// Each level L is one PRAM round: every vertex v on the frontier
+// (level[v] == L) relaxes its edges, and each undiscovered endpoint u is the
+// target of a concurrent write of the tuple (Parent[u], SelEdge[u],
+// Visited[u], Level[u]). Discoverers at the same level write *different*
+// parents and edges, so an unguarded implementation can commit a torn tuple
+// (parent from one writer, edge from another) — the multi-location race the
+// paper's Section 4 warns about and the reason the naive variant's parent
+// tree is only weakly consistent. The selection variants guard the tuple:
+//
+//   - CASLT:      cells.TryClaim(u, L+1); the round id is the level counter,
+//     which the paper notes comes "for free" — no per-level reinitialization.
+//   - Gatekeeper: gates.TryEnter(u) plus the paper's Figure 3(b) full
+//     re-initialization pass over all N gates after every level, inside the
+//     timed region, exactly as in the listing.
+//   - Mutex:      per-vertex critical section (baseline).
+//
+// Reads that race with winner writes inside a round (the visited filter and
+// the frontier's level test) use sync/atomic loads in the guarded variants;
+// on x86 these compile to plain loads, so the guarded kernels stay faithful
+// to the paper's cost model while being race-detector clean. The naive
+// variant is plain loads and stores throughout, reproducing the Rodinia
+// original (and is therefore skipped under -race in tests).
+package bfs
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
+)
+
+// Unreached marks a vertex not (yet) reached; it is also the parent and
+// selected-edge value of the source and of unreachable vertices.
+const Unreached = math.MaxUint32
+
+// Result gives read-only access to the arrays produced by a run.
+type Result struct {
+	// Level[u] is u's BFS depth, or Unreached.
+	Level []uint32
+	// Parent[u] is the frontier vertex that discovered u, or Unreached.
+	Parent []uint32
+	// SelEdge[u] is the CSR arc index by which u was discovered, or
+	// Unreached.
+	SelEdge []uint32
+	// Depth is the number of levels traversed (max finite level).
+	Depth int
+}
+
+// Kernel holds the shared arrays for repeated BFS runs over one graph.
+type Kernel struct {
+	m *machine.Machine
+	g *graph.Graph
+	n int
+
+	level   []uint32
+	visited []uint32
+	parent  []uint32
+	selEdge []uint32
+
+	cells *cw.Array
+	gates *cw.GateArray
+	mtx   *cw.MutexArray
+
+	source uint32
+	base   uint32 // CAS-LT round offset carried across runs
+
+	// Frontier-variant state (frontier.go), allocated on first use.
+	frontier []uint32
+	next     []uint32
+	bufs     [][]uint32 // per-worker discovery buffers
+	wOff     []int      // per-worker offsets into next
+}
+
+// NewKernel returns a BFS kernel over g executed on m. The machine and
+// graph are borrowed, not owned.
+func NewKernel(m *machine.Machine, g *graph.Graph) *Kernel {
+	n := g.NumVertices()
+	return &Kernel{
+		m:       m,
+		g:       g,
+		n:       n,
+		level:   make([]uint32, n),
+		visited: make([]uint32, n),
+		parent:  make([]uint32, n),
+		selEdge: make([]uint32, n),
+		cells:   cw.NewArray(n, cw.Packed),
+		gates:   cw.NewGateArray(n, cw.Packed),
+		mtx:     cw.NewMutexArray(n),
+	}
+}
+
+// Prepare resets the traversal arrays for a run from the given source.
+// Prepare is the untimed initialization phase. The CAS-LT cells are not
+// reset: runs after the first reuse them by advancing the round offset,
+// which is the method's point.
+func (k *Kernel) Prepare(source uint32) {
+	if int(source) >= k.n {
+		panic(fmt.Sprintf("bfs: source %d out of range for %d vertices", source, k.n))
+	}
+	k.source = source
+	// Guard the (astronomically distant) uint32 round wrap: recycle cells.
+	if k.base > math.MaxUint32/2 {
+		k.m.ParallelRange(k.n, func(lo, hi, _ int) { k.cells.ResetRange(lo, hi) })
+		k.base = 0
+	}
+	k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			k.level[i] = Unreached
+			k.visited[i] = 0
+			k.parent[i] = Unreached
+			k.selEdge[i] = Unreached
+		}
+		k.gates.ResetRange(lo, hi)
+	})
+	k.level[source] = 0
+	k.visited[source] = 1
+}
+
+// Run executes BFS with the given method. Prepare must have been called
+// first; a Result view over the kernel's arrays is returned (valid until
+// the next Prepare/Run).
+func (k *Kernel) Run(method cw.Method) Result {
+	switch method {
+	case cw.CASLT:
+		return k.RunCASLT()
+	case cw.Gatekeeper:
+		return k.RunGatekeeper()
+	case cw.GatekeeperChecked:
+		return k.RunGateChecked()
+	case cw.Naive:
+		return k.RunNaive()
+	case cw.Mutex:
+		return k.RunMutex()
+	default:
+		panic("bfs: unknown method " + method.String())
+	}
+}
+
+func (k *Kernel) result(depth int) Result {
+	return Result{Level: k.level, Parent: k.parent, SelEdge: k.selEdge, Depth: depth}
+}
+
+// RunCASLT is Figure 3(a): the concurrent write of each discovery tuple is
+// guarded by canConWriteCASLT(&RoundWritten[u], L+1); the level counter is
+// the round id.
+func (k *Kernel) RunCASLT() Result {
+	offsets, targets := k.g.Offsets(), k.g.Targets()
+	var done atomic.Uint32
+	L := uint32(0)
+	for {
+		done.Store(1)
+		round := k.base + L + 1
+		k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+			progress := false
+			for v := lo; v < hi; v++ {
+				if atomic.LoadUint32(&k.level[v]) != L {
+					continue
+				}
+				for j := offsets[v]; j < offsets[v+1]; j++ {
+					u := targets[j]
+					if atomic.LoadUint32(&k.visited[u]) != 0 {
+						continue
+					}
+					if k.cells.TryClaim(int(u), round) {
+						k.parent[u] = uint32(v)
+						k.selEdge[u] = j
+						atomic.StoreUint32(&k.visited[u], 1)
+						atomic.StoreUint32(&k.level[u], L+1)
+						progress = true
+					}
+				}
+			}
+			if progress {
+				done.Store(0)
+			}
+		})
+		if done.Load() == 1 {
+			break
+		}
+		L++ // "round could be substituted by the loop iteration ... for free"
+	}
+	k.base += L + 1
+	return k.result(int(L))
+}
+
+// RunGatekeeper is Figure 3(b): canConWriteAtomic(&gatekeeper[u]) guards
+// the tuple, and after every level the whole gatekeeper array is re-zeroed
+// in a parallel pass — inside the timed region, as in the listing.
+func (k *Kernel) RunGatekeeper() Result { return k.runGate(false) }
+
+// RunGateChecked is RunGatekeeper with the load pre-check mitigation the
+// paper suggests (skip the atomic once the gatekeeper is non-zero).
+func (k *Kernel) RunGateChecked() Result { return k.runGate(true) }
+
+func (k *Kernel) runGate(checked bool) Result {
+	offsets, targets := k.g.Offsets(), k.g.Targets()
+	var done atomic.Uint32
+	L := uint32(0)
+	for {
+		done.Store(1)
+		k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+			progress := false
+			for v := lo; v < hi; v++ {
+				if atomic.LoadUint32(&k.level[v]) != L {
+					continue
+				}
+				for j := offsets[v]; j < offsets[v+1]; j++ {
+					u := targets[j]
+					if atomic.LoadUint32(&k.visited[u]) != 0 {
+						continue
+					}
+					var won bool
+					if checked {
+						won = k.gates.TryEnterChecked(int(u))
+					} else {
+						won = k.gates.TryEnter(int(u))
+					}
+					if won {
+						k.parent[u] = uint32(v)
+						k.selEdge[u] = j
+						atomic.StoreUint32(&k.visited[u], 1)
+						atomic.StoreUint32(&k.level[u], L+1)
+						progress = true
+					}
+				}
+			}
+			if progress {
+				done.Store(0)
+			}
+		})
+		if done.Load() == 1 {
+			break
+		}
+		L++
+		// Figure 3(b) lines 34-35: re-open every gate before the next
+		// level — the O(N)-work re-initialization the method requires.
+		k.m.ParallelRange(k.n, func(lo, hi, _ int) { k.gates.ResetRange(lo, hi) })
+	}
+	return k.result(int(L))
+}
+
+// RunNaive reproduces the unmodified Rodinia approach: every discoverer
+// writes the whole tuple with plain stores and the memory system picks the
+// survivors, field by field. Levels are a common CW (all discoverers write
+// L+1) and therefore correct; Parent and SelEdge are arbitrary CWs and may
+// be torn across fields (see package comment).
+func (k *Kernel) RunNaive() Result {
+	offsets, targets := k.g.Offsets(), k.g.Targets()
+	var done atomic.Uint32
+	L := uint32(0)
+	for {
+		done.Store(1)
+		k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+			progress := false
+			for v := lo; v < hi; v++ {
+				if k.level[v] != L {
+					continue
+				}
+				for j := offsets[v]; j < offsets[v+1]; j++ {
+					u := targets[j]
+					if k.visited[u] == 0 {
+						k.parent[u] = uint32(v)
+						k.selEdge[u] = j
+						k.visited[u] = 1
+						k.level[u] = L + 1
+						progress = true
+					}
+				}
+			}
+			if progress {
+				done.Store(0)
+			}
+		})
+		if done.Load() == 1 {
+			break
+		}
+		L++
+	}
+	return k.result(int(L))
+}
+
+// RunMutex is the critical-section baseline: the whole discovery tuple is
+// written under the target vertex's lock, with the visited test inside the
+// lock so each vertex is discovered exactly once.
+func (k *Kernel) RunMutex() Result {
+	offsets, targets := k.g.Offsets(), k.g.Targets()
+	var done atomic.Uint32
+	L := uint32(0)
+	for {
+		done.Store(1)
+		k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+			progress := false
+			for v := lo; v < hi; v++ {
+				if atomic.LoadUint32(&k.level[v]) != L {
+					continue
+				}
+				for j := offsets[v]; j < offsets[v+1]; j++ {
+					u := targets[j]
+					if atomic.LoadUint32(&k.visited[u]) != 0 {
+						continue
+					}
+					k.mtx.Lock(int(u))
+					if k.visited[u] == 0 {
+						k.parent[u] = uint32(v)
+						k.selEdge[u] = j
+						atomic.StoreUint32(&k.visited[u], 1)
+						atomic.StoreUint32(&k.level[u], L+1)
+						progress = true
+					}
+					k.mtx.Unlock(int(u))
+				}
+			}
+			if progress {
+				done.Store(0)
+			}
+		})
+		if done.Load() == 1 {
+			break
+		}
+		L++
+	}
+	return k.result(int(L))
+}
+
+// Sequential is the queue-based validation baseline: it returns the exact
+// level of every vertex and a (valid but arbitrary) parent tree.
+func Sequential(g *graph.Graph, source uint32) Result {
+	n := g.NumVertices()
+	level := make([]uint32, n)
+	parent := make([]uint32, n)
+	selEdge := make([]uint32, n)
+	for i := range level {
+		level[i] = Unreached
+		parent[i] = Unreached
+		selEdge[i] = Unreached
+	}
+	level[source] = 0
+	queue := make([]uint32, 0, 1024)
+	queue = append(queue, source)
+	depth := 0
+	offsets, targets := g.Offsets(), g.Targets()
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for j := offsets[v]; j < offsets[v+1]; j++ {
+			u := targets[j]
+			if level[u] == Unreached {
+				level[u] = level[v] + 1
+				parent[u] = v
+				selEdge[u] = j
+				if int(level[u]) > depth {
+					depth = int(level[u])
+				}
+				queue = append(queue, u)
+			}
+		}
+	}
+	return Result{Level: level, Parent: parent, SelEdge: selEdge, Depth: depth}
+}

@@ -1,0 +1,126 @@
+package bfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crcwpram/internal/graph"
+)
+
+func TestFrontierMatchesSequential(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		m := testMachine(t, p)
+		for name, g := range testGraphs() {
+			k := NewKernel(m, g)
+			k.Prepare(0)
+			r := k.RunCASLTFrontier()
+			if err := Validate(g, 0, r, true); err != nil {
+				t.Fatalf("p=%d %s: %v", p, name, err)
+			}
+		}
+	}
+}
+
+func TestFrontierAgreesWithSweepVariant(t *testing.T) {
+	m := testMachine(t, 4)
+	g := graph.ConnectedRandom(300, 1500, 13)
+	k := NewKernel(m, g)
+	k.Prepare(5)
+	sweep := k.RunCASLT()
+	sweepLevels := append([]uint32(nil), sweep.Level...)
+	k.Prepare(5)
+	front := k.RunCASLTFrontier()
+	if sweep.Depth != front.Depth {
+		t.Fatalf("depths differ: sweep %d, frontier %d", sweep.Depth, front.Depth)
+	}
+	for v := range sweepLevels {
+		if sweepLevels[v] != front.Level[v] {
+			t.Fatalf("level[%d]: sweep %d, frontier %d", v, sweepLevels[v], front.Level[v])
+		}
+	}
+}
+
+func TestFrontierRepeatedRunsAndSources(t *testing.T) {
+	m := testMachine(t, 4)
+	g := graph.ConnectedRandom(200, 900, 17)
+	k := NewKernel(m, g)
+	for rep := 0; rep < 8; rep++ {
+		src := uint32(rep * 13 % g.NumVertices())
+		k.Prepare(src)
+		if err := Validate(g, src, k.RunCASLTFrontier(), true); err != nil {
+			t.Fatalf("rep %d src %d: %v", rep, src, err)
+		}
+	}
+}
+
+func TestFrontierInterleavedWithOtherVariants(t *testing.T) {
+	// The frontier variant shares the CAS-LT cells with the sweep variant;
+	// interleaving them must keep the round offset discipline intact.
+	m := testMachine(t, 4)
+	g := graph.ConnectedRandom(150, 500, 23)
+	k := NewKernel(m, g)
+	for rep := 0; rep < 6; rep++ {
+		k.Prepare(0)
+		var r Result
+		if rep%2 == 0 {
+			r = k.RunCASLTFrontier()
+		} else {
+			r = k.RunCASLT()
+		}
+		if err := Validate(g, 0, r, true); err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+	}
+}
+
+func TestFrontierMemoryStaysLinear(t *testing.T) {
+	m := testMachine(t, 4)
+	g := graph.ConnectedRandom(1000, 4000, 29)
+	k := NewKernel(m, g)
+	if k.frontierStateBytes() != 0 {
+		t.Fatal("frontier state allocated before first use")
+	}
+	for rep := 0; rep < 5; rep++ {
+		k.Prepare(0)
+		k.RunCASLTFrontier()
+	}
+	// frontier + next + per-worker buffers: comfortably under ~16 bytes
+	// per vertex plus slack.
+	if got, limit := k.frontierStateBytes(), 16*g.NumVertices()+4096; got > limit {
+		t.Fatalf("frontier state %d bytes exceeds %d", got, limit)
+	}
+}
+
+func TestFrontierDeepPath(t *testing.T) {
+	// The frontier variant's advantage case: a long path where the sweep
+	// formulation does N work per level. Correctness check only here;
+	// timing is in the ablation bench.
+	m := testMachine(t, 2)
+	g := graph.Path(2000)
+	k := NewKernel(m, g)
+	k.Prepare(0)
+	r := k.RunCASLTFrontier()
+	if r.Depth != 1999 {
+		t.Fatalf("depth = %d, want 1999", r.Depth)
+	}
+	if err := Validate(g, 0, r, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: frontier and sweep variants agree on random connected graphs.
+func TestQuickFrontierAgrees(t *testing.T) {
+	m := testMachine(t, 4)
+	f := func(nRaw uint8, mRaw uint16, seed int64, srcRaw uint8) bool {
+		n := int(nRaw)%150 + 2
+		edges := int(mRaw)%600 + n
+		g := graph.ConnectedRandom(n, edges, seed)
+		src := uint32(int(srcRaw) % n)
+		k := NewKernel(m, g)
+		k.Prepare(src)
+		return Validate(g, src, k.RunCASLTFrontier(), true) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

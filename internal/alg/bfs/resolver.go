@@ -1,0 +1,65 @@
+package bfs
+
+import (
+	"sync/atomic"
+
+	"crcwpram/internal/core/cw"
+)
+
+// RunResolver executes the Figure 3 BFS with the concurrent write handled
+// by an arbitrary cw.Resolver. It is the generic entry point: slightly
+// slower than the specialized Run* variants (one closure per winning
+// write), and therefore not what the timing figures use, but it composes
+// with any resolver — in particular cw.NewCountingResolver, which is how
+// the harness measures the atomic traffic of a whole BFS run per method.
+//
+// The resolver must be fresh (or ResetRange over all targets must have
+// been applied) and must span the graph's vertices. Prepare must have been
+// called first.
+func (k *Kernel) RunResolver(r cw.Resolver) Result {
+	if r.Len() < k.n {
+		panic("bfs: resolver smaller than the vertex set")
+	}
+	offsets, targets := k.g.Offsets(), k.g.Targets()
+	needsReset := r.Method().NeedsReset()
+	var done atomic.Uint32
+	L := uint32(0)
+	for {
+		done.Store(1)
+		round := L + 1
+		k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+			progress := false
+			for v := lo; v < hi; v++ {
+				if atomic.LoadUint32(&k.level[v]) != L {
+					continue
+				}
+				for j := offsets[v]; j < offsets[v+1]; j++ {
+					u := targets[j]
+					if atomic.LoadUint32(&k.visited[u]) != 0 {
+						continue
+					}
+					v := v
+					if r.Do(int(u), round, func() {
+						k.parent[u] = uint32(v)
+						k.selEdge[u] = j
+						atomic.StoreUint32(&k.visited[u], 1)
+						atomic.StoreUint32(&k.level[u], L+1)
+					}) {
+						progress = true
+					}
+				}
+			}
+			if progress {
+				done.Store(0)
+			}
+		})
+		if done.Load() == 1 {
+			break
+		}
+		L++
+		if needsReset {
+			k.m.ParallelRange(k.n, func(lo, hi, _ int) { r.ResetRange(lo, hi) })
+		}
+	}
+	return k.result(int(L))
+}

@@ -1,0 +1,71 @@
+package bfs
+
+import (
+	"testing"
+
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/graph"
+)
+
+func TestRunResolverAllMethods(t *testing.T) {
+	m := testMachine(t, 4)
+	g := graph.ConnectedRandom(200, 800, 41)
+	k := NewKernel(m, g)
+	for _, method := range selectionMethods {
+		r := cw.NewResolver(method, g.NumVertices(), cw.Packed)
+		k.Prepare(0)
+		res := k.RunResolver(r)
+		if err := Validate(g, 0, res, true); err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+	}
+}
+
+func TestRunResolverCountsMatchRun(t *testing.T) {
+	m := testMachine(t, 4)
+	g := graph.ConnectedRandom(150, 500, 43)
+	k := NewKernel(m, g)
+
+	var ops cw.OpCounts
+	r := cw.NewCountingResolver(cw.CASLT, g.NumVertices(), &ops)
+	k.Prepare(0)
+	res := k.RunResolver(r)
+	if err := Validate(g, 0, res, true); err != nil {
+		t.Fatal(err)
+	}
+	_, _, wins := ops.Snapshot()
+	// Every vertex except the source is discovered by exactly one win.
+	if want := uint64(g.NumVertices() - 1); wins != want {
+		t.Fatalf("wins = %d, want %d", wins, want)
+	}
+}
+
+func TestRunResolverGatekeeperNeedsItsResets(t *testing.T) {
+	// RunResolver must perform the per-level resets for gatekeeper
+	// resolvers; a multi-level graph exercises them.
+	m := testMachine(t, 2)
+	g := graph.Path(30)
+	k := NewKernel(m, g)
+	r := cw.NewResolver(cw.Gatekeeper, g.NumVertices(), cw.Packed)
+	k.Prepare(0)
+	res := k.RunResolver(r)
+	if res.Depth != 29 {
+		t.Fatalf("depth = %d, want 29", res.Depth)
+	}
+	if err := Validate(g, 0, res, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunResolverRejectsSmallResolver(t *testing.T) {
+	m := testMachine(t, 1)
+	g := graph.Path(10)
+	k := NewKernel(m, g)
+	k.Prepare(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undersized resolver accepted")
+		}
+	}()
+	k.RunResolver(cw.NewResolver(cw.CASLT, 5, cw.Packed))
+}

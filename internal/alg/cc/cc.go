@@ -1,0 +1,422 @@
+// Package cc implements the paper's third benchmark: the Awerbuch–Shiloach
+// connected-components algorithm (a Shiloach–Vishkin variant with
+// simplified hooking decisions), which requires *arbitrary* CRCW concurrent
+// writes.
+//
+// Vertices carry a parent pointer D forming a forest; each iteration is a
+// fixed sequence of PRAM rounds:
+//
+//  1. star check                 (is every vertex in a depth-<=1 tree?)
+//  2. conditional star hooking   for each arc (u,v): if star[u] and
+//     D[v] < D[u] then D[D[u]] := D[v]
+//  3. star check
+//  4. directional star hooking   for each arc (u,v): if star[u] and
+//     D[v] > D[u] then D[D[u]] := D[v]
+//  5. pointer jumping            D[v] := D[D[v]]
+//
+// until nothing changes; on termination every component is a single star
+// and D is the component labelling.
+//
+// The hooking steps are the arbitrary concurrent write: many arcs
+// simultaneously hook the same star root r to *different* targets, and the
+// winner also records which arc performed the hook (HookEdge[r]) — a
+// multi-word payload whose fields must come from one writer. This is
+// exactly why the paper implements no naive CC variant: "this algorithm
+// concurrently writes updates to multiple arrays during the hooking stage,
+// rendering the naive method an unsafe approach". Run(cw.Naive) therefore
+// panics. The recorded hook arcs double as a spanning forest of the graph,
+// which the validator checks — a strong end-to-end witness that every
+// committed tuple was untorn.
+//
+// Cycle freedom relies on three ingredients: hooking reads come from a
+// phase-start snapshot of D (PRAM reads-before-writes semantics), each root
+// is hooked by at most one winner per round (the concurrent-write guard),
+// and both hooking rules are directional — conditional hooks only onto
+// strictly smaller roots, the second phase only onto strictly larger ones.
+// The textbook `D[v] != D[u]` rule for the second phase is NOT safe under
+// arbitrary winner selection (see the comment in hookPhase); the
+// directional variant preserves the algorithm's structure, CW pattern and
+// O(log n) behaviour while being provably acyclic.
+package cc
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
+)
+
+// NoHook marks a vertex that never performed a hook (never was a hooked
+// root).
+const NoHook = math.MaxUint32
+
+// Result gives read-only access to the arrays produced by a run.
+type Result struct {
+	// Labels[v] is the id of the root of v's component. Roots are
+	// arbitrary component members (not necessarily minima), but labels are
+	// consistent: two vertices share a label iff they are connected.
+	Labels []uint32
+	// HookEdge[r] is the CSR arc index whose hook attached former root r
+	// beneath another tree, or NoHook. The non-NoHook arcs form a spanning
+	// forest.
+	HookEdge []uint32
+	// Iterations is the number of hook/shortcut iterations executed.
+	Iterations int
+}
+
+// Kernel holds the shared arrays for repeated CC runs over one graph.
+type Kernel struct {
+	m *machine.Machine
+	g *graph.Graph
+	n int
+
+	d        []uint32 // parent pointers
+	dprev    []uint32 // phase-start snapshot of d read by hooking rounds
+	star     []uint32 // 1 = in a star
+	hookEdge []uint32
+	arcSrc   []uint32 // source vertex of each CSR arc
+
+	cells *cw.Array
+	gates *cw.GateArray
+	mtx   *cw.MutexArray
+
+	base uint32 // CAS-LT round offset carried across runs
+}
+
+// NewKernel returns a CC kernel over g executed on m. The machine and graph
+// are borrowed, not owned. g must be undirected (both arc directions
+// stored); the hooking safety argument depends on it.
+func NewKernel(m *machine.Machine, g *graph.Graph) *Kernel {
+	if !g.Undirected() {
+		panic("cc: kernel requires an undirected graph")
+	}
+	n := g.NumVertices()
+	k := &Kernel{
+		m:        m,
+		g:        g,
+		n:        n,
+		d:        make([]uint32, n),
+		dprev:    make([]uint32, n),
+		star:     make([]uint32, n),
+		hookEdge: make([]uint32, n),
+		arcSrc:   make([]uint32, g.NumArcs()),
+		cells:    cw.NewArray(n, cw.Packed),
+		gates:    cw.NewGateArray(n, cw.Packed),
+		mtx:      cw.NewMutexArray(n),
+	}
+	// Precompute each arc's source vertex so hooking can parallelize
+	// across arcs, "parallelizing across all edges to perform the hooking
+	// step" as the paper describes.
+	offsets := g.Offsets()
+	m.ParallelFor(n, func(v int) {
+		for j := offsets[v]; j < offsets[v+1]; j++ {
+			k.arcSrc[j] = uint32(v)
+		}
+	})
+	return k
+}
+
+// Prepare resets the forest to singletons and the hook records. Prepare is
+// the untimed initialization phase; CAS-LT cells are reused across runs via
+// the round offset.
+func (k *Kernel) Prepare() {
+	if k.base > math.MaxUint32/2 {
+		k.m.ParallelRange(k.n, func(lo, hi, _ int) { k.cells.ResetRange(lo, hi) })
+		k.base = 0
+	}
+	k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			k.d[i] = uint32(i)
+			k.hookEdge[i] = NoHook
+		}
+		k.gates.ResetRange(lo, hi)
+	})
+}
+
+// Run executes the algorithm with the given method and returns a Result
+// view over the kernel's arrays (valid until the next Prepare/Run).
+// Prepare must have been called first. Run panics for cw.Naive: naive
+// arbitrary concurrent writes are unsafe (see package comment).
+func (k *Kernel) Run(method cw.Method) Result {
+	switch method {
+	case cw.CASLT:
+		return k.RunCASLT()
+	case cw.Gatekeeper:
+		return k.RunGatekeeper()
+	case cw.GatekeeperChecked:
+		return k.RunGateChecked()
+	case cw.Mutex:
+		return k.RunMutex()
+	case cw.Naive:
+		panic("cc: the naive method cannot implement the arbitrary multi-array hooking write (see the paper, Section 7)")
+	default:
+		panic("cc: unknown method " + method.String())
+	}
+}
+
+// maxIterations bounds the convergence loop: Awerbuch–Shiloach provably
+// finishes in O(log n) iterations, so exceeding a generous multiple
+// indicates an implementation bug rather than a slow input.
+func (k *Kernel) maxIterations() int {
+	return 4*bits.Len(uint(k.n)) + 16
+}
+
+// starCheck recomputes k.star from k.d in three rounds. D is not written
+// during the check, so plain reads of d are safe; star is written with
+// atomic stores because marks race benignly (common CW of 0).
+func (k *Kernel) starCheck() {
+	d, star := k.d, k.star
+	k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+		for v := lo; v < hi; v++ {
+			star[v] = 1
+		}
+	})
+	k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+		for v := lo; v < hi; v++ {
+			p := d[v]
+			gp := d[p]
+			if p != gp {
+				// v has a grandparent: neither v nor the grandparent can
+				// be in a star.
+				atomic.StoreUint32(&star[v], 0)
+				atomic.StoreUint32(&star[gp], 0)
+			}
+		}
+	})
+	// Propagate the root's verdict to depth-1 members. Only lowers, never
+	// raises, so racy interleavings within the round are benign.
+	k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+		for v := lo; v < hi; v++ {
+			if atomic.LoadUint32(&star[v]) == 1 && atomic.LoadUint32(&star[d[v]]) == 0 {
+				atomic.StoreUint32(&star[v], 0)
+			}
+		}
+	})
+}
+
+// shortcut performs one pointer-jumping round, reporting whether any
+// pointer moved. Reading a neighbour's already-jumped pointer only jumps
+// further up the (acyclic) forest, so atomic loads of concurrent writes
+// are safe.
+func (k *Kernel) shortcut(changed *atomic.Uint32) {
+	d := k.d
+	k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+		progress := false
+		for v := lo; v < hi; v++ {
+			p := atomic.LoadUint32(&d[v])
+			gp := atomic.LoadUint32(&d[p])
+			if p != gp {
+				atomic.StoreUint32(&d[v], gp)
+				progress = true
+			}
+		}
+		if progress {
+			changed.Store(1)
+		}
+	})
+}
+
+// hookFunc attempts the guarded multi-array hook of root r via arc j to
+// target; it returns true if this caller won the write.
+type hookFunc func(r int, j uint32, target uint32) bool
+
+// hookPhase runs one hooking round over all arcs, reading parent pointers
+// from the phase-start snapshot dprev (PRAM reads-before-writes semantics:
+// without the snapshot, an arc sourced at a root hooked earlier in the same
+// phase reads its freshly written pointer and can hook its new parent back,
+// forming a cycle). conditional selects the D[v] < D[u] rule (vs.
+// D[v] != D[u]).
+func (k *Kernel) hookPhase(conditional bool, hook hookFunc, changed *atomic.Uint32) {
+	d, star, arcSrc, targets := k.dprev, k.star, k.arcSrc, k.g.Targets()
+	// Snapshot the parent pointers; this copy is part of every method's
+	// timed cost, identically, so method comparisons are unaffected.
+	k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+		copy(k.dprev[lo:hi], k.d[lo:hi])
+	})
+	k.m.ParallelRange(len(arcSrc), func(lo, hi, _ int) {
+		progress := false
+		for j := lo; j < hi; j++ {
+			u := arcSrc[j]
+			if star[u] == 0 {
+				continue
+			}
+			du := d[u]
+			dv := d[targets[j]]
+			var want bool
+			if conditional {
+				want = dv < du
+			} else {
+				// Directional variant of the textbook `dv != du` rule: hook
+				// only onto strictly larger roots. With an arbitrary winner
+				// per root per round, `!=` is unsafe — a singleton hooked
+				// into star A during the conditional phase can make A and
+				// another star B adjacent afterwards, and `!=` then hooks A
+				// and B onto each other, forming a 2-cycle. With `>` every
+				// unconditional write increases ids: a hypothetical cycle
+				// a1 -> a2 -> ... -> ak -> a1 of same-round hooks would
+				// need a1 < a2 < ... < ak < a1 (hook targets in star trees
+				// are exactly the roots' ids), a contradiction. Stagnation
+				// is impossible: a star root that is a local minimum among
+				// neighbouring roots hooks here, a local maximum hooks in
+				// the conditional phase.
+				want = dv > du
+			}
+			if want && hook(int(du), uint32(j), dv) {
+				progress = true
+			}
+		}
+		if progress {
+			changed.Store(1)
+		}
+	})
+}
+
+// run drives the iteration structure shared by all methods. nextRound
+// supplies a fresh round id before each hooking phase (CAS-LT); afterPhase
+// runs between rounds for methods needing re-initialization (gatekeeper).
+func (k *Kernel) run(hook func(round uint32) hookFunc, nextRound func() uint32, afterPhase func()) Result {
+	iter := 0
+	maxIter := k.maxIterations()
+	var changed atomic.Uint32
+	for {
+		changed.Store(0)
+
+		k.starCheck()
+		k.hookPhase(true, hook(nextRound()), &changed)
+		afterPhase()
+
+		k.starCheck()
+		k.hookPhase(false, hook(nextRound()), &changed)
+		afterPhase()
+
+		k.shortcut(&changed)
+
+		iter++
+		if changed.Load() == 0 {
+			break
+		}
+		if iter > maxIter {
+			panic(fmt.Sprintf("cc: no convergence after %d iterations on %d vertices (bug)", iter, k.n))
+		}
+	}
+	return Result{Labels: k.d, HookEdge: k.hookEdge, Iterations: iter}
+}
+
+// commit writes the hook tuple; it runs only on a claimant holding the
+// exclusive write right for d[r] in the current round. Because hook
+// conditions are evaluated on the phase-start snapshot, r is always a
+// phase-start root here; the verification is pure defense in depth (it is
+// stable because the caller owns the only write right to d[r] this round).
+func (k *Kernel) commit(r int, j, target uint32) bool {
+	if k.d[r] != uint32(r) {
+		return false
+	}
+	k.d[r] = target
+	k.hookEdge[r] = j
+	return true
+}
+
+// RunCASLT guards each hooking write with a CAS-LT claim on the root's
+// cell; the per-phase round id is derived from the iteration counter, so
+// no auxiliary state is ever re-initialized.
+func (k *Kernel) RunCASLT() Result {
+	res := k.run(
+		func(round uint32) hookFunc {
+			return func(r int, j, target uint32) bool {
+				return k.cells.TryClaim(r, round) && k.commit(r, j, target)
+			}
+		},
+		func() uint32 { k.base++; return k.base },
+		func() {},
+	)
+	return res
+}
+
+// RunGatekeeper guards each hooking write with an atomic fetch-and-add
+// gatekeeper per root, and re-zeroes the whole gatekeeper array after
+// every hooking phase — the O(N)-work re-initialization pass the method
+// requires, inside the timed region.
+func (k *Kernel) RunGatekeeper() Result { return k.runGate(false) }
+
+// RunGateChecked is RunGatekeeper with the load pre-check mitigation.
+func (k *Kernel) RunGateChecked() Result { return k.runGate(true) }
+
+func (k *Kernel) runGate(checked bool) Result {
+	return k.run(
+		func(uint32) hookFunc {
+			return func(r int, j, target uint32) bool {
+				var won bool
+				if checked {
+					won = k.gates.TryEnterChecked(r)
+				} else {
+					won = k.gates.TryEnter(r)
+				}
+				return won && k.commit(r, j, target)
+			}
+		},
+		func() uint32 { return 0 },
+		func() {
+			k.m.ParallelRange(k.n, func(lo, hi, _ int) { k.gates.ResetRange(lo, hi) })
+		},
+	)
+}
+
+// RunMutex serializes each root's hooking writes behind the root's lock;
+// the first writer to commit wins (the root re-verification makes later
+// writers skip), and the tuple stays consistent because both fields are
+// written inside the critical section.
+func (k *Kernel) RunMutex() Result {
+	return k.run(
+		func(uint32) hookFunc {
+			return func(r int, j, target uint32) bool {
+				k.mtx.Lock(r)
+				ok := k.commit(r, j, target)
+				k.mtx.Unlock(r)
+				return ok
+			}
+		},
+		func() uint32 { return 0 },
+		func() {},
+	)
+}
+
+// SequentialLabels computes component labels with a union-find (path
+// halving + union by smaller id), the validation baseline. Labels are the
+// smallest vertex id of each component.
+func SequentialLabels(g *graph.Graph) []uint32 {
+	n := g.NumVertices()
+	parent := make([]uint32, n)
+	for i := range parent {
+		parent[i] = uint32(i)
+	}
+	var find func(x uint32) uint32
+	find = func(x uint32) uint32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	offsets, targets := g.Offsets(), g.Targets()
+	for v := 0; v < n; v++ {
+		for j := offsets[v]; j < offsets[v+1]; j++ {
+			ru, rv := find(uint32(v)), find(targets[j])
+			if ru != rv {
+				if ru < rv {
+					parent[rv] = ru
+				} else {
+					parent[ru] = rv
+				}
+			}
+		}
+	}
+	labels := make([]uint32, n)
+	for v := range labels {
+		labels[v] = find(uint32(v))
+	}
+	return labels
+}

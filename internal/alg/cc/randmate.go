@@ -1,0 +1,107 @@
+package cc
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// This file implements Reif's random-mate connected components as a second
+// arbitrary-CW algorithm (an extension beyond the paper's benchmarks; the
+// paper's conclusion calls for broader CRCW algorithm coverage). Each
+// iteration every live root flips a fair coin; every edge whose endpoints
+// lie under a head root and a tail root hooks the head root beneath the
+// tail root — an arbitrary concurrent write per head root, guarded here by
+// CAS-LT — followed by pointer jumping. Heads hook onto tails and tails
+// never hook, so a round's hook graph is trivially acyclic (no directional
+// id trick needed), and each component contracts to one vertex in O(log n)
+// expected iterations.
+
+// splitmix64 is a fixed-increment hash used to derive deterministic,
+// uncorrelated per-(iteration, vertex) coin flips without shared RNG
+// state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// coin returns the deterministic coin flip of vertex v in iteration it for
+// the given seed: true = head.
+func coin(seed uint64, it uint32, v uint32) bool {
+	return splitmix64(seed^uint64(it)<<32^uint64(v))&1 == 1
+}
+
+// RunRandMate executes random-mate connected components with
+// CAS-LT-guarded hooking. Prepare must have been called first. Like the
+// Awerbuch–Shiloach runs it fills the hook records, so Validate applies
+// unchanged. seed makes the coin flips deterministic.
+func (k *Kernel) RunRandMate(seed uint64) Result {
+	// A generous bound: random mate halves the expected live-root count
+	// per iteration; exceeding ~64 + 8 log2 n is overwhelmingly a bug (or
+	// an astronomically unlucky seed) rather than a slow input.
+	maxIter := 8*bits.Len(uint(k.n)) + 64
+
+	d, dprev, arcSrc, targets := k.d, k.dprev, k.arcSrc, k.g.Targets()
+	var changed atomic.Uint32
+	it := uint32(0)
+	for {
+		changed.Store(0)
+		k.base++
+		round := k.base
+
+		// Snapshot the forest: hooks read phase-start roots only.
+		k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+			copy(dprev[lo:hi], d[lo:hi])
+		})
+
+		// Hooking: arcs whose source's root is a head and whose target's
+		// root is a tail hook head beneath tail. dprev[u] is u's parent at
+		// phase start; it equals u's root only when u is in a star, so —
+		// unlike Awerbuch–Shiloach — random mate additionally requires the
+		// parent to be a root (dprev[dprev[u]] == dprev[u]), which is the
+		// textbook formulation (hooking is attempted between mated roots).
+		// live records whether any arc still connects two distinct roots:
+		// an unlucky coin assignment can produce a hook-free iteration
+		// that must NOT terminate the loop while such arcs remain.
+		var live atomic.Uint32
+		k.m.ParallelRange(len(arcSrc), func(lo, hi, _ int) {
+			progress, cross := false, false
+			for j := lo; j < hi; j++ {
+				u := arcSrc[j]
+				ru := dprev[u]
+				if dprev[ru] != ru {
+					continue // u's parent is not a root
+				}
+				rv := dprev[targets[j]]
+				if dprev[rv] != rv || ru == rv {
+					continue // v's parent is not a root, or same tree
+				}
+				cross = true
+				if !coin(seed, it, ru) || coin(seed, it, rv) {
+					continue // not a head-to-tail pairing this iteration
+				}
+				if k.cells.TryClaim(int(ru), round) && k.commit(int(ru), uint32(j), rv) {
+					progress = true
+				}
+			}
+			if progress {
+				changed.Store(1)
+			}
+			if cross {
+				live.Store(1)
+			}
+		})
+
+		k.shortcut(&changed)
+
+		it++
+		if changed.Load() == 0 && live.Load() == 0 {
+			break
+		}
+		if int(it) > maxIter {
+			panic("cc: random mate did not converge (bug or pathological seed)")
+		}
+	}
+	return Result{Labels: k.d, HookEdge: k.hookEdge, Iterations: int(it)}
+}

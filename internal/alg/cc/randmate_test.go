@@ -1,0 +1,125 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crcwpram/internal/graph"
+)
+
+func TestRandMateMatchesUnionFind(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		m := testMachine(t, p)
+		for name, g := range testGraphs() {
+			k := NewKernel(m, g)
+			k.Prepare()
+			r := k.RunRandMate(12345)
+			if err := Validate(g, r); err != nil {
+				t.Fatalf("p=%d %s: %v", p, name, err)
+			}
+		}
+	}
+}
+
+func TestRandMateManySeeds(t *testing.T) {
+	m := testMachine(t, 4)
+	g := graph.ConnectedRandom(200, 700, 3)
+	k := NewKernel(m, g)
+	for seed := uint64(0); seed < 25; seed++ {
+		k.Prepare()
+		r := k.RunRandMate(seed)
+		if err := Validate(g, r); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestRandMateDeterministicPerSeed(t *testing.T) {
+	// Coin flips are seed-deterministic, so iteration counts must match
+	// across single-worker runs (full execution is deterministic at p=1).
+	m := testMachine(t, 1)
+	g := graph.ConnectedRandom(150, 400, 9)
+	k := NewKernel(m, g)
+	k.Prepare()
+	r1 := k.RunRandMate(7)
+	labels1 := append([]uint32(nil), r1.Labels...)
+	k.Prepare()
+	r2 := k.RunRandMate(7)
+	if r1.Iterations != r2.Iterations {
+		t.Fatalf("iterations differ across identical runs: %d vs %d", r1.Iterations, r2.Iterations)
+	}
+	for i := range labels1 {
+		if labels1[i] != r2.Labels[i] {
+			t.Fatalf("labels differ at %d", i)
+		}
+	}
+}
+
+func TestRandMateRepeatedRunsNoCellReset(t *testing.T) {
+	m := testMachine(t, 4)
+	g := graph.Disjoint(graph.ConnectedRandom(40, 100, 5), 3)
+	k := NewKernel(m, g)
+	for rep := 0; rep < 10; rep++ {
+		k.Prepare()
+		r := k.RunRandMate(uint64(rep))
+		if err := Validate(g, r); err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+	}
+}
+
+func TestRandMateSingletons(t *testing.T) {
+	m := testMachine(t, 2)
+	g := graph.MustFromEdges(5, nil, true)
+	k := NewKernel(m, g)
+	k.Prepare()
+	r := k.RunRandMate(1)
+	for v := 0; v < 5; v++ {
+		if r.Labels[v] != uint32(v) || r.HookEdge[v] != NoHook {
+			t.Fatalf("singleton %d: label %d hook %d", v, r.Labels[v], r.HookEdge[v])
+		}
+	}
+}
+
+func TestCoinDeterministicAndBalanced(t *testing.T) {
+	heads := 0
+	const n = 10000
+	for v := uint32(0); v < n; v++ {
+		if coin(1, 0, v) != coin(1, 0, v) {
+			t.Fatal("coin not deterministic")
+		}
+		if coin(1, 0, v) {
+			heads++
+		}
+	}
+	if heads < n/2-n/10 || heads > n/2+n/10 {
+		t.Fatalf("coin badly unbalanced: %d/%d heads", heads, n)
+	}
+	// Different iterations and seeds decorrelate.
+	same := 0
+	for v := uint32(0); v < n; v++ {
+		if coin(1, 0, v) == coin(1, 1, v) {
+			same++
+		}
+	}
+	if same < n/2-n/10 || same > n/2+n/10 {
+		t.Fatalf("iterations correlated: %d/%d agree", same, n)
+	}
+}
+
+// Property: random mate agrees with Awerbuch-Shiloach (CAS-LT) and the
+// union-find baseline on random multigraphs.
+func TestQuickRandMateCorrect(t *testing.T) {
+	m := testMachine(t, 4)
+	f := func(nRaw uint8, mRaw uint16, seed int64, coinSeed uint64) bool {
+		n := int(nRaw)%120 + 2
+		edges := int(mRaw) % 400
+		g := graph.RandomUndirected(n, edges, seed)
+		k := NewKernel(m, g)
+		k.Prepare()
+		return Validate(g, k.RunRandMate(coinSeed)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

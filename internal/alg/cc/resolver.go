@@ -1,0 +1,35 @@
+package cc
+
+import "crcwpram/internal/core/cw"
+
+// RunResolver executes Awerbuch–Shiloach with the hooking write handled by
+// an arbitrary cw.Resolver — the generic entry point used by the harness
+// to count the atomic traffic of full CC runs (cw.NewCountingResolver).
+// Prepare must have been called first; the resolver must be fresh and span
+// the vertex set.
+//
+// Round ids passed to the resolver restart at 1 for every RunResolver
+// call, so a CAS-LT-backed resolver must not be reused across calls
+// (counting resolvers are per-experiment anyway).
+func (k *Kernel) RunResolver(r cw.Resolver) Result {
+	if r.Len() < k.n {
+		panic("cc: resolver smaller than the vertex set")
+	}
+	var round uint32
+	needsReset := r.Method().NeedsReset()
+	return k.run(
+		func(round uint32) hookFunc {
+			return func(root int, j, target uint32) bool {
+				won := false
+				r.Do(root, round, func() { won = k.commit(root, j, target) })
+				return won
+			}
+		},
+		func() uint32 { round++; return round },
+		func() {
+			if needsReset {
+				k.m.ParallelRange(k.n, func(lo, hi, _ int) { r.ResetRange(lo, hi) })
+			}
+		},
+	)
+}

@@ -1,0 +1,171 @@
+package listrank
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/memcheck"
+)
+
+func testMachine(t *testing.T, p int) *machine.Machine {
+	t.Helper()
+	m := machine.New(p)
+	t.Cleanup(m.Close)
+	return m
+}
+
+func TestSequentialRankSimple(t *testing.T) {
+	// List 2 -> 0 -> 1 (tail 1).
+	next := []uint32{1, Nil, 0}
+	want := []uint32{1, 0, 2}
+	got := SequentialRank(next)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SequentialRank = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRankMatchesSequential(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		m := testMachine(t, p)
+		for _, n := range []int{0, 1, 2, 3, 8, 100, 1000, 1023} {
+			next := RandomList(n, int64(n)+3)
+			want := SequentialRank(next)
+			got := Rank(m, next)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("p=%d n=%d: rank[%d] = %d, want %d", p, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRankForest(t *testing.T) {
+	m := testMachine(t, 4)
+	next := RandomForest([]int{1, 2, 10, 57, 100}, 5)
+	want := SequentialRank(next)
+	got := Rank(m, next)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRankRejectsMalformedInputs(t *testing.T) {
+	m := testMachine(t, 2)
+	cases := map[string][]uint32{
+		"out of range":     {5, Nil},
+		"self loop":        {0, Nil},
+		"shared successor": {2, 2, Nil},
+		"two-cycle":        {1, 0},
+		"cycle plus chain": {1, 2, 0, 0},
+	}
+	for name, next := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: accepted %v", name, next)
+				}
+			}()
+			Rank(m, next)
+		}()
+	}
+}
+
+// Wyllie's algorithm is EREW: run it over memcheck-instrumented arrays and
+// assert zero violations under the strictest access mode.
+func TestRankIsEREW(t *testing.T) {
+	const n = 64
+	m := testMachine(t, 4)
+	next := RandomList(n, 9)
+
+	rank := memcheck.New(memcheck.EREW, n)
+	succ := memcheck.New(memcheck.EREW, n)
+	nextRank := memcheck.New(memcheck.EREW, n)
+	nextSucc := memcheck.New(memcheck.EREW, n)
+	step := func() {
+		rank.NextRound()
+		succ.NextRound()
+		nextRank.NextRound()
+		nextSucc.NextRound()
+	}
+
+	m.ParallelFor(n, func(i int) {
+		succ.Write(i, next[i])
+		if next[i] != Nil {
+			rank.Write(i, 1)
+		}
+	})
+	for reach := 1; reach < n; reach *= 2 {
+		step()
+		// Split each jumping round into a read phase and a write phase so
+		// the checker's mixed-read/write rule is respected, mirroring the
+		// double buffering of the real kernel.
+		rs := make([]uint32, n)
+		ss := make([]uint32, n)
+		m.ParallelFor(n, func(i int) {
+			ss[i] = succ.Read(i)
+			rs[i] = rank.Read(i)
+		})
+		step()
+		m.ParallelFor(n, func(i int) {
+			s := ss[i]
+			if s == Nil {
+				nextRank.Write(i, rs[i])
+				nextSucc.Write(i, Nil)
+				return
+			}
+			// Reads of the successor's state: distinct successors, so
+			// exclusive.
+			nextRank.Write(i, rs[i]+rank.Read(int(s)))
+			nextSucc.Write(i, succ.Read(int(s)))
+		})
+		step()
+		m.ParallelFor(n, func(i int) {
+			rank.Write(i, nextRank.Read(i))
+			succ.Write(i, nextSucc.Read(i))
+		})
+	}
+	for _, a := range []*memcheck.Array{rank, succ, nextRank, nextSucc} {
+		if !a.Ok() {
+			t.Fatalf("EREW violation in list ranking: %v", a.Violations())
+		}
+	}
+	want := SequentialRank(next)
+	got := rank.Data()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("checked rank[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: parallel ranks equal sequential ranks on random forests.
+func TestQuickRankCorrect(t *testing.T) {
+	m := testMachine(t, 4)
+	f := func(sizesRaw []uint8, seed int64) bool {
+		if len(sizesRaw) > 12 {
+			sizesRaw = sizesRaw[:12]
+		}
+		sizes := make([]int, 0, len(sizesRaw))
+		for _, s := range sizesRaw {
+			sizes = append(sizes, int(s)%80+1)
+		}
+		next := RandomForest(sizes, seed)
+		want := SequentialRank(next)
+		got := Rank(m, next)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

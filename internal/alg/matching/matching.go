@@ -1,0 +1,304 @@
+// Package matching implements randomized parallel maximal matching in the
+// style of Yang, Dhall and Lakshmivarahan (the paper's reference [23]) —
+// a workload the paper singles out as typical of CRCW algorithms that get
+// reformulated for CREW machines because concurrent writes were thought
+// unimplementable. Here the CRCW formulation runs as-is on CAS-LT.
+//
+// Each iteration is a two-level arbitrary concurrent write:
+//
+//  1. Propose: every vertex flips a coin; for every live edge (u, v) with
+//     u a head and v a tail, u's processors race an arbitrary CW on v's
+//     proposal slot — one proposer (and the arc it arrived by) commits.
+//  2. Accept: a head u may have won proposals on several tails; the tails
+//     race a second arbitrary CW on u's acceptance slot. The winning pair
+//     (u, v) is matched and both vertices leave the graph.
+//
+// Both levels write multi-word payloads (who + via which arc), so an
+// unguarded implementation could tear them; the recorded match edges are
+// validated against the graph. Expected O(log m) iterations remove all
+// live edges; on termination no edge joins two unmatched vertices, i.e.
+// the matching is maximal.
+package matching
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
+)
+
+// Unmatched marks a vertex with no mate.
+const Unmatched = math.MaxUint32
+
+// Result gives read-only access to the arrays produced by a run.
+type Result struct {
+	// Mate[v] is v's matched partner, or Unmatched.
+	Mate []uint32
+	// MateEdge[v] is the CSR arc index that created v's match (stored on
+	// both endpoints), or Unmatched.
+	MateEdge []uint32
+	// Iterations is the number of propose/accept rounds executed.
+	Iterations int
+}
+
+// Size returns the number of matched pairs.
+func (r Result) Size() int {
+	n := 0
+	for _, m := range r.Mate {
+		if m != Unmatched {
+			n++
+		}
+	}
+	return n / 2
+}
+
+// Kernel holds the shared arrays for repeated matching runs over one
+// graph.
+type Kernel struct {
+	m *machine.Machine
+	g *graph.Graph
+	n int
+
+	alive    []uint32
+	mate     []uint32
+	mateEdge []uint32
+	proposer []uint32 // per tail: winning head
+	propArc  []uint32 // per tail: arc the proposal arrived by
+	arcSrc   []uint32
+
+	propCells   *cw.Array // level-1 guard: one per tail
+	acceptCells *cw.Array // level-2 guard: one per head
+
+	base uint32
+}
+
+// NewKernel returns a matching kernel over g executed on m. g must be
+// undirected.
+func NewKernel(m *machine.Machine, g *graph.Graph) *Kernel {
+	if !g.Undirected() {
+		panic("matching: kernel requires an undirected graph")
+	}
+	n := g.NumVertices()
+	k := &Kernel{
+		m:           m,
+		g:           g,
+		n:           n,
+		alive:       make([]uint32, n),
+		mate:        make([]uint32, n),
+		mateEdge:    make([]uint32, n),
+		proposer:    make([]uint32, n),
+		propArc:     make([]uint32, n),
+		arcSrc:      make([]uint32, g.NumArcs()),
+		propCells:   cw.NewArray(n, cw.Packed),
+		acceptCells: cw.NewArray(n, cw.Packed),
+	}
+	offsets := g.Offsets()
+	m.ParallelFor(n, func(v int) {
+		for j := offsets[v]; j < offsets[v+1]; j++ {
+			k.arcSrc[j] = uint32(v)
+		}
+	})
+	return k
+}
+
+// Prepare resets the matching state. Untimed; CAS-LT cells carry over via
+// the round offset.
+func (k *Kernel) Prepare() {
+	if k.base > math.MaxUint32/2 {
+		k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+			k.propCells.ResetRange(lo, hi)
+			k.acceptCells.ResetRange(lo, hi)
+		})
+		k.base = 0
+	}
+	k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			k.alive[i] = 1
+			k.mate[i] = Unmatched
+			k.mateEdge[i] = Unmatched
+		}
+	})
+}
+
+// splitmix64 hashes per-(seed, iteration, vertex) coin flips.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func head(seed uint64, it uint32, v uint32) bool {
+	return splitmix64(seed^uint64(it)<<32^uint64(v))&1 == 1
+}
+
+// Run executes the randomized maximal matching with CAS-LT-guarded
+// proposal and acceptance writes. Prepare must have been called first.
+// seed makes the coin flips deterministic.
+func (k *Kernel) Run(seed uint64) Result {
+	maxIter := 8*bits.Len(uint(k.g.NumArcs()+2)) + 64
+	targets := k.g.Targets()
+	it := uint32(0)
+	var live atomic.Uint32
+	for {
+		live.Store(0)
+		k.base++
+		round := k.base
+
+		// Level 1 — propose: heads race on each live tail's slot.
+		k.m.ParallelRange(len(k.arcSrc), func(lo, hi, _ int) {
+			sawLive := false
+			for j := lo; j < hi; j++ {
+				u := k.arcSrc[j]
+				v := targets[j]
+				if k.alive[u] == 0 || k.alive[v] == 0 || u == v {
+					continue
+				}
+				sawLive = true
+				if !head(seed, it, u) || head(seed, it, v) {
+					continue
+				}
+				if k.propCells.TryClaim(int(v), round) {
+					k.proposer[v] = u
+					k.propArc[v] = uint32(j)
+				}
+			}
+			if sawLive {
+				live.Store(1)
+			}
+		})
+
+		// Level 2 — accept: proposed-to tails race on their proposer's
+		// slot; the winner forms the match and both endpoints die.
+		k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+			for v := lo; v < hi; v++ {
+				if !k.propCells.Written(v, round) {
+					continue
+				}
+				u := k.proposer[v]
+				if k.acceptCells.TryClaim(int(u), round) {
+					j := k.propArc[v]
+					k.mate[v] = u
+					k.mate[u] = uint32(v)
+					k.mateEdge[v] = j
+					k.mateEdge[u] = j
+					// Dying is a write to the vertex's own cells plus the
+					// partner's; the acceptance win makes it exclusive.
+					atomic.StoreUint32(&k.alive[v], 0)
+					atomic.StoreUint32(&k.alive[u], 0)
+				}
+			}
+		})
+
+		it++
+		if live.Load() == 0 {
+			break
+		}
+		if int(it) > maxIter {
+			panic(fmt.Sprintf("matching: no convergence after %d iterations (bug or pathological seed)", it))
+		}
+	}
+	return Result{Mate: k.mate, MateEdge: k.mateEdge, Iterations: int(it)}
+}
+
+// Validate checks that a result is a valid maximal matching of g:
+// symmetry, edge-backed pairs (untorn payloads), and maximality (no edge
+// joins two unmatched vertices).
+func Validate(g *graph.Graph, r Result) error {
+	n := g.NumVertices()
+	if len(r.Mate) != n || len(r.MateEdge) != n {
+		return fmt.Errorf("matching: result arrays sized %d/%d, want %d", len(r.Mate), len(r.MateEdge), n)
+	}
+	offsets, targets := g.Offsets(), g.Targets()
+	for v := 0; v < n; v++ {
+		m := r.Mate[v]
+		if m == Unmatched {
+			if r.MateEdge[v] != Unmatched {
+				return fmt.Errorf("matching: unmatched vertex %d has mate edge %d", v, r.MateEdge[v])
+			}
+			continue
+		}
+		if int(m) >= n {
+			return fmt.Errorf("matching: mate[%d] = %d out of range", v, m)
+		}
+		if r.Mate[m] != uint32(v) {
+			return fmt.Errorf("matching: asymmetric pair %d -> %d -> %d", v, m, r.Mate[m])
+		}
+		e := r.MateEdge[v]
+		if e == Unmatched || int(e) >= g.NumArcs() {
+			return fmt.Errorf("matching: matched vertex %d has invalid mate edge %d", v, e)
+		}
+		if r.MateEdge[m] != e {
+			return fmt.Errorf("matching: pair (%d,%d) disagrees on mate edge: %d vs %d (torn payload)", v, m, e, r.MateEdge[m])
+		}
+		// The arc must join exactly this pair.
+		src := arcSource(offsets, e)
+		dst := targets[e]
+		if !(src == uint32(v) && dst == m) && !(src == m && dst == uint32(v)) {
+			return fmt.Errorf("matching: mate edge %d joins (%d,%d), not (%d,%d)", e, src, dst, v, m)
+		}
+	}
+	// Maximality: every edge must have a matched endpoint (self-loops
+	// cannot be matched and are exempt).
+	for v := 0; v < n; v++ {
+		for j := offsets[v]; j < offsets[v+1]; j++ {
+			u := targets[j]
+			if u == uint32(v) {
+				continue
+			}
+			if r.Mate[v] == Unmatched && r.Mate[u] == Unmatched {
+				return fmt.Errorf("matching: edge (%d,%d) joins two unmatched vertices — not maximal", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+// SequentialGreedy returns a maximal matching built by a greedy edge scan,
+// the baseline for size comparisons (any maximal matching is at least half
+// the maximum matching).
+func SequentialGreedy(g *graph.Graph) Result {
+	n := g.NumVertices()
+	mate := make([]uint32, n)
+	mateEdge := make([]uint32, n)
+	for i := range mate {
+		mate[i] = Unmatched
+		mateEdge[i] = Unmatched
+	}
+	offsets, targets := g.Offsets(), g.Targets()
+	for v := 0; v < n; v++ {
+		if mate[v] != Unmatched {
+			continue
+		}
+		for j := offsets[v]; j < offsets[v+1]; j++ {
+			u := targets[j]
+			if u != uint32(v) && mate[u] == Unmatched {
+				mate[v] = u
+				mate[u] = uint32(v)
+				mateEdge[v] = j
+				mateEdge[u] = j
+				break
+			}
+		}
+	}
+	return Result{Mate: mate, MateEdge: mateEdge, Iterations: 1}
+}
+
+// arcSource finds the source vertex of CSR arc e by binary search over the
+// offsets array.
+func arcSource(offsets []uint32, e uint32) uint32 {
+	lo, hi := 0, len(offsets)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if offsets[mid] <= e {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return uint32(lo)
+}

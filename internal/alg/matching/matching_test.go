@@ -1,0 +1,199 @@
+package matching
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
+)
+
+func testMachine(t *testing.T, p int) *machine.Machine {
+	t.Helper()
+	m := machine.New(p)
+	t.Cleanup(m.Close)
+	return m
+}
+
+func testGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"empty":        graph.MustFromEdges(6, nil, true),
+		"one-edge":     graph.MustFromEdges(4, []graph.Edge{{U: 1, V: 2}}, true),
+		"path":         graph.Path(50),
+		"cycle-even":   graph.Cycle(40),
+		"cycle-odd":    graph.Cycle(41),
+		"star":         graph.Star(60),
+		"complete":     graph.Complete(20),
+		"grid":         graph.Grid2D(7, 9),
+		"random":       graph.ConnectedRandom(200, 800, 21),
+		"random-multi": graph.RandomUndirected(150, 400, 31),
+		"disconnected": graph.Disjoint(graph.ConnectedRandom(40, 100, 3), 4),
+	}
+}
+
+func TestSequentialGreedyValid(t *testing.T) {
+	for name, g := range testGraphs() {
+		if err := Validate(g, SequentialGreedy(g)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunProducesMaximalMatching(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		m := testMachine(t, p)
+		for name, g := range testGraphs() {
+			k := NewKernel(m, g)
+			k.Prepare()
+			r := k.Run(99)
+			if err := Validate(g, r); err != nil {
+				t.Fatalf("p=%d %s: %v", p, name, err)
+			}
+		}
+	}
+}
+
+func TestKnownSizes(t *testing.T) {
+	m := testMachine(t, 4)
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int // exact maximal-matching size where forced
+	}{
+		{"one-edge", graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1}}, true), 1},
+		{"star", graph.Star(50), 1},  // any maximal matching of a star has one edge
+		{"path-4", graph.Path(4), 0}, // size in {1,2}; checked below separately
+		{"complete-2", graph.Complete(2), 1},
+	}
+	for _, c := range cases {
+		k := NewKernel(m, c.g)
+		k.Prepare()
+		r := k.Run(7)
+		if err := Validate(c.g, r); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if c.want > 0 && r.Size() != c.want {
+			t.Fatalf("%s: size %d, want %d", c.name, r.Size(), c.want)
+		}
+	}
+	// Half-approximation bound vs the greedy baseline on a bigger input:
+	// any maximal matching is >= 1/2 maximum >= 1/2 any other maximal.
+	g := graph.ConnectedRandom(300, 1200, 5)
+	k := NewKernel(m, g)
+	k.Prepare()
+	r := k.Run(11)
+	greedy := SequentialGreedy(g)
+	if 2*r.Size() < greedy.Size() {
+		t.Fatalf("parallel matching size %d < half of greedy %d", r.Size(), greedy.Size())
+	}
+}
+
+func TestRepeatedRunsAndSeeds(t *testing.T) {
+	m := testMachine(t, 4)
+	g := graph.ConnectedRandom(150, 600, 13)
+	k := NewKernel(m, g)
+	for seed := uint64(0); seed < 15; seed++ {
+		k.Prepare()
+		r := k.Run(seed)
+		if err := Validate(g, r); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestDeterministicAtOneWorker(t *testing.T) {
+	m := testMachine(t, 1)
+	g := graph.ConnectedRandom(120, 400, 17)
+	k := NewKernel(m, g)
+	k.Prepare()
+	r1 := k.Run(5)
+	mates := append([]uint32(nil), r1.Mate...)
+	k.Prepare()
+	r2 := k.Run(5)
+	for v := range mates {
+		if mates[v] != r2.Mate[v] {
+			t.Fatalf("p=1 runs with same seed differ at vertex %d", v)
+		}
+	}
+}
+
+func TestDirectedRejected(t *testing.T) {
+	m := testMachine(t, 1)
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}}, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("directed graph accepted")
+		}
+	}()
+	NewKernel(m, g)
+}
+
+func TestValidateRejectsCorruption(t *testing.T) {
+	m := testMachine(t, 2)
+	g := graph.Cycle(10)
+	k := NewKernel(m, g)
+	fresh := func() Result {
+		k.Prepare()
+		return k.Run(3)
+	}
+
+	r := fresh()
+	if err := Validate(g, r); err != nil {
+		t.Fatalf("clean result rejected: %v", err)
+	}
+
+	// Break symmetry.
+	r = fresh()
+	for v, mt := range r.Mate {
+		if mt != Unmatched {
+			r.Mate[v] = uint32((int(mt) + 1) % g.NumVertices())
+			break
+		}
+	}
+	if Validate(g, r) == nil {
+		t.Fatal("asymmetric matching accepted")
+	}
+
+	// Un-match a pair: maximality must fail on its edge.
+	r = fresh()
+	for v, mt := range r.Mate {
+		if mt != Unmatched {
+			u := mt
+			r.Mate[v], r.Mate[u] = Unmatched, Unmatched
+			r.MateEdge[v], r.MateEdge[u] = Unmatched, Unmatched
+			break
+		}
+	}
+	if Validate(g, r) == nil {
+		t.Fatal("non-maximal matching accepted")
+	}
+
+	// Torn payload: endpoints disagree on the mate edge.
+	r = fresh()
+	for v, mt := range r.Mate {
+		if mt != Unmatched {
+			r.MateEdge[v] = (r.MateEdge[v] + 1) % uint32(g.NumArcs())
+			break
+		}
+	}
+	if Validate(g, r) == nil {
+		t.Fatal("torn mate-edge payload accepted")
+	}
+}
+
+// Property: valid maximal matching on random multigraphs for random seeds
+// and both worker counts.
+func TestQuickMaximalMatching(t *testing.T) {
+	m := testMachine(t, 4)
+	f := func(nRaw uint8, mRaw uint16, seed int64, coinSeed uint64) bool {
+		n := int(nRaw)%120 + 2
+		edges := int(mRaw) % 400
+		g := graph.RandomUndirected(n, edges, seed)
+		k := NewKernel(m, g)
+		k.Prepare()
+		return Validate(g, k.Run(coinSeed)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

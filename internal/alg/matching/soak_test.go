@@ -1,0 +1,41 @@
+package matching
+
+import (
+	"testing"
+
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
+)
+
+// TestSoakRandomizedGraphs exercises the two-level arbitrary-CW protocol
+// (propose then accept) across many random shapes, seeds and worker
+// counts; the torn-tuple and double-match hazards it guards against are
+// timing-dependent, so volume is the point. Skipped in -short mode.
+func TestSoakRandomizedGraphs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	for _, p := range []int{2, 4, 8} {
+		m := machine.New(p)
+		for trial := 0; trial < 120; trial++ {
+			seed := int64(p*2000 + trial)
+			n := 20 + trial%180
+			edges := (trial % 6) * n
+			var g *graph.Graph
+			switch trial % 3 {
+			case 0:
+				g = graph.RandomUndirected(n, edges, seed)
+			case 1:
+				g = graph.ConnectedRandom(n, edges+n, seed)
+			default:
+				g = graph.Grid2D(trial%12+2, trial%9+2)
+			}
+			k := NewKernel(m, g)
+			k.Prepare()
+			if err := Validate(g, k.Run(uint64(seed))); err != nil {
+				t.Fatalf("p=%d trial %d: %v", p, trial, err)
+			}
+		}
+		m.Close()
+	}
+}

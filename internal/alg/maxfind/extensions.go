@@ -1,0 +1,173 @@
+package maxfind
+
+import (
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/sched"
+)
+
+// This file implements the comparison algorithms the paper's conclusion
+// motivates: EREW/CREW-style maximum algorithms with better work bounds
+// than the W(N²) constant-time kernel, for studying the work/depth vs.
+// concurrency trade-off on real machines.
+
+// TournamentMax returns the index of the maximum via a balanced binary
+// tournament: D(log N) rounds of pairwise comparisons, W(N) total work, no
+// concurrent writes at all (each round's writes target distinct cells —
+// EREW). Tie-breaking matches Sequential/Kernel: on equal values the larger
+// index survives.
+//
+// Returns -1 for an empty list.
+func TournamentMax(m *machine.Machine, list []uint32) int {
+	n := len(list)
+	if n == 0 {
+		return -1
+	}
+	// cur[i] is the surviving index of subtree i at the current level; each
+	// round writes the next level into a separate buffer so reads and
+	// writes of one round never overlap (EREW discipline).
+	cur := make([]uint32, n)
+	next := make([]uint32, (n+1)/2)
+	m.ParallelFor(n, func(i int) { cur[i] = uint32(i) })
+	for width := n; width > 1; {
+		half := (width + 1) / 2
+		m.ParallelFor(half, func(i int) {
+			if 2*i+1 >= width {
+				next[i] = cur[2*i] // odd element gets a bye
+				return
+			}
+			a, b := cur[2*i], cur[2*i+1]
+			// The larger value — or on ties the larger index — survives.
+			if list[b] > list[a] || (list[b] == list[a] && b > a) {
+				next[i] = b
+			} else {
+				next[i] = a
+			}
+		})
+		cur, next = next, cur
+		width = half
+	}
+	return int(cur[0])
+}
+
+// ReduceMax returns the index of the maximum via per-worker sequential
+// scans combined through a priority concurrent write (PriorityMaxCell) —
+// the W(N), D(N/P + 1) "practical" reduction, using the CRCW extension
+// cells. Tie-breaking matches Sequential.
+//
+// Returns -1 for an empty list.
+func ReduceMax(m *machine.Machine, list []uint32) int {
+	n := len(list)
+	if n == 0 {
+		return -1
+	}
+	var best cw.PriorityMaxCell
+	m.ParallelRange(n, func(lo, hi, _ int) {
+		localIdx := lo
+		for i := lo + 1; i < hi; i++ {
+			if list[i] >= list[localIdx] {
+				localIdx = i
+			}
+		}
+		best.Offer(list[localIdx], uint32(localIdx))
+	})
+	return int(best.ID())
+}
+
+// DoublyLogMax returns the index of the maximum using the classic
+// O(log log N)-depth CRCW strategy: recursively split the list into √N
+// groups, find each group's maximum recursively, then combine the group
+// winners with the constant-time all-pairs kernel. Work is O(N log log N).
+// It requires common concurrent writes (the all-pairs combine step), which
+// it performs with CAS-LT.
+//
+// This implementation parallelizes within each step (the all-pairs
+// combines and leaf scans run on the machine) but orchestrates sibling
+// groups sequentially, so its wall-clock depth on P workers is not the
+// theoretical O(log log N); it is here to exercise the CW primitives in a
+// second classic CRCW algorithm shape and as a correctness oracle.
+//
+// Returns -1 for an empty list.
+func DoublyLogMax(m *machine.Machine, list []uint32) int {
+	n := len(list)
+	if n == 0 {
+		return -1
+	}
+	idx := make([]uint32, n)
+	for i := range idx {
+		idx[i] = uint32(i)
+	}
+	return int(doublyLog(m, list, idx))
+}
+
+// doublyLog returns the original-list index of the maximum among the
+// candidate indices idx.
+func doublyLog(m *machine.Machine, list []uint32, idx []uint32) uint32 {
+	n := len(idx)
+	if n == 1 {
+		return idx[0]
+	}
+	if n <= 8 {
+		best := idx[0]
+		for _, c := range idx[1:] {
+			if list[c] > list[best] || (list[c] == list[best] && c > best) {
+				best = c
+			}
+		}
+		return best
+	}
+	groups := isqrt(n)
+	winners := make([]uint32, 0, groups)
+	for g := 0; g < groups; g++ {
+		lo, hi := sched.BlockRange(n, groups, g)
+		if lo < hi {
+			winners = append(winners, doublyLog(m, list, idx[lo:hi]))
+		}
+	}
+	return allPairsMax(m, list, winners)
+}
+
+// allPairsMax is the constant-time combine: the loser of every pair has its
+// candidate flag cleared by a CAS-LT-guarded common write.
+func allPairsMax(m *machine.Machine, list []uint32, cand []uint32) uint32 {
+	k := len(cand)
+	if k == 1 {
+		return cand[0]
+	}
+	alive := make([]uint32, k)
+	for i := range alive {
+		alive[i] = 1
+	}
+	cells := cw.NewArray(k, cw.Packed)
+	m.ParallelRange(k*k, func(lo, hi, _ int) {
+		for p := lo; p < hi; p++ {
+			i, j := p/k, p%k
+			if i == j {
+				continue
+			}
+			a, b := cand[i], cand[j]
+			loser := i
+			if list[a] > list[b] || (list[a] == list[b] && a > b) {
+				loser = j
+			}
+			if cells.TryClaim(loser, 1) {
+				alive[loser] = 0
+			}
+		}
+	})
+	for i := 0; i < k; i++ {
+		if alive[i] == 1 {
+			return cand[i]
+		}
+	}
+	// Unreachable: exactly one candidate survives.
+	panic("maxfind: all-pairs combine eliminated every candidate")
+}
+
+func isqrt(n int) int {
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}

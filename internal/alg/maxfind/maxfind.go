@@ -1,0 +1,221 @@
+// Package maxfind implements the paper's first benchmark: the classic
+// constant-time CRCW PRAM maximum algorithm (Figure 4).
+//
+// The algorithm compares all N² ordered pairs of the input list; the loser
+// of each comparison has its isMax flag cleared by a *common* concurrent
+// write (every writer stores the same value, "not maximum"). After one
+// lock-step round exactly one flag survives — the maximum — found by a
+// final scan. Work is W(N²), depth is D(1): an extreme stress test in which
+// the whole algorithm is concurrent writes, which is why the paper uses it
+// to expose the per-attempt cost of each CW method.
+//
+// Ties are broken exactly as in the paper's listing: for equal values the
+// pair's smaller index is marked "not maximum", so the largest index among
+// equal maxima wins.
+//
+// The Kernel type pre-allocates all auxiliary state so that Run measures
+// only the algorithm, matching the paper's "measurement ... excludes all
+// time spent in initialization code".
+package maxfind
+
+import (
+	"fmt"
+
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/machine"
+)
+
+// Kernel holds the shared arrays for repeated maximum runs over lists of a
+// fixed size.
+type Kernel struct {
+	m    *machine.Machine
+	n    int
+	list []uint32
+
+	isMax []uint32 // 1 = still a maximum candidate
+	cells *cw.Array
+	gates *cw.GateArray
+	mtx   *cw.MutexArray
+
+	round uint32 // CAS-LT round id, advanced once per Run
+}
+
+// NewKernel returns a kernel for lists of n elements executed on m.
+// The machine is borrowed, not owned: Close it yourself.
+func NewKernel(m *machine.Machine, n int) *Kernel {
+	return &Kernel{
+		m:     m,
+		n:     n,
+		isMax: make([]uint32, n),
+		cells: cw.NewArray(n, cw.Packed),
+		gates: cw.NewGateArray(n, cw.Packed),
+		mtx:   cw.NewMutexArray(n),
+	}
+}
+
+// N returns the kernel's list size.
+func (k *Kernel) N() int { return k.n }
+
+// Prepare installs the input list and re-initializes the candidate flags
+// and (for the gatekeeper methods) the gatekeeper array. Prepare is the
+// untimed initialization phase; note that the CAS-LT cells need *no*
+// preparation between runs — the kernel just advances its round id.
+func (k *Kernel) Prepare(list []uint32) {
+	if len(list) != k.n {
+		panic(fmt.Sprintf("maxfind: list length %d != kernel size %d", len(list), k.n))
+	}
+	k.list = list
+	k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			k.isMax[i] = 1
+		}
+		k.gates.ResetRange(lo, hi)
+	})
+}
+
+// Run executes the maximum algorithm with the given concurrent-write
+// method and returns the index of the maximum element. Prepare must have
+// been called for the current input.
+func (k *Kernel) Run(method cw.Method) int {
+	switch method {
+	case cw.CASLT:
+		return k.RunCASLT()
+	case cw.Gatekeeper:
+		return k.RunGatekeeper()
+	case cw.GatekeeperChecked:
+		return k.RunGateChecked()
+	case cw.Naive:
+		return k.RunNaive()
+	case cw.Mutex:
+		return k.RunMutex()
+	default:
+		panic("maxfind: unknown method " + method.String())
+	}
+}
+
+// loserOf returns the index whose flag the pair (i, j) clears, following
+// the paper's comparison: the smaller value loses; on ties the smaller
+// index loses.
+func (k *Kernel) loserOf(i, j int) int {
+	li, lj := k.list[i], k.list[j]
+	if li < lj || (li == lj && i < j) {
+		return i
+	}
+	return j
+}
+
+// scan is the final pass of Figure 4: the last surviving candidate is the
+// maximum.
+func (k *Kernel) scan() int {
+	max := -1
+	for j := 0; j < k.n; j++ {
+		if k.isMax[j] == 1 {
+			max = j
+		}
+	}
+	return max
+}
+
+// pairLoop runs body(i, j) over all ordered pairs i != j, sharing the N²
+// index space block-wise over the workers with the inner loop inlined (one
+// closure call per worker, not per pair), the shape of the paper's
+// collapse(2) OpenMP loop.
+func (k *Kernel) pairLoop(body func(i, j int)) {
+	n := k.n
+	k.m.ParallelRange(n*n, func(lo, hi, _ int) {
+		for idx := lo; idx < hi; idx++ {
+			i, j := idx/n, idx%n
+			if i == j {
+				continue
+			}
+			body(i, j)
+		}
+	})
+}
+
+// RunNaive is the paper's 'naive' version: every loser write is issued and
+// the memory system serializes them. Safe here because the write is a
+// common CW of a single word (all writers store 0), but every one of the
+// ~N² writes goes to memory.
+func (k *Kernel) RunNaive() int {
+	k.pairLoop(func(i, j int) {
+		k.isMax[k.loserOf(i, j)] = 0
+	})
+	return k.scan()
+}
+
+// RunGatekeeper is the atomic prefix-sum version (Figure 2): every loser
+// write attempt performs a fetch-and-add on the loser's gatekeeper; only
+// the first writer stores. The atomic executes on every attempt, long
+// after a winner exists — the serialization the paper blames for this
+// method losing to naive on this kernel.
+func (k *Kernel) RunGatekeeper() int {
+	k.pairLoop(func(i, j int) {
+		loser := k.loserOf(i, j)
+		if k.gates.TryEnter(loser) {
+			k.isMax[loser] = 0
+		}
+	})
+	return k.scan()
+}
+
+// RunGateChecked is RunGatekeeper with the load pre-check mitigation.
+func (k *Kernel) RunGateChecked() int {
+	k.pairLoop(func(i, j int) {
+		loser := k.loserOf(i, j)
+		if k.gates.TryEnterChecked(loser) {
+			k.isMax[loser] = 0
+		}
+	})
+	return k.scan()
+}
+
+// RunCASLT is the paper's method: the first attempt on each loser cell
+// wins a CAS-LT claim; every later attempt fails the load pre-check and
+// skips both the atomic and the store.
+func (k *Kernel) RunCASLT() int {
+	round := k.nextRound()
+	k.pairLoop(func(i, j int) {
+		loser := k.loserOf(i, j)
+		if k.cells.TryClaim(loser, round) {
+			k.isMax[loser] = 0
+		}
+	})
+	return k.scan()
+}
+
+// RunMutex is the critical-section baseline: every loser write acquires the
+// loser's lock.
+func (k *Kernel) RunMutex() int {
+	k.pairLoop(func(i, j int) {
+		loser := k.loserOf(i, j)
+		k.mtx.Lock(loser)
+		k.isMax[loser] = 0
+		k.mtx.Unlock(loser)
+	})
+	return k.scan()
+}
+
+// nextRound advances the CAS-LT round, resetting the cells on the rare
+// uint32 wrap so stale claims can never alias.
+func (k *Kernel) nextRound() uint32 {
+	k.round++
+	if k.round == 0 {
+		k.m.ParallelRange(k.n, func(lo, hi, _ int) { k.cells.ResetRange(lo, hi) })
+		k.round = 1
+	}
+	return k.round
+}
+
+// Sequential returns the index of the maximum by a left-to-right scan with
+// the same tie-breaking as the parallel kernel (largest index among equal
+// maxima), as the validation baseline. Returns -1 for an empty list.
+func Sequential(list []uint32) int {
+	max := -1
+	for i, v := range list {
+		if max == -1 || v >= list[max] {
+			max = i
+		}
+	}
+	return max
+}

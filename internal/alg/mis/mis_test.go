@@ -1,0 +1,193 @@
+package mis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
+	"crcwpram/internal/race"
+)
+
+var guardedMethods = []cw.Method{cw.CASLT, cw.Gatekeeper, cw.GatekeeperChecked, cw.Mutex}
+
+func testMachine(t *testing.T, p int) *machine.Machine {
+	t.Helper()
+	m := machine.New(p)
+	t.Cleanup(m.Close)
+	return m
+}
+
+func testGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"empty":        graph.MustFromEdges(5, nil, true),
+		"one-edge":     graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 2}}, true),
+		"self-loops":   graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 0}, {U: 1, V: 2}}, true),
+		"path":         graph.Path(60),
+		"cycle":        graph.Cycle(45),
+		"star":         graph.Star(70),
+		"complete":     graph.Complete(25),
+		"grid":         graph.Grid2D(8, 9),
+		"random":       graph.ConnectedRandom(250, 900, 61),
+		"random-multi": graph.RandomUndirected(180, 500, 67),
+		"disconnected": graph.Disjoint(graph.ConnectedRandom(50, 120, 7), 3),
+	}
+}
+
+func TestSequentialGreedyValid(t *testing.T) {
+	for name, g := range testGraphs() {
+		if err := Validate(g, SequentialGreedy(g)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestGuardedMethodsProduceValidMIS(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		m := testMachine(t, p)
+		for name, g := range testGraphs() {
+			k := NewKernel(m, g)
+			for _, method := range guardedMethods {
+				k.Prepare()
+				inSet := k.Run(method, 77)
+				if err := Validate(g, inSet); err != nil {
+					t.Fatalf("p=%d %s %v: %v", p, name, method, err)
+				}
+			}
+		}
+	}
+}
+
+func TestNaiveProducesValidMIS(t *testing.T) {
+	if race.Enabled {
+		t.Skip("naive variant is intentionally racy (benign common CW); skipped under -race")
+	}
+	m := testMachine(t, 4)
+	for name, g := range testGraphs() {
+		k := NewKernel(m, g)
+		k.Prepare()
+		if err := Validate(g, k.Run(cw.Naive, 3)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestKnownStructures(t *testing.T) {
+	m := testMachine(t, 4)
+	// Complete graph: exactly one member.
+	k := NewKernel(m, graph.Complete(20))
+	k.Prepare()
+	inSet := k.Run(cw.CASLT, 5)
+	count := 0
+	for _, s := range inSet {
+		count += int(s)
+	}
+	if count != 1 {
+		t.Fatalf("complete graph MIS size %d, want 1", count)
+	}
+	// Star: either the hub alone or all leaves.
+	k = NewKernel(m, graph.Star(30))
+	k.Prepare()
+	inSet = k.Run(cw.CASLT, 5)
+	if inSet[0] == 1 {
+		for v := 1; v < 30; v++ {
+			if inSet[v] == 1 {
+				t.Fatal("hub and leaf both in set")
+			}
+		}
+	} else {
+		for v := 1; v < 30; v++ {
+			if inSet[v] != 1 {
+				t.Fatalf("hub excluded but leaf %d missing", v)
+			}
+		}
+	}
+	// Empty graph: everyone is a member.
+	k = NewKernel(m, graph.MustFromEdges(7, nil, true))
+	k.Prepare()
+	inSet = k.Run(cw.CASLT, 5)
+	for v, s := range inSet {
+		if s != 1 {
+			t.Fatalf("isolated vertex %d not in MIS", v)
+		}
+	}
+}
+
+func TestRepeatedRunsAndSeeds(t *testing.T) {
+	m := testMachine(t, 4)
+	g := graph.ConnectedRandom(200, 700, 71)
+	k := NewKernel(m, g)
+	for seed := uint64(0); seed < 10; seed++ {
+		for _, method := range guardedMethods {
+			k.Prepare()
+			if err := Validate(g, k.Run(method, seed)); err != nil {
+				t.Fatalf("seed %d %v: %v", seed, method, err)
+			}
+		}
+	}
+}
+
+func TestDeterministicAtOneWorker(t *testing.T) {
+	m := testMachine(t, 1)
+	g := graph.ConnectedRandom(150, 500, 73)
+	k := NewKernel(m, g)
+	k.Prepare()
+	r1 := append([]uint32(nil), k.Run(cw.CASLT, 9)...)
+	k.Prepare()
+	r2 := k.Run(cw.CASLT, 9)
+	for v := range r1 {
+		if r1[v] != r2[v] {
+			t.Fatalf("same-seed p=1 runs differ at %d", v)
+		}
+	}
+}
+
+func TestDirectedRejected(t *testing.T) {
+	m := testMachine(t, 1)
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}}, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("directed graph accepted")
+		}
+	}()
+	NewKernel(m, g)
+}
+
+func TestValidateRejectsCorruption(t *testing.T) {
+	g := graph.Path(6)
+	inSet := SequentialGreedy(g) // {0,2,4}
+	if err := Validate(g, inSet); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]uint32(nil), inSet...)
+	bad[1] = 1 // adjacent to 0 and 2
+	if Validate(g, bad) == nil {
+		t.Fatal("dependent set accepted")
+	}
+	bad = append([]uint32(nil), inSet...)
+	bad[4] = 0 // 3,4,5 now uncovered around 4? vertex 5 loses its only member neighbour
+	if Validate(g, bad) == nil {
+		t.Fatal("non-maximal set accepted")
+	}
+	if Validate(g, inSet[:3]) == nil {
+		t.Fatal("short result accepted")
+	}
+}
+
+// Property: every guarded method yields a valid MIS on random multigraphs.
+func TestQuickValidMIS(t *testing.T) {
+	m := testMachine(t, 4)
+	f := func(nRaw uint8, mRaw uint16, seed int64, prioSeed uint64, mi uint8) bool {
+		n := int(nRaw)%120 + 2
+		edges := int(mRaw) % 400
+		g := graph.RandomUndirected(n, edges, seed)
+		k := NewKernel(m, g)
+		k.Prepare()
+		method := guardedMethods[int(mi)%len(guardedMethods)]
+		return Validate(g, k.Run(method, prioSeed)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

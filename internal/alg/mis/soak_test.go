@@ -1,0 +1,39 @@
+package mis
+
+import (
+	"testing"
+
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
+)
+
+// TestSoakRandomizedGraphs drives the common-CW kill step across many
+// random graphs, methods, seeds and worker counts. Independence violations
+// from racy kill/select interleavings would be timing-dependent, so volume
+// is the point. Skipped in -short mode.
+func TestSoakRandomizedGraphs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	for _, p := range []int{2, 4, 8} {
+		m := machine.New(p)
+		for trial := 0; trial < 120; trial++ {
+			seed := int64(p*3000 + trial)
+			n := 20 + trial%180
+			edges := (trial % 6) * n
+			var g *graph.Graph
+			if trial%2 == 0 {
+				g = graph.RandomUndirected(n, edges, seed)
+			} else {
+				g = graph.ConnectedRandom(n, edges+n, seed)
+			}
+			k := NewKernel(m, g)
+			method := guardedMethods[trial%len(guardedMethods)]
+			k.Prepare()
+			if err := Validate(g, k.Run(method, uint64(seed))); err != nil {
+				t.Fatalf("p=%d trial %d %v: %v", p, trial, method, err)
+			}
+		}
+		m.Close()
+	}
+}

@@ -1,0 +1,262 @@
+// Package bench is the experiment harness that regenerates the paper's
+// evaluation (Figures 5 through 12): for each figure it sweeps the same
+// parameter the paper sweeps, times every concurrent-write method on the
+// same prepared inputs, and renders a table with per-point speedups and the
+// geometric-mean speedup the paper reports.
+//
+// Timing follows the paper's protocol: "any provided measurement of
+// execution time excludes all time spent in initialization code" — kernels
+// pre-allocate in NewKernel and re-initialize in Prepare, and only Run is
+// inside the timed region. Each point is measured Reps times and the median
+// is reported.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/stats"
+)
+
+// Config controls an experiment sweep. Zero values are filled from
+// DefaultConfig.
+type Config struct {
+	// Threads is the worker count for fixed-thread figures (the paper
+	// uses 32, the full core count of an Andes node).
+	Threads int
+	// ThreadSweep is the x-axis for the threads figures (6, 9, 12).
+	ThreadSweep []int
+	// Reps is the number of repetitions per point; the median is
+	// reported.
+	Reps int
+	// Seed makes workload generation deterministic.
+	Seed int64
+	// Methods are the concurrent-write methods to compare; defaults to
+	// the paper's set for the figure at hand.
+	Methods []cw.Method
+
+	// MaxSizes is the list-size x-axis of Figure 5.
+	MaxSizes []int
+	// MaxN is the fixed list size of Figure 6 (paper: 60K).
+	MaxN int
+
+	// BFSVertices is the fixed vertex count of Figures 7 and 9 (paper:
+	// 100K).
+	BFSVertices int
+	// BFSEdgeSweep is the edge-count x-axis of Figure 7.
+	BFSEdgeSweep []int
+	// BFSEdges is the fixed edge count of Figures 8 and 9 (paper: 30M).
+	BFSEdges int
+	// BFSVertexSweep is the vertex-count x-axis of Figure 8.
+	BFSVertexSweep []int
+
+	// CCVertices, CCEdgeSweep, CCEdges, CCVertexSweep mirror the BFS
+	// fields for Figures 10-12.
+	CCVertices    int
+	CCEdgeSweep   []int
+	CCEdges       int
+	CCVertexSweep []int
+
+	// Log, when non-nil, receives progress lines during a sweep.
+	Log io.Writer
+}
+
+// DefaultConfig returns a configuration scaled to finish in minutes on a
+// small shared machine while preserving every sweep's shape. Use
+// PaperConfig for the paper's actual sizes.
+func DefaultConfig() Config {
+	return Config{
+		Threads:        4,
+		ThreadSweep:    []int{1, 2, 4, 8, 16, 32},
+		Reps:           3,
+		Seed:           42,
+		MaxSizes:       []int{256, 512, 1024, 2048, 4096},
+		MaxN:           2048,
+		BFSVertices:    20000,
+		BFSEdgeSweep:   []int{50000, 100000, 200000, 400000, 800000},
+		BFSEdges:       400000,
+		BFSVertexSweep: []int{5000, 10000, 20000, 40000, 80000},
+		CCVertices:     20000,
+		CCEdgeSweep:    []int{50000, 100000, 200000, 400000, 800000},
+		CCEdges:        400000,
+		CCVertexSweep:  []int{5000, 10000, 20000, 40000, 80000},
+	}
+}
+
+// TinyConfig returns a miniature configuration for smoke tests: every
+// figure completes in seconds. Shapes measured at this scale are not
+// meaningful.
+func TinyConfig() Config {
+	return Config{
+		Threads:        2,
+		ThreadSweep:    []int{1, 2},
+		Reps:           1,
+		Seed:           42,
+		MaxSizes:       []int{64, 128},
+		MaxN:           128,
+		BFSVertices:    500,
+		BFSEdgeSweep:   []int{1000, 2000},
+		BFSEdges:       2000,
+		BFSVertexSweep: []int{250, 500},
+		CCVertices:     500,
+		CCEdgeSweep:    []int{1000, 2000},
+		CCEdges:        2000,
+		CCVertexSweep:  []int{250, 500},
+	}
+}
+
+// PaperConfig returns the paper's experimental parameters: 32 threads,
+// 100K-vertex graphs with up to 30M edges, 60K-element lists. Running it
+// requires a machine comparable to an OLCF Andes node.
+func PaperConfig() Config {
+	c := DefaultConfig()
+	c.Threads = 32
+	c.ThreadSweep = []int{1, 2, 4, 8, 16, 32}
+	c.Reps = 5
+	c.MaxSizes = []int{10000, 20000, 30000, 40000, 50000, 60000}
+	c.MaxN = 60000
+	c.BFSVertices = 100000
+	c.BFSEdgeSweep = []int{1000000, 5000000, 10000000, 20000000, 30000000}
+	c.BFSEdges = 30000000
+	c.BFSVertexSweep = []int{25000, 50000, 100000, 200000, 400000}
+	c.CCVertices = 100000
+	c.CCEdgeSweep = []int{1000000, 5000000, 10000000, 20000000, 30000000}
+	c.CCEdges = 30000000
+	c.CCVertexSweep = []int{25000, 50000, 100000, 200000, 400000}
+	return c
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Threads == 0 {
+		c.Threads = d.Threads
+	}
+	if len(c.ThreadSweep) == 0 {
+		c.ThreadSweep = d.ThreadSweep
+	}
+	if c.Reps == 0 {
+		c.Reps = d.Reps
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if len(c.MaxSizes) == 0 {
+		c.MaxSizes = d.MaxSizes
+	}
+	if c.MaxN == 0 {
+		c.MaxN = d.MaxN
+	}
+	if c.BFSVertices == 0 {
+		c.BFSVertices = d.BFSVertices
+	}
+	if len(c.BFSEdgeSweep) == 0 {
+		c.BFSEdgeSweep = d.BFSEdgeSweep
+	}
+	if c.BFSEdges == 0 {
+		c.BFSEdges = d.BFSEdges
+	}
+	if len(c.BFSVertexSweep) == 0 {
+		c.BFSVertexSweep = d.BFSVertexSweep
+	}
+	if c.CCVertices == 0 {
+		c.CCVertices = d.CCVertices
+	}
+	if len(c.CCEdgeSweep) == 0 {
+		c.CCEdgeSweep = d.CCEdgeSweep
+	}
+	if c.CCEdges == 0 {
+		c.CCEdges = d.CCEdges
+	}
+	if len(c.CCVertexSweep) == 0 {
+		c.CCVertexSweep = d.CCVertexSweep
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format, args...)
+	}
+}
+
+// Point is one measured cell of a figure: method's median time at one
+// x-axis position.
+type Point struct {
+	Median time.Duration
+	Sample stats.Sample
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Method cw.Method
+	Points []Point
+}
+
+// Table is one reproduced figure.
+type Table struct {
+	ID       string // e.g. "fig5"
+	Title    string
+	XLabel   string
+	Xs       []int
+	Series   []Series
+	Baseline cw.Method // speedups reported as baseline / method
+}
+
+// measure runs prepare (untimed) + run (timed) reps times and returns the
+// sample.
+func measure(reps int, prepare func(), run func()) Point {
+	var s stats.Sample
+	for r := 0; r < reps; r++ {
+		prepare()
+		start := time.Now()
+		run()
+		s.Add(time.Since(start))
+	}
+	return Point{Median: s.Median(), Sample: s}
+}
+
+// seriesFor returns the Series for a method, or nil.
+func (t *Table) seriesFor(m cw.Method) *Series {
+	for i := range t.Series {
+		if t.Series[i].Method == m {
+			return &t.Series[i]
+		}
+	}
+	return nil
+}
+
+// Speedups returns, for the given method, baseline_time / method_time at
+// every x position.
+func (t *Table) Speedups(m cw.Method) []float64 {
+	base := t.seriesFor(t.Baseline)
+	ser := t.seriesFor(m)
+	if base == nil || ser == nil {
+		return nil
+	}
+	out := make([]float64, len(t.Xs))
+	for i := range t.Xs {
+		out[i] = stats.Speedup(base.Points[i].Median, ser.Points[i].Median)
+	}
+	return out
+}
+
+// GeoMeanSpeedup returns the geometric-mean speedup of a method over the
+// baseline across the sweep — the number the paper quotes per figure.
+func (t *Table) GeoMeanSpeedup(m cw.Method) float64 {
+	return stats.GeoMean(t.Speedups(m))
+}
+
+// MaxSpeedup returns the largest per-point speedup of a method over the
+// baseline.
+func (t *Table) MaxSpeedup(m cw.Method) float64 {
+	best := 0.0
+	for _, s := range t.Speedups(m) {
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}

@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/race"
+	"crcwpram/internal/stats"
+)
+
+// raceSafe narrows a config to race-detector-clean methods: the figures'
+// default sets include the intentionally racy naive variant.
+func raceSafe(cfg Config) Config {
+	if race.Enabled {
+		cfg.Methods = []cw.Method{cw.Gatekeeper, cw.CASLT}
+	}
+	return cfg
+}
+
+// tinyConfig keeps harness tests fast: miniature sweeps, 1 rep.
+func tinyConfig() Config {
+	return Config{
+		Threads:        2,
+		ThreadSweep:    []int{1, 2},
+		Reps:           1,
+		Seed:           7,
+		MaxSizes:       []int{32, 64},
+		MaxN:           64,
+		BFSVertices:    200,
+		BFSEdgeSweep:   []int{400, 800},
+		BFSEdges:       800,
+		BFSVertexSweep: []int{100, 200},
+		CCVertices:     200,
+		CCEdgeSweep:    []int{400, 800},
+		CCEdges:        800,
+		CCVertexSweep:  []int{100, 200},
+	}
+}
+
+func TestWithDefaultsFillsZeroFields(t *testing.T) {
+	var c Config
+	c = c.withDefaults()
+	d := DefaultConfig()
+	if c.Threads != d.Threads || c.Reps != d.Reps || c.MaxN != d.MaxN {
+		t.Fatal("withDefaults did not fill zero fields")
+	}
+	// Non-zero fields survive.
+	c2 := Config{Threads: 9}.withDefaults()
+	if c2.Threads != 9 {
+		t.Fatal("withDefaults overwrote a set field")
+	}
+}
+
+func TestPaperConfigMatchesPaperParameters(t *testing.T) {
+	c := PaperConfig()
+	if c.Threads != 32 {
+		t.Fatalf("paper threads = %d, want 32", c.Threads)
+	}
+	if c.MaxN != 60000 {
+		t.Fatalf("paper MaxN = %d, want 60000 (Figure 6)", c.MaxN)
+	}
+	if c.BFSVertices != 100000 || c.BFSEdges != 30000000 {
+		t.Fatalf("paper BFS fixed sizes = %d/%d, want 100K/30M (Figures 7-9)", c.BFSVertices, c.BFSEdges)
+	}
+	if c.CCVertices != 100000 || c.CCEdges != 30000000 {
+		t.Fatalf("paper CC fixed sizes = %d/%d, want 100K/30M (Figures 10-12)", c.CCVertices, c.CCEdges)
+	}
+}
+
+func TestAllFiguresRunOnTinyConfig(t *testing.T) {
+	for _, id := range SortedFigureIDs() {
+		tab, err := Figure(id, raceSafe(tinyConfig()))
+		if err != nil {
+			t.Fatalf("figure %d: %v", id, err)
+		}
+		if len(tab.Series) == 0 || len(tab.Xs) == 0 {
+			t.Fatalf("figure %d: empty table", id)
+		}
+		for _, s := range tab.Series {
+			if len(s.Points) != len(tab.Xs) {
+				t.Fatalf("figure %d %v: %d points for %d xs", id, s.Method, len(s.Points), len(tab.Xs))
+			}
+			for i, p := range s.Points {
+				if p.Median <= 0 {
+					t.Fatalf("figure %d %v x=%d: non-positive median %v", id, s.Method, tab.Xs[i], p.Median)
+				}
+			}
+		}
+	}
+}
+
+func TestFigureRejectsUnknownID(t *testing.T) {
+	if _, err := Figure(4, tinyConfig()); err == nil {
+		t.Fatal("figure 4 accepted")
+	}
+	if _, err := Figure(13, tinyConfig()); err == nil {
+		t.Fatal("figure 13 accepted")
+	}
+}
+
+func TestMethodSetsMatchPaper(t *testing.T) {
+	if race.Enabled {
+		t.Skip("figure default sets include the intentionally racy naive variant")
+	}
+	tab := Fig5MaxBySize(tinyConfig())
+	want := map[cw.Method]bool{cw.Naive: true, cw.Gatekeeper: true, cw.CASLT: true}
+	if len(tab.Series) != len(want) {
+		t.Fatalf("fig5 has %d series, want %d", len(tab.Series), len(want))
+	}
+	for _, s := range tab.Series {
+		if !want[s.Method] {
+			t.Fatalf("fig5 unexpected method %v", s.Method)
+		}
+	}
+	// CC figures must not include naive (unsafe for arbitrary CW).
+	tab = Fig10CCByEdges(tinyConfig())
+	for _, s := range tab.Series {
+		if s.Method == cw.Naive {
+			t.Fatal("fig10 includes naive; the paper excludes it for CC")
+		}
+	}
+	if tab.Baseline != cw.Gatekeeper {
+		t.Fatalf("fig10 baseline = %v, want gatekeeper", tab.Baseline)
+	}
+}
+
+func TestMethodsOverride(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Methods = []cw.Method{cw.CASLT}
+	tab := Fig5MaxBySize(cfg)
+	if len(tab.Series) != 1 || tab.Series[0].Method != cw.CASLT {
+		t.Fatal("Methods override not honoured")
+	}
+}
+
+func TestSpeedupAccessors(t *testing.T) {
+	tab := Table{
+		ID:       "x",
+		Xs:       []int{1, 2},
+		Baseline: cw.Naive,
+		Series: []Series{
+			{Method: cw.Naive, Points: []Point{{Median: 100 * time.Millisecond}, {Median: 200 * time.Millisecond}}},
+			{Method: cw.CASLT, Points: []Point{{Median: 50 * time.Millisecond}, {Median: 50 * time.Millisecond}}},
+		},
+	}
+	sp := tab.Speedups(cw.CASLT)
+	if sp[0] != 2 || sp[1] != 4 {
+		t.Fatalf("speedups = %v, want [2 4]", sp)
+	}
+	if g := tab.GeoMeanSpeedup(cw.CASLT); math.Abs(g-2.828) > 0.01 {
+		t.Fatalf("geomean = %v, want ~2.83", g)
+	}
+	if mx := tab.MaxSpeedup(cw.CASLT); mx != 4 {
+		t.Fatalf("max = %v, want 4", mx)
+	}
+	if tab.Speedups(cw.Mutex) != nil {
+		t.Fatal("speedups for absent method not nil")
+	}
+}
+
+func TestFormatAndCSV(t *testing.T) {
+	if race.Enabled {
+		t.Skip("fig5's paper method set includes the intentionally racy naive variant")
+	}
+	tab := Fig5MaxBySize(tinyConfig())
+	var out bytes.Buffer
+	if err := tab.Format(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"fig5", "list size", "caslt", "naive", "geomean", "speedup vs naive"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("formatted table missing %q:\n%s", want, text)
+		}
+	}
+
+	out.Reset()
+	if err := tab.WriteCSV(&out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	// header + methods*xs records
+	want := 1 + len(tab.Series)*len(tab.Xs)
+	if len(lines) != want {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), want)
+	}
+	if !strings.HasPrefix(lines[0], "figure,") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+}
+
+func TestFormatX(t *testing.T) {
+	cases := map[int]string{
+		999:      "999",
+		1000:     "1K",
+		60000:    "60K",
+		1000000:  "1M",
+		30000000: "30M",
+		1500:     "1500",
+	}
+	for x, want := range cases {
+		if got := formatX(x); got != want {
+			t.Errorf("formatX(%d) = %q, want %q", x, got, want)
+		}
+	}
+}
+
+func TestMeasureUsesMedian(t *testing.T) {
+	n := 0
+	p := measure(5, func() { n++ }, func() { time.Sleep(time.Millisecond) })
+	if n != 5 {
+		t.Fatalf("prepare ran %d times, want 5", n)
+	}
+	if p.Sample.N() != 5 {
+		t.Fatalf("sample has %d entries, want 5", p.Sample.N())
+	}
+	if p.Median != p.Sample.Median() {
+		t.Fatal("Point.Median != sample median")
+	}
+	if p.Median < time.Millisecond {
+		t.Fatalf("median %v below the sleep floor", p.Median)
+	}
+	_ = stats.FormatDuration(p.Median)
+}
+
+func TestLogOutput(t *testing.T) {
+	cfg := raceSafe(tinyConfig())
+	var log bytes.Buffer
+	cfg.Log = &log
+	Fig5MaxBySize(cfg)
+	if !strings.Contains(log.String(), "fig5") {
+		t.Fatal("progress log empty")
+	}
+}

@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"crcwpram/internal/alg/bfs"
+	"crcwpram/internal/alg/cc"
+	"crcwpram/internal/alg/maxfind"
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
+)
+
+// maxMethods is the method set of Figures 5-9 (the paper compares naive,
+// the atomic prefix-sum gatekeeper, and CAS-LT).
+var maxMethods = []cw.Method{cw.Naive, cw.Gatekeeper, cw.CASLT}
+
+// ccMethods is the method set of Figures 10-12: the paper implements no
+// naive CC because the hooking write is an unsafe arbitrary multi-array
+// write.
+var ccMethods = []cw.Method{cw.Gatekeeper, cw.CASLT}
+
+// Figure runs the reproduction of one paper figure (5..12).
+func Figure(id int, cfg Config) (Table, error) {
+	switch id {
+	case 5:
+		return Fig5MaxBySize(cfg), nil
+	case 6:
+		return Fig6MaxByThreads(cfg), nil
+	case 7:
+		return Fig7BFSByEdges(cfg), nil
+	case 8:
+		return Fig8BFSByVertices(cfg), nil
+	case 9:
+		return Fig9BFSByThreads(cfg), nil
+	case 10:
+		return Fig10CCByEdges(cfg), nil
+	case 11:
+		return Fig11CCByVertices(cfg), nil
+	case 12:
+		return Fig12CCByThreads(cfg), nil
+	default:
+		return Table{}, fmt.Errorf("bench: no figure %d (paper figures are 5..12)", id)
+	}
+}
+
+// FigureIDs lists the reproducible paper figures.
+var FigureIDs = []int{5, 6, 7, 8, 9, 10, 11, 12}
+
+func methodsOr(cfg Config, def []cw.Method) []cw.Method {
+	if len(cfg.Methods) > 0 {
+		return cfg.Methods
+	}
+	return def
+}
+
+func randomList(n int, seed int64) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	list := make([]uint32, n)
+	for i := range list {
+		list[i] = rng.Uint32()
+	}
+	return list
+}
+
+// Fig5MaxBySize reproduces Figure 5: constant-time maximum execution time
+// vs. list size at a fixed thread count.
+func Fig5MaxBySize(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	methods := methodsOr(cfg, maxMethods)
+	t := Table{
+		ID:       "fig5",
+		Title:    fmt.Sprintf("Constant-time maximum: time vs list size (%d threads)", cfg.Threads),
+		XLabel:   "list size",
+		Xs:       cfg.MaxSizes,
+		Baseline: cw.Naive,
+	}
+	m := machine.New(cfg.Threads)
+	defer m.Close()
+	for _, method := range methods {
+		ser := Series{Method: method}
+		for _, n := range cfg.MaxSizes {
+			k := maxfind.NewKernel(m, n)
+			list := randomList(n, cfg.Seed+int64(n))
+			want := maxfind.Sequential(list)
+			p := measure(cfg.Reps, func() { k.Prepare(list) }, func() {
+				if got := k.Run(method); got != want {
+					panic(fmt.Sprintf("bench: fig5 %v returned %d, want %d", method, got, want))
+				}
+			})
+			ser.Points = append(ser.Points, p)
+			cfg.logf("fig5 %s n=%d median=%v\n", method, n, p.Median)
+		}
+		t.Series = append(t.Series, ser)
+	}
+	return t
+}
+
+// Fig6MaxByThreads reproduces Figure 6: maximum execution time vs. thread
+// count at a fixed list size (paper: 60K elements).
+func Fig6MaxByThreads(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	methods := methodsOr(cfg, maxMethods)
+	t := Table{
+		ID:       "fig6",
+		Title:    fmt.Sprintf("Constant-time maximum: time vs threads (N=%d)", cfg.MaxN),
+		XLabel:   "threads",
+		Xs:       cfg.ThreadSweep,
+		Baseline: cw.Naive,
+	}
+	list := randomList(cfg.MaxN, cfg.Seed)
+	want := maxfind.Sequential(list)
+	for _, method := range methods {
+		ser := Series{Method: method}
+		for _, p := range cfg.ThreadSweep {
+			m := machine.New(p)
+			k := maxfind.NewKernel(m, cfg.MaxN)
+			pt := measure(cfg.Reps, func() { k.Prepare(list) }, func() {
+				if got := k.Run(method); got != want {
+					panic(fmt.Sprintf("bench: fig6 %v returned %d, want %d", method, got, want))
+				}
+			})
+			m.Close()
+			ser.Points = append(ser.Points, pt)
+			cfg.logf("fig6 %s p=%d median=%v\n", method, p, pt.Median)
+		}
+		t.Series = append(t.Series, ser)
+	}
+	return t
+}
+
+// bfsFigure sweeps xs; pick maps each x to the point's (vertices, edges,
+// threads).
+func bfsFigure(id int, cfg Config, title, xlabel string, xs []int, pick func(x int) (nv, ne, p int)) Table {
+	methods := methodsOr(cfg, maxMethods)
+	t := Table{
+		ID:       fmt.Sprintf("fig%d", id),
+		Title:    title,
+		XLabel:   xlabel,
+		Xs:       xs,
+		Baseline: cw.Naive,
+	}
+	for _, method := range methods {
+		ser := Series{Method: method}
+		for i, x := range xs {
+			nv, ne, p := pick(x)
+			g := graph.ConnectedRandom(nv, ne, cfg.Seed+int64(i))
+			m := machine.New(p)
+			k := bfs.NewKernel(m, g)
+			pt := measure(cfg.Reps, func() { k.Prepare(0) }, func() { k.Run(method) })
+			// Validate once per point, outside the timed region.
+			k.Prepare(0)
+			if err := bfs.Validate(g, 0, k.Run(method), method.SafeForArbitrary()); err != nil {
+				panic(fmt.Sprintf("bench: fig%d %v: %v", id, method, err))
+			}
+			m.Close()
+			ser.Points = append(ser.Points, pt)
+			cfg.logf("fig%d %s x=%d median=%v\n", id, method, x, pt.Median)
+		}
+		t.Series = append(t.Series, ser)
+	}
+	return t
+}
+
+// Fig7BFSByEdges reproduces Figure 7: BFS time vs. edge count at fixed
+// vertices and threads.
+func Fig7BFSByEdges(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	return bfsFigure(7, cfg,
+		fmt.Sprintf("BFS: time vs edges (%d vertices, %d threads)", cfg.BFSVertices, cfg.Threads),
+		"edges", cfg.BFSEdgeSweep,
+		func(x int) (int, int, int) { return cfg.BFSVertices, x, cfg.Threads })
+}
+
+// Fig8BFSByVertices reproduces Figure 8: BFS time vs. vertex count at fixed
+// edges and threads.
+func Fig8BFSByVertices(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	return bfsFigure(8, cfg,
+		fmt.Sprintf("BFS: time vs vertices (%d edges, %d threads)", cfg.BFSEdges, cfg.Threads),
+		"vertices", cfg.BFSVertexSweep,
+		func(x int) (int, int, int) { return x, cfg.BFSEdges, cfg.Threads })
+}
+
+// Fig9BFSByThreads reproduces Figure 9: BFS time vs. thread count at fixed
+// graph size.
+func Fig9BFSByThreads(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	return bfsFigure(9, cfg,
+		fmt.Sprintf("BFS: time vs threads (%d vertices, %d edges)", cfg.BFSVertices, cfg.BFSEdges),
+		"threads", cfg.ThreadSweep,
+		func(x int) (int, int, int) { return cfg.BFSVertices, cfg.BFSEdges, x })
+}
+
+func ccFigure(id int, cfg Config, title, xlabel string, xs []int) Table {
+	methods := methodsOr(cfg, ccMethods)
+	t := Table{
+		ID:       fmt.Sprintf("fig%d", id),
+		Title:    title,
+		XLabel:   xlabel,
+		Xs:       xs,
+		Baseline: cw.Gatekeeper,
+	}
+	for _, method := range methods {
+		ser := Series{Method: method}
+		for i := range xs {
+			nv, ne, p := cfg.CCVertices, cfg.CCEdges, cfg.Threads
+			switch xlabel {
+			case "edges":
+				ne = xs[i]
+			case "vertices":
+				nv = xs[i]
+			case "threads":
+				p = xs[i]
+			}
+			g := graph.RandomUndirected(nv, ne, cfg.Seed+int64(i))
+			m := machine.New(p)
+			k := cc.NewKernel(m, g)
+			pt := measure(cfg.Reps, func() { k.Prepare() }, func() { k.Run(method) })
+			k.Prepare()
+			if err := cc.Validate(g, k.Run(method)); err != nil {
+				panic(fmt.Sprintf("bench: fig%d %v: %v", id, method, err))
+			}
+			m.Close()
+			ser.Points = append(ser.Points, pt)
+			cfg.logf("fig%d %s x=%d median=%v\n", id, method, xs[i], pt.Median)
+		}
+		t.Series = append(t.Series, ser)
+	}
+	return t
+}
+
+// Fig10CCByEdges reproduces Figure 10: CC time vs. edge count.
+func Fig10CCByEdges(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	return ccFigure(10, cfg,
+		fmt.Sprintf("Connected components: time vs edges (%d vertices, %d threads)", cfg.CCVertices, cfg.Threads),
+		"edges", cfg.CCEdgeSweep)
+}
+
+// Fig11CCByVertices reproduces Figure 11: CC time vs. vertex count.
+func Fig11CCByVertices(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	return ccFigure(11, cfg,
+		fmt.Sprintf("Connected components: time vs vertices (%d edges, %d threads)", cfg.CCEdges, cfg.Threads),
+		"vertices", cfg.CCVertexSweep)
+}
+
+// Fig12CCByThreads reproduces Figure 12: CC time vs. thread count.
+func Fig12CCByThreads(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	return ccFigure(12, cfg,
+		fmt.Sprintf("Connected components: time vs threads (%d vertices, %d edges)", cfg.CCVertices, cfg.CCEdges),
+		"threads", cfg.ThreadSweep)
+}
+
+// SortedFigureIDs returns FigureIDs ascending (defensive copy).
+func SortedFigureIDs() []int {
+	ids := append([]int(nil), FigureIDs...)
+	sort.Ints(ids)
+	return ids
+}

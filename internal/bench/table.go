@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"crcwpram/internal/stats"
+)
+
+// Format renders the table the way the paper's figures read: one row per
+// x-axis value with each method's median time, followed by per-method
+// speedup rows against the baseline and the geometric-mean / maximum
+// speedups the paper quotes in its text.
+func (t *Table) Format(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+
+	header := []string{t.XLabel}
+	for _, s := range t.Series {
+		header = append(header, s.Method.String())
+	}
+	rows := [][]string{header}
+	for i, x := range t.Xs {
+		row := []string{formatX(x)}
+		for _, s := range t.Series {
+			row = append(row, stats.FormatDuration(s.Points[i].Median))
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(&b, rows)
+
+	base := t.seriesFor(t.Baseline)
+	if base != nil {
+		fmt.Fprintf(&b, "\nspeedup vs %s:\n", t.Baseline)
+		rows = rows[:0]
+		header = []string{t.XLabel}
+		for _, s := range t.Series {
+			if s.Method == t.Baseline {
+				continue
+			}
+			header = append(header, s.Method.String())
+		}
+		rows = append(rows, header)
+		for i, x := range t.Xs {
+			row := []string{formatX(x)}
+			for _, s := range t.Series {
+				if s.Method == t.Baseline {
+					continue
+				}
+				row = append(row, stats.FormatRatio(stats.Speedup(base.Points[i].Median, s.Points[i].Median)))
+			}
+			rows = append(rows, row)
+		}
+		geo := []string{"geomean"}
+		max := []string{"max"}
+		for _, s := range t.Series {
+			if s.Method == t.Baseline {
+				continue
+			}
+			geo = append(geo, stats.FormatRatio(t.GeoMeanSpeedup(s.Method)))
+			max = append(max, stats.FormatRatio(t.MaxSpeedup(s.Method)))
+		}
+		rows = append(rows, geo, max)
+		writeAligned(&b, rows)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatX(x int) string {
+	switch {
+	case x >= 1000000 && x%1000000 == 0:
+		return strconv.Itoa(x/1000000) + "M"
+	case x >= 1000 && x%1000 == 0:
+		return strconv.Itoa(x/1000) + "K"
+	default:
+		return strconv.Itoa(x)
+	}
+}
+
+// writeAligned renders rows as space-padded columns.
+func writeAligned(b *strings.Builder, rows [][]string) {
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for c, cell := range row {
+			if c >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(b, "%*s", widths[c], cell)
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// WriteCSV emits the raw medians (nanoseconds) for external plotting: one
+// record per (x, method) pair.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", t.XLabel, "method", "median_ns", "reps"}); err != nil {
+		return err
+	}
+	for _, s := range t.Series {
+		for i, x := range t.Xs {
+			rec := []string{
+				t.ID,
+				strconv.Itoa(x),
+				s.Method.String(),
+				strconv.FormatInt(s.Points[i].Median.Nanoseconds(), 10),
+				strconv.Itoa(s.Points[i].Sample.N()),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

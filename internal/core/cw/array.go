@@ -1,0 +1,147 @@
+package cw
+
+// CacheLineBytes is the assumed size of one cache line, used by the padded
+// array layouts. 64 bytes is correct for every x86 part the paper targets
+// and for the large majority of 64-bit ARM parts.
+const CacheLineBytes = 64
+
+// Layout selects the memory layout of an auxiliary-word array.
+type Layout int
+
+const (
+	// Packed stores one 4-byte auxiliary word per element, the layout used
+	// by the paper's kernels (`unsigned RoundWritten[N]`). Sixteen cells
+	// share a cache line, so claims on neighbouring cells contend.
+	Packed Layout = iota
+	// PaddedLayout stores each auxiliary word on its own cache line,
+	// eliminating false sharing at a 16x memory cost. Provided for the
+	// padding ablation.
+	PaddedLayout
+)
+
+func (l Layout) String() string {
+	switch l {
+	case Packed:
+		return "packed"
+	case PaddedLayout:
+		return "padded"
+	default:
+		return "unknown-layout"
+	}
+}
+
+type paddedCell struct {
+	Cell
+	_ [CacheLineBytes - 4]byte
+}
+
+type paddedGate struct {
+	Gate
+	_ [CacheLineBytes - 4]byte
+}
+
+// Array is a fixed-size array of CAS-LT cells, one per concurrent-write
+// target, in either packed or cache-line-padded layout. It is what a kernel
+// allocates as `unsigned RoundWritten[N]` in the paper's Figure 3(a).
+type Array struct {
+	packed []Cell
+	padded []paddedCell
+}
+
+// NewArray returns an n-cell array in the given layout, with every cell in
+// the never-written state.
+func NewArray(n int, layout Layout) *Array {
+	a := &Array{}
+	if layout == PaddedLayout {
+		a.padded = make([]paddedCell, n)
+	} else {
+		a.packed = make([]Cell, n)
+	}
+	return a
+}
+
+// Len returns the number of cells.
+func (a *Array) Len() int {
+	if a.padded != nil {
+		return len(a.padded)
+	}
+	return len(a.packed)
+}
+
+// Cell returns cell i.
+func (a *Array) Cell(i int) *Cell {
+	if a.padded != nil {
+		return &a.padded[i].Cell
+	}
+	return &a.packed[i]
+}
+
+// TryClaim applies Cell.TryClaim to cell i.
+func (a *Array) TryClaim(i int, round uint32) bool { return a.Cell(i).TryClaim(round) }
+
+// Claim applies Cell.Claim to cell i.
+func (a *Array) Claim(i int, round uint32) bool { return a.Cell(i).Claim(round) }
+
+// Written reports whether cell i was claimed in the given round. Only
+// meaningful after a synchronization point.
+func (a *Array) Written(i int, round uint32) bool { return a.Cell(i).Written(round) }
+
+// ResetRange returns cells [lo, hi) to the never-written state. CAS-LT
+// kernels do not need this between rounds; it exists for recycling arrays
+// across independent kernel executions. Callers may shard the range over
+// workers; distinct shards touch distinct cells.
+func (a *Array) ResetRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		a.Cell(i).Reset()
+	}
+}
+
+// GateArray is a fixed-size array of gatekeeper words, the
+// `unsigned gatekeeper[N]` of the paper's Figure 3(b).
+type GateArray struct {
+	packed []Gate
+	padded []paddedGate
+}
+
+// NewGateArray returns an n-gate array in the given layout with every gate
+// open.
+func NewGateArray(n int, layout Layout) *GateArray {
+	g := &GateArray{}
+	if layout == PaddedLayout {
+		g.padded = make([]paddedGate, n)
+	} else {
+		g.packed = make([]Gate, n)
+	}
+	return g
+}
+
+// Len returns the number of gates.
+func (g *GateArray) Len() int {
+	if g.padded != nil {
+		return len(g.padded)
+	}
+	return len(g.packed)
+}
+
+// Gate returns gate i.
+func (g *GateArray) Gate(i int) *Gate {
+	if g.padded != nil {
+		return &g.padded[i].Gate
+	}
+	return &g.packed[i]
+}
+
+// TryEnter applies Gate.TryEnter to gate i.
+func (g *GateArray) TryEnter(i int) bool { return g.Gate(i).TryEnter() }
+
+// TryEnterChecked applies Gate.TryEnterChecked to gate i.
+func (g *GateArray) TryEnterChecked(i int) bool { return g.Gate(i).TryEnterChecked() }
+
+// ResetRange re-opens gates [lo, hi). This is the per-round
+// re-initialization pass of the gatekeeper method (Figure 3(b) lines 34-35);
+// kernels shard it across workers between a barrier and the next round.
+func (g *GateArray) ResetRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		g.Gate(i).Reset()
+	}
+}

@@ -1,0 +1,108 @@
+package cw
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+func TestArrayLayouts(t *testing.T) {
+	for _, layout := range []Layout{Packed, PaddedLayout} {
+		a := NewArray(16, layout)
+		if a.Len() != 16 {
+			t.Fatalf("layout %v: Len() = %d, want 16", layout, a.Len())
+		}
+		for i := 0; i < a.Len(); i++ {
+			if !a.TryClaim(i, 1) {
+				t.Fatalf("layout %v: TryClaim(%d, 1) failed on fresh array", layout, i)
+			}
+			if a.TryClaim(i, 1) {
+				t.Fatalf("layout %v: duplicate winner on cell %d", layout, i)
+			}
+			if !a.Written(i, 1) {
+				t.Fatalf("layout %v: cell %d not written", layout, i)
+			}
+		}
+		// Cells are independent: round 2 on even cells only.
+		for i := 0; i < a.Len(); i += 2 {
+			if !a.Claim(i, 2) {
+				t.Fatalf("layout %v: Claim(%d, 2) failed", layout, i)
+			}
+		}
+		for i := 0; i < a.Len(); i++ {
+			wantRound := uint32(1)
+			if i%2 == 0 {
+				wantRound = 2
+			}
+			if got := a.Cell(i).Round(); got != wantRound {
+				t.Fatalf("layout %v: cell %d round = %d, want %d", layout, i, got, wantRound)
+			}
+		}
+	}
+}
+
+func TestArrayResetRange(t *testing.T) {
+	a := NewArray(10, Packed)
+	for i := 0; i < 10; i++ {
+		a.TryClaim(i, 3)
+	}
+	a.ResetRange(2, 5)
+	for i := 0; i < 10; i++ {
+		want := uint32(3)
+		if i >= 2 && i < 5 {
+			want = 0
+		}
+		if got := a.Cell(i).Round(); got != want {
+			t.Fatalf("cell %d round = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestPaddedLayoutSpansCacheLines(t *testing.T) {
+	a := NewArray(4, PaddedLayout)
+	c0 := uintptr(unsafe.Pointer(a.Cell(0)))
+	c1 := uintptr(unsafe.Pointer(a.Cell(1)))
+	if d := c1 - c0; d < CacheLineBytes {
+		t.Fatalf("padded cells %d bytes apart, want >= %d", d, CacheLineBytes)
+	}
+	p := NewArray(4, Packed)
+	p0 := uintptr(unsafe.Pointer(p.Cell(0)))
+	p1 := uintptr(unsafe.Pointer(p.Cell(1)))
+	if d := p1 - p0; d != unsafe.Sizeof(Cell{}) {
+		t.Fatalf("packed cells %d bytes apart, want %d", d, unsafe.Sizeof(Cell{}))
+	}
+}
+
+// Concurrent claims on distinct cells never interfere: every cell gets
+// exactly one winner even when all cells are contended simultaneously.
+func TestArrayConcurrentPerCellWinners(t *testing.T) {
+	const cells = 32
+	const claimersPerCell = 16
+	for _, layout := range []Layout{Packed, PaddedLayout} {
+		a := NewArray(cells, layout)
+		winners := make([]atomic.Int32, cells)
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(cells * claimersPerCell)
+		for i := 0; i < cells; i++ {
+			for j := 0; j < claimersPerCell; j++ {
+				i := i
+				go func() {
+					defer done.Done()
+					start.Wait()
+					if a.TryClaim(i, 1) {
+						winners[i].Add(1)
+					}
+				}()
+			}
+		}
+		start.Done()
+		done.Wait()
+		for i := 0; i < cells; i++ {
+			if w := winners[i].Load(); w != 1 {
+				t.Fatalf("layout %v: cell %d has %d winners, want 1", layout, i, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package cw
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCellZeroValueNeverWritten(t *testing.T) {
+	var c Cell
+	if got := c.Round(); got != 0 {
+		t.Fatalf("zero cell Round() = %d, want 0", got)
+	}
+	if c.Written(1) {
+		t.Fatal("zero cell reports Written(1)")
+	}
+}
+
+func TestCellTryClaimSequential(t *testing.T) {
+	var c Cell
+	if !c.TryClaim(1) {
+		t.Fatal("first TryClaim(1) on fresh cell failed")
+	}
+	if c.TryClaim(1) {
+		t.Fatal("second TryClaim(1) succeeded; winner must be unique")
+	}
+	if !c.Written(1) {
+		t.Fatal("cell not marked written for round 1")
+	}
+	if c.Written(2) {
+		t.Fatal("cell marked written for round 2 before any round-2 claim")
+	}
+	if !c.TryClaim(2) {
+		t.Fatal("TryClaim(2) after round 1 failed")
+	}
+	if c.Round() != 2 {
+		t.Fatalf("Round() = %d, want 2", c.Round())
+	}
+}
+
+func TestCellTryClaimRejectsStaleRound(t *testing.T) {
+	var c Cell
+	if !c.TryClaim(5) {
+		t.Fatal("TryClaim(5) failed")
+	}
+	// Equal and smaller rounds must both fail without modifying the cell.
+	for _, r := range []uint32{5, 4, 1} {
+		if c.TryClaim(r) {
+			t.Fatalf("TryClaim(%d) succeeded after round 5 committed", r)
+		}
+	}
+	if c.Round() != 5 {
+		t.Fatalf("stale claims modified the cell: Round() = %d, want 5", c.Round())
+	}
+}
+
+func TestCellRoundsMaySkip(t *testing.T) {
+	var c Cell
+	// Kernels often use loop iterations as round ids; a cell untouched for
+	// many iterations must still accept a later round directly.
+	if !c.TryClaim(1) {
+		t.Fatal("TryClaim(1) failed")
+	}
+	if !c.TryClaim(100) {
+		t.Fatal("TryClaim(100) failed after round 1")
+	}
+	if c.Round() != 100 {
+		t.Fatalf("Round() = %d, want 100", c.Round())
+	}
+}
+
+func TestCellReset(t *testing.T) {
+	var c Cell
+	c.TryClaim(7)
+	c.Reset()
+	if c.Round() != 0 {
+		t.Fatalf("Round() after Reset = %d, want 0", c.Round())
+	}
+	if !c.TryClaim(1) {
+		t.Fatal("TryClaim(1) after Reset failed")
+	}
+}
+
+// exactly-one-winner is the fundamental safety property of every selection
+// method: among G goroutines racing on the same cell in the same round,
+// exactly one observes success.
+func TestCellExactlyOneWinnerPerRound(t *testing.T) {
+	const goroutines = 64
+	const rounds = 200
+	var c Cell
+	for r := uint32(1); r <= rounds; r++ {
+		var winners atomic.Int32
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(goroutines)
+		for g := 0; g < goroutines; g++ {
+			go func() {
+				defer done.Done()
+				start.Wait()
+				if c.TryClaim(r) {
+					winners.Add(1)
+				}
+			}()
+		}
+		start.Done()
+		done.Wait()
+		if w := winners.Load(); w != 1 {
+			t.Fatalf("round %d: %d winners, want exactly 1", r, w)
+		}
+		if !c.Written(r) {
+			t.Fatalf("round %d: cell not marked written", r)
+		}
+	}
+}
+
+func TestCellClaimExactlyOneWinnerPerRound(t *testing.T) {
+	const goroutines = 64
+	const rounds = 100
+	var c Cell
+	for r := uint32(1); r <= rounds; r++ {
+		var winners atomic.Int32
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(goroutines)
+		for g := 0; g < goroutines; g++ {
+			go func() {
+				defer done.Done()
+				start.Wait()
+				if c.Claim(r) {
+					winners.Add(1)
+				}
+			}()
+		}
+		start.Done()
+		done.Wait()
+		if w := winners.Load(); w != 1 {
+			t.Fatalf("round %d: %d winners, want exactly 1", r, w)
+		}
+	}
+}
+
+// Claim tolerates concurrent claimers from different rounds: the cell ends
+// at the maximum round, every round has at most one winner, and the maximum
+// round claimed by a winner equals the cell's final state.
+func TestCellClaimMixedRounds(t *testing.T) {
+	const goroutines = 64
+	var c Cell
+	wonRound := make([]atomic.Uint32, goroutines)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			defer done.Done()
+			start.Wait()
+			r := uint32(g%8) + 1 // rounds 1..8 racing
+			if c.Claim(r) {
+				wonRound[g].Store(r)
+			}
+		}()
+	}
+	start.Done()
+	done.Wait()
+
+	perRound := map[uint32]int{}
+	var maxWon uint32
+	for g := range wonRound {
+		if r := wonRound[g].Load(); r != 0 {
+			perRound[r]++
+			if r > maxWon {
+				maxWon = r
+			}
+		}
+	}
+	for r, n := range perRound {
+		if n != 1 {
+			t.Fatalf("round %d has %d winners, want 1", r, n)
+		}
+	}
+	if maxWon == 0 {
+		t.Fatal("no winner at all")
+	}
+	if got := c.Round(); got != maxWon {
+		t.Fatalf("cell final round %d != max winning round %d", got, maxWon)
+	}
+}
+
+func TestCellTryClaimNoCheckUniqueWinner(t *testing.T) {
+	const goroutines = 64
+	const rounds = 100
+	var c Cell
+	for r := uint32(1); r <= rounds; r++ {
+		var winners atomic.Int32
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(goroutines)
+		for g := 0; g < goroutines; g++ {
+			go func() {
+				defer done.Done()
+				start.Wait()
+				if c.TryClaimNoCheck(r) {
+					winners.Add(1)
+				}
+			}()
+		}
+		start.Done()
+		done.Wait()
+		if w := winners.Load(); w != 1 {
+			t.Fatalf("round %d: %d winners, want exactly 1", r, w)
+		}
+	}
+}
+
+func TestCell64(t *testing.T) {
+	var c Cell64
+	if !c.TryClaim(1) {
+		t.Fatal("TryClaim(1) failed")
+	}
+	if c.TryClaim(1) {
+		t.Fatal("duplicate winner for round 1")
+	}
+	if !c.Claim(1 << 40) {
+		t.Fatal("Claim(2^40) failed")
+	}
+	if c.Round() != 1<<40 {
+		t.Fatalf("Round() = %d, want 2^40", c.Round())
+	}
+	if !c.Written(1 << 40) {
+		t.Fatal("Written(2^40) false")
+	}
+	c.Reset()
+	if c.Round() != 0 {
+		t.Fatal("Reset did not clear Cell64")
+	}
+}
+
+func TestCell64ExactlyOneWinner(t *testing.T) {
+	const goroutines = 64
+	var c Cell64
+	var winners atomic.Int32
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer done.Done()
+			start.Wait()
+			if c.TryClaim(1) {
+				winners.Add(1)
+			}
+		}()
+	}
+	start.Done()
+	done.Wait()
+	if w := winners.Load(); w != 1 {
+		t.Fatalf("%d winners, want exactly 1", w)
+	}
+}

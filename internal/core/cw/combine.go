@@ -1,0 +1,89 @@
+package cw
+
+import "sync/atomic"
+
+// This file implements combining concurrent writes: every writer's value is
+// folded into the target with an associative, commutative operator instead
+// of one writer being selected. Combining CW is strictly stronger than
+// common/arbitrary CW (either can be simulated by combining with "first" or
+// "any" semantics) and is the natural CRCW extension the paper's conclusion
+// points to for reduction-heavy kernels.
+
+// AdderCell combines concurrent writes by addition (Fetch&Add semantics).
+// The zero value holds 0 and is ready to use.
+type AdderCell struct {
+	v atomic.Uint64
+}
+
+// Add folds delta into the cell and returns the value before the add.
+func (c *AdderCell) Add(delta uint64) uint64 { return c.v.Add(delta) - delta }
+
+// Load returns the current sum. Only meaningful as a final value after a
+// synchronization point.
+func (c *AdderCell) Load() uint64 { return c.v.Load() }
+
+// Reset restores 0. It must not race with Add.
+func (c *AdderCell) Reset() { c.v.Store(0) }
+
+// MaxCell combines concurrent writes by maximum, with a bounded CAS loop.
+// The zero value holds 0 and is ready to use for non-negative data.
+type MaxCell struct {
+	v atomic.Uint32
+}
+
+// Offer folds value into the running maximum and reports whether it raised
+// the maximum.
+func (c *MaxCell) Offer(value uint32) bool {
+	for {
+		cur := c.v.Load()
+		if cur >= value {
+			return false
+		}
+		if c.v.CompareAndSwap(cur, value) {
+			return true
+		}
+	}
+}
+
+// Load returns the current maximum. Only meaningful as a final value after
+// a synchronization point.
+func (c *MaxCell) Load() uint32 { return c.v.Load() }
+
+// Reset restores 0. It must not race with Offer.
+func (c *MaxCell) Reset() { c.v.Store(0) }
+
+// MinCell combines concurrent writes by minimum, with a bounded CAS loop.
+// The zero value is NOT ready to use: call Reset first (or construct via
+// NewMinCell), which installs MaxUint32 as the identity element.
+type MinCell struct {
+	v atomic.Uint32
+}
+
+// NewMinCell returns a MinCell holding the identity element.
+func NewMinCell() *MinCell {
+	c := &MinCell{}
+	c.Reset()
+	return c
+}
+
+// Offer folds value into the running minimum and reports whether it lowered
+// the minimum.
+func (c *MinCell) Offer(value uint32) bool {
+	for {
+		cur := c.v.Load()
+		if cur <= value {
+			return false
+		}
+		if c.v.CompareAndSwap(cur, value) {
+			return true
+		}
+	}
+}
+
+// Load returns the current minimum. Only meaningful as a final value after
+// a synchronization point.
+func (c *MinCell) Load() uint32 { return c.v.Load() }
+
+// Reset restores the identity element MaxUint32. It must not race with
+// Offer.
+func (c *MinCell) Reset() { c.v.Store(^uint32(0)) }

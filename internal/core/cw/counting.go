@@ -1,0 +1,197 @@
+package cw
+
+import "sync/atomic"
+
+// This file provides instrumented variants of the selection primitives
+// that count the memory operations each method executes. They exist to
+// validate the paper's Section 6 asymptotics empirically: for P_PRAM
+// virtual processors attempting one concurrent write to a single cell,
+//
+//   - the gatekeeper method executes one atomic read-modify-write per
+//     attempt — Θ(P_PRAM) RMWs, the serialization the paper analyses;
+//   - the checked gatekeeper replaces most of those with plain loads;
+//   - CAS-LT executes at most one CAS per thread that passes the load
+//     pre-check before a winner commits — O(P_Phys) RMWs regardless of
+//     P_PRAM — and plain loads for everyone else.
+//
+// The instrumented types mirror the uninstrumented semantics exactly but
+// pay two extra atomic increments per operation; use them for analysis,
+// never for timing.
+
+// OpCounts aggregates the memory operations executed through an
+// instrumented primitive. Counters are cumulative; read them at a
+// synchronization point.
+type OpCounts struct {
+	// Loads counts plain atomic loads (the pre-checks).
+	Loads atomic.Uint64
+	// RMWs counts atomic read-modify-writes (CAS or fetch-and-add),
+	// successful or not.
+	RMWs atomic.Uint64
+	// Wins counts selections won.
+	Wins atomic.Uint64
+}
+
+// Snapshot returns the current (loads, rmws, wins).
+func (c *OpCounts) Snapshot() (loads, rmws, wins uint64) {
+	return c.Loads.Load(), c.RMWs.Load(), c.Wins.Load()
+}
+
+// Reset zeroes the counters. It must not race with instrumented
+// operations.
+func (c *OpCounts) Reset() {
+	c.Loads.Store(0)
+	c.RMWs.Store(0)
+	c.Wins.Store(0)
+}
+
+// CountingCell is a CAS-LT cell that records its operation counts in an
+// external OpCounts (shared across cells of one experiment).
+type CountingCell struct {
+	last atomic.Uint32
+	ops  *OpCounts
+}
+
+// NewCountingCell returns a fresh instrumented cell recording into ops.
+func NewCountingCell(ops *OpCounts) *CountingCell {
+	return &CountingCell{ops: ops}
+}
+
+// TryClaim mirrors Cell.TryClaim with operation counting.
+func (c *CountingCell) TryClaim(round uint32) bool {
+	c.ops.Loads.Add(1)
+	cur := c.last.Load()
+	if cur >= round {
+		return false
+	}
+	c.ops.RMWs.Add(1)
+	won := c.last.CompareAndSwap(cur, round)
+	if won {
+		c.ops.Wins.Add(1)
+	}
+	return won
+}
+
+// TryClaimNoCheck mirrors Cell.TryClaimNoCheck with operation counting.
+func (c *CountingCell) TryClaimNoCheck(round uint32) bool {
+	c.ops.Loads.Add(1)
+	cur := c.last.Load()
+	c.ops.RMWs.Add(1)
+	ok := c.last.CompareAndSwap(cur, round)
+	won := ok && cur != round
+	if won {
+		c.ops.Wins.Add(1)
+	}
+	return won
+}
+
+// Round mirrors Cell.Round (uncounted: it is not part of the protocol).
+func (c *CountingCell) Round() uint32 { return c.last.Load() }
+
+// Reset returns the cell (not the counters) to the never-written state.
+func (c *CountingCell) Reset() { c.last.Store(0) }
+
+// NewCountingResolver returns a Resolver whose selection operations are
+// counted into ops. Supported methods: CASLT, Gatekeeper and
+// GatekeeperChecked — the three whose operation mix the paper's Section 6
+// analyses; other methods panic. Use it with the kernels' RunResolver
+// entry points to measure the atomic traffic of a full algorithm run.
+func NewCountingResolver(m Method, n int, ops *OpCounts) Resolver {
+	switch m {
+	case CASLT:
+		cells := make([]CountingCell, n)
+		for i := range cells {
+			cells[i].ops = ops
+		}
+		return &countingCellResolver{cells: cells}
+	case Gatekeeper, GatekeeperChecked:
+		gates := make([]CountingGate, n)
+		for i := range gates {
+			gates[i].ops = ops
+		}
+		return &countingGateResolver{gates: gates, checked: m == GatekeeperChecked}
+	default:
+		panic("cw: no counting resolver for method " + m.String())
+	}
+}
+
+type countingCellResolver struct{ cells []CountingCell }
+
+func (r *countingCellResolver) Method() Method { return CASLT }
+func (r *countingCellResolver) Len() int       { return len(r.cells) }
+func (r *countingCellResolver) Do(i int, round uint32, write func()) bool {
+	if r.cells[i].TryClaim(round) {
+		write()
+		return true
+	}
+	return false
+}
+func (r *countingCellResolver) ResetRange(lo, hi int) {}
+
+type countingGateResolver struct {
+	gates   []CountingGate
+	checked bool
+}
+
+func (r *countingGateResolver) Method() Method {
+	if r.checked {
+		return GatekeeperChecked
+	}
+	return Gatekeeper
+}
+func (r *countingGateResolver) Len() int { return len(r.gates) }
+func (r *countingGateResolver) Do(i int, round uint32, write func()) bool {
+	var won bool
+	if r.checked {
+		won = r.gates[i].TryEnterChecked()
+	} else {
+		won = r.gates[i].TryEnter()
+	}
+	if won {
+		write()
+	}
+	return won
+}
+func (r *countingGateResolver) ResetRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		r.gates[i].Reset()
+	}
+}
+
+// CountingGate is a gatekeeper recording its operation counts.
+type CountingGate struct {
+	n   atomic.Uint32
+	ops *OpCounts
+}
+
+// NewCountingGate returns a fresh instrumented gate recording into ops.
+func NewCountingGate(ops *OpCounts) *CountingGate {
+	return &CountingGate{ops: ops}
+}
+
+// TryEnter mirrors Gate.TryEnter with operation counting.
+func (g *CountingGate) TryEnter() bool {
+	g.ops.RMWs.Add(1)
+	won := g.n.Add(1) == 1
+	if won {
+		g.ops.Wins.Add(1)
+	}
+	return won
+}
+
+// TryEnterChecked mirrors Gate.TryEnterChecked with operation counting.
+func (g *CountingGate) TryEnterChecked() bool {
+	g.ops.Loads.Add(1)
+	if g.n.Load() != 0 {
+		return false
+	}
+	g.ops.RMWs.Add(1)
+	won := g.n.Add(1) == 1
+	if won {
+		g.ops.Wins.Add(1)
+	}
+	return won
+}
+
+// Reset re-opens the gate (not the counters). It must not race with
+// TryEnter.
+func (g *CountingGate) Reset() { g.n.Store(0) }

@@ -1,0 +1,136 @@
+package cw
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountingCellMirrorsSemantics(t *testing.T) {
+	var ops OpCounts
+	c := NewCountingCell(&ops)
+	if !c.TryClaim(1) {
+		t.Fatal("first claim failed")
+	}
+	if c.TryClaim(1) {
+		t.Fatal("duplicate winner")
+	}
+	if !c.TryClaim(5) {
+		t.Fatal("later round failed")
+	}
+	if c.Round() != 5 {
+		t.Fatalf("Round() = %d, want 5", c.Round())
+	}
+	loads, rmws, wins := ops.Snapshot()
+	// 3 claims: 3 loads; attempt 2 fails the pre-check (no RMW): 2 RMWs,
+	// both winning.
+	if loads != 3 || rmws != 2 || wins != 2 {
+		t.Fatalf("counts = (%d,%d,%d), want (3,2,2)", loads, rmws, wins)
+	}
+	c.Reset()
+	if c.Round() != 0 {
+		t.Fatal("Reset did not clear cell")
+	}
+	ops.Reset()
+	if l, r, w := ops.Snapshot(); l|r|w != 0 {
+		t.Fatal("ops.Reset did not clear counters")
+	}
+}
+
+func TestCountingGateMirrorsSemantics(t *testing.T) {
+	var ops OpCounts
+	g := NewCountingGate(&ops)
+	if !g.TryEnter() {
+		t.Fatal("first enter failed")
+	}
+	for i := 0; i < 9; i++ {
+		if g.TryEnter() {
+			t.Fatal("duplicate winner")
+		}
+	}
+	loads, rmws, wins := ops.Snapshot()
+	// Plain gatekeeper: every attempt is an RMW, no loads.
+	if loads != 0 || rmws != 10 || wins != 1 {
+		t.Fatalf("counts = (%d,%d,%d), want (0,10,1)", loads, rmws, wins)
+	}
+
+	ops.Reset()
+	g.Reset()
+	if !g.TryEnterChecked() {
+		t.Fatal("checked enter failed after reset")
+	}
+	for i := 0; i < 9; i++ {
+		if g.TryEnterChecked() {
+			t.Fatal("duplicate checked winner")
+		}
+	}
+	loads, rmws, wins = ops.Snapshot()
+	// Checked: every attempt loads; only the winner's attempt RMWs.
+	if loads != 10 || rmws != 1 || wins != 1 {
+		t.Fatalf("checked counts = (%d,%d,%d), want (10,1,1)", loads, rmws, wins)
+	}
+}
+
+// The Section 6 claim in miniature: with W concurrent writers on one cell,
+// CAS-LT's RMW count is bounded by the writers that can race before a
+// winner exists (at most W, typically far fewer), while the gatekeeper
+// executes exactly W RMWs — always.
+func TestCountingSectionSixBounds(t *testing.T) {
+	const writers = 64
+	var cellOps, gateOps OpCounts
+	c := NewCountingCell(&cellOps)
+	g := NewCountingGate(&gateOps)
+
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(2 * writers)
+	for w := 0; w < writers; w++ {
+		go func() {
+			defer done.Done()
+			start.Wait()
+			c.TryClaim(1)
+		}()
+		go func() {
+			defer done.Done()
+			start.Wait()
+			g.TryEnter()
+		}()
+	}
+	start.Done()
+	done.Wait()
+
+	_, gateRMWs, gateWins := gateOps.Snapshot()
+	if gateRMWs != writers {
+		t.Fatalf("gatekeeper RMWs = %d, want exactly %d", gateRMWs, writers)
+	}
+	if gateWins != 1 {
+		t.Fatalf("gatekeeper wins = %d", gateWins)
+	}
+	cellLoads, cellRMWs, cellWins := cellOps.Snapshot()
+	if cellLoads != writers {
+		t.Fatalf("caslt loads = %d, want %d", cellLoads, writers)
+	}
+	if cellWins != 1 {
+		t.Fatalf("caslt wins = %d", cellWins)
+	}
+	if cellRMWs > gateRMWs {
+		t.Fatalf("caslt RMWs (%d) exceed gatekeeper RMWs (%d)", cellRMWs, gateRMWs)
+	}
+	if cellRMWs < 1 {
+		t.Fatal("caslt executed no RMW at all")
+	}
+}
+
+func TestCountingCellNoCheckCountsEveryRMW(t *testing.T) {
+	var ops OpCounts
+	c := NewCountingCell(&ops)
+	c.TryClaimNoCheck(1)
+	c.TryClaimNoCheck(1)
+	c.TryClaimNoCheck(1)
+	_, rmws, wins := ops.Snapshot()
+	if rmws != 3 {
+		t.Fatalf("nocheck RMWs = %d, want 3 (the ablation's point)", rmws)
+	}
+	if wins != 1 {
+		t.Fatalf("nocheck wins = %d, want 1", wins)
+	}
+}

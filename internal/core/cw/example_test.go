@@ -1,0 +1,69 @@
+package cw_test
+
+import (
+	"fmt"
+
+	"crcwpram/internal/core/cw"
+)
+
+// The paper's Figure 1 protocol on one cell: the first claimant of a round
+// wins, later claimants fail the load pre-check, and a new round needs no
+// reset — just a larger id.
+func ExampleCell_TryClaim() {
+	var lastRoundUpdated cw.Cell
+
+	fmt.Println("round 1, first writer: ", lastRoundUpdated.TryClaim(1))
+	fmt.Println("round 1, second writer:", lastRoundUpdated.TryClaim(1))
+	fmt.Println("round 2, no reset:     ", lastRoundUpdated.TryClaim(2))
+	// Output:
+	// round 1, first writer:  true
+	// round 1, second writer: false
+	// round 2, no reset:      true
+}
+
+// The Figure 2 comparator: every attempt costs an atomic fetch-and-add,
+// and the gate must be re-zeroed before the next round.
+func ExampleGate_TryEnter() {
+	var gatekeeper cw.Gate
+
+	fmt.Println("round 1, first writer: ", gatekeeper.TryEnter())
+	fmt.Println("round 1, second writer:", gatekeeper.TryEnter())
+	fmt.Println("round 2, no reset:     ", gatekeeper.TryEnter())
+	gatekeeper.Reset() // the O(N)-work pass, per cell
+	fmt.Println("round 2, after reset:  ", gatekeeper.TryEnter())
+	// Output:
+	// round 1, first writer:  true
+	// round 1, second writer: false
+	// round 2, no reset:      false
+	// round 2, after reset:   true
+}
+
+// Multi-word payloads commit whole through a Slot: the loser's struct is
+// discarded untouched, so fields can never mix.
+func ExampleSlot() {
+	type update struct {
+		Parent int
+		Edge   int
+	}
+	var winner cw.Slot[update]
+
+	first := winner.TryWrite(1, update{Parent: 4, Edge: 40})
+	second := winner.TryWrite(1, update{Parent: 7, Edge: 70})
+	got := winner.Load()
+	fmt.Println(first, second, got.Parent, got.Edge)
+	// Output:
+	// true false 4 40
+}
+
+// Priority CRCW: the smallest (value, id) offer survives regardless of
+// arrival order.
+func ExamplePriorityMinCell() {
+	var cell cw.PriorityMinCell
+	cell.Reset()
+	cell.Offer(30, 1)
+	cell.Offer(10, 2)
+	cell.Offer(20, 3)
+	fmt.Println(cell.Value(), cell.ID())
+	// Output:
+	// 10 2
+}

@@ -1,0 +1,152 @@
+package cw
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGateSequential(t *testing.T) {
+	var g Gate
+	if g.Entered() {
+		t.Fatal("fresh gate reports Entered")
+	}
+	if !g.TryEnter() {
+		t.Fatal("first TryEnter failed")
+	}
+	if g.TryEnter() {
+		t.Fatal("second TryEnter succeeded; winner must be unique")
+	}
+	if !g.Entered() {
+		t.Fatal("gate not Entered after a win")
+	}
+	if g.Attempts() != 2 {
+		t.Fatalf("Attempts() = %d, want 2", g.Attempts())
+	}
+	g.Reset()
+	if g.Entered() {
+		t.Fatal("gate still Entered after Reset")
+	}
+	if !g.TryEnter() {
+		t.Fatal("TryEnter after Reset failed")
+	}
+}
+
+func TestGateCheckedSequential(t *testing.T) {
+	var g Gate
+	if !g.TryEnterChecked() {
+		t.Fatal("first TryEnterChecked failed")
+	}
+	if g.TryEnterChecked() {
+		t.Fatal("second TryEnterChecked succeeded")
+	}
+	// The checked variant must skip the atomic once non-zero: attempts stay
+	// at 1 no matter how many checked attempts follow.
+	for i := 0; i < 100; i++ {
+		g.TryEnterChecked()
+	}
+	if g.Attempts() != 1 {
+		t.Fatalf("Attempts() = %d after checked losses, want 1 (pre-check must skip the atomic)", g.Attempts())
+	}
+}
+
+func TestGateExactlyOneWinner(t *testing.T) {
+	const goroutines = 64
+	const rounds = 100
+	var g Gate
+	for r := 0; r < rounds; r++ {
+		var winners atomic.Int32
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(goroutines)
+		for i := 0; i < goroutines; i++ {
+			go func() {
+				defer done.Done()
+				start.Wait()
+				if g.TryEnter() {
+					winners.Add(1)
+				}
+			}()
+		}
+		start.Done()
+		done.Wait()
+		if w := winners.Load(); w != 1 {
+			t.Fatalf("round %d: %d winners, want exactly 1", r, w)
+		}
+		g.Reset() // the reinitialization the method requires between rounds
+	}
+}
+
+func TestGateCheckedExactlyOneWinner(t *testing.T) {
+	const goroutines = 64
+	const rounds = 100
+	var g Gate
+	for r := 0; r < rounds; r++ {
+		var winners atomic.Int32
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(goroutines)
+		for i := 0; i < goroutines; i++ {
+			go func() {
+				defer done.Done()
+				start.Wait()
+				if g.TryEnterChecked() {
+					winners.Add(1)
+				}
+			}()
+		}
+		start.Done()
+		done.Wait()
+		if w := winners.Load(); w != 1 {
+			t.Fatalf("round %d: %d winners, want exactly 1", r, w)
+		}
+		g.Reset()
+	}
+}
+
+func TestGateWithoutResetNoSecondWinner(t *testing.T) {
+	// The defining limitation of the gatekeeper method: without the O(N)
+	// reinitialization pass, the next round on the same cell has no winner
+	// at all — the write would be lost.
+	var g Gate
+	if !g.TryEnter() {
+		t.Fatal("round 1 winner missing")
+	}
+	won := false
+	for i := 0; i < 32; i++ {
+		if g.TryEnter() {
+			won = true
+		}
+	}
+	if won {
+		t.Fatal("gate produced a second winner without Reset")
+	}
+}
+
+func TestGateArrayIndependentCells(t *testing.T) {
+	for _, layout := range []Layout{Packed, PaddedLayout} {
+		g := NewGateArray(8, layout)
+		if g.Len() != 8 {
+			t.Fatalf("layout %v: Len() = %d, want 8", layout, g.Len())
+		}
+		for i := 0; i < g.Len(); i++ {
+			if !g.TryEnter(i) {
+				t.Fatalf("layout %v: first TryEnter(%d) failed", layout, i)
+			}
+			if g.TryEnter(i) {
+				t.Fatalf("layout %v: duplicate winner on gate %d", layout, i)
+			}
+		}
+		g.ResetRange(0, 4)
+		for i := 0; i < 4; i++ {
+			if !g.TryEnterChecked(i) {
+				t.Fatalf("layout %v: gate %d not reopened by ResetRange", layout, i)
+			}
+		}
+		for i := 4; i < 8; i++ {
+			if g.TryEnterChecked(i) {
+				t.Fatalf("layout %v: gate %d outside ResetRange reopened", layout, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package cw
+
+import "sync"
+
+// MutexArray implements concurrent writes by wrapping each target in a
+// critical section — the "trivial but bad" solution the paper dismisses in
+// Section 4, retained here as a baseline for the ablation benchmarks.
+//
+// Under this scheme every competing thread performs its write, serially; the
+// last writer's value survives, which is a valid arbitrary-CW outcome (and a
+// valid common-CW outcome). The cost is full serialization of all writers,
+// including their payload writes, plus lock overhead.
+type MutexArray struct {
+	mu []sync.Mutex
+}
+
+// NewMutexArray returns an array of n per-target critical sections.
+func NewMutexArray(n int) *MutexArray {
+	return &MutexArray{mu: make([]sync.Mutex, n)}
+}
+
+// Len returns the number of targets.
+func (m *MutexArray) Len() int { return len(m.mu) }
+
+// Do executes write inside target i's critical section. Every caller's
+// write runs; callers observe full mutual exclusion per target.
+func (m *MutexArray) Do(i int, write func()) {
+	m.mu[i].Lock()
+	write()
+	m.mu[i].Unlock()
+}
+
+// Lock acquires target i's critical section directly, for kernels that
+// prefer explicit lock/unlock around an inlined payload write.
+func (m *MutexArray) Lock(i int) { m.mu[i].Lock() }
+
+// Unlock releases target i's critical section.
+func (m *MutexArray) Unlock(i int) { m.mu[i].Unlock() }

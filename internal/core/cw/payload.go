@@ -1,0 +1,87 @@
+package cw
+
+// This file provides typed concurrent-write targets for multi-word
+// payloads. One of the paper's stated goals is a concurrent write "that
+// supports concurrent write for modern language data structures such as
+// structure and class copies": a torn mixture of two racing struct copies
+// matches neither writer and is the core hazard of naive arbitrary writes
+// (Section 4). A Slot pairs an arbitrary Go value with a CAS-LT cell so
+// that exactly one writer per round commits its complete value.
+
+// Slot is a concurrent-write target holding a value of any type. The zero
+// value is an empty slot ready for round ids starting at 1.
+//
+// Writers call TryWrite inside a PRAM round; exactly one succeeds per
+// round. Readers call Load after the synchronization point that ends the
+// round — the usual PRAM discipline. Load must not race with TryWrite.
+type Slot[T any] struct {
+	cell Cell
+	val  T
+}
+
+// TryWrite installs v if the caller wins the slot's concurrent write for
+// the given round, and reports whether it did. Losers' values are
+// discarded untouched — the payload can never tear.
+func (s *Slot[T]) TryWrite(round uint32, v T) bool {
+	if !s.cell.TryClaim(round) {
+		return false
+	}
+	s.val = v
+	return true
+}
+
+// Load returns the committed value. Only meaningful after a
+// synchronization point; returns the zero T if no round ever wrote.
+func (s *Slot[T]) Load() T { return s.val }
+
+// Written reports whether the slot was written in the given round. Only
+// meaningful after a synchronization point.
+func (s *Slot[T]) Written(round uint32) bool { return s.cell.Written(round) }
+
+// Round returns the last round that wrote the slot (0 = never).
+func (s *Slot[T]) Round() uint32 { return s.cell.Round() }
+
+// Reset empties the slot for reuse with round ids starting at 1 again.
+// The stored value is zeroed so stale payloads cannot leak.
+func (s *Slot[T]) Reset() {
+	var zero T
+	s.val = zero
+	s.cell.Reset()
+}
+
+// SlotArray is a fixed array of typed concurrent-write targets sharing one
+// round discipline, the multi-word analogue of Array.
+type SlotArray[T any] struct {
+	slots []Slot[T]
+}
+
+// NewSlotArray returns an n-slot array of empty slots.
+func NewSlotArray[T any](n int) *SlotArray[T] {
+	return &SlotArray[T]{slots: make([]Slot[T], n)}
+}
+
+// Len returns the number of slots.
+func (a *SlotArray[T]) Len() int { return len(a.slots) }
+
+// Slot returns slot i.
+func (a *SlotArray[T]) Slot(i int) *Slot[T] { return &a.slots[i] }
+
+// TryWrite applies Slot.TryWrite to slot i.
+func (a *SlotArray[T]) TryWrite(i int, round uint32, v T) bool {
+	return a.slots[i].TryWrite(round, v)
+}
+
+// Load applies Slot.Load to slot i.
+func (a *SlotArray[T]) Load(i int) T { return a.slots[i].Load() }
+
+// Written reports whether slot i was written in the given round.
+func (a *SlotArray[T]) Written(i int, round uint32) bool { return a.slots[i].Written(round) }
+
+// ResetRange empties slots [lo, hi). Like Array.ResetRange this is only
+// needed when recycling across independent kernel executions, never
+// between rounds.
+func (a *SlotArray[T]) ResetRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		a.slots[i].Reset()
+	}
+}

@@ -1,0 +1,173 @@
+package cw
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// bigPayload is deliberately multiple machine words: a torn commit would
+// mix fields from different writers.
+type bigPayload struct {
+	A, B, C, D uint64
+	Tag        string
+}
+
+func payloadFor(id int) bigPayload {
+	v := uint64(id + 1)
+	return bigPayload{A: v, B: v * 2, C: v * 3, D: v * 4, Tag: "writer"}
+}
+
+func payloadConsistent(p bigPayload) bool {
+	return p.B == 2*p.A && p.C == 3*p.A && p.D == 4*p.A && p.Tag == "writer"
+}
+
+func TestSlotSequential(t *testing.T) {
+	var s Slot[bigPayload]
+	if s.Round() != 0 {
+		t.Fatal("fresh slot has nonzero round")
+	}
+	if !s.TryWrite(1, payloadFor(0)) {
+		t.Fatal("first write failed")
+	}
+	if s.TryWrite(1, payloadFor(1)) {
+		t.Fatal("second writer won the same round")
+	}
+	if got := s.Load(); got.A != 1 {
+		t.Fatalf("Load = %+v, want writer 0's payload", got)
+	}
+	if !s.Written(1) || s.Written(2) {
+		t.Fatal("Written bookkeeping wrong")
+	}
+	if !s.TryWrite(3, payloadFor(7)) {
+		t.Fatal("later round failed")
+	}
+	if got := s.Load(); got.A != 8 {
+		t.Fatalf("Load after round 3 = %+v", got)
+	}
+	s.Reset()
+	if s.Round() != 0 || s.Load().A != 0 || s.Load().Tag != "" {
+		t.Fatal("Reset did not zero slot")
+	}
+}
+
+// The paper's core safety claim for guarded multi-word writes: under heavy
+// contention the committed struct is always exactly one writer's struct.
+func TestSlotConcurrentUntorn(t *testing.T) {
+	const goroutines = 64
+	const rounds = 50
+	var s Slot[bigPayload]
+	for r := uint32(1); r <= rounds; r++ {
+		var wins atomic.Int32
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(goroutines)
+		for g := 0; g < goroutines; g++ {
+			g := g
+			go func() {
+				defer done.Done()
+				start.Wait()
+				if s.TryWrite(r, payloadFor(g)) {
+					wins.Add(1)
+				}
+			}()
+		}
+		start.Done()
+		done.Wait()
+		if w := wins.Load(); w != 1 {
+			t.Fatalf("round %d: %d winners", r, w)
+		}
+		if p := s.Load(); !payloadConsistent(p) {
+			t.Fatalf("round %d: torn payload %+v", r, p)
+		}
+	}
+}
+
+func TestSlotArray(t *testing.T) {
+	a := NewSlotArray[bigPayload](8)
+	if a.Len() != 8 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	for i := 0; i < 8; i++ {
+		if !a.TryWrite(i, 1, payloadFor(i)) {
+			t.Fatalf("slot %d first write failed", i)
+		}
+		if a.TryWrite(i, 1, payloadFor(99)) {
+			t.Fatalf("slot %d double win", i)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if got := a.Load(i); got.A != uint64(i+1) {
+			t.Fatalf("slot %d holds %+v", i, got)
+		}
+		if !a.Written(i, 1) {
+			t.Fatalf("slot %d not written", i)
+		}
+	}
+	a.ResetRange(2, 5)
+	for i := 2; i < 5; i++ {
+		if a.Slot(i).Round() != 0 {
+			t.Fatalf("slot %d not reset", i)
+		}
+	}
+	if a.Slot(1).Round() == 0 || a.Slot(5).Round() == 0 {
+		t.Fatal("ResetRange touched slots outside the range")
+	}
+}
+
+// Slots work with reference types too; the committed value is the winner's
+// slice header, never a mix.
+func TestSlotSliceType(t *testing.T) {
+	const goroutines = 32
+	var s Slot[[]int]
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			defer done.Done()
+			start.Wait()
+			s.TryWrite(1, []int{g, g, g})
+		}()
+	}
+	start.Done()
+	done.Wait()
+	v := s.Load()
+	if len(v) != 3 || v[0] != v[1] || v[1] != v[2] {
+		t.Fatalf("committed slice inconsistent: %v", v)
+	}
+}
+
+// Property: for any concurrency level and round count, slot payloads are
+// never torn and each round has exactly one winner.
+func TestQuickSlotUntorn(t *testing.T) {
+	f := func(gRaw, roundsRaw uint8) bool {
+		goroutines := int(gRaw)%32 + 2
+		rounds := int(roundsRaw)%10 + 1
+		var s Slot[bigPayload]
+		for r := 1; r <= rounds; r++ {
+			var wins atomic.Int32
+			var wg sync.WaitGroup
+			wg.Add(goroutines)
+			for g := 0; g < goroutines; g++ {
+				g := g
+				go func() {
+					defer wg.Done()
+					if s.TryWrite(uint32(r), payloadFor(g*r)) {
+						wins.Add(1)
+					}
+				}()
+			}
+			wg.Wait()
+			if wins.Load() != 1 || !payloadConsistent(s.Load()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

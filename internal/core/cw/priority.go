@@ -1,0 +1,122 @@
+package cw
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// PriorityMinCell implements the Priority CRCW rule for one target: among
+// all values offered in a round, the smallest survives, with ties broken by
+// the smallest writer id. The paper lists Priority as the strongest CW rule
+// and notes that weaker rules (arbitrary, common) can simulate on top of it
+// in O(1); this cell is the package's extension beyond the paper's two rules.
+//
+// The cell packs (value, id) into one 64-bit word — value in the high 32
+// bits, id in the low 32 — so that the natural uint64 ordering is exactly
+// the (value, id) lexicographic priority, and improves it with a bounded CAS
+// loop. The zero value of the cell is NOT ready to use: call Reset (or
+// NewPriorityMinArray) first, which installs the identity element
+// (MaxUint32, MaxUint32).
+type PriorityMinCell struct {
+	w atomic.Uint64
+}
+
+func packPriority(value, id uint32) uint64 { return uint64(value)<<32 | uint64(id) }
+
+// Offer submits (value, id) for the current round and reports whether the
+// offer improved the cell's current best. A true return does NOT mean the
+// caller is the round's final winner — a later, smaller offer may still
+// displace it; the winner is read with Value/ID after the synchronization
+// point that ends the round.
+func (c *PriorityMinCell) Offer(value, id uint32) bool {
+	next := packPriority(value, id)
+	for {
+		cur := c.w.Load()
+		if cur <= next {
+			return false
+		}
+		if c.w.CompareAndSwap(cur, next) {
+			return true
+		}
+	}
+}
+
+// Value returns the smallest value offered since the last Reset, or
+// math.MaxUint32 if none. Only meaningful after a synchronization point.
+func (c *PriorityMinCell) Value() uint32 { return uint32(c.w.Load() >> 32) }
+
+// ID returns the id of the winning writer, or math.MaxUint32 if none.
+// Only meaningful after a synchronization point.
+func (c *PriorityMinCell) ID() uint32 { return uint32(c.w.Load()) }
+
+// Empty reports whether no offer was made since the last Reset.
+func (c *PriorityMinCell) Empty() bool { return c.w.Load() == math.MaxUint64 }
+
+// Reset restores the identity element, making the cell ready for a new
+// round. It must not race with Offer.
+func (c *PriorityMinCell) Reset() { c.w.Store(math.MaxUint64) }
+
+// PriorityMinArray is a fixed-size array of PriorityMinCells, all
+// initialized ready for use.
+type PriorityMinArray struct {
+	cells []PriorityMinCell
+}
+
+// NewPriorityMinArray returns an n-cell priority array with every cell
+// holding the identity element.
+func NewPriorityMinArray(n int) *PriorityMinArray {
+	a := &PriorityMinArray{cells: make([]PriorityMinCell, n)}
+	a.ResetRange(0, n)
+	return a
+}
+
+// Len returns the number of cells.
+func (a *PriorityMinArray) Len() int { return len(a.cells) }
+
+// Cell returns cell i.
+func (a *PriorityMinArray) Cell(i int) *PriorityMinCell { return &a.cells[i] }
+
+// Offer applies PriorityMinCell.Offer to cell i.
+func (a *PriorityMinArray) Offer(i int, value, id uint32) bool { return a.cells[i].Offer(value, id) }
+
+// ResetRange restores the identity element in cells [lo, hi). Like the
+// gatekeeper method, priority cells need re-initialization between rounds.
+func (a *PriorityMinArray) ResetRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		a.cells[i].Reset()
+	}
+}
+
+// PriorityMaxCell is PriorityMinCell with the opposite order: the largest
+// value survives, ties broken by the largest id. Its zero value is ready to
+// use for non-negative offers because the identity element is (0, 0) — note
+// that an actual offer of (0, 0) is therefore indistinguishable from "no
+// offer"; use Offered ids > 0 or values > 0 when that matters.
+type PriorityMaxCell struct {
+	w atomic.Uint64
+}
+
+// Offer submits (value, id) and reports whether it improved the current
+// best. The final winner is read with Value/ID after a synchronization
+// point.
+func (c *PriorityMaxCell) Offer(value, id uint32) bool {
+	next := packPriority(value, id)
+	for {
+		cur := c.w.Load()
+		if cur >= next {
+			return false
+		}
+		if c.w.CompareAndSwap(cur, next) {
+			return true
+		}
+	}
+}
+
+// Value returns the largest value offered since the last Reset.
+func (c *PriorityMaxCell) Value() uint32 { return uint32(c.w.Load() >> 32) }
+
+// ID returns the id of the winning writer.
+func (c *PriorityMaxCell) ID() uint32 { return uint32(c.w.Load()) }
+
+// Reset restores the identity element (0, 0). It must not race with Offer.
+func (c *PriorityMaxCell) Reset() { c.w.Store(0) }

@@ -1,0 +1,156 @@
+package cw
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestPriorityMinCellSequential(t *testing.T) {
+	var c PriorityMinCell
+	c.Reset()
+	if !c.Empty() {
+		t.Fatal("reset cell not Empty")
+	}
+	if !c.Offer(10, 3) {
+		t.Fatal("first offer rejected")
+	}
+	if c.Offer(10, 5) {
+		t.Fatal("offer (10,5) accepted over (10,3): ties must break toward smaller id")
+	}
+	if !c.Offer(10, 1) {
+		t.Fatal("offer (10,1) rejected: smaller id must win ties")
+	}
+	if !c.Offer(9, 7) {
+		t.Fatal("offer (9,7) rejected: smaller value must win")
+	}
+	if c.Offer(9, 8) || c.Offer(11, 0) {
+		t.Fatal("worse offer accepted")
+	}
+	if c.Value() != 9 || c.ID() != 7 {
+		t.Fatalf("winner = (%d,%d), want (9,7)", c.Value(), c.ID())
+	}
+	if c.Empty() {
+		t.Fatal("cell Empty after offers")
+	}
+}
+
+// Priority CRCW semantics: the final state equals the minimum of all offers
+// under (value, id) lexicographic order, no matter the interleaving.
+func TestPriorityMinCellConcurrentIsTrueMin(t *testing.T) {
+	const goroutines = 48
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var c PriorityMinCell
+		c.Reset()
+		values := make([]uint32, goroutines)
+		for i := range values {
+			values[i] = uint32(rng.Intn(100))
+		}
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(goroutines)
+		for g := 0; g < goroutines; g++ {
+			g := g
+			go func() {
+				defer done.Done()
+				start.Wait()
+				c.Offer(values[g], uint32(g))
+			}()
+		}
+		start.Done()
+		done.Wait()
+
+		wantVal, wantID := uint32(math.MaxUint32), uint32(math.MaxUint32)
+		for g, v := range values {
+			if v < wantVal || (v == wantVal && uint32(g) < wantID) {
+				wantVal, wantID = v, uint32(g)
+			}
+		}
+		if c.Value() != wantVal || c.ID() != wantID {
+			t.Fatalf("trial %d: winner (%d,%d), want (%d,%d)", trial, c.Value(), c.ID(), wantVal, wantID)
+		}
+	}
+}
+
+func TestPriorityMinArray(t *testing.T) {
+	a := NewPriorityMinArray(4)
+	if a.Len() != 4 {
+		t.Fatalf("Len() = %d, want 4", a.Len())
+	}
+	for i := 0; i < 4; i++ {
+		if !a.Cell(i).Empty() {
+			t.Fatalf("cell %d not initialized to identity", i)
+		}
+	}
+	a.Offer(2, 42, 7)
+	if a.Cell(2).Value() != 42 {
+		t.Fatal("offer did not land on cell 2")
+	}
+	if !a.Cell(0).Empty() || !a.Cell(1).Empty() || !a.Cell(3).Empty() {
+		t.Fatal("offer leaked to other cells")
+	}
+	a.ResetRange(0, 4)
+	if !a.Cell(2).Empty() {
+		t.Fatal("ResetRange did not restore identity")
+	}
+}
+
+func TestPriorityMaxCell(t *testing.T) {
+	var c PriorityMaxCell
+	if !c.Offer(5, 1) {
+		t.Fatal("first offer rejected")
+	}
+	if c.Offer(5, 0) {
+		t.Fatal("offer (5,0) accepted over (5,1): ties must break toward larger id")
+	}
+	if !c.Offer(5, 2) {
+		t.Fatal("offer (5,2) rejected")
+	}
+	if !c.Offer(9, 0) {
+		t.Fatal("offer (9,0) rejected: larger value must win")
+	}
+	if c.Value() != 9 || c.ID() != 0 {
+		t.Fatalf("winner = (%d,%d), want (9,0)", c.Value(), c.ID())
+	}
+	c.Reset()
+	if c.Value() != 0 || c.ID() != 0 {
+		t.Fatal("Reset did not restore identity")
+	}
+}
+
+func TestPriorityMaxCellConcurrentIsTrueMax(t *testing.T) {
+	const goroutines = 48
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		var c PriorityMaxCell
+		values := make([]uint32, goroutines)
+		for i := range values {
+			values[i] = uint32(rng.Intn(100)) + 1
+		}
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(goroutines)
+		for g := 0; g < goroutines; g++ {
+			g := g
+			go func() {
+				defer done.Done()
+				start.Wait()
+				c.Offer(values[g], uint32(g))
+			}()
+		}
+		start.Done()
+		done.Wait()
+
+		var wantVal, wantID uint32
+		for g, v := range values {
+			if v > wantVal || (v == wantVal && uint32(g) > wantID) {
+				wantVal, wantID = v, uint32(g)
+			}
+		}
+		if c.Value() != wantVal || c.ID() != wantID {
+			t.Fatalf("trial %d: winner (%d,%d), want (%d,%d)", trial, c.Value(), c.ID(), wantVal, wantID)
+		}
+	}
+}

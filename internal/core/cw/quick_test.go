@@ -1,0 +1,194 @@
+package cw
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any ascending sequence of rounds applied sequentially to one
+// cell, every TryClaim of a strictly larger round than the cell's state wins,
+// every other fails, and the final state is the largest round applied.
+func TestQuickCellSequentialSemantics(t *testing.T) {
+	f := func(roundsRaw []uint16) bool {
+		var c Cell
+		var state uint32
+		for _, rr := range roundsRaw {
+			r := uint32(rr) + 1
+			won := c.TryClaim(r)
+			wantWin := r > state
+			if won != wantWin {
+				return false
+			}
+			if wantWin {
+				state = r
+			}
+			if c.Round() != state {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under any number of concurrent claimers (1..64) and any round
+// sequence length, each round executed in lock-step produces exactly one
+// winner, for every selection resolver.
+func TestQuickLockStepExactlyOneWinner(t *testing.T) {
+	selection := []Method{CASLT, Gatekeeper, GatekeeperChecked}
+	f := func(gSeed uint8, roundsSeed uint8) bool {
+		goroutines := int(gSeed)%63 + 2
+		rounds := int(roundsSeed)%20 + 1
+		for _, m := range selection {
+			r := NewResolver(m, 1, Packed)
+			for round := uint32(1); round <= uint32(rounds); round++ {
+				var winners atomic.Int32
+				var start, done sync.WaitGroup
+				start.Add(1)
+				done.Add(goroutines)
+				for g := 0; g < goroutines; g++ {
+					go func() {
+						defer done.Done()
+						start.Wait()
+						r.Do(0, round, func() { winners.Add(1) })
+					}()
+				}
+				start.Done()
+				done.Wait()
+				if winners.Load() != 1 {
+					return false
+				}
+				r.ResetRange(0, 1)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Claim with arbitrary (not lock-step) concurrent rounds still
+// yields at most one winner per round id and a final state equal to the
+// maximum won round.
+func TestQuickClaimMixedRounds(t *testing.T) {
+	f := func(seed int64, gSeed uint8) bool {
+		goroutines := int(gSeed)%48 + 2
+		rng := rand.New(rand.NewSource(seed))
+		rounds := make([]uint32, goroutines)
+		for i := range rounds {
+			rounds[i] = uint32(rng.Intn(10)) + 1
+		}
+		var c Cell
+		won := make([]bool, goroutines)
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(goroutines)
+		for g := 0; g < goroutines; g++ {
+			g := g
+			go func() {
+				defer done.Done()
+				start.Wait()
+				won[g] = c.Claim(rounds[g])
+			}()
+		}
+		start.Done()
+		done.Wait()
+
+		perRound := map[uint32]int{}
+		var maxWon uint32
+		for g := range won {
+			if won[g] {
+				perRound[rounds[g]]++
+				if rounds[g] > maxWon {
+					maxWon = rounds[g]
+				}
+			}
+		}
+		for _, n := range perRound {
+			if n != 1 {
+				return false
+			}
+		}
+		return maxWon != 0 && c.Round() == maxWon
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a PriorityMinCell fed any multiset of (value, id) offers from
+// concurrent goroutines ends at the lexicographic minimum.
+func TestQuickPriorityMinIsMin(t *testing.T) {
+	f := func(valsRaw []uint16) bool {
+		if len(valsRaw) == 0 {
+			return true
+		}
+		if len(valsRaw) > 64 {
+			valsRaw = valsRaw[:64]
+		}
+		var c PriorityMinCell
+		c.Reset()
+		var wg sync.WaitGroup
+		wg.Add(len(valsRaw))
+		for i, v := range valsRaw {
+			i, v := i, v
+			go func() {
+				defer wg.Done()
+				c.Offer(uint32(v), uint32(i))
+			}()
+		}
+		wg.Wait()
+
+		type pair struct{ v, id uint32 }
+		all := make([]pair, len(valsRaw))
+		for i, v := range valsRaw {
+			all[i] = pair{uint32(v), uint32(i)}
+		}
+		sort.Slice(all, func(a, b int) bool {
+			if all[a].v != all[b].v {
+				return all[a].v < all[b].v
+			}
+			return all[a].id < all[b].id
+		})
+		return c.Value() == all[0].v && c.ID() == all[0].id
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AdderCell is a faithful combining write — the final sum equals
+// the sum of all deltas regardless of interleaving.
+func TestQuickAdderSum(t *testing.T) {
+	f := func(deltasRaw []uint8) bool {
+		if len(deltasRaw) > 64 {
+			deltasRaw = deltasRaw[:64]
+		}
+		var c AdderCell
+		var want uint64
+		for _, d := range deltasRaw {
+			want += uint64(d)
+		}
+		var wg sync.WaitGroup
+		wg.Add(len(deltasRaw))
+		for _, d := range deltasRaw {
+			d := d
+			go func() {
+				defer wg.Done()
+				c.Add(uint64(d))
+			}()
+		}
+		wg.Wait()
+		return c.Load() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

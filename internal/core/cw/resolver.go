@@ -1,0 +1,174 @@
+package cw
+
+// Method identifies one of the concurrent-write implementations compared by
+// the paper (plus the baselines added for ablations). Kernels in
+// internal/alg provide one specialized variant per method, exactly as the
+// paper wrote one OpenMP version per method; the Resolver interface below
+// additionally exposes the methods behind a uniform API for library users
+// who prefer genericity over the last measure of performance.
+type Method int
+
+const (
+	// CASLT is the paper's contribution: round-stamped
+	// compare-and-swap-if-less-than with a load pre-check and no
+	// re-initialization between rounds.
+	CASLT Method = iota
+	// Gatekeeper is the atomic prefix-sum method (Figure 2): every attempt
+	// performs a fetch-and-add; the gatekeeper array must be re-zeroed
+	// between rounds.
+	Gatekeeper
+	// GatekeeperChecked is Gatekeeper with the load pre-check mitigation
+	// the paper suggests in Section 5.
+	GatekeeperChecked
+	// Naive issues every write and relies on the memory system to
+	// serialize them. It is safe only for common concurrent writes of
+	// single machine words and is therefore rejected by resolvers guarding
+	// arbitrary writes; kernels use it only where the paper does.
+	Naive
+	// Mutex wraps each target in a critical section — the "trivial but
+	// bad" baseline.
+	Mutex
+)
+
+// Methods lists all methods in presentation order.
+var Methods = []Method{CASLT, Gatekeeper, GatekeeperChecked, Naive, Mutex}
+
+func (m Method) String() string {
+	switch m {
+	case CASLT:
+		return "caslt"
+	case Gatekeeper:
+		return "gatekeeper"
+	case GatekeeperChecked:
+		return "gatekeeper-checked"
+	case Naive:
+		return "naive"
+	case Mutex:
+		return "mutex"
+	default:
+		return "unknown-method"
+	}
+}
+
+// SafeForArbitrary reports whether the method preserves arbitrary-CW
+// semantics (exactly one writer's complete, untorn payload survives). Naive
+// is safe only for common CW of single words.
+func (m Method) SafeForArbitrary() bool { return m != Naive }
+
+// NeedsReset reports whether the method requires a re-initialization pass
+// over its auxiliary array between concurrent-write rounds.
+func (m Method) NeedsReset() bool { return m == Gatekeeper || m == GatekeeperChecked }
+
+// ParseMethod converts a method name (as produced by String) back to a
+// Method. It returns false for unknown names.
+func ParseMethod(s string) (Method, bool) {
+	for _, m := range Methods {
+		if m.String() == s {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// Resolver coordinates concurrent writes over n targets behind a uniform
+// interface. Exactly one Do call per (target, round) executes its write
+// function, except for the Mutex method, where every Do executes its write
+// serially (last writer wins — still a valid arbitrary outcome), and the
+// Naive method, where every Do executes its write concurrently (safe only
+// for common CW).
+//
+// Rounds must be ≥ 1 and monotone per target, and a synchronization point
+// must separate a round's writes from dependent reads and from the next
+// round — the same discipline the paper requires. For methods with
+// NeedsReset, the caller must invoke ResetRange over all targets between
+// rounds (sharding the range over workers as desired).
+type Resolver interface {
+	// Method identifies the underlying implementation.
+	Method() Method
+	// Len returns the number of targets.
+	Len() int
+	// Do executes write if the caller wins target i's concurrent write for
+	// the given round, and reports whether it did.
+	Do(i int, round uint32, write func()) bool
+	// ResetRange prepares targets [lo, hi) for the next round, for methods
+	// that need it; it is a no-op otherwise.
+	ResetRange(lo, hi int)
+}
+
+// NewResolver returns a Resolver over n targets for the given method, with
+// auxiliary state (if any) in the given layout.
+func NewResolver(m Method, n int, layout Layout) Resolver {
+	switch m {
+	case CASLT:
+		return &casltResolver{a: NewArray(n, layout)}
+	case Gatekeeper:
+		return &gateResolver{g: NewGateArray(n, layout), checked: false}
+	case GatekeeperChecked:
+		return &gateResolver{g: NewGateArray(n, layout), checked: true}
+	case Naive:
+		return naiveResolver{n: n}
+	case Mutex:
+		return &mutexResolver{m: NewMutexArray(n)}
+	default:
+		panic("cw: unknown method " + m.String())
+	}
+}
+
+type casltResolver struct{ a *Array }
+
+func (r *casltResolver) Method() Method { return CASLT }
+func (r *casltResolver) Len() int       { return r.a.Len() }
+func (r *casltResolver) Do(i int, round uint32, write func()) bool {
+	if r.a.TryClaim(i, round) {
+		write()
+		return true
+	}
+	return false
+}
+func (r *casltResolver) ResetRange(lo, hi int) {} // CAS-LT never needs reinitialization.
+
+type gateResolver struct {
+	g       *GateArray
+	checked bool
+}
+
+func (r *gateResolver) Method() Method {
+	if r.checked {
+		return GatekeeperChecked
+	}
+	return Gatekeeper
+}
+func (r *gateResolver) Len() int { return r.g.Len() }
+func (r *gateResolver) Do(i int, round uint32, write func()) bool {
+	var won bool
+	if r.checked {
+		won = r.g.TryEnterChecked(i)
+	} else {
+		won = r.g.TryEnter(i)
+	}
+	if won {
+		write()
+	}
+	return won
+}
+func (r *gateResolver) ResetRange(lo, hi int) { r.g.ResetRange(lo, hi) }
+
+type naiveResolver struct{ n int }
+
+func (r naiveResolver) Method() Method { return Naive }
+func (r naiveResolver) Len() int       { return r.n }
+func (r naiveResolver) Do(i int, round uint32, write func()) bool {
+	write()
+	return true
+}
+func (r naiveResolver) ResetRange(lo, hi int) {}
+
+type mutexResolver struct{ m *MutexArray }
+
+func (r *mutexResolver) Method() Method { return Mutex }
+func (r *mutexResolver) Len() int       { return r.m.Len() }
+func (r *mutexResolver) Do(i int, round uint32, write func()) bool {
+	r.m.Do(i, write)
+	return true
+}
+func (r *mutexResolver) ResetRange(lo, hi int) {}

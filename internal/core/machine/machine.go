@@ -1,0 +1,254 @@
+// Package machine executes PRAM algorithm steps on a fixed pool of physical
+// workers.
+//
+// A PRAM algorithm is a sequence of rounds, each applying one operation per
+// virtual processor to a shared memory, in lock-step. Following the paper
+// (Section 4, building on Ghanim et al.'s ICE results), lock-step semantics
+// are recovered on an asynchronous shared-memory machine by (1) work-sharing
+// each round's virtual processors over the physical workers and (2) placing
+// a synchronization barrier between a round and anything that depends on it.
+// Machine provides exactly that: ParallelFor runs one round — n virtual
+// processors over P workers with an implicit barrier at the end — and an
+// internal monotone round counter supplies the round ids consumed by the cw
+// package's CAS-LT cells.
+//
+// The pool is persistent: workers are started once and parked on a reusable
+// barrier between rounds, so a round costs two barrier phases rather than P
+// goroutine spawns, mirroring an OpenMP parallel region with an active wait
+// policy (the configuration the paper measures).
+package machine
+
+import (
+	"fmt"
+
+	"crcwpram/internal/barrier"
+	"crcwpram/internal/sched"
+)
+
+// Machine is a fixed pool of P workers executing PRAM rounds. Create with
+// New, release with Close. A Machine is driven by one caller goroutine at a
+// time; the rounds themselves run on all P workers.
+type Machine struct {
+	p       int
+	policy  sched.Policy
+	chunk   int
+	barKind barrier.Kind
+	bar     barrier.Barrier
+
+	// step is the work descriptor for the round in flight. It is written
+	// by the caller before the start barrier and read by workers after it;
+	// the barrier provides the happens-before edge.
+	step stepDesc
+
+	round  uint32
+	closed bool
+}
+
+type stepDesc struct {
+	n      int
+	body   func(i, w int)
+	ranged func(lo, hi, w int)
+	cursor *sched.Cursor
+	quit   bool
+	panics []any // one slot per worker, pre-sized; nil = no panic
+}
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithPolicy selects the loop partitioning policy (default sched.Block).
+func WithPolicy(p sched.Policy) Option { return func(m *Machine) { m.policy = p } }
+
+// WithChunk sets the chunk size for dynamic/guided policies (default
+// sched.DefaultChunk).
+func WithChunk(c int) Option { return func(m *Machine) { m.chunk = c } }
+
+// WithBarrier selects the barrier construction (default barrier.KindSense).
+func WithBarrier(k barrier.Kind) Option { return func(m *Machine) { m.barKind = k } }
+
+// New returns a Machine with p workers. p must be >= 1. The caller owns the
+// machine and must Close it to release the workers.
+func New(p int, opts ...Option) *Machine {
+	if p < 1 {
+		panic("machine: p must be >= 1")
+	}
+	m := &Machine{
+		p:       p,
+		policy:  sched.Block,
+		chunk:   sched.DefaultChunk,
+		barKind: barrier.KindSense,
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	// The caller participates in both barrier phases, so the party is p+1.
+	m.bar = barrier.New(m.barKind, p+1)
+	m.step.panics = make([]any, p)
+	for w := 0; w < p; w++ {
+		go m.worker(w)
+	}
+	return m
+}
+
+// P returns the number of physical workers.
+func (m *Machine) P() int { return m.p }
+
+// Policy returns the partitioning policy.
+func (m *Machine) Policy() sched.Policy { return m.policy }
+
+// Round returns the current round id. Round ids start at 0 and advance by
+// NextRound (or by kernels using their own loop counters).
+func (m *Machine) Round() uint32 { return m.round }
+
+// NextRound advances the machine's round counter and returns the new id,
+// which is always >= 1 and therefore valid for cw.Cell claims.
+func (m *Machine) NextRound() uint32 {
+	m.round++
+	return m.round
+}
+
+// ResetRound rewinds the round counter to 0, for reusing a machine across
+// independent kernel executions whose cw arrays have been Reset.
+func (m *Machine) ResetRound() { m.round = 0 }
+
+// Close shuts the worker pool down. The machine must not be used after
+// Close.
+func (m *Machine) Close() {
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.step = stepDesc{quit: true}
+	m.bar.Wait(m.p) // start phase: release workers into the quit branch
+}
+
+// ParallelFor executes one PRAM round: body(i) for every i in [0, n),
+// work-shared over the P workers, with an implicit barrier before
+// ParallelFor returns. The barrier is the synchronization point the paper
+// requires between a concurrent write and its dependent reads.
+//
+// body must be safe for concurrent invocation on distinct i.
+func (m *Machine) ParallelFor(n int, body func(i int)) {
+	m.ParallelForWorker(n, func(i, _ int) { body(i) })
+}
+
+// ParallelForWorker is ParallelFor with the executing worker's id (in
+// [0, P())) passed to the body, for per-worker accumulators.
+func (m *Machine) ParallelForWorker(n int, body func(i, w int)) {
+	if m.closed {
+		panic("machine: use after Close")
+	}
+	if n <= 0 {
+		return
+	}
+	// Single worker: run inline; the pool would only add barrier latency.
+	if m.p == 1 {
+		runSerial(m.policy, m.chunk, n, body)
+		return
+	}
+	m.step = stepDesc{
+		n:      n,
+		body:   body,
+		cursor: m.cursorFor(n),
+		panics: m.step.panics,
+	}
+	m.runStep()
+}
+
+// ParallelRange executes one PRAM round in block form: each worker receives
+// its contiguous share [lo, hi) once. It is the natural shape for
+// re-initialization passes (e.g. the gatekeeper method's per-round reset)
+// and for per-worker reductions. The partitioning policy is always Block.
+func (m *Machine) ParallelRange(n int, body func(lo, hi, w int)) {
+	if m.closed {
+		panic("machine: use after Close")
+	}
+	if n <= 0 {
+		return
+	}
+	if m.p == 1 {
+		body(0, n, 0)
+		return
+	}
+	m.step = stepDesc{
+		n:      n,
+		ranged: body,
+		panics: m.step.panics,
+	}
+	m.runStep()
+}
+
+// ParallelFor2D executes body(i, j) for every pair in [0, n1) x [0, n2),
+// collapsing the two loops into one index space exactly like the paper's
+// `#pragma omp for collapse(2)` in the maximum kernel (Figure 4).
+func (m *Machine) ParallelFor2D(n1, n2 int, body func(i, j int)) {
+	if n1 <= 0 || n2 <= 0 {
+		return
+	}
+	total := n1 * n2
+	if total/n1 != n2 {
+		panic(fmt.Sprintf("machine: ParallelFor2D overflow: %d x %d", n1, n2))
+	}
+	m.ParallelFor(total, func(k int) {
+		body(k/n2, k%n2)
+	})
+}
+
+func (m *Machine) cursorFor(n int) *sched.Cursor {
+	if m.policy == sched.Dynamic || m.policy == sched.Guided {
+		return sched.NewCursor(m.policy, n, m.p, m.chunk)
+	}
+	return nil
+}
+
+func (m *Machine) runStep() {
+	m.bar.Wait(m.p) // start phase: workers pick up m.step
+	m.bar.Wait(m.p) // end phase: all workers finished their shares
+	// Re-raise the first worker panic, if any, on the caller.
+	for w := 0; w < m.p; w++ {
+		if pv := m.step.panics[w]; pv != nil {
+			m.step.panics[w] = nil
+			panic(pv)
+		}
+	}
+}
+
+func (m *Machine) worker(id int) {
+	for {
+		m.bar.Wait(id) // start phase
+		st := m.step
+		if st.quit {
+			return
+		}
+		m.runShare(st, id)
+		m.bar.Wait(id) // end phase
+	}
+}
+
+// runShare executes worker id's share of the step, capturing panics so a
+// failing body cannot deadlock the pool at the end barrier.
+func (m *Machine) runShare(st stepDesc, id int) {
+	defer func() {
+		if pv := recover(); pv != nil {
+			st.panics[id] = pv
+		}
+	}()
+	if st.ranged != nil {
+		lo, hi := sched.BlockRange(st.n, m.p, id)
+		if lo < hi {
+			st.ranged(lo, hi, id)
+		}
+		return
+	}
+	sched.For(m.policy, st.cursor, st.n, m.p, id, func(i int) {
+		st.body(i, id)
+	})
+}
+
+func runSerial(policy sched.Policy, chunk, n int, body func(i, w int)) {
+	cur := (*sched.Cursor)(nil)
+	if policy == sched.Dynamic || policy == sched.Guided {
+		cur = sched.NewCursor(policy, n, 1, chunk)
+	}
+	sched.For(policy, cur, n, 1, 0, func(i int) { body(i, 0) })
+}

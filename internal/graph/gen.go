@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomUndirected generates an undirected multigraph with n vertices and m
+// edges whose endpoints are chosen uniformly at random (self-loops
+// excluded, parallel edges allowed), the input family of the paper's BFS
+// and CC experiments. Generation is deterministic in seed.
+func RandomUndirected(n, m int, seed int64) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: RandomUndirected needs n >= 2, got %d", n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, m)
+	for i := range edges {
+		u := uint32(rng.Intn(n))
+		v := uint32(rng.Intn(n - 1))
+		if v >= u {
+			v++ // uniform over vertices != u, excluding self-loops
+		}
+		edges[i] = Edge{u, v}
+	}
+	return MustFromEdges(n, edges, true)
+}
+
+// ConnectedRandom generates a connected undirected multigraph with n
+// vertices and m >= n-1 edges: a uniformly random spanning tree-ish
+// backbone (each vertex i>0 attaches to a random earlier vertex of a random
+// permutation) plus m-(n-1) uniform random extra edges. BFS experiments use
+// it so that every vertex is reachable from the source and all methods
+// traverse identical frontiers. Deterministic in seed.
+func ConnectedRandom(n, m int, seed int64) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: ConnectedRandom needs n >= 2, got %d", n))
+	}
+	if m < n-1 {
+		panic(fmt.Sprintf("graph: ConnectedRandom needs m >= n-1, got n=%d m=%d", n, m))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	edges := make([]Edge, 0, m)
+	for i := 1; i < n; i++ {
+		parent := perm[rng.Intn(i)]
+		edges = append(edges, Edge{uint32(perm[i]), uint32(parent)})
+	}
+	for len(edges) < m {
+		u := uint32(rng.Intn(n))
+		v := uint32(rng.Intn(n - 1))
+		if v >= u {
+			v++
+		}
+		edges = append(edges, Edge{u, v})
+	}
+	return MustFromEdges(n, edges, true)
+}
+
+// RMAT generates an undirected multigraph with 2^scale vertices and m edges
+// by recursive-matrix sampling with the canonical partition probabilities
+// (a, b, c, d); use a=0.57, b=c=0.19, d=0.05 for Graph500-like skew. Skewed
+// degree distributions maximize concurrent-write collisions on hub
+// vertices, the regime in which the paper's CC speedups grow.
+// Deterministic in seed.
+func RMAT(scale, m int, a, b, c float64, seed int64) *Graph {
+	if scale < 1 || scale > 30 {
+		panic(fmt.Sprintf("graph: RMAT scale %d out of range [1,30]", scale))
+	}
+	if a <= 0 || b < 0 || c < 0 || a+b+c >= 1 {
+		panic("graph: RMAT probabilities must satisfy a>0, b,c>=0, a+b+c<1")
+	}
+	n := 1 << scale
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, 0, m)
+	for len(edges) < m {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left quadrant: no bits set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue // skip self-loops, as in the uniform generator
+		}
+		edges = append(edges, Edge{uint32(u), uint32(v)})
+	}
+	return MustFromEdges(n, edges, true)
+}
+
+// Grid2D generates the rows x cols grid graph (4-neighbour connectivity),
+// a low-collision structured input.
+func Grid2D(rows, cols int) *Graph {
+	if rows < 1 || cols < 1 {
+		panic("graph: Grid2D needs rows, cols >= 1")
+	}
+	n := rows * cols
+	edges := make([]Edge, 0, 2*n)
+	id := func(r, c int) uint32 { return uint32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, Edge{id(r, c), id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, Edge{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+	return MustFromEdges(n, edges, true)
+}
+
+// Star generates the star on n vertices: vertex 0 is the hub. Every
+// non-hub's write in BFS targets distinct cells but every CC hooking write
+// collides on the hub's component — the maximal-collision input.
+func Star(n int) *Graph {
+	if n < 2 {
+		panic("graph: Star needs n >= 2")
+	}
+	edges := make([]Edge, n-1)
+	for i := 1; i < n; i++ {
+		edges[i-1] = Edge{0, uint32(i)}
+	}
+	return MustFromEdges(n, edges, true)
+}
+
+// Path generates the path 0-1-2-...-(n-1), the minimal-collision input and
+// the worst case for level-synchronous BFS depth.
+func Path(n int) *Graph {
+	if n < 2 {
+		panic("graph: Path needs n >= 2")
+	}
+	edges := make([]Edge, n-1)
+	for i := 0; i < n-1; i++ {
+		edges[i] = Edge{uint32(i), uint32(i + 1)}
+	}
+	return MustFromEdges(n, edges, true)
+}
+
+// Cycle generates the n-cycle.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: Cycle needs n >= 3")
+	}
+	edges := make([]Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = Edge{uint32(i), uint32((i + 1) % n)}
+	}
+	return MustFromEdges(n, edges, true)
+}
+
+// Complete generates the complete graph K_n: every CC hooking round
+// collides all writers, and BFS finishes in one level.
+func Complete(n int) *Graph {
+	if n < 2 {
+		panic("graph: Complete needs n >= 2")
+	}
+	edges := make([]Edge, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, Edge{uint32(u), uint32(v)})
+		}
+	}
+	return MustFromEdges(n, edges, true)
+}
+
+// Disjoint unions k copies of g into one graph with k*g.NumVertices()
+// vertices and no inter-copy edges — k components by construction, used to
+// validate connected-components labelling.
+func Disjoint(g *Graph, k int) *Graph {
+	if k < 1 {
+		panic("graph: Disjoint needs k >= 1")
+	}
+	n := g.NumVertices()
+	base := g.Edges()
+	edges := make([]Edge, 0, len(base)*k)
+	for copyi := 0; copyi < k; copyi++ {
+		off := uint32(copyi * n)
+		for _, e := range base {
+			edges = append(edges, Edge{e.U + off, e.V + off})
+		}
+	}
+	return MustFromEdges(n*k, edges, g.undirected)
+}

@@ -1,0 +1,203 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Binary serialization: a fixed little-endian header followed by the raw
+// CSR arrays. The format is versioned via the magic so incompatible future
+// layouts fail loudly instead of decoding garbage.
+//
+//	magic   [8]byte  "CRCWGR1\n"
+//	flags   uint32   bit 0: undirected
+//	n       uint32   vertex count
+//	arcs    uint32   arc count
+//	offsets [n+1]uint32
+//	targets [arcs]uint32
+
+var binaryMagic = [8]byte{'C', 'R', 'C', 'W', 'G', 'R', '1', '\n'}
+
+const flagUndirected = 1
+
+// WriteBinary serializes g to w in the package's binary format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return fmt.Errorf("graph: write magic: %w", err)
+	}
+	var flags uint32
+	if g.undirected {
+		flags |= flagUndirected
+	}
+	head := []uint32{flags, uint32(g.NumVertices()), uint32(g.NumArcs())}
+	for _, v := range head {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("graph: write header: %w", err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.offsets); err != nil {
+		return fmt.Errorf("graph: write offsets: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.targets); err != nil {
+		return fmt.Errorf("graph: write targets: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary and validates the
+// CSR invariants before returning it.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: read magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	var flags, n, arcs uint32
+	for _, p := range []*uint32{&flags, &n, &arcs} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("graph: read header: %w", err)
+		}
+	}
+	g := &Graph{undirected: flags&flagUndirected != 0}
+	var err error
+	// Read incrementally: a corrupt header claiming billions of entries
+	// must fail at the truncation point, not pre-allocate the claimed
+	// size.
+	if g.offsets, err = readUint32Slice(br, uint64(n)+1); err != nil {
+		return nil, fmt.Errorf("graph: read offsets: %w", err)
+	}
+	if g.targets, err = readUint32Slice(br, uint64(arcs)); err != nil {
+		return nil, fmt.Errorf("graph: read targets: %w", err)
+	}
+	if err := validateCSR(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// readUint32Slice reads exactly count little-endian uint32 values,
+// allocating in bounded chunks so corrupt headers cannot force huge
+// up-front allocations.
+func readUint32Slice(br *bufio.Reader, count uint64) ([]uint32, error) {
+	const chunk = 1 << 16
+	out := make([]uint32, 0, min(count, chunk))
+	buf := make([]byte, 4*chunk)
+	for uint64(len(out)) < count {
+		want := count - uint64(len(out))
+		if want > chunk {
+			want = chunk
+		}
+		if _, err := io.ReadFull(br, buf[:4*want]); err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < want; i++ {
+			out = append(out, binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	}
+	return out, nil
+}
+
+func validateCSR(g *Graph) error {
+	if g.offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.offsets[0])
+	}
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		if g.offsets[v+1] < g.offsets[v] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+	}
+	if int(g.offsets[n]) != len(g.targets) {
+		return fmt.Errorf("graph: offsets end %d != %d arcs", g.offsets[n], len(g.targets))
+	}
+	for i, t := range g.targets {
+		if int(t) >= n {
+			return fmt.Errorf("graph: arc %d targets out-of-range vertex %d (n=%d)", i, t, n)
+		}
+	}
+	return nil
+}
+
+// WriteEdgeList writes g as a plain-text edge list: a header line
+// "# n m undirected|directed" followed by one "u v" pair per line (each
+// undirected edge once).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	kind := "directed"
+	if g.undirected {
+		kind = "undirected"
+	}
+	if _, err := fmt.Fprintf(bw, "# %d %d %s\n", g.NumVertices(), g.NumEdges(), kind); err != nil {
+		return fmt.Errorf("graph: write header: %w", err)
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return fmt.Errorf("graph: write edge: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the text format produced by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("graph: read header: %w", err)
+		}
+		return nil, fmt.Errorf("graph: empty edge-list input")
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) != 4 || fields[0] != "#" {
+		return nil, fmt.Errorf("graph: bad edge-list header %q", sc.Text())
+	}
+	// The text format is for human-scale graphs; bound the declared sizes
+	// so a corrupt header cannot force a giant allocation.
+	const maxTextSize = 1 << 26
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n < 0 || n > maxTextSize {
+		return nil, fmt.Errorf("graph: bad vertex count %q", fields[1])
+	}
+	m, err := strconv.Atoi(fields[2])
+	if err != nil || m < 0 || m > maxTextSize {
+		return nil, fmt.Errorf("graph: bad edge count %q", fields[2])
+	}
+	var undirected bool
+	switch fields[3] {
+	case "undirected":
+		undirected = true
+	case "directed":
+	default:
+		return nil, fmt.Errorf("graph: bad kind %q", fields[3])
+	}
+	edges := make([]Edge, 0, min(m, 1<<20))
+	line := 1
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" || strings.HasPrefix(txt, "#") {
+			continue
+		}
+		var u, v uint32
+		if _, err := fmt.Sscanf(txt, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+		edges = append(edges, Edge{u, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: scan: %w", err)
+	}
+	if len(edges) != m {
+		return nil, fmt.Errorf("graph: header claims %d edges, found %d", m, len(edges))
+	}
+	return FromEdges(n, edges, undirected)
+}

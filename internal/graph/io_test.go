@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumArcs() != b.NumArcs() || a.undirected != b.undirected {
+		return false
+	}
+	for i := range a.offsets {
+		if a.offsets[i] != b.offsets[i] {
+			return false
+		}
+	}
+	for i := range a.targets {
+		if a.targets[i] != b.targets[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	graphs := []*Graph{
+		RandomUndirected(100, 300, 5),
+		MustFromEdges(3, []Edge{{0, 1}, {1, 2}}, false),
+		MustFromEdges(1, nil, true),
+		Star(50),
+	}
+	for i, g := range graphs {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("graph %d: WriteBinary: %v", i, err)
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("graph %d: ReadBinary: %v", i, err)
+		}
+		if !graphsEqual(g, back) {
+			t.Fatalf("graph %d: round trip mismatch", i)
+		}
+	}
+}
+
+func TestReadBinaryRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, Path(5)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, raw...)
+	bad[0] = 'X'
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+
+	// Truncated targets.
+	if _, err := ReadBinary(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+
+	// Out-of-range target: last 4 bytes are the final target id.
+	bad = append([]byte{}, raw...)
+	bad[len(bad)-1] = 0xFF
+	bad[len(bad)-2] = 0xFF
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+
+	// Empty input.
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	graphs := []*Graph{
+		RandomUndirected(40, 100, 6),
+		MustFromEdges(4, []Edge{{0, 1}, {2, 3}, {1, 2}}, false),
+	}
+	for i, g := range graphs {
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("graph %d: WriteEdgeList: %v", i, err)
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("graph %d: ReadEdgeList: %v", i, err)
+		}
+		// Edge lists do not preserve arc order, so compare degree
+		// sequences and edge multisets.
+		if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("graph %d: size mismatch", i)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if back.Degree(uint32(v)) != g.Degree(uint32(v)) {
+				t.Fatalf("graph %d: degree(%d) differs", i, v)
+			}
+		}
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "3 2 undirected\n0 1\n1 2\n",
+		"bad kind":     "# 3 2 sideways\n0 1\n1 2\n",
+		"count err":    "# 3 5 undirected\n0 1\n1 2\n",
+		"bad line":     "# 2 1 undirected\nzero one\n",
+		"out of range": "# 2 1 undirected\n0 7\n",
+		"bad n":        "# x 1 undirected\n0 1\n",
+		"bad m":        "# 2 x undirected\n0 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestReadEdgeListSkipsBlanksAndComments(t *testing.T) {
+	in := "# 3 2 undirected\n\n# a comment\n0 1\n\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d, want 3/2", g.NumVertices(), g.NumEdges())
+	}
+}
+
+// Property: binary round trip is the identity on randomly generated graphs.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(nRaw uint8, mRaw uint16, seed int64) bool {
+		n := int(nRaw)%100 + 2
+		m := int(mRaw) % 1000
+		g := RandomUndirected(n, m, seed)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return graphsEqual(g, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package graph
+
+import "fmt"
+
+// Stats summarizes a graph for experiment logs.
+type Stats struct {
+	Vertices   int
+	Edges      int
+	Arcs       int
+	MinDegree  int
+	MaxDegree  int
+	AvgDegree  float64
+	Components int
+	Isolated   int // vertices of degree 0
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d m=%d arcs=%d deg[min=%d avg=%.2f max=%d] components=%d isolated=%d",
+		s.Vertices, s.Edges, s.Arcs, s.MinDegree, s.AvgDegree, s.MaxDegree, s.Components, s.Isolated)
+}
+
+// ComputeStats walks the graph once (plus one sequential component sweep)
+// and returns its summary.
+func ComputeStats(g *Graph) Stats {
+	n := g.NumVertices()
+	s := Stats{
+		Vertices: n,
+		Edges:    g.NumEdges(),
+		Arcs:     g.NumArcs(),
+	}
+	if n == 0 {
+		return s
+	}
+	s.MinDegree = g.Degree(0)
+	for v := 0; v < n; v++ {
+		d := g.Degree(uint32(v))
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d == 0 {
+			s.Isolated++
+		}
+	}
+	s.AvgDegree = float64(g.NumArcs()) / float64(n)
+	s.Components = CountComponents(g)
+	return s
+}
+
+// CountComponents returns the number of connected components, treating arcs
+// as traversable in the stored direction only (for undirected graphs both
+// directions are stored, so this is the usual undirected component count).
+// It uses an iterative sequential BFS and is intended for validation, not
+// benchmarking.
+func CountComponents(g *Graph) int {
+	n := g.NumVertices()
+	seen := make([]bool, n)
+	queue := make([]uint32, 0, 1024)
+	components := 0
+	for start := 0; start < n; start++ {
+		if seen[start] {
+			continue
+		}
+		components++
+		seen[start] = true
+		queue = append(queue[:0], uint32(start))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.Neighbors(v) {
+				if !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return components
+}
+
+// ComponentLabels returns, for every vertex, the smallest vertex id in its
+// component — the canonical labelling used to validate the parallel CC
+// kernels. Sequential; validation only.
+func ComponentLabels(g *Graph) []uint32 {
+	n := g.NumVertices()
+	labels := make([]uint32, n)
+	for i := range labels {
+		labels[i] = ^uint32(0)
+	}
+	queue := make([]uint32, 0, 1024)
+	for start := 0; start < n; start++ {
+		if labels[start] != ^uint32(0) {
+			continue
+		}
+		root := uint32(start) // smallest id in the component: vertices are scanned in order
+		labels[start] = root
+		queue = append(queue[:0], uint32(start))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.Neighbors(v) {
+				if labels[u] == ^uint32(0) {
+					labels[u] = root
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return labels
+}

@@ -1,0 +1,254 @@
+// Package memcheck provides instrumented PRAM shared-memory arrays that
+// verify, at runtime, that an algorithm's memory accesses conform to a
+// declared PRAM access mode.
+//
+// The paper's Section 2 notes that "in all these modes if a concurrent
+// read/write is attempted in an exclusive read/write mode, the algorithm
+// fails", and Section 4 explains why a naive (unguarded) implementation of
+// *arbitrary* concurrent writes is unsafe on real machines: racing writers
+// with different values — especially multi-word payloads — can commit a
+// torn mixture matching none of the attempted writes. This package makes
+// both failure classes observable: tests wrap a kernel's shared arrays in
+// checked arrays and assert that the expected violations are (or are not)
+// reported.
+//
+// A checked array tracks, per cell and per round, how many reads and writes
+// occurred and whether all writes in a round carried the same value. The
+// enforced rules per mode:
+//
+//	mode           reads/cell/round   writes/cell/round        mixed R+W
+//	EREW           <= 1               <= 1                     forbidden
+//	CREW           any                <= 1                     forbidden
+//	CRCWCommon     any                any, all equal values    forbidden
+//	CRCWArbitrary  any                any                      forbidden
+//
+// Mixed reads and writes of one cell within one round are flagged in every
+// mode: PRAM defines reads-before-writes inside a step, but an asynchronous
+// machine provides no such ordering without a synchronization point — this
+// is exactly the "synchronization point is required before any subsequent
+// dependent read" discipline the paper imposes.
+//
+// Checked arrays serialize accesses per cell and are for tests and
+// debugging only; kernels use raw slices in benchmarked paths.
+package memcheck
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Mode declares the PRAM access mode an array is checked against.
+type Mode int
+
+const (
+	// EREW allows at most one access (read or write) per cell per round.
+	EREW Mode = iota
+	// CREW allows concurrent reads but at most one write per cell per round.
+	CREW
+	// CRCWCommon allows concurrent writes that all carry the same value.
+	CRCWCommon
+	// CRCWArbitrary allows concurrent writes with arbitrary values.
+	CRCWArbitrary
+)
+
+func (m Mode) String() string {
+	switch m {
+	case EREW:
+		return "erew"
+	case CREW:
+		return "crew"
+	case CRCWCommon:
+		return "crcw-common"
+	case CRCWArbitrary:
+		return "crcw-arbitrary"
+	default:
+		return "unknown-mode"
+	}
+}
+
+// ViolationKind classifies a detected access-mode violation.
+type ViolationKind int
+
+const (
+	// ConcurrentRead: second read of a cell in one round under EREW.
+	ConcurrentRead ViolationKind = iota
+	// ConcurrentWrite: second write of a cell in one round under EREW/CREW.
+	ConcurrentWrite
+	// UncommonWrite: writes with differing values in one round under
+	// CRCWCommon — the race that makes naive arbitrary CW unsafe.
+	UncommonWrite
+	// ReadWriteRace: a cell both read and written in one round.
+	ReadWriteRace
+)
+
+func (k ViolationKind) String() string {
+	switch k {
+	case ConcurrentRead:
+		return "concurrent-read"
+	case ConcurrentWrite:
+		return "concurrent-write"
+	case UncommonWrite:
+		return "uncommon-write"
+	case ReadWriteRace:
+		return "read-write-race"
+	default:
+		return "unknown-violation"
+	}
+}
+
+// Violation describes one detected access-mode violation.
+type Violation struct {
+	Kind  ViolationKind
+	Index int    // cell index
+	Round uint32 // round in which it occurred
+	Want  uint32 // for UncommonWrite: the round's first written value
+	Got   uint32 // for UncommonWrite: the conflicting value
+}
+
+func (v Violation) String() string {
+	if v.Kind == UncommonWrite {
+		return fmt.Sprintf("%s at cell %d round %d: first wrote %d, then %d", v.Kind, v.Index, v.Round, v.Want, v.Got)
+	}
+	return fmt.Sprintf("%s at cell %d round %d", v.Kind, v.Index, v.Round)
+}
+
+// maxRecorded bounds the violations kept verbatim; the total count is
+// always exact.
+const maxRecorded = 100
+
+type cellState struct {
+	mu       sync.Mutex
+	val      uint32
+	tag      uint32 // round of the counters below; 0 = never touched
+	reads    uint32
+	writes   uint32
+	firstVal uint32
+}
+
+// Array is a checked shared array of uint32 cells.
+type Array struct {
+	mode  Mode
+	cells []cellState
+
+	round uint32
+
+	vmu        sync.Mutex
+	violations []Violation
+	total      int
+}
+
+// New returns a checked array of n zero cells under the given mode, at
+// round 1.
+func New(mode Mode, n int) *Array {
+	return &Array{mode: mode, cells: make([]cellState, n), round: 1}
+}
+
+// NewFrom returns a checked array initialized from src.
+func NewFrom(mode Mode, src []uint32) *Array {
+	a := New(mode, len(src))
+	for i, v := range src {
+		a.cells[i].val = v
+	}
+	return a
+}
+
+// Len returns the number of cells.
+func (a *Array) Len() int { return len(a.cells) }
+
+// Mode returns the declared access mode.
+func (a *Array) Mode() Mode { return a.mode }
+
+// Round returns the current round id.
+func (a *Array) Round() uint32 { return a.round }
+
+// NextRound starts a new round: accesses before and after NextRound never
+// conflict. NextRound must not race with Read/Write (call it at a
+// synchronization point, as the paper prescribes).
+func (a *Array) NextRound() { a.round++ }
+
+// Read returns cell i's value and checks read exclusivity for the current
+// round.
+func (a *Array) Read(i int) uint32 {
+	c := &a.cells[i]
+	c.mu.Lock()
+	a.syncCell(c)
+	c.reads++
+	if a.mode == EREW && c.reads > 1 {
+		a.record(Violation{Kind: ConcurrentRead, Index: i, Round: a.round})
+	}
+	if c.writes > 0 {
+		a.record(Violation{Kind: ReadWriteRace, Index: i, Round: a.round})
+	}
+	v := c.val
+	c.mu.Unlock()
+	return v
+}
+
+// Write stores v into cell i and checks write exclusivity / commonality for
+// the current round.
+func (a *Array) Write(i int, v uint32) {
+	c := &a.cells[i]
+	c.mu.Lock()
+	a.syncCell(c)
+	c.writes++
+	switch {
+	case c.writes == 1:
+		c.firstVal = v
+	case a.mode == EREW || a.mode == CREW:
+		a.record(Violation{Kind: ConcurrentWrite, Index: i, Round: a.round})
+	case a.mode == CRCWCommon && v != c.firstVal:
+		a.record(Violation{Kind: UncommonWrite, Index: i, Round: a.round, Want: c.firstVal, Got: v})
+	}
+	if c.reads > 0 {
+		a.record(Violation{Kind: ReadWriteRace, Index: i, Round: a.round})
+	}
+	c.val = v
+	c.mu.Unlock()
+}
+
+// syncCell lazily resets a cell's per-round counters when first touched in
+// a new round; caller holds the cell lock.
+func (a *Array) syncCell(c *cellState) {
+	if c.tag != a.round {
+		c.tag = a.round
+		c.reads = 0
+		c.writes = 0
+	}
+}
+
+func (a *Array) record(v Violation) {
+	a.vmu.Lock()
+	a.total++
+	if len(a.violations) < maxRecorded {
+		a.violations = append(a.violations, v)
+	}
+	a.vmu.Unlock()
+}
+
+// Violations returns the recorded violations (at most the first 100).
+func (a *Array) Violations() []Violation {
+	a.vmu.Lock()
+	defer a.vmu.Unlock()
+	out := make([]Violation, len(a.violations))
+	copy(out, a.violations)
+	return out
+}
+
+// TotalViolations returns the exact number of violations detected.
+func (a *Array) TotalViolations() int {
+	a.vmu.Lock()
+	defer a.vmu.Unlock()
+	return a.total
+}
+
+// Ok reports whether no violation has been detected.
+func (a *Array) Ok() bool { return a.TotalViolations() == 0 }
+
+// Data copies the array contents out. Call only at a synchronization point.
+func (a *Array) Data() []uint32 {
+	out := make([]uint32, len(a.cells))
+	for i := range a.cells {
+		out[i] = a.cells[i].val
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+package memcheck
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"crcwpram/internal/core/cw"
+)
+
+func TestCleanSequentialUse(t *testing.T) {
+	for _, mode := range []Mode{EREW, CREW, CRCWCommon, CRCWArbitrary} {
+		a := New(mode, 4)
+		a.Write(0, 7)
+		a.NextRound()
+		if got := a.Read(0); got != 7 {
+			t.Fatalf("%v: Read = %d, want 7", mode, got)
+		}
+		a.NextRound()
+		a.Write(0, 9)
+		a.NextRound()
+		if got := a.Read(0); got != 9 {
+			t.Fatalf("%v: Read = %d, want 9", mode, got)
+		}
+		if !a.Ok() {
+			t.Fatalf("%v: clean round-separated use reported violations: %v", mode, a.Violations())
+		}
+	}
+}
+
+func TestEREWDetectsConcurrentRead(t *testing.T) {
+	a := New(EREW, 2)
+	a.Read(1)
+	a.Read(1)
+	if a.Ok() {
+		t.Fatal("double read under EREW not detected")
+	}
+	vs := a.Violations()
+	if vs[0].Kind != ConcurrentRead || vs[0].Index != 1 {
+		t.Fatalf("got violation %v, want concurrent-read at cell 1", vs[0])
+	}
+	// Distinct cells are fine.
+	b := New(EREW, 2)
+	b.Read(0)
+	b.Read(1)
+	if !b.Ok() {
+		t.Fatal("reads of distinct cells flagged under EREW")
+	}
+}
+
+func TestCREWAllowsConcurrentReadsRejectsSecondWrite(t *testing.T) {
+	a := New(CREW, 1)
+	a.Read(0)
+	a.Read(0)
+	a.Read(0)
+	if !a.Ok() {
+		t.Fatal("concurrent reads flagged under CREW")
+	}
+	a.NextRound()
+	a.Write(0, 1)
+	a.Write(0, 1)
+	if a.Ok() {
+		t.Fatal("second write under CREW not detected")
+	}
+	if a.Violations()[0].Kind != ConcurrentWrite {
+		t.Fatalf("got %v, want concurrent-write", a.Violations()[0])
+	}
+}
+
+func TestCommonAcceptsEqualRejectsDifferingWrites(t *testing.T) {
+	a := New(CRCWCommon, 1)
+	a.Write(0, 5)
+	a.Write(0, 5)
+	a.Write(0, 5)
+	if !a.Ok() {
+		t.Fatal("equal-value concurrent writes flagged under CRCWCommon")
+	}
+	a.NextRound()
+	a.Write(0, 1)
+	a.Write(0, 2)
+	if a.Ok() {
+		t.Fatal("differing-value writes under CRCWCommon not detected")
+	}
+	v := a.Violations()[0]
+	if v.Kind != UncommonWrite || v.Want != 1 || v.Got != 2 {
+		t.Fatalf("got %v, want uncommon-write want=1 got=2", v)
+	}
+	if !strings.Contains(v.String(), "first wrote 1, then 2") {
+		t.Fatalf("violation string %q lacks value detail", v.String())
+	}
+}
+
+func TestArbitraryAcceptsDifferingWrites(t *testing.T) {
+	a := New(CRCWArbitrary, 1)
+	a.Write(0, 1)
+	a.Write(0, 2)
+	a.Write(0, 3)
+	if !a.Ok() {
+		t.Fatalf("differing writes flagged under CRCWArbitrary: %v", a.Violations())
+	}
+}
+
+func TestReadWriteRaceDetectedInAllModes(t *testing.T) {
+	for _, mode := range []Mode{EREW, CREW, CRCWCommon, CRCWArbitrary} {
+		a := New(mode, 1)
+		a.Write(0, 1)
+		a.Read(0)
+		found := false
+		for _, v := range a.Violations() {
+			if v.Kind == ReadWriteRace {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%v: read-after-write in same round not flagged", mode)
+		}
+	}
+}
+
+func TestRoundSeparationClearsState(t *testing.T) {
+	a := New(EREW, 1)
+	for r := 0; r < 100; r++ {
+		a.Read(0)
+		a.NextRound()
+	}
+	if !a.Ok() {
+		t.Fatal("one access per round flagged under EREW")
+	}
+}
+
+func TestNewFromAndData(t *testing.T) {
+	src := []uint32{3, 1, 4, 1, 5}
+	a := NewFrom(CREW, src)
+	if a.Len() != 5 {
+		t.Fatalf("Len() = %d, want 5", a.Len())
+	}
+	got := a.Data()
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("Data()[%d] = %d, want %d", i, got[i], src[i])
+		}
+	}
+	if a.Mode() != CREW {
+		t.Fatalf("Mode() = %v, want CREW", a.Mode())
+	}
+}
+
+func TestTotalCountExactBeyondRecordCap(t *testing.T) {
+	a := New(EREW, 1)
+	for i := 0; i < 300; i++ {
+		a.Read(0) // every read after the first violates
+	}
+	if got := a.TotalViolations(); got != 299 {
+		t.Fatalf("TotalViolations() = %d, want 299", got)
+	}
+	if got := len(a.Violations()); got != maxRecorded {
+		t.Fatalf("recorded %d violations, want cap %d", got, maxRecorded)
+	}
+}
+
+// Failure injection: the exact scenario of the paper's Section 4-5. A naive
+// arbitrary concurrent write (different threads writing different values to
+// one cell with no selection) is a detectable violation under the common
+// checker, while the same kernel guarded by CAS-LT is clean because only
+// the winner writes.
+func TestNaiveArbitraryWriteIsDetectedCASLTIsNot(t *testing.T) {
+	const writers = 16
+
+	naive := New(CRCWCommon, 1)
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for g := 0; g < writers; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			naive.Write(0, uint32(g)) // arbitrary CW done naively
+		}()
+	}
+	wg.Wait()
+	if naive.Ok() {
+		t.Fatal("naive arbitrary concurrent write was not detected as unsafe")
+	}
+
+	guarded := New(CRCWCommon, 1)
+	var cell cw.Cell
+	wg.Add(writers)
+	for g := 0; g < writers; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			if cell.TryClaim(1) {
+				guarded.Write(0, uint32(g))
+			}
+		}()
+	}
+	wg.Wait()
+	if !guarded.Ok() {
+		t.Fatalf("CAS-LT-guarded write reported violations: %v", guarded.Violations())
+	}
+}
+
+func TestModeAndViolationStrings(t *testing.T) {
+	modes := map[Mode]string{EREW: "erew", CREW: "crew", CRCWCommon: "crcw-common", CRCWArbitrary: "crcw-arbitrary"}
+	for m, want := range modes {
+		if m.String() != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+	kinds := map[ViolationKind]string{
+		ConcurrentRead:  "concurrent-read",
+		ConcurrentWrite: "concurrent-write",
+		UncommonWrite:   "uncommon-write",
+		ReadWriteRace:   "read-write-race",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("ViolationKind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+// The checker itself must be safe under heavy concurrent use: hammer one
+// array from many goroutines across modes and verify the counters add up.
+func TestCheckerConcurrentStress(t *testing.T) {
+	const goroutines = 32
+	const writesPer = 200
+
+	// Arbitrary mode accepts everything except mixed R+W; writers only.
+	a := New(CRCWArbitrary, 8)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			for i := 0; i < writesPer; i++ {
+				a.Write(i%8, uint32(g))
+			}
+		}()
+	}
+	wg.Wait()
+	if !a.Ok() {
+		t.Fatalf("arbitrary-mode writes flagged: %v", a.Violations())
+	}
+
+	// EREW mode under the same storm must count exactly the excess
+	// accesses: per cell, goroutines*writesPer/8 writes landed in one
+	// round, all but the first violating.
+	e := New(EREW, 8)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < writesPer; i++ {
+				e.Write(i%8, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	want := goroutines*writesPer - 8
+	if got := e.TotalViolations(); got != want {
+		t.Fatalf("EREW violations = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package race reports whether the Go race detector is compiled into the
+// current binary. Tests of the intentionally racy naive concurrent-write
+// variants (benign-by-construction common CW, reproducing the Rodinia code
+// the paper measures) consult it to skip themselves under -race.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = false

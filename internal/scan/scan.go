@@ -1,0 +1,162 @@
+// Package scan implements parallel prefix sums (scans) and stream
+// compaction on the PRAM machine.
+//
+// Prefix sum is the PRAM primitive behind the gatekeeper method's
+// ancestry: the XMT design the paper compares against (Vishkin et al.)
+// exposes a hardware prefix-sum unit and implements concurrent writes with
+// it. This package provides the software equivalents:
+//
+//   - BlockExclusive / BlockInclusive: the practical two-phase block scan,
+//     W(N) work, D(N/P + P) depth — per-worker partial sums, a serial scan
+//     over the P partials, and a per-worker fixup pass.
+//   - HillisSteele: the textbook D(log N) PRAM scan with W(N log N) work,
+//     kept as the direct lock-step transcription of the PRAM algorithm and
+//     for the work-vs-depth ablation.
+//   - CompactIndices: stream compaction (gather the indices satisfying a
+//     predicate), the building block of frontier-based BFS.
+//
+// All functions treat each call as a sequence of PRAM rounds on the
+// caller's machine; they are safe to call back to back on the same arrays.
+package scan
+
+import (
+	"fmt"
+
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/sched"
+)
+
+// BlockExclusive computes the exclusive prefix sum of in into out
+// (out[i] = in[0]+...+in[i-1], out[0] = 0) and returns the total. out may
+// alias in. Panics if the lengths differ.
+func BlockExclusive(m *machine.Machine, in, out []uint32) uint32 {
+	return blockScan(m, in, out, false)
+}
+
+// BlockInclusive computes the inclusive prefix sum of in into out
+// (out[i] = in[0]+...+in[i]) and returns the total. out may alias in.
+func BlockInclusive(m *machine.Machine, in, out []uint32) uint32 {
+	return blockScan(m, in, out, true)
+}
+
+func blockScan(m *machine.Machine, in, out []uint32, inclusive bool) uint32 {
+	if len(in) != len(out) {
+		panic(fmt.Sprintf("scan: len(in)=%d != len(out)=%d", len(in), len(out)))
+	}
+	n := len(in)
+	if n == 0 {
+		return 0
+	}
+	p := m.P()
+	partial := make([]uint32, p)
+
+	// Round 1: per-worker block sums.
+	m.ParallelRange(n, func(lo, hi, w int) {
+		var s uint32
+		for i := lo; i < hi; i++ {
+			s += in[i]
+		}
+		partial[w] = s
+	})
+
+	// Serial exclusive scan over the P partials (P is asymptotically
+	// constant, as the paper puts it).
+	var total uint32
+	for w := 0; w < p; w++ {
+		partial[w], total = total, total+partial[w]
+	}
+
+	// Round 2: per-worker fixup. Reading in[i] before writing out[i]
+	// makes aliasing in == out safe.
+	m.ParallelRange(n, func(lo, hi, w int) {
+		run := partial[w]
+		for i := lo; i < hi; i++ {
+			v := in[i]
+			if inclusive {
+				run += v
+				out[i] = run
+			} else {
+				out[i] = run
+				run += v
+			}
+		}
+	})
+	return total
+}
+
+// HillisSteele computes the inclusive prefix sum of in into out with the
+// classic log-depth PRAM algorithm: log2(N) rounds of
+// out[i] += out[i-2^k], double-buffered to respect reads-before-writes.
+// Returns the total. out must not alias in.
+func HillisSteele(m *machine.Machine, in, out []uint32) uint32 {
+	if len(in) != len(out) {
+		panic(fmt.Sprintf("scan: len(in)=%d != len(out)=%d", len(in), len(out)))
+	}
+	n := len(in)
+	if n == 0 {
+		return 0
+	}
+	cur := out
+	copy(cur, in)
+	next := make([]uint32, n)
+	for stride := 1; stride < n; stride *= 2 {
+		s := stride
+		m.ParallelFor(n, func(i int) {
+			if i >= s {
+				next[i] = cur[i] + cur[i-s]
+			} else {
+				next[i] = cur[i]
+			}
+		})
+		cur, next = next, cur
+	}
+	if &cur[0] != &out[0] {
+		copy(out, cur)
+	}
+	return out[n-1]
+}
+
+// CompactIndices gathers, in ascending order, every index i in [0, n) for
+// which flags[i] != 0, writing them into out, and returns how many there
+// are. out must have length >= the number of set flags (n always
+// suffices). It is the scan-based stream compaction used by frontier BFS:
+// one counting round, a serial P-scan, and one scatter round.
+func CompactIndices(m *machine.Machine, flags []uint32, out []uint32) int {
+	n := len(flags)
+	if n == 0 {
+		return 0
+	}
+	p := m.P()
+	counts := make([]uint32, p)
+	m.ParallelRange(n, func(lo, hi, w int) {
+		var c uint32
+		for i := lo; i < hi; i++ {
+			if flags[i] != 0 {
+				c++
+			}
+		}
+		counts[w] = c
+	})
+	var total uint32
+	for w := 0; w < p; w++ {
+		counts[w], total = total, total+counts[w]
+	}
+	if int(total) > len(out) {
+		panic(fmt.Sprintf("scan: out has %d slots for %d matches", len(out), total))
+	}
+	m.ParallelRange(n, func(lo, hi, w int) {
+		pos := counts[w]
+		for i := lo; i < hi; i++ {
+			if flags[i] != 0 {
+				out[pos] = uint32(i)
+				pos++
+			}
+		}
+	})
+	return int(total)
+}
+
+// BlockRangeOf exposes the worker block boundaries the scans use, so
+// callers can reason about which worker owns an index (primarily for
+// tests).
+func BlockRangeOf(n, p, w int) (int, int) { return sched.BlockRange(n, p, w) }

@@ -1,0 +1,235 @@
+package scan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"crcwpram/internal/core/machine"
+)
+
+func testMachine(t *testing.T, p int) *machine.Machine {
+	t.Helper()
+	m := machine.New(p)
+	t.Cleanup(m.Close)
+	return m
+}
+
+func seqExclusive(in []uint32) ([]uint32, uint32) {
+	out := make([]uint32, len(in))
+	var run uint32
+	for i, v := range in {
+		out[i] = run
+		run += v
+	}
+	return out, run
+}
+
+func seqInclusive(in []uint32) ([]uint32, uint32) {
+	out := make([]uint32, len(in))
+	var run uint32
+	for i, v := range in {
+		run += v
+		out[i] = run
+	}
+	return out, run
+}
+
+func randInput(n int, seed int64) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]uint32, n)
+	for i := range in {
+		in[i] = uint32(rng.Intn(100))
+	}
+	return in
+}
+
+func TestBlockScansMatchSequential(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		m := testMachine(t, p)
+		for _, n := range []int{0, 1, 2, 7, 100, 1023, 4096} {
+			in := randInput(n, int64(n)+1)
+			out := make([]uint32, n)
+
+			wantEx, wantTotal := seqExclusive(in)
+			if got := BlockExclusive(m, in, out); got != wantTotal {
+				t.Fatalf("p=%d n=%d: exclusive total %d, want %d", p, n, got, wantTotal)
+			}
+			for i := range out {
+				if out[i] != wantEx[i] {
+					t.Fatalf("p=%d n=%d: exclusive out[%d] = %d, want %d", p, n, i, out[i], wantEx[i])
+				}
+			}
+
+			wantIn, _ := seqInclusive(in)
+			if got := BlockInclusive(m, in, out); got != wantTotal {
+				t.Fatalf("p=%d n=%d: inclusive total %d, want %d", p, n, got, wantTotal)
+			}
+			for i := range out {
+				if out[i] != wantIn[i] {
+					t.Fatalf("p=%d n=%d: inclusive out[%d] = %d, want %d", p, n, i, out[i], wantIn[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBlockScanInPlace(t *testing.T) {
+	m := testMachine(t, 4)
+	in := randInput(500, 9)
+	want, wantTotal := seqExclusive(in)
+	buf := append([]uint32(nil), in...)
+	if got := BlockExclusive(m, buf, buf); got != wantTotal {
+		t.Fatalf("in-place total %d, want %d", got, wantTotal)
+	}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("in-place out[%d] = %d, want %d", i, buf[i], want[i])
+		}
+	}
+}
+
+func TestBlockScanLengthMismatchPanics(t *testing.T) {
+	m := testMachine(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	BlockExclusive(m, make([]uint32, 3), make([]uint32, 4))
+}
+
+func TestHillisSteeleMatchesSequential(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		m := testMachine(t, p)
+		for _, n := range []int{0, 1, 2, 3, 8, 100, 1000} {
+			in := randInput(n, int64(n)+5)
+			out := make([]uint32, n)
+			want, wantTotal := seqInclusive(in)
+			if got := HillisSteele(m, in, out); n > 0 && got != wantTotal {
+				t.Fatalf("p=%d n=%d: total %d, want %d", p, n, got, wantTotal)
+			}
+			for i := range out {
+				if out[i] != want[i] {
+					t.Fatalf("p=%d n=%d: out[%d] = %d, want %d", p, n, i, out[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCompactIndices(t *testing.T) {
+	m := testMachine(t, 4)
+	flags := []uint32{1, 0, 0, 1, 1, 0, 1, 0, 0, 0, 1}
+	out := make([]uint32, len(flags))
+	n := CompactIndices(m, flags, out)
+	want := []uint32{0, 3, 4, 6, 10}
+	if n != len(want) {
+		t.Fatalf("count = %d, want %d", n, len(want))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out[:n], want)
+		}
+	}
+	// No matches / all matches / empty input.
+	if CompactIndices(m, make([]uint32, 10), out) != 0 {
+		t.Fatal("zero flags compacted to non-empty")
+	}
+	all := []uint32{1, 1, 1}
+	if CompactIndices(m, all, out) != 3 || out[0] != 0 || out[2] != 2 {
+		t.Fatal("all-set flags wrong")
+	}
+	if CompactIndices(m, nil, out) != 0 {
+		t.Fatal("empty input wrong")
+	}
+}
+
+func TestCompactIndicesOutTooSmallPanics(t *testing.T) {
+	m := testMachine(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undersized out accepted")
+		}
+	}()
+	CompactIndices(m, []uint32{1, 1, 1}, make([]uint32, 1))
+}
+
+// Property: both scans agree with the sequential reference and with each
+// other on random inputs, sizes and worker counts.
+func TestQuickScansAgree(t *testing.T) {
+	f := func(nRaw uint16, pRaw uint8, seed int64) bool {
+		n := int(nRaw) % 3000
+		p := int(pRaw)%8 + 1
+		m := machine.New(p)
+		defer m.Close()
+		in := randInput(n, seed)
+		blockOut := make([]uint32, n)
+		hsOut := make([]uint32, n)
+		want, wantTotal := seqInclusive(in)
+		t1 := BlockInclusive(m, in, blockOut)
+		HillisSteele(m, in, hsOut)
+		if n > 0 && t1 != wantTotal {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if blockOut[i] != want[i] || hsOut[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: compaction output is exactly the ascending list of set
+// indices.
+func TestQuickCompact(t *testing.T) {
+	f := func(raw []bool, pRaw uint8) bool {
+		p := int(pRaw)%8 + 1
+		m := machine.New(p)
+		defer m.Close()
+		flags := make([]uint32, len(raw))
+		var want []uint32
+		for i, b := range raw {
+			if b {
+				flags[i] = 1
+				want = append(want, uint32(i))
+			}
+		}
+		out := make([]uint32, len(flags))
+		n := CompactIndices(m, flags, out)
+		if n != len(want) {
+			return false
+		}
+		for i := range want {
+			if out[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScans(b *testing.B) {
+	const n = 1 << 18
+	in := randInput(n, 1)
+	out := make([]uint32, n)
+	m := machine.New(4)
+	defer m.Close()
+	b.Run("block", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BlockInclusive(m, in, out)
+		}
+	})
+	b.Run("hillis-steele", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			HillisSteele(m, in, out)
+		}
+	})
+}

@@ -1,0 +1,198 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolicyStringRoundTrip(t *testing.T) {
+	for _, p := range Policies {
+		got, ok := ParsePolicy(p.String())
+		if !ok || got != p {
+			t.Fatalf("ParsePolicy(%q) = (%v, %v)", p.String(), got, ok)
+		}
+	}
+	if _, ok := ParsePolicy("what"); ok {
+		t.Fatal("ParsePolicy accepted unknown name")
+	}
+}
+
+func TestBlockRangePartition(t *testing.T) {
+	cases := []struct{ n, p int }{
+		{0, 1}, {0, 4}, {1, 1}, {1, 4}, {10, 3}, {10, 10}, {10, 16}, {1000, 7},
+	}
+	for _, c := range cases {
+		covered := make([]int, c.n)
+		prevHi := 0
+		for w := 0; w < c.p; w++ {
+			lo, hi := BlockRange(c.n, c.p, w)
+			if lo != prevHi {
+				t.Fatalf("n=%d p=%d w=%d: range [%d,%d) not contiguous with previous end %d", c.n, c.p, w, lo, hi, prevHi)
+			}
+			if hi < lo {
+				t.Fatalf("n=%d p=%d w=%d: inverted range [%d,%d)", c.n, c.p, w, lo, hi)
+			}
+			size := hi - lo
+			if size < c.n/c.p || size > c.n/c.p+1 {
+				t.Fatalf("n=%d p=%d w=%d: unbalanced size %d", c.n, c.p, w, size)
+			}
+			for i := lo; i < hi; i++ {
+				covered[i]++
+			}
+			prevHi = hi
+		}
+		if prevHi != c.n {
+			t.Fatalf("n=%d p=%d: partition ends at %d", c.n, c.p, prevHi)
+		}
+		for i, k := range covered {
+			if k != 1 {
+				t.Fatalf("n=%d p=%d: index %d covered %d times", c.n, c.p, i, k)
+			}
+		}
+	}
+}
+
+// Every policy must visit each index exactly once across the whole party,
+// even when workers run concurrently.
+func TestForExactCover(t *testing.T) {
+	for _, policy := range Policies {
+		for _, c := range []struct{ n, p, chunk int }{
+			{0, 3, 4}, {1, 3, 4}, {17, 1, 4}, {100, 4, 7}, {1000, 8, 0}, {37, 5, 100},
+		} {
+			counts := make([]atomic.Int32, c.n)
+			cur := NewCursor(policy, c.n, c.p, c.chunk)
+			var wg sync.WaitGroup
+			wg.Add(c.p)
+			for w := 0; w < c.p; w++ {
+				w := w
+				go func() {
+					defer wg.Done()
+					For(policy, cur, c.n, c.p, w, func(i int) {
+						counts[i].Add(1)
+					})
+				}()
+			}
+			wg.Wait()
+			for i := range counts {
+				if k := counts[i].Load(); k != 1 {
+					t.Fatalf("%v n=%d p=%d chunk=%d: index %d visited %d times", policy, c.n, c.p, c.chunk, i, k)
+				}
+			}
+		}
+	}
+}
+
+func TestCursorSequentialExhaustion(t *testing.T) {
+	cur := NewCursor(Dynamic, 10, 2, 4)
+	var got []int
+	for {
+		lo, hi, ok := cur.Next()
+		if !ok {
+			break
+		}
+		for i := lo; i < hi; i++ {
+			got = append(got, i)
+		}
+	}
+	if len(got) != 10 {
+		t.Fatalf("claimed %d indices, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("dynamic cursor out of order at %d: %d", i, v)
+		}
+	}
+	// After exhaustion Next stays false.
+	if _, _, ok := cur.Next(); ok {
+		t.Fatal("cursor yielded after exhaustion")
+	}
+}
+
+func TestGuidedChunksShrink(t *testing.T) {
+	cur := NewCursor(Guided, 10000, 4, 16)
+	var sizes []int
+	for {
+		lo, hi, ok := cur.Next()
+		if !ok {
+			break
+		}
+		sizes = append(sizes, hi-lo)
+	}
+	if len(sizes) < 3 {
+		t.Fatalf("guided produced only %d chunks", len(sizes))
+	}
+	if sizes[0] <= sizes[len(sizes)-1] && sizes[0] != 16 {
+		t.Fatalf("guided chunks did not shrink: first=%d last=%d", sizes[0], sizes[len(sizes)-1])
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 10000 {
+		t.Fatalf("guided chunks sum to %d, want 10000", total)
+	}
+	// No chunk below the minimum except possibly the final remainder.
+	for i, s := range sizes[:len(sizes)-1] {
+		if s < 16 {
+			t.Fatalf("guided chunk %d has size %d < minimum 16", i, s)
+		}
+	}
+}
+
+// Property: for any (n, p, policy, chunk) the partition is an exact cover.
+func TestQuickExactCover(t *testing.T) {
+	f := func(nRaw uint16, pRaw, chunkRaw uint8, polRaw uint8) bool {
+		n := int(nRaw) % 2000
+		p := int(pRaw)%16 + 1
+		chunk := int(chunkRaw) % 64 // 0 exercises the default
+		policy := Policies[int(polRaw)%len(Policies)]
+		counts := make([]atomic.Int32, n)
+		cur := NewCursor(policy, n, p, chunk)
+		var wg sync.WaitGroup
+		wg.Add(p)
+		for w := 0; w < p; w++ {
+			w := w
+			go func() {
+				defer wg.Done()
+				For(policy, cur, n, p, w, func(i int) { counts[i].Add(1) })
+			}()
+		}
+		wg.Wait()
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkForPolicies(b *testing.B) {
+	const n = 1 << 16
+	for _, policy := range Policies {
+		b.Run(policy.String(), func(b *testing.B) {
+			var sink atomic.Int64
+			b.ResetTimer()
+			for it := 0; it < b.N; it++ {
+				cur := NewCursor(policy, n, 4, 0)
+				var wg sync.WaitGroup
+				wg.Add(4)
+				for w := 0; w < 4; w++ {
+					w := w
+					go func() {
+						defer wg.Done()
+						local := int64(0)
+						For(policy, cur, n, 4, w, func(i int) { local += int64(i) })
+						sink.Add(local)
+					}()
+				}
+				wg.Wait()
+			}
+		})
+	}
+}

@@ -1,0 +1,205 @@
+// Package simulate makes the CRCW conflict-resolution hierarchy of the
+// paper's Section 2 executable: "a weaker strategy can be simulated by a
+// more powerful one in O(1) time", and conversely a stronger strategy can
+// be simulated by a weaker one at a work or depth premium (the paper's
+// Section 3 surveys the corresponding literature, e.g. the T(log P) bound
+// for simulating Priority on exclusive-write machines [JaJa 92]).
+//
+// The package fixes the textbook setting — P processors attempting one
+// concurrent write step to a single shared cell under the Priority rule
+// (smallest value wins, ties to the smallest writer id) — and implements
+// it four ways on the machine:
+//
+//	Direct            priority hardware primitive (PriorityMinCell CAS loop)
+//	ViaCommonAllPairs the O(1)-depth, W(P²) simulation on common CW — the
+//	                  same all-pairs trick as the paper's Figure 4 maximum
+//	ViaTournament     the W(P), D(log P) simulation using only exclusive
+//	                  writes (matching the classic log-P bound)
+//	ArbitraryViaPriority / CommonViaArbitrary — the trivial O(1)
+//	                  downward simulations
+//
+// All implementations return the identical winner, which the tests check
+// against a sequential reference; the benchmarks expose the work/depth
+// price of each rung.
+package simulate
+
+import (
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/machine"
+)
+
+// Req is one processor's pending write: its value and its processor id.
+// Priority order is (Value, Writer) lexicographic, smallest wins.
+type Req struct {
+	Value  uint32
+	Writer uint32
+}
+
+// less reports whether a beats b under the Priority rule.
+func less(a, b Req) bool {
+	return a.Value < b.Value || (a.Value == b.Value && a.Writer < b.Writer)
+}
+
+// Sequential returns the priority winner by a plain scan — the reference
+// all simulations must match. ok is false for an empty request set.
+func Sequential(reqs []Req) (winner Req, ok bool) {
+	if len(reqs) == 0 {
+		return Req{}, false
+	}
+	w := reqs[0]
+	for _, r := range reqs[1:] {
+		if less(r, w) {
+			w = r
+		}
+	}
+	return w, true
+}
+
+// Direct performs the priority write step with the native priority
+// primitive: every processor offers into one PriorityMinCell (a bounded
+// CAS loop), W(P) and D(1) with a serialization factor bounded by the
+// physical core count.
+func Direct(m *machine.Machine, reqs []Req) (Req, bool) {
+	if len(reqs) == 0 {
+		return Req{}, false
+	}
+	var cell cw.PriorityMinCell
+	cell.Reset()
+	m.ParallelFor(len(reqs), func(i int) {
+		cell.Offer(reqs[i].Value, reqs[i].Writer)
+	})
+	return Req{Value: cell.Value(), Writer: cell.ID()}, true
+}
+
+// ViaCommonAllPairs simulates the priority write using only *common*
+// concurrent writes, in O(1) depth and W(P²) work: every ordered pair of
+// requests is compared by its own virtual processor, and each comparison's
+// loser is flagged "not the winner" — all writers of a flag write the same
+// value, so the write is common (here guarded by CAS-LT, exactly like the
+// paper's Figure 4 maximum kernel, which is this simulation specialized to
+// max).
+func ViaCommonAllPairs(m *machine.Machine, reqs []Req) (Req, bool) {
+	p := len(reqs)
+	if p == 0 {
+		return Req{}, false
+	}
+	loser := make([]uint32, p)
+	cells := cw.NewArray(p, cw.Packed)
+	m.ParallelRange(p*p, func(lo, hi, _ int) {
+		for k := lo; k < hi; k++ {
+			i, j := k/p, k%p
+			if i == j {
+				continue
+			}
+			l := i
+			if less(reqs[i], reqs[j]) {
+				l = j
+			}
+			if cells.TryClaim(l, 1) {
+				loser[l] = 1 // common CW: every writer writes 1
+			}
+		}
+	})
+	for i := 0; i < p; i++ {
+		if loser[i] == 0 {
+			return reqs[i], true
+		}
+	}
+	// Unreachable: exactly one request survives all comparisons.
+	panic("simulate: all-pairs elimination left no winner")
+}
+
+// ViaTournament simulates the priority write with exclusive writes only
+// (EREW): a balanced binary tournament of D(log P) rounds and W(P) work,
+// double-buffered so each round's reads and writes never touch the same
+// cell. This matches the classic log-P simulation bound for priority
+// writes on exclusive-write machines.
+func ViaTournament(m *machine.Machine, reqs []Req) (Req, bool) {
+	p := len(reqs)
+	if p == 0 {
+		return Req{}, false
+	}
+	cur := make([]Req, p)
+	m.ParallelFor(p, func(i int) { cur[i] = reqs[i] })
+	next := make([]Req, (p+1)/2)
+	for width := p; width > 1; {
+		half := (width + 1) / 2
+		m.ParallelFor(half, func(i int) {
+			if 2*i+1 >= width {
+				next[i] = cur[2*i]
+				return
+			}
+			a, b := cur[2*i], cur[2*i+1]
+			if less(b, a) {
+				next[i] = b
+			} else {
+				next[i] = a
+			}
+		})
+		cur, next = next, cur
+		width = half
+	}
+	return cur[0], true
+}
+
+// ArbitraryViaPriority implements an *arbitrary* write step on top of the
+// priority primitive in O(1): every processor offers with its own id as
+// the priority key, and whichever wins is "some" processor — a valid
+// arbitrary outcome. Returns the committed request.
+func ArbitraryViaPriority(m *machine.Machine, reqs []Req) (Req, bool) {
+	p := len(reqs)
+	if p == 0 {
+		return Req{}, false
+	}
+	var cell cw.PriorityMinCell
+	cell.Reset()
+	m.ParallelFor(p, func(i int) {
+		// Key by writer id: the winner is arbitrary-but-consistent, and
+		// the payload (the request index) rides along.
+		cell.Offer(reqs[i].Writer, uint32(i))
+	})
+	return reqs[cell.ID()], true
+}
+
+// CommonViaArbitrary implements a *common* write step on top of the
+// arbitrary primitive in O(1): since every processor writes the same
+// value, committing any single writer's value is correct. It returns the
+// committed value and, when verify is set, additionally checks the common
+// precondition (all requests equal) the way the memcheck package would,
+// reporting violated=true if two processors disagreed — the misuse that
+// makes naive "common" writes of arbitrary data unsafe.
+func CommonViaArbitrary(m *machine.Machine, values []uint32, verify bool) (committed uint32, violated bool, ok bool) {
+	p := len(values)
+	if p == 0 {
+		return 0, false, false
+	}
+	var slot cw.Slot[uint32]
+	var mismatch cw.MaxCell
+	first := values[0]
+	m.ParallelFor(p, func(i int) {
+		slot.TryWrite(1, values[i])
+		if verify && values[i] != first {
+			mismatch.Offer(1) // combining CW: any disagreement raises the flag
+		}
+	})
+	return slot.Load(), mismatch.Load() != 0, true
+}
+
+// WorkDepth reports the theoretical work and depth of each simulation for
+// p processors, for documentation and the harness's tables.
+func WorkDepth(sim string, p int) (work, depth int) {
+	switch sim {
+	case "direct", "arbitrary-via-priority", "common-via-arbitrary":
+		return p, 1
+	case "common-all-pairs":
+		return p * p, 1
+	case "tournament":
+		d := 0
+		for w := p; w > 1; w = (w + 1) / 2 {
+			d++
+		}
+		return p, d
+	default:
+		return 0, 0
+	}
+}

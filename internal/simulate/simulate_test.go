@@ -1,0 +1,206 @@
+package simulate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"crcwpram/internal/core/machine"
+)
+
+func testMachine(t *testing.T, p int) *machine.Machine {
+	t.Helper()
+	m := machine.New(p)
+	t.Cleanup(m.Close)
+	return m
+}
+
+func randReqs(n int, seed int64) []Req {
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]Req, n)
+	for i := range reqs {
+		reqs[i] = Req{Value: uint32(rng.Intn(50)), Writer: uint32(i)}
+	}
+	return reqs
+}
+
+func TestSequentialReference(t *testing.T) {
+	if _, ok := Sequential(nil); ok {
+		t.Fatal("empty set has a winner")
+	}
+	w, ok := Sequential([]Req{{5, 2}, {3, 7}, {3, 1}, {9, 0}})
+	if !ok || w != (Req{3, 1}) {
+		t.Fatalf("winner = %+v, want {3 1}", w)
+	}
+}
+
+func TestAllSimulationsAgree(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		m := testMachine(t, p)
+		for _, n := range []int{1, 2, 3, 7, 64, 200} {
+			for trial := 0; trial < 5; trial++ {
+				reqs := randReqs(n, int64(n*100+trial))
+				want, _ := Sequential(reqs)
+				if got, ok := Direct(m, reqs); !ok || got != want {
+					t.Fatalf("p=%d n=%d direct: %+v, want %+v", p, n, got, want)
+				}
+				if got, ok := ViaCommonAllPairs(m, reqs); !ok || got != want {
+					t.Fatalf("p=%d n=%d all-pairs: %+v, want %+v", p, n, got, want)
+				}
+				if got, ok := ViaTournament(m, reqs); !ok || got != want {
+					t.Fatalf("p=%d n=%d tournament: %+v, want %+v", p, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyRequestSets(t *testing.T) {
+	m := testMachine(t, 2)
+	if _, ok := Direct(m, nil); ok {
+		t.Fatal("Direct accepted empty set")
+	}
+	if _, ok := ViaCommonAllPairs(m, nil); ok {
+		t.Fatal("ViaCommonAllPairs accepted empty set")
+	}
+	if _, ok := ViaTournament(m, nil); ok {
+		t.Fatal("ViaTournament accepted empty set")
+	}
+	if _, ok := ArbitraryViaPriority(m, nil); ok {
+		t.Fatal("ArbitraryViaPriority accepted empty set")
+	}
+	if _, _, ok := CommonViaArbitrary(m, nil, true); ok {
+		t.Fatal("CommonViaArbitrary accepted empty set")
+	}
+}
+
+func TestArbitraryViaPriorityReturnsSomeRequest(t *testing.T) {
+	m := testMachine(t, 4)
+	reqs := randReqs(50, 3)
+	got, ok := ArbitraryViaPriority(m, reqs)
+	if !ok {
+		t.Fatal("no winner")
+	}
+	found := false
+	for _, r := range reqs {
+		if r == got {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("returned %+v, not one of the requests", got)
+	}
+	// Writer id 0 at index 0 exercises the priority cell's corner.
+	one := []Req{{Value: 17, Writer: 0}}
+	if got, ok := ArbitraryViaPriority(m, one); !ok || got != one[0] {
+		t.Fatalf("single-request corner: %+v", got)
+	}
+}
+
+func TestCommonViaArbitrary(t *testing.T) {
+	m := testMachine(t, 4)
+	vals := make([]uint32, 64)
+	for i := range vals {
+		vals[i] = 42
+	}
+	got, violated, ok := CommonViaArbitrary(m, vals, true)
+	if !ok || violated || got != 42 {
+		t.Fatalf("common write: got=%d violated=%v ok=%v", got, violated, ok)
+	}
+	// A disagreeing writer is detected when verification is on.
+	vals[13] = 7
+	_, violated, _ = CommonViaArbitrary(m, vals, true)
+	if !violated {
+		t.Fatal("uncommon values not flagged")
+	}
+	// ...and tolerated (arbitrary winner) when off.
+	got, violated, _ = CommonViaArbitrary(m, vals, false)
+	if violated {
+		t.Fatal("verification ran while off")
+	}
+	if got != 42 && got != 7 {
+		t.Fatalf("committed %d, not any writer's value", got)
+	}
+}
+
+func TestWorkDepth(t *testing.T) {
+	cases := []struct {
+		sim         string
+		p           int
+		work, depth int
+	}{
+		{"direct", 100, 100, 1},
+		{"common-all-pairs", 100, 10000, 1},
+		{"tournament", 8, 8, 3},
+		{"tournament", 100, 100, 7},
+		{"arbitrary-via-priority", 5, 5, 1},
+		{"common-via-arbitrary", 5, 5, 1},
+		{"unknown", 5, 0, 0},
+	}
+	for _, c := range cases {
+		w, d := WorkDepth(c.sim, c.p)
+		if w != c.work || d != c.depth {
+			t.Errorf("WorkDepth(%s, %d) = (%d, %d), want (%d, %d)", c.sim, c.p, w, d, c.work, c.depth)
+		}
+	}
+}
+
+// Property: every simulation returns the sequential priority winner for
+// arbitrary request multisets (including heavy ties).
+func TestQuickSimulationsAgree(t *testing.T) {
+	m := testMachine(t, 4)
+	f := func(valsRaw []uint8) bool {
+		if len(valsRaw) == 0 || len(valsRaw) > 150 {
+			return true
+		}
+		reqs := make([]Req, len(valsRaw))
+		for i, v := range valsRaw {
+			reqs[i] = Req{Value: uint32(v % 8), Writer: uint32(i)} // force ties
+		}
+		want, _ := Sequential(reqs)
+		d, _ := Direct(m, reqs)
+		a, _ := ViaCommonAllPairs(m, reqs)
+		tn, _ := ViaTournament(m, reqs)
+		return d == want && a == want && tn == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSimulations(b *testing.B) {
+	m := machine.New(4)
+	defer m.Close()
+	for _, n := range []int{64, 512} {
+		reqs := randReqs(n, int64(n))
+		b.Run("direct/p="+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Direct(m, reqs)
+			}
+		})
+		b.Run("all-pairs/p="+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ViaCommonAllPairs(m, reqs)
+			}
+		})
+		b.Run("tournament/p="+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ViaTournament(m, reqs)
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,145 @@
+// Package stats provides the measurement helpers the benchmark harness
+// uses to report results the way the paper does: per-configuration medians
+// over repetitions, speedup ratios against a baseline method, and geometric
+// means of speedups across a sweep (the paper reports "geometric mean
+// speedup ... across all problem sizes").
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample is a collection of repeated measurements of one configuration.
+type Sample struct {
+	runs []time.Duration
+}
+
+// NewSample returns a sample over the given runs; the slice is copied.
+func NewSample(runs []time.Duration) Sample {
+	cp := make([]time.Duration, len(runs))
+	copy(cp, runs)
+	return Sample{runs: cp}
+}
+
+// Add appends one measurement.
+func (s *Sample) Add(d time.Duration) { s.runs = append(s.runs, d) }
+
+// N returns the number of measurements.
+func (s Sample) N() int { return len(s.runs) }
+
+// Min returns the fastest run, or 0 for an empty sample.
+func (s Sample) Min() time.Duration {
+	if len(s.runs) == 0 {
+		return 0
+	}
+	m := s.runs[0]
+	for _, d := range s.runs[1:] {
+		if d < m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Max returns the slowest run, or 0 for an empty sample.
+func (s Sample) Max() time.Duration {
+	var m time.Duration
+	for _, d := range s.runs {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s Sample) Mean() time.Duration {
+	if len(s.runs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s.runs {
+		sum += d
+	}
+	return sum / time.Duration(len(s.runs))
+}
+
+// Median returns the median run (lower middle for even counts), or 0 for an
+// empty sample. The harness reports medians: they are robust to the
+// scheduling noise a shared machine injects.
+func (s Sample) Median() time.Duration {
+	if len(s.runs) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(s.runs))
+	copy(sorted, s.runs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[(len(sorted)-1)/2]
+}
+
+// Stddev returns the population standard deviation in nanoseconds.
+func (s Sample) Stddev() float64 {
+	if len(s.runs) < 2 {
+		return 0
+	}
+	mean := float64(s.Mean())
+	var ss float64
+	for _, d := range s.runs {
+		diff := float64(d) - mean
+		ss += diff * diff
+	}
+	return math.Sqrt(ss / float64(len(s.runs)))
+}
+
+// Speedup returns base/other as a ratio: >1 means other is faster than
+// base. Returns NaN if other is zero.
+func Speedup(base, other time.Duration) float64 {
+	if other == 0 {
+		return math.NaN()
+	}
+	return float64(base) / float64(other)
+}
+
+// GeoMean returns the geometric mean of the ratios, ignoring non-positive
+// and NaN entries; it returns NaN when no valid entry remains.
+func GeoMean(ratios []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, r := range ratios {
+		if r > 0 && !math.IsNaN(r) && !math.IsInf(r, 0) {
+			logSum += math.Log(r)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// FormatDuration renders a duration with 3 significant-ish digits in the
+// unit benchmark tables typically use.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	}
+}
+
+// FormatRatio renders a speedup ratio as the paper writes them ("2.12x");
+// NaN renders as "-".
+func FormatRatio(r float64) string {
+	if math.IsNaN(r) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", r)
+}

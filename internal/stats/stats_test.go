@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 || s.Median() != 0 || s.Stddev() != 0 {
+		t.Fatal("empty sample statistics not all zero")
+	}
+}
+
+func TestSampleStatistics(t *testing.T) {
+	s := NewSample([]time.Duration{30, 10, 20, 50, 40})
+	if s.N() != 5 {
+		t.Fatalf("N = %d, want 5", s.N())
+	}
+	if s.Min() != 10 || s.Max() != 50 {
+		t.Fatalf("min/max = %d/%d, want 10/50", s.Min(), s.Max())
+	}
+	if s.Mean() != 30 {
+		t.Fatalf("mean = %d, want 30", s.Mean())
+	}
+	if s.Median() != 30 {
+		t.Fatalf("median = %d, want 30", s.Median())
+	}
+}
+
+func TestMedianEvenCountTakesLowerMiddle(t *testing.T) {
+	s := NewSample([]time.Duration{40, 10, 20, 30})
+	if s.Median() != 20 {
+		t.Fatalf("median = %d, want 20 (lower middle)", s.Median())
+	}
+}
+
+func TestAddAndCopySemantics(t *testing.T) {
+	src := []time.Duration{5}
+	s := NewSample(src)
+	src[0] = 99 // mutating the source must not affect the sample
+	if s.Min() != 5 {
+		t.Fatal("NewSample did not copy its input")
+	}
+	s.Add(1)
+	if s.N() != 2 || s.Min() != 1 {
+		t.Fatalf("after Add: N=%d Min=%d", s.N(), s.Min())
+	}
+}
+
+func TestStddev(t *testing.T) {
+	s := NewSample([]time.Duration{2, 4, 4, 4, 5, 5, 7, 9})
+	if got := s.Stddev(); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("stddev = %v, want 2.0", got)
+	}
+	one := NewSample([]time.Duration{3})
+	if one.Stddev() != 0 {
+		t.Fatal("single-element stddev != 0")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(100, 50); got != 2.0 {
+		t.Fatalf("Speedup(100,50) = %v, want 2", got)
+	}
+	if got := Speedup(50, 100); got != 0.5 {
+		t.Fatalf("Speedup(50,100) = %v, want 0.5", got)
+	}
+	if !math.IsNaN(Speedup(10, 0)) {
+		t.Fatal("Speedup by zero not NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{1, 1, 1}); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("GeoMean(1,1,1) = %v, want 1", got)
+	}
+	// Invalid entries are skipped, not poisoning the mean.
+	if got := GeoMean([]float64{2, math.NaN(), 8, -1, 0}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("GeoMean with junk = %v, want 4", got)
+	}
+	if !math.IsNaN(GeoMean(nil)) || !math.IsNaN(GeoMean([]float64{-1})) {
+		t.Fatal("GeoMean of no valid entries not NaN")
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		1500 * time.Millisecond: "1.500s",
+		2500 * time.Microsecond: "2.500ms",
+		1500 * time.Nanosecond:  "1.500µs",
+		999 * time.Nanosecond:   "999ns",
+	}
+	for d, want := range cases {
+		if got := FormatDuration(d); got != want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestFormatRatio(t *testing.T) {
+	if got := FormatRatio(2.118); got != "2.12x" {
+		t.Fatalf("FormatRatio = %q, want 2.12x", got)
+	}
+	if got := FormatRatio(math.NaN()); got != "-" {
+		t.Fatalf("FormatRatio(NaN) = %q, want -", got)
+	}
+}
+
+// Property: Min <= Median <= Max and Min <= Mean <= Max for any non-empty
+// sample.
+func TestQuickOrderingInvariants(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		runs := make([]time.Duration, len(raw))
+		for i, r := range raw {
+			runs[i] = time.Duration(r)
+		}
+		s := NewSample(runs)
+		return s.Min() <= s.Median() && s.Median() <= s.Max() &&
+			s.Min() <= s.Mean() && s.Mean() <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GeoMean of speedups is scale-invariant — multiplying base and
+// other by the same factor leaves the result unchanged.
+func TestQuickGeoMeanScaleInvariance(t *testing.T) {
+	f := func(aRaw, bRaw []uint16, kRaw uint8) bool {
+		n := len(aRaw)
+		if len(bRaw) < n {
+			n = len(bRaw)
+		}
+		if n == 0 {
+			return true
+		}
+		k := time.Duration(kRaw)%9 + 2
+		var r1, r2 []float64
+		for i := 0; i < n; i++ {
+			base := time.Duration(aRaw[i]) + 1
+			other := time.Duration(bRaw[i]) + 1
+			r1 = append(r1, Speedup(base, other))
+			r2 = append(r2, Speedup(base*k, other*k))
+		}
+		g1, g2 := GeoMean(r1), GeoMean(r2)
+		return math.Abs(g1-g2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package pram is the public API of crcwpram, a Go implementation of
+// arbitrary/common CRCW PRAM concurrent writes after Ghanim, ElWasif and
+// Bernholdt, "Implementing Arbitrary/Common Concurrent Writes of CRCW
+// PRAM" (ICPP 2021).
+//
+// The package re-exports, under one import path, the three layers a
+// downstream user needs:
+//
+//   - the concurrent-write primitives (CAS-LT cells and their comparators)
+//     from internal/core/cw;
+//   - the PRAM step executor (lock-step parallel-for over a worker pool)
+//     from internal/core/machine;
+//   - the graph substrate used by the paper's kernels from internal/graph.
+//
+// A minimal arbitrary concurrent write looks like:
+//
+//	m := pram.NewMachine(8)
+//	defer m.Close()
+//	cells := pram.NewCellArray(n, pram.Packed)
+//	round := m.NextRound()
+//	m.ParallelFor(n, func(i int) {
+//		target := ...          // index this virtual processor writes
+//		if cells.TryClaim(target, round) {
+//			data[target] = ... // winner commits; losers skip
+//		}
+//	}) // implicit barrier: dependent reads are safe after this
+//
+// The paper's three benchmark kernels are available as importable packages
+// (crcwpram/internal/alg/{maxfind,bfs,cc}) and as runnable binaries and
+// examples; see the repository README.
+package pram
+
+import (
+	"crcwpram/internal/barrier"
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
+	"crcwpram/internal/sched"
+)
+
+// Core concurrent-write types (see crcwpram/internal/core/cw).
+type (
+	// Cell is the CAS-LT auxiliary word guarding one concurrent-write
+	// target (the paper's lastRoundUpdated).
+	Cell = cw.Cell
+	// Cell64 is Cell with a 64-bit round counter.
+	Cell64 = cw.Cell64
+	// CellArray is a fixed array of CAS-LT cells.
+	CellArray = cw.Array
+	// Gate is the prior-practice gatekeeper (atomic prefix-sum) word.
+	Gate = cw.Gate
+	// GateArray is a fixed array of gatekeeper words.
+	GateArray = cw.GateArray
+	// MutexArray is the critical-section baseline.
+	MutexArray = cw.MutexArray
+	// PriorityMinCell implements the Priority CRCW rule (minimum wins).
+	PriorityMinCell = cw.PriorityMinCell
+	// PriorityMaxCell implements the Priority CRCW rule (maximum wins).
+	PriorityMaxCell = cw.PriorityMaxCell
+	// Method names a concurrent-write implementation strategy.
+	Method = cw.Method
+	// Resolver is the uniform winner-selection interface over n targets.
+	Resolver = cw.Resolver
+	// Layout selects packed or cache-line padded auxiliary arrays.
+	Layout = cw.Layout
+)
+
+// Slot is a typed concurrent-write target: exactly one writer per round
+// commits its complete value, so multi-word payloads ("structure and class
+// copies", one of the paper's stated goals) can never tear.
+type Slot[T any] = cw.Slot[T]
+
+// SlotArray is a fixed array of typed concurrent-write targets.
+type SlotArray[T any] = cw.SlotArray[T]
+
+// NewSlotArray returns an n-slot array of empty typed targets.
+func NewSlotArray[T any](n int) *SlotArray[T] { return cw.NewSlotArray[T](n) }
+
+// Concurrent-write method identifiers.
+const (
+	CASLT             = cw.CASLT
+	Gatekeeper        = cw.Gatekeeper
+	GatekeeperChecked = cw.GatekeeperChecked
+	Naive             = cw.Naive
+	Mutex             = cw.Mutex
+)
+
+// Auxiliary-array layouts.
+const (
+	Packed = cw.Packed
+	Padded = cw.PaddedLayout
+)
+
+// NewCellArray returns an n-cell CAS-LT array.
+func NewCellArray(n int, layout Layout) *CellArray { return cw.NewArray(n, layout) }
+
+// NewGateArray returns an n-gate gatekeeper array.
+func NewGateArray(n int, layout Layout) *GateArray { return cw.NewGateArray(n, layout) }
+
+// NewMutexArray returns an n-lock critical-section array.
+func NewMutexArray(n int) *MutexArray { return cw.NewMutexArray(n) }
+
+// NewResolver returns a Resolver for the given method over n targets.
+func NewResolver(m Method, n int, layout Layout) Resolver { return cw.NewResolver(m, n, layout) }
+
+// ParseMethod converts a method name ("caslt", "gatekeeper", ...) to a
+// Method.
+func ParseMethod(s string) (Method, bool) { return cw.ParseMethod(s) }
+
+// Methods lists all concurrent-write methods in presentation order.
+var Methods = cw.Methods
+
+// Machine executes PRAM rounds over a fixed worker pool (see
+// crcwpram/internal/core/machine).
+type Machine = machine.Machine
+
+// NewMachine returns a PRAM machine with p workers; Close it when done.
+func NewMachine(p int, opts ...machine.Option) *Machine { return machine.New(p, opts...) }
+
+// Machine options.
+var (
+	// WithPolicy selects the loop partitioning policy.
+	WithPolicy = machine.WithPolicy
+	// WithChunk sets the dynamic/guided chunk size.
+	WithChunk = machine.WithChunk
+	// WithBarrier selects the barrier construction.
+	WithBarrier = machine.WithBarrier
+)
+
+// Scheduling policies for WithPolicy.
+const (
+	Block   = sched.Block
+	Cyclic  = sched.Cyclic
+	Dynamic = sched.Dynamic
+	Guided  = sched.Guided
+)
+
+// Barrier constructions for WithBarrier.
+const (
+	BarrierCentral = barrier.KindCentral
+	BarrierSense   = barrier.KindSense
+	BarrierTree    = barrier.KindTree
+)
+
+// Graph substrate (see crcwpram/internal/graph).
+type (
+	// Graph is an immutable CSR graph.
+	Graph = graph.Graph
+	// Edge is one undirected edge (or directed arc).
+	Edge = graph.Edge
+)
+
+// Graph constructors and generators.
+var (
+	// FromEdges builds a CSR graph from an edge list.
+	FromEdges = graph.FromEdges
+	// RandomUndirected generates the paper's random-graph input family.
+	RandomUndirected = graph.RandomUndirected
+	// ConnectedRandom generates a connected random multigraph.
+	ConnectedRandom = graph.ConnectedRandom
+	// RMAT generates a skewed power-law-ish multigraph.
+	RMAT = graph.RMAT
+)

@@ -1,0 +1,89 @@
+package pram_test
+
+import (
+	"sync"
+	"testing"
+
+	"crcwpram/pram"
+)
+
+func TestGateArraySurface(t *testing.T) {
+	g := pram.NewGateArray(4, pram.Packed)
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if !g.TryEnter(2) || g.TryEnter(2) {
+		t.Fatal("gate winner semantics broken through facade")
+	}
+	g.ResetRange(0, 4)
+	if !g.TryEnterChecked(2) {
+		t.Fatal("reset did not reopen gate")
+	}
+}
+
+func TestMutexArraySurface(t *testing.T) {
+	m := pram.NewMutexArray(2)
+	var x int
+	var wg sync.WaitGroup
+	wg.Add(8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer wg.Done()
+			m.Do(0, func() { x++ })
+		}()
+	}
+	wg.Wait()
+	if x != 8 {
+		t.Fatalf("x = %d, want 8 (mutual exclusion broken)", x)
+	}
+}
+
+func TestSlotArraySurface(t *testing.T) {
+	type pair struct{ A, B int }
+	a := pram.NewSlotArray[pair](3)
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	if !a.TryWrite(1, 1, pair{A: 4, B: 8}) {
+		t.Fatal("first slot write failed")
+	}
+	if a.TryWrite(1, 1, pair{A: 9, B: 9}) {
+		t.Fatal("second writer won the same round")
+	}
+	if got := a.Load(1); got.A != 4 || got.B != 8 {
+		t.Fatalf("Load = %+v", got)
+	}
+	if !a.Written(1, 1) || a.Written(0, 1) {
+		t.Fatal("Written bookkeeping wrong")
+	}
+	a.ResetRange(0, 3)
+	if a.Written(1, 1) {
+		t.Fatal("reset slot still written")
+	}
+}
+
+func TestPriorityCellsSurface(t *testing.T) {
+	var mn pram.PriorityMinCell
+	mn.Reset()
+	mn.Offer(5, 1)
+	mn.Offer(3, 2)
+	if mn.Value() != 3 || mn.ID() != 2 {
+		t.Fatalf("min cell winner (%d,%d)", mn.Value(), mn.ID())
+	}
+	var mx pram.PriorityMaxCell
+	mx.Offer(5, 1)
+	mx.Offer(3, 2)
+	if mx.Value() != 5 || mx.ID() != 1 {
+		t.Fatalf("max cell winner (%d,%d)", mx.Value(), mx.ID())
+	}
+}
+
+func TestCell64Surface(t *testing.T) {
+	var c pram.Cell64
+	if !c.TryClaim(1) || c.TryClaim(1) {
+		t.Fatal("Cell64 winner semantics broken")
+	}
+	if !c.Claim(1 << 40) {
+		t.Fatal("Cell64 Claim failed")
+	}
+}
