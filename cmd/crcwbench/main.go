@@ -15,12 +15,25 @@
 //	-seed S         workload generation seed
 //	-methods LIST   comma-separated subset: caslt,gatekeeper,
 //	                gatekeeper-checked,naive,mutex
+//	-exec LIST      comma-separated execution modes: pool (one worker-pool
+//	                round per ParallelFor, the default) and/or team (one
+//	                persistent parallel region per kernel); figures run
+//	                once per listed mode
 //	-paper          use the paper's full-size parameters (needs a large
 //	                machine; the default is a scaled-down sweep with the
 //	                same shape)
 //	-csv FILE       also write raw medians as CSV
+//	-json FILE      write machine-readable results (kernel, method, exec
+//	                mode, threads, ns/op) for all benchmarks run
 //	-v              log per-point progress to stderr
 //	-tiny           miniature smoke-test sweep
+//
+// The per-round fixed-cost microbenchmark behind the team mode:
+//
+//	-roundoverhead  measure ns per empty work-shared round for both
+//	                execution modes across the thread sweep; combinable
+//	                with -figure N (use -figure 0 explicitly to also run
+//	                all figures)
 //
 // Instead of a timing figure, three analyses are available:
 //
@@ -36,6 +49,8 @@
 //	crcwbench -figure 5
 //	crcwbench -figure 10 -threads 8 -reps 5 -csv fig10.csv
 //	crcwbench -paper -figure 7
+//	crcwbench -figure 7 -exec pool,team -json bench.json
+//	crcwbench -roundoverhead
 //	crcwbench -kernelops
 package main
 
@@ -47,6 +62,7 @@ import (
 
 	"crcwpram/internal/bench"
 	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/machine"
 )
 
 func main() {
@@ -59,18 +75,21 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("crcwbench", flag.ContinueOnError)
 	var (
-		figure      = fs.Int("figure", 0, "paper figure to reproduce (5..12), 0 = all")
-		threads     = fs.Int("threads", 0, "worker count for fixed-thread figures (0 = default)")
-		reps        = fs.Int("reps", 0, "repetitions per point (0 = default)")
-		seed        = fs.Int64("seed", 0, "workload seed (0 = default)")
-		methods     = fs.String("methods", "", "comma-separated method subset (empty = figure's paper set)")
-		paper       = fs.Bool("paper", false, "use the paper's full-size parameters")
-		csvPath     = fs.String("csv", "", "also write raw medians as CSV to this file")
-		verbose     = fs.Bool("v", false, "log per-point progress to stderr")
-		tiny        = fs.Bool("tiny", false, "miniature sweep for smoke tests (seconds, shapes not meaningful)")
-		opcount     = fs.Bool("opcount", false, "run the Section-6 atomic-operation-count validation instead of a timing figure")
-		kernelops   = fs.Bool("kernelops", false, "count selection-protocol operations over full BFS/CC runs instead of timing")
-		simulations = fs.Bool("simulations", false, "time one Priority write step per rung of the CW hierarchy instead of a figure")
+		figure        = fs.Int("figure", 0, "paper figure to reproduce (5..12), 0 = all")
+		threads       = fs.Int("threads", 0, "worker count for fixed-thread figures (0 = default)")
+		reps          = fs.Int("reps", 0, "repetitions per point (0 = default)")
+		seed          = fs.Int64("seed", 0, "workload seed (0 = default)")
+		methods       = fs.String("methods", "", "comma-separated method subset (empty = figure's paper set)")
+		paper         = fs.Bool("paper", false, "use the paper's full-size parameters")
+		csvPath       = fs.String("csv", "", "also write raw medians as CSV to this file")
+		verbose       = fs.Bool("v", false, "log per-point progress to stderr")
+		tiny          = fs.Bool("tiny", false, "miniature sweep for smoke tests (seconds, shapes not meaningful)")
+		execList      = fs.String("exec", "pool", "comma-separated execution modes to measure: pool and/or team")
+		jsonPath      = fs.String("json", "", "write machine-readable results as JSON to this file")
+		roundoverhead = fs.Bool("roundoverhead", false, "measure ns per empty round for both execution modes across the thread sweep")
+		opcount       = fs.Bool("opcount", false, "run the Section-6 atomic-operation-count validation instead of a timing figure")
+		kernelops     = fs.Bool("kernelops", false, "count selection-protocol operations over full BFS/CC runs instead of timing")
+		simulations   = fs.Bool("simulations", false, "time one Priority write step per rung of the CW hierarchy instead of a figure")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,6 +126,14 @@ func run(args []string) error {
 			cfg.Methods = append(cfg.Methods, m)
 		}
 	}
+	var execs []machine.Exec
+	for _, name := range strings.Split(*execList, ",") {
+		e, ok := machine.ParseExec(strings.TrimSpace(name))
+		if !ok {
+			return fmt.Errorf("unknown exec mode %q (known: %v)", name, machine.Execs)
+		}
+		execs = append(execs, e)
+	}
 
 	if *opcount {
 		rows := bench.OpCountTable(cfg.Threads, []int{1000, 10000, 100000, 1000000})
@@ -122,9 +149,29 @@ func run(args []string) error {
 		return bench.FormatSimulations(os.Stdout, rows)
 	}
 
+	var jsonRows []bench.Row
+
+	if *roundoverhead {
+		rows := bench.RoundOverhead(cfg.ThreadSweep, 0, cfg.Reps, cfg.Log)
+		if err := bench.FormatRoundOverhead(os.Stdout, rows); err != nil {
+			return err
+		}
+		jsonRows = append(jsonRows, bench.OverheadJSONRows(rows)...)
+	}
+
+	figureSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "figure" {
+			figureSet = true
+		}
+	})
 	ids := bench.SortedFigureIDs()
 	if *figure != 0 {
 		ids = []int{*figure}
+	} else if *roundoverhead && !figureSet {
+		// -roundoverhead alone runs only the microbenchmark; add
+		// -figure 0 explicitly to also sweep every figure.
+		ids = nil
 	}
 
 	var csvFile *os.File
@@ -137,21 +184,38 @@ func run(args []string) error {
 		csvFile = f
 	}
 
-	for i, id := range ids {
-		table, err := bench.Figure(id, cfg)
-		if err != nil {
-			return err
-		}
-		if i > 0 {
-			fmt.Println()
-		}
-		if err := table.Format(os.Stdout); err != nil {
-			return err
-		}
-		if csvFile != nil {
-			if err := table.WriteCSV(csvFile); err != nil {
-				return fmt.Errorf("write csv: %w", err)
+	printed := *roundoverhead
+	for _, exec := range execs {
+		cfg.Exec = exec
+		for _, id := range ids {
+			table, err := bench.Figure(id, cfg)
+			if err != nil {
+				return err
 			}
+			if printed {
+				fmt.Println()
+			}
+			printed = true
+			if err := table.Format(os.Stdout); err != nil {
+				return err
+			}
+			if csvFile != nil {
+				if err := table.WriteCSV(csvFile); err != nil {
+					return fmt.Errorf("write csv: %w", err)
+				}
+			}
+			jsonRows = append(jsonRows, table.Rows(cfg.Threads)...)
+		}
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return fmt.Errorf("create json: %w", err)
+		}
+		defer f.Close()
+		if err := bench.WriteJSON(f, jsonRows); err != nil {
+			return fmt.Errorf("write json: %w", err)
 		}
 	}
 	return nil

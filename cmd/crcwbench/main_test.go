@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -108,6 +109,87 @@ func TestRunMethodFilter(t *testing.T) {
 	}
 }
 
+func TestRunExecAxisJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	out, err := capture(t, func() error {
+		return run([]string{"-tiny", "-figure", "7", "-exec", "pool,team",
+			"-methods", "caslt", "-reps", "1", "-json", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "pool exec") || !strings.Contains(out, "team exec") {
+		t.Fatalf("expected one fig7 table per exec mode:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []struct {
+		Bench  string  `json:"bench"`
+		Figure string  `json:"figure"`
+		Kernel string  `json:"kernel"`
+		Method string  `json:"method"`
+		Exec   string  `json:"exec"`
+		NsOp   float64 `json:"ns_op"`
+	}
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("json output unparsable: %v\n%s", err, data)
+	}
+	execs := map[string]int{}
+	for _, r := range rows {
+		if r.Bench != "figure" || r.Figure != "fig7" || r.Kernel != "bfs" || r.Method != "caslt" {
+			t.Fatalf("unexpected row identity: %+v", r)
+		}
+		if r.NsOp <= 0 {
+			t.Fatalf("non-positive ns_op: %+v", r)
+		}
+		execs[r.Exec]++
+	}
+	if execs["pool"] == 0 || execs["team"] == 0 || execs["pool"] != execs["team"] {
+		t.Fatalf("want equal pool and team row counts, got %v", execs)
+	}
+}
+
+func TestRunRoundOverhead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	out, err := capture(t, func() error {
+		return run([]string{"-tiny", "-roundoverhead", "-reps", "1", "-json", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"roundoverhead", "pool/team"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "fig5") {
+		t.Fatal("-roundoverhead without -figure ran the figure sweep")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []struct {
+		Bench   string  `json:"bench"`
+		Exec    string  `json:"exec"`
+		Threads int     `json:"threads"`
+		NsOp    float64 `json:"ns_op"`
+	}
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("json output unparsable: %v\n%s", err, data)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no roundoverhead rows in json")
+	}
+	for _, r := range rows {
+		if r.Bench != "roundoverhead" || r.Threads <= 0 || r.NsOp <= 0 {
+			t.Fatalf("bad roundoverhead row: %+v", r)
+		}
+	}
+}
+
 func TestRunOpCount(t *testing.T) {
 	out, err := capture(t, func() error {
 		return run([]string{"-opcount", "-threads", "2"})
@@ -125,6 +207,7 @@ func TestRunErrors(t *testing.T) {
 		{"-figure", "4"},
 		{"-figure", "13"},
 		{"-methods", "bogus"},
+		{"-exec", "bogus"},
 		{"-tiny", "-paper"},
 		{"-nonexistent-flag"},
 	}

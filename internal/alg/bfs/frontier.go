@@ -13,10 +13,12 @@ import "sync/atomic"
 // round id), so the variant isolates the algorithmic sweep cost from the
 // CW method cost; the ablation benchmark compares the two formulations.
 
-// RunCASLTFrontier executes BFS with an explicit frontier and
-// CAS-LT-guarded discovery tuples. Prepare must have been called first.
-func (k *Kernel) RunCASLTFrontier() Result {
-	offsets, targets := k.g.Offsets(), k.g.Targets()
+// ensureFrontierState lazily allocates the frontier variant's buffers: the
+// two level buffers (current and next frontier), the per-worker discovery
+// buffers and the offset scratch. Both level buffers are owned by the kernel
+// and survive across runs, so repeated runs reuse grown capacity instead of
+// re-appending into a stale slice header.
+func (k *Kernel) ensureFrontierState() {
 	p := k.m.P()
 	if k.bufs == nil {
 		k.bufs = make([][]uint32, p)
@@ -24,13 +26,21 @@ func (k *Kernel) RunCASLTFrontier() Result {
 	}
 	if cap(k.frontier) < k.n {
 		k.frontier = make([]uint32, 0, k.n)
-		k.next = make([]uint32, k.n)
+		k.next = make([]uint32, 0, k.n)
 	}
+}
 
-	frontier := append(k.frontier[:0], k.source)
+// RunCASLTFrontier executes BFS with an explicit frontier and
+// CAS-LT-guarded discovery tuples. Prepare must have been called first.
+func (k *Kernel) RunCASLTFrontier() Result {
+	offsets, targets := k.g.Offsets(), k.g.Targets()
+	p := k.m.P()
+	k.ensureFrontierState()
+	k.frontier = append(k.frontier[:0], k.source)
 	L := uint32(0)
-	for len(frontier) > 0 {
+	for len(k.frontier) > 0 {
 		round := k.base + L + 1
+		frontier := k.frontier
 		bufs := k.bufs
 		k.m.ParallelForWorker(len(frontier), func(i, w int) {
 			v := frontier[i]
@@ -63,7 +73,9 @@ func (k *Kernel) RunCASLTFrontier() Result {
 			bufs[w] = bufs[w][:0]
 		})
 
-		frontier, k.next = next, frontier[:cap(frontier)]
+		// Swap the kernel-owned buffers: the assembled frontier becomes
+		// current, the just-consumed one becomes next level's target.
+		k.frontier, k.next = next, frontier[:0]
 		if total == 0 {
 			break
 		}

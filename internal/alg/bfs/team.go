@@ -1,0 +1,254 @@
+package bfs
+
+import (
+	"sync/atomic"
+
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/machine"
+)
+
+// This file ports the BFS variants to the machine's team execution mode:
+// one persistent parallel region around the whole level loop, the exact
+// shape of the paper's Figure 3 OpenMP listings (`#pragma omp parallel`
+// outside the while). Per level the kernel pays one team barrier after the
+// sweep (plus one after the gate reset, for the gatekeeper variants)
+// instead of two pool barrier phases per ParallelRange; the convergence
+// flag is a rotating machine.TeamFlag, so no extra barrier is spent on
+// resetting it. Results are identical to the pool-mode counterparts.
+
+// RunTeam executes BFS with the given method inside one team region.
+// Prepare must have been called first.
+func (k *Kernel) RunTeam(method cw.Method) Result {
+	switch method {
+	case cw.CASLT:
+		return k.RunCASLTTeam()
+	case cw.Gatekeeper:
+		return k.runGateTeam(false)
+	case cw.GatekeeperChecked:
+		return k.runGateTeam(true)
+	case cw.Naive:
+		return k.RunNaiveTeam()
+	case cw.Mutex:
+		return k.RunMutexTeam()
+	default:
+		panic("bfs: unknown method " + method.String())
+	}
+}
+
+// teamLevels drives the level loop inside one team region. sweep executes
+// one worker's share [lo, hi) of level L's vertex sweep and reports whether
+// it discovered anything; gateReset adds the gatekeeper's O(N)
+// re-initialization pass between levels. Returns the depth (max finite
+// level), identical to the pool drivers' L at loop exit.
+func (k *Kernel) teamLevels(sweep func(lo, hi int, L, round uint32) bool, gateReset bool) uint32 {
+	var done machine.TeamFlag
+	done.Set(0, 1)
+	var depth uint32
+	k.m.Team(func(tc *machine.TeamCtx) {
+		L := uint32(0)
+		for {
+			done.Set(L+1, 1) // prime next level's flag (common CW)
+			round := k.base + L + 1
+			tc.Range(k.n, func(lo, hi int) {
+				if sweep(lo, hi, L, round) {
+					done.Set(L, 0)
+				}
+			})
+			if done.Get(L) == 1 {
+				if tc.W == 0 {
+					depth = L
+				}
+				break
+			}
+			if gateReset {
+				// Figure 3(b) lines 34-35: re-open every gate before the
+				// next level, inside the region and the timed section.
+				tc.Range(k.n, func(lo, hi int) { k.gates.ResetRange(lo, hi) })
+			}
+			L++
+		}
+	})
+	return depth
+}
+
+// RunCASLTTeam is Figure 3(a) in team form: same CAS-LT-guarded tuple
+// writes as RunCASLT, one region for the whole traversal.
+func (k *Kernel) RunCASLTTeam() Result {
+	offsets, targets := k.g.Offsets(), k.g.Targets()
+	depth := k.teamLevels(func(lo, hi int, L, round uint32) bool {
+		progress := false
+		for v := lo; v < hi; v++ {
+			if atomic.LoadUint32(&k.level[v]) != L {
+				continue
+			}
+			for j := offsets[v]; j < offsets[v+1]; j++ {
+				u := targets[j]
+				if atomic.LoadUint32(&k.visited[u]) != 0 {
+					continue
+				}
+				if k.cells.TryClaim(int(u), round) {
+					k.parent[u] = uint32(v)
+					k.selEdge[u] = j
+					atomic.StoreUint32(&k.visited[u], 1)
+					atomic.StoreUint32(&k.level[u], L+1)
+					progress = true
+				}
+			}
+		}
+		return progress
+	}, false)
+	k.base += depth + 1
+	return k.result(int(depth))
+}
+
+func (k *Kernel) runGateTeam(checked bool) Result {
+	offsets, targets := k.g.Offsets(), k.g.Targets()
+	depth := k.teamLevels(func(lo, hi int, L, _ uint32) bool {
+		progress := false
+		for v := lo; v < hi; v++ {
+			if atomic.LoadUint32(&k.level[v]) != L {
+				continue
+			}
+			for j := offsets[v]; j < offsets[v+1]; j++ {
+				u := targets[j]
+				if atomic.LoadUint32(&k.visited[u]) != 0 {
+					continue
+				}
+				var won bool
+				if checked {
+					won = k.gates.TryEnterChecked(int(u))
+				} else {
+					won = k.gates.TryEnter(int(u))
+				}
+				if won {
+					k.parent[u] = uint32(v)
+					k.selEdge[u] = j
+					atomic.StoreUint32(&k.visited[u], 1)
+					atomic.StoreUint32(&k.level[u], L+1)
+					progress = true
+				}
+			}
+		}
+		return progress
+	}, true)
+	return k.result(int(depth))
+}
+
+// RunNaiveTeam is RunNaive in team form: plain loads and stores, arbitrary
+// CW semantics left to the memory system (skipped under -race in tests).
+func (k *Kernel) RunNaiveTeam() Result {
+	offsets, targets := k.g.Offsets(), k.g.Targets()
+	depth := k.teamLevels(func(lo, hi int, L, _ uint32) bool {
+		progress := false
+		for v := lo; v < hi; v++ {
+			if k.level[v] != L {
+				continue
+			}
+			for j := offsets[v]; j < offsets[v+1]; j++ {
+				u := targets[j]
+				if k.visited[u] == 0 {
+					k.parent[u] = uint32(v)
+					k.selEdge[u] = j
+					k.visited[u] = 1
+					k.level[u] = L + 1
+					progress = true
+				}
+			}
+		}
+		return progress
+	}, false)
+	return k.result(int(depth))
+}
+
+// RunMutexTeam is the critical-section baseline in team form.
+func (k *Kernel) RunMutexTeam() Result {
+	offsets, targets := k.g.Offsets(), k.g.Targets()
+	depth := k.teamLevels(func(lo, hi int, L, _ uint32) bool {
+		progress := false
+		for v := lo; v < hi; v++ {
+			if atomic.LoadUint32(&k.level[v]) != L {
+				continue
+			}
+			for j := offsets[v]; j < offsets[v+1]; j++ {
+				u := targets[j]
+				if atomic.LoadUint32(&k.visited[u]) != 0 {
+					continue
+				}
+				k.mtx.Lock(int(u))
+				if k.visited[u] == 0 {
+					k.parent[u] = uint32(v)
+					k.selEdge[u] = j
+					atomic.StoreUint32(&k.visited[u], 1)
+					atomic.StoreUint32(&k.level[u], L+1)
+					progress = true
+				}
+				k.mtx.Unlock(int(u))
+			}
+		}
+		return progress
+	}, false)
+	return k.result(int(depth))
+}
+
+// RunCASLTFrontierTeam is the frontier variant inside one team region. The
+// serial P-element offset scan that the pool variant runs on the caller —
+// with all P workers parked across two extra barrier phases — becomes a
+// tc.Single, and the buffer swap moves with it, so a level costs three team
+// barriers total (sweep, single, copy) instead of four pool phases plus
+// caller-side serial work.
+func (k *Kernel) RunCASLTFrontierTeam() Result {
+	offsets, targets := k.g.Offsets(), k.g.Targets()
+	p := k.m.P()
+	k.ensureFrontierState()
+	k.frontier = append(k.frontier[:0], k.source)
+	var depth uint32
+	k.m.Team(func(tc *machine.TeamCtx) {
+		w := tc.W
+		L := uint32(0)
+		for {
+			round := k.base + L + 1
+			frontier := k.frontier
+			tc.ForWorker(len(frontier), func(i, w int) {
+				v := frontier[i]
+				for j := offsets[v]; j < offsets[v+1]; j++ {
+					u := targets[j]
+					if atomic.LoadUint32(&k.visited[u]) != 0 {
+						continue
+					}
+					if k.cells.TryClaim(int(u), round) {
+						k.parent[u] = v
+						k.selEdge[u] = j
+						atomic.StoreUint32(&k.visited[u], 1)
+						atomic.StoreUint32(&k.level[u], L+1)
+						k.bufs[w] = append(k.bufs[w], u)
+					}
+				}
+			})
+			tc.Single(func() {
+				total := 0
+				for i := 0; i < p; i++ {
+					k.wOff[i] = total
+					total += len(k.bufs[i])
+				}
+				k.wOff[p] = total
+				// Swap the kernel-owned buffers, exactly as the pool
+				// variant does on the caller.
+				k.frontier, k.next = k.next[:total], frontier[:0]
+			})
+			// Single's barrier published the offsets and the swap.
+			if len(k.frontier) == 0 {
+				if w == 0 {
+					depth = L
+				}
+				break
+			}
+			next := k.frontier
+			copy(next[k.wOff[w]:k.wOff[w+1]], k.bufs[w])
+			k.bufs[w] = k.bufs[w][:0]
+			tc.Barrier()
+			L++
+		}
+	})
+	k.base += depth + 1
+	return k.result(int(depth))
+}

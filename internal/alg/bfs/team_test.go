@@ -1,0 +1,158 @@
+package bfs
+
+import (
+	"testing"
+
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/graph"
+	"crcwpram/internal/race"
+)
+
+func TestTeamMatchesSequential(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		m := testMachine(t, p)
+		for name, g := range testGraphs() {
+			k := NewKernel(m, g)
+			for _, method := range selectionMethods {
+				k.Prepare(0)
+				r := k.RunTeam(method)
+				if err := Validate(g, 0, r, true); err != nil {
+					t.Fatalf("p=%d %s %v: %v", p, name, method, err)
+				}
+			}
+		}
+	}
+}
+
+// TestTeamAgreesWithPool cross-checks the two execution modes: levels and
+// depth must be identical (parents may legitimately differ — different CW
+// winners — so those are covered by Validate above).
+func TestTeamAgreesWithPool(t *testing.T) {
+	m := testMachine(t, 4)
+	g := graph.ConnectedRandom(300, 1500, 13)
+	k := NewKernel(m, g)
+	for _, method := range selectionMethods {
+		k.Prepare(5)
+		pool := k.Run(method)
+		poolLevels := append([]uint32(nil), pool.Level...)
+		poolDepth := pool.Depth
+		k.Prepare(5)
+		team := k.RunTeam(method)
+		if poolDepth != team.Depth {
+			t.Fatalf("%v: depths differ: pool %d, team %d", method, poolDepth, team.Depth)
+		}
+		for v := range poolLevels {
+			if poolLevels[v] != team.Level[v] {
+				t.Fatalf("%v level[%d]: pool %d, team %d", method, v, poolLevels[v], team.Level[v])
+			}
+		}
+	}
+}
+
+func TestTeamNaive(t *testing.T) {
+	if race.Enabled {
+		t.Skip("naive variant races by design")
+	}
+	for _, p := range []int{1, 4} {
+		m := testMachine(t, p)
+		g := graph.ConnectedRandom(200, 800, 17)
+		k := NewKernel(m, g)
+		k.Prepare(0)
+		r := k.RunTeam(cw.Naive)
+		// Levels are a common CW and therefore exact even unguarded.
+		if err := Validate(g, 0, r, false); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestTeamRepeatedAndInterleavedWithPool(t *testing.T) {
+	// Team and pool runs share the CAS-LT cells; interleaving them must
+	// keep the round offset discipline intact.
+	m := testMachine(t, 4)
+	g := graph.ConnectedRandom(200, 900, 17)
+	k := NewKernel(m, g)
+	for rep := 0; rep < 9; rep++ {
+		src := uint32(rep * 13 % g.NumVertices())
+		k.Prepare(src)
+		var r Result
+		switch rep % 3 {
+		case 0:
+			r = k.RunTeam(cw.CASLT)
+		case 1:
+			r = k.RunCASLT()
+		default:
+			r = k.RunCASLTFrontierTeam()
+		}
+		if err := Validate(g, src, r, true); err != nil {
+			t.Fatalf("rep %d src %d: %v", rep, src, err)
+		}
+	}
+}
+
+func TestFrontierTeamMatchesSequential(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		m := testMachine(t, p)
+		for name, g := range testGraphs() {
+			k := NewKernel(m, g)
+			k.Prepare(0)
+			r := k.RunCASLTFrontierTeam()
+			if err := Validate(g, 0, r, true); err != nil {
+				t.Fatalf("p=%d %s: %v", p, name, err)
+			}
+		}
+	}
+}
+
+func TestFrontierTeamAgreesWithPoolFrontier(t *testing.T) {
+	m := testMachine(t, 4)
+	g := graph.ConnectedRandom(300, 1500, 13)
+	k := NewKernel(m, g)
+	k.Prepare(5)
+	pool := k.RunCASLTFrontier()
+	poolLevels := append([]uint32(nil), pool.Level...)
+	poolDepth := pool.Depth
+	k.Prepare(5)
+	team := k.RunCASLTFrontierTeam()
+	if poolDepth != team.Depth {
+		t.Fatalf("depths differ: pool %d, team %d", poolDepth, team.Depth)
+	}
+	for v := range poolLevels {
+		if poolLevels[v] != team.Level[v] {
+			t.Fatalf("level[%d]: pool %d, team %d", v, poolLevels[v], team.Level[v])
+		}
+	}
+}
+
+func TestFrontierTeamMemoryStaysLinear(t *testing.T) {
+	m := testMachine(t, 4)
+	g := graph.ConnectedRandom(1000, 4000, 29)
+	k := NewKernel(m, g)
+	for rep := 0; rep < 5; rep++ {
+		k.Prepare(0)
+		k.RunCASLTFrontierTeam()
+	}
+	if got, limit := k.frontierStateBytes(), 16*g.NumVertices()+4096; got > limit {
+		t.Fatalf("frontier state %d bytes exceeds %d", got, limit)
+	}
+}
+
+func TestTeamDeepPath(t *testing.T) {
+	// Many levels → many team rounds in one region; exercises the rotating
+	// convergence flag and (for the frontier) the buffer swap at depth.
+	m := testMachine(t, 2)
+	g := graph.Path(2000)
+	k := NewKernel(m, g)
+	k.Prepare(0)
+	if err := Validate(g, 0, k.RunTeam(cw.CASLT), true); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	k.Prepare(0)
+	r := k.RunCASLTFrontierTeam()
+	if err := Validate(g, 0, r, true); err != nil {
+		t.Fatalf("frontier: %v", err)
+	}
+	if r.Depth != 1999 {
+		t.Fatalf("depth = %d, want 1999", r.Depth)
+	}
+}

@@ -1,0 +1,200 @@
+package cc
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/machine"
+)
+
+// This file ports the connected-components kernel to the machine's team
+// execution mode: one persistent parallel region around the whole
+// convergence loop. Each Awerbuch–Shiloach iteration is the same fixed
+// sequence of rounds as the pool driver in cc.go — star check, conditional
+// hook, star check, directional hook, shortcut — expressed as tc.Range
+// rounds (one team barrier each) instead of ParallelRange calls (two pool
+// phases each). The per-iteration "did anything change?" word becomes a
+// rotating machine.TeamFlag, so no round is spent resetting it.
+
+// RunTeam executes the algorithm with the given method inside one team
+// region. Prepare must have been called first. Like Run, it panics for
+// cw.Naive (see the package comment).
+func (k *Kernel) RunTeam(method cw.Method) Result {
+	switch method {
+	case cw.CASLT:
+		return k.runTeam(
+			func(round uint32) hookFunc {
+				return func(r int, j, target uint32) bool {
+					return k.cells.TryClaim(r, round) && k.commit(r, j, target)
+				}
+			},
+			true, false)
+	case cw.Gatekeeper:
+		return k.runGateTeam(false)
+	case cw.GatekeeperChecked:
+		return k.runGateTeam(true)
+	case cw.Mutex:
+		return k.runTeam(
+			func(uint32) hookFunc {
+				return func(r int, j, target uint32) bool {
+					k.mtx.Lock(r)
+					ok := k.commit(r, j, target)
+					k.mtx.Unlock(r)
+					return ok
+				}
+			},
+			false, false)
+	case cw.Naive:
+		panic("cc: the naive method cannot implement the arbitrary multi-array hooking write (see the paper, Section 7)")
+	default:
+		panic("cc: unknown method " + method.String())
+	}
+}
+
+func (k *Kernel) runGateTeam(checked bool) Result {
+	return k.runTeam(
+		func(uint32) hookFunc {
+			return func(r int, j, target uint32) bool {
+				var won bool
+				if checked {
+					won = k.gates.TryEnterChecked(r)
+				} else {
+					won = k.gates.TryEnter(r)
+				}
+				return won && k.commit(r, j, target)
+			}
+		},
+		false, true)
+}
+
+// runTeam drives the iteration structure inside one team region. mk yields
+// the hook guard for a given round id; useRounds derives CAS-LT round ids
+// from the iteration counter (two hooking phases per iteration, so the
+// round offset advances by 2*iterations); gateReset re-zeroes the
+// gatekeeper array after each hooking phase.
+func (k *Kernel) runTeam(mk func(round uint32) hookFunc, useRounds, gateReset bool) Result {
+	maxIter := k.maxIterations()
+	var changed machine.TeamFlag
+	var iters int
+	k.m.Team(func(tc *machine.TeamCtx) {
+		it := uint32(0)
+		for {
+			changed.Set(it+1, 0) // prime next iteration's flag (common CW)
+			var r1, r2 uint32
+			if useRounds {
+				r1 = k.base + 2*it + 1
+				r2 = k.base + 2*it + 2
+			}
+
+			k.teamStarCheck(tc)
+			k.teamHookPhase(tc, true, mk(r1), &changed, it)
+			if gateReset {
+				tc.Range(k.n, func(lo, hi int) { k.gates.ResetRange(lo, hi) })
+			}
+
+			k.teamStarCheck(tc)
+			k.teamHookPhase(tc, false, mk(r2), &changed, it)
+			if gateReset {
+				tc.Range(k.n, func(lo, hi int) { k.gates.ResetRange(lo, hi) })
+			}
+
+			k.teamShortcut(tc, &changed, it)
+
+			it++
+			if changed.Get(it-1) == 0 {
+				if tc.W == 0 {
+					iters = int(it)
+				}
+				break
+			}
+			if int(it) > maxIter {
+				panic(fmt.Sprintf("cc: no convergence after %d iterations on %d vertices (bug)", it, k.n))
+			}
+		}
+	})
+	if useRounds {
+		k.base += uint32(2 * iters)
+	}
+	return Result{Labels: k.d, HookEdge: k.hookEdge, Iterations: iters}
+}
+
+// teamStarCheck is starCheck as three team rounds; see starCheck for the
+// safety argument on the plain/atomic access mix.
+func (k *Kernel) teamStarCheck(tc *machine.TeamCtx) {
+	d, star := k.d, k.star
+	tc.Range(k.n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			star[v] = 1
+		}
+	})
+	tc.Range(k.n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			p := d[v]
+			gp := d[p]
+			if p != gp {
+				atomic.StoreUint32(&star[v], 0)
+				atomic.StoreUint32(&star[gp], 0)
+			}
+		}
+	})
+	tc.Range(k.n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if atomic.LoadUint32(&star[v]) == 1 && atomic.LoadUint32(&star[d[v]]) == 0 {
+				atomic.StoreUint32(&star[v], 0)
+			}
+		}
+	})
+}
+
+// teamHookPhase is hookPhase as two team rounds (snapshot copy, then the
+// arc sweep); progress marks iteration it's slot of the rotating flag.
+func (k *Kernel) teamHookPhase(tc *machine.TeamCtx, conditional bool, hook hookFunc, changed *machine.TeamFlag, it uint32) {
+	d, star, arcSrc, targets := k.dprev, k.star, k.arcSrc, k.g.Targets()
+	tc.Range(k.n, func(lo, hi int) {
+		copy(k.dprev[lo:hi], k.d[lo:hi])
+	})
+	tc.Range(len(arcSrc), func(lo, hi int) {
+		progress := false
+		for j := lo; j < hi; j++ {
+			u := arcSrc[j]
+			if star[u] == 0 {
+				continue
+			}
+			du := d[u]
+			dv := d[targets[j]]
+			var want bool
+			if conditional {
+				want = dv < du
+			} else {
+				// Directional rule; see hookPhase for why `!=` is unsafe.
+				want = dv > du
+			}
+			if want && hook(int(du), uint32(j), dv) {
+				progress = true
+			}
+		}
+		if progress {
+			changed.Set(it, 1)
+		}
+	})
+}
+
+// teamShortcut is shortcut as one team round.
+func (k *Kernel) teamShortcut(tc *machine.TeamCtx, changed *machine.TeamFlag, it uint32) {
+	d := k.d
+	tc.Range(k.n, func(lo, hi int) {
+		progress := false
+		for v := lo; v < hi; v++ {
+			p := atomic.LoadUint32(&d[v])
+			gp := atomic.LoadUint32(&d[p])
+			if p != gp {
+				atomic.StoreUint32(&d[v], gp)
+				progress = true
+			}
+		}
+		if progress {
+			changed.Set(it, 1)
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package cc
+
+import (
+	"testing"
+
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/graph"
+)
+
+func TestTeamMatchesUnionFind(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		m := testMachine(t, p)
+		for name, g := range testGraphs() {
+			k := NewKernel(m, g)
+			for _, method := range methods {
+				k.Prepare()
+				r := k.RunTeam(method)
+				if err := Validate(g, r); err != nil {
+					t.Fatalf("p=%d %s %v: %v", p, name, method, err)
+				}
+				if r.Iterations < 1 {
+					t.Fatalf("p=%d %s %v: iterations = %d", p, name, method, r.Iterations)
+				}
+			}
+		}
+	}
+}
+
+func TestTeamNaivePanics(t *testing.T) {
+	m := testMachine(t, 2)
+	k := NewKernel(m, graph.Path(4))
+	k.Prepare()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunTeam(Naive) did not panic")
+		}
+	}()
+	k.RunTeam(cw.Naive)
+}
+
+func TestTeamRepeatedAndInterleavedWithPool(t *testing.T) {
+	// Team and pool CAS-LT runs share the cells array; interleaving them
+	// must keep the round offset discipline intact (team advances base by
+	// 2*iterations, exactly like the pool driver).
+	m := testMachine(t, 4)
+	g := graph.ConnectedRandom(250, 900, 19)
+	k := NewKernel(m, g)
+	for rep := 0; rep < 8; rep++ {
+		k.Prepare()
+		var r Result
+		if rep%2 == 0 {
+			r = k.RunTeam(cw.CASLT)
+		} else {
+			r = k.RunCASLT()
+		}
+		if err := Validate(g, r); err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+	}
+}

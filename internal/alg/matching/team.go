@@ -1,0 +1,88 @@
+package matching
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"crcwpram/internal/core/machine"
+)
+
+// This file ports the randomized maximal matching to the machine's team
+// execution mode: one persistent parallel region around the whole
+// propose/accept loop, two team barriers per iteration (one per level of
+// the two-level arbitrary concurrent write) instead of four pool phases.
+// The per-iteration liveness word becomes a rotating machine.TeamFlag.
+
+// RunTeam executes the randomized maximal matching inside one team region.
+// Prepare must have been called first; seed makes the coin flips
+// deterministic. Semantics and round-id bookkeeping match Run exactly.
+func (k *Kernel) RunTeam(seed uint64) Result {
+	maxIter := 8*bits.Len(uint(k.g.NumArcs()+2)) + 64
+	targets := k.g.Targets()
+	var live machine.TeamFlag
+	var rounds uint32
+	k.m.Team(func(tc *machine.TeamCtx) {
+		it := uint32(0)
+		for {
+			live.Set(it+1, 0) // prime next iteration's flag (common CW)
+			round := k.base + it + 1
+
+			// Level 1 — propose: heads race on each live tail's slot.
+			tc.Range(len(k.arcSrc), func(lo, hi int) {
+				sawLive := false
+				for j := lo; j < hi; j++ {
+					u := k.arcSrc[j]
+					v := targets[j]
+					if k.alive[u] == 0 || k.alive[v] == 0 || u == v {
+						continue
+					}
+					sawLive = true
+					if !head(seed, it, u) || head(seed, it, v) {
+						continue
+					}
+					if k.propCells.TryClaim(int(v), round) {
+						k.proposer[v] = u
+						k.propArc[v] = uint32(j)
+					}
+				}
+				if sawLive {
+					live.Set(it, 1)
+				}
+			})
+
+			// Level 2 — accept: proposed-to tails race on their proposer's
+			// slot; the winner forms the match and both endpoints die.
+			tc.Range(k.n, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					if !k.propCells.Written(v, round) {
+						continue
+					}
+					u := k.proposer[v]
+					if k.acceptCells.TryClaim(int(u), round) {
+						j := k.propArc[v]
+						k.mate[v] = u
+						k.mate[u] = uint32(v)
+						k.mateEdge[v] = j
+						k.mateEdge[u] = j
+						atomic.StoreUint32(&k.alive[v], 0)
+						atomic.StoreUint32(&k.alive[u], 0)
+					}
+				}
+			})
+
+			it++
+			if live.Get(it-1) == 0 {
+				if tc.W == 0 {
+					rounds = it
+				}
+				break
+			}
+			if int(it) > maxIter {
+				panic(fmt.Sprintf("matching: no convergence after %d iterations (bug or pathological seed)", it))
+			}
+		}
+	})
+	k.base += rounds
+	return Result{Mate: k.mate, MateEdge: k.mateEdge, Iterations: int(rounds)}
+}

@@ -1,0 +1,66 @@
+package matching
+
+import (
+	"testing"
+
+	"crcwpram/internal/graph"
+)
+
+func TestTeamProducesMaximalMatching(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		m := testMachine(t, p)
+		for name, g := range testGraphs() {
+			k := NewKernel(m, g)
+			k.Prepare()
+			r := k.RunTeam(99)
+			if err := Validate(g, r); err != nil {
+				t.Fatalf("p=%d %s: %v", p, name, err)
+			}
+		}
+	}
+}
+
+// TestTeamAgreesWithPool: proposal winners are arbitrary under real
+// concurrency, so exact agreement is only guaranteed with one worker, where
+// both drivers visit arcs in the same deterministic order and the coin
+// flips are deterministic in (seed, iteration, vertex).
+func TestTeamAgreesWithPool(t *testing.T) {
+	m := testMachine(t, 1)
+	g := graph.ConnectedRandom(200, 800, 21)
+	k := NewKernel(m, g)
+	for _, seed := range []uint64{1, 42, 9999} {
+		k.Prepare()
+		pool := k.Run(seed)
+		poolMate := append([]uint32(nil), pool.Mate...)
+		poolIters := pool.Iterations
+		k.Prepare()
+		team := k.RunTeam(seed)
+		if poolIters != team.Iterations {
+			t.Fatalf("seed %d: iterations differ: pool %d, team %d", seed, poolIters, team.Iterations)
+		}
+		for v := range poolMate {
+			if poolMate[v] != team.Mate[v] {
+				t.Fatalf("seed %d mate[%d]: pool %d, team %d", seed, v, poolMate[v], team.Mate[v])
+			}
+		}
+	}
+}
+
+func TestTeamRepeatedAndInterleavedWithPool(t *testing.T) {
+	// Both drivers share the proposal/acceptance cells via the round offset.
+	m := testMachine(t, 4)
+	g := graph.ConnectedRandom(150, 500, 31)
+	k := NewKernel(m, g)
+	for rep := 0; rep < 8; rep++ {
+		k.Prepare()
+		var r Result
+		if rep%2 == 0 {
+			r = k.RunTeam(uint64(rep))
+		} else {
+			r = k.Run(uint64(rep))
+		}
+		if err := Validate(g, r); err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package maxfind
+
+import (
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/machine"
+)
+
+// This file ports the maximum kernel to the machine's team execution mode.
+// The algorithm is a single pair-comparison round plus a serial scan, so
+// team mode turns the caller-side scan into a tc.Single and pays one region
+// entry instead of a pool round plus caller work — small per run, but it is
+// the per-Run fixed cost the opcount benchmarks repeat thousands of times.
+
+// RunTeam executes the maximum algorithm with the given method inside one
+// team region and returns the index of the maximum element. Prepare must
+// have been called for the current input.
+func (k *Kernel) RunTeam(method cw.Method) int {
+	var write func(loser int)
+	switch method {
+	case cw.CASLT:
+		round := k.nextRound()
+		write = func(loser int) {
+			if k.cells.TryClaim(loser, round) {
+				k.isMax[loser] = 0
+			}
+		}
+	case cw.Gatekeeper:
+		write = func(loser int) {
+			if k.gates.TryEnter(loser) {
+				k.isMax[loser] = 0
+			}
+		}
+	case cw.GatekeeperChecked:
+		write = func(loser int) {
+			if k.gates.TryEnterChecked(loser) {
+				k.isMax[loser] = 0
+			}
+		}
+	case cw.Naive:
+		write = func(loser int) { k.isMax[loser] = 0 }
+	case cw.Mutex:
+		write = func(loser int) {
+			k.mtx.Lock(loser)
+			k.isMax[loser] = 0
+			k.mtx.Unlock(loser)
+		}
+	default:
+		panic("maxfind: unknown method " + method.String())
+	}
+	n := k.n
+	max := -1
+	k.m.Team(func(tc *machine.TeamCtx) {
+		// The paper's collapse(2) pair loop as one team round: the loser of
+		// each comparison takes a common concurrent write.
+		tc.Range(n*n, func(lo, hi int) {
+			for idx := lo; idx < hi; idx++ {
+				i, j := idx/n, idx%n
+				if i == j {
+					continue
+				}
+				write(k.loserOf(i, j))
+			}
+		})
+		// The final scan moves in-region: one worker scans while the team
+		// waits, replacing the pool variant's caller-side serial pass.
+		tc.Single(func() { max = k.scan() })
+	})
+	return max
+}

@@ -1,0 +1,73 @@
+package maxfind
+
+import (
+	"math/rand"
+	"testing"
+
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/race"
+)
+
+func TestTeamMatchesSequentialAllMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, p := range []int{1, 4} {
+		m := testMachine(t, p)
+		for _, n := range []int{1, 2, 3, 17, 100, 257} {
+			k := NewKernel(m, n)
+			list := make([]uint32, n)
+			for i := range list {
+				list[i] = uint32(rng.Intn(n + 1)) // small range forces ties
+			}
+			want := Sequential(list)
+			for _, method := range selectionMethods {
+				k.Prepare(list)
+				if got := k.RunTeam(method); got != want {
+					t.Fatalf("p=%d n=%d %v: got %d, want %d, list=%v", p, n, method, got, want, list)
+				}
+			}
+		}
+	}
+}
+
+func TestTeamNaive(t *testing.T) {
+	if race.Enabled {
+		t.Skip("naive variant races by design")
+	}
+	m := testMachine(t, 4)
+	rng := rand.New(rand.NewSource(7))
+	k := NewKernel(m, 120)
+	for trial := 0; trial < 4; trial++ {
+		list := make([]uint32, 120)
+		for i := range list {
+			list[i] = uint32(rng.Intn(60))
+		}
+		k.Prepare(list)
+		if got, want := k.RunTeam(cw.Naive), Sequential(list); got != want {
+			t.Fatalf("trial %d: got %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestTeamInterleavedWithPool(t *testing.T) {
+	// Team and pool CAS-LT runs share the cells and the round counter.
+	m := testMachine(t, 4)
+	k := NewKernel(m, 64)
+	rng := rand.New(rand.NewSource(11))
+	for rep := 0; rep < 8; rep++ {
+		list := make([]uint32, 64)
+		for i := range list {
+			list[i] = uint32(rng.Intn(32))
+		}
+		want := Sequential(list)
+		k.Prepare(list)
+		var got int
+		if rep%2 == 0 {
+			got = k.RunTeam(cw.CASLT)
+		} else {
+			got = k.RunCASLT()
+		}
+		if got != want {
+			t.Fatalf("rep %d: got %d, want %d", rep, got, want)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package mis
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/machine"
+)
+
+// This file ports Luby's MIS to the machine's team execution mode: one
+// persistent parallel region around the whole round loop. Each round is the
+// same select / commit / kill (/ gate-reset) sequence as the pool driver,
+// expressed as tc.Range rounds at one team barrier each; the liveness word
+// becomes a rotating machine.TeamFlag.
+
+// RunTeam executes Luby's algorithm with the given concurrent-write method
+// inside one team region. Prepare must have been called first; seed makes
+// the priorities deterministic. Semantics and round-id bookkeeping match
+// Run exactly; the returned slice aliases kernel state valid until the next
+// Prepare.
+func (k *Kernel) RunTeam(method cw.Method, seed uint64) []uint32 {
+	kill := k.killFunc(method)
+	needsReset := method.NeedsReset()
+	offsets, targets := k.g.Offsets(), k.g.Targets()
+	maxIter := 8*bits.Len(uint(k.n)) + 64
+	var anyLive machine.TeamFlag
+	var rounds uint32
+	k.m.Team(func(tc *machine.TeamCtx) {
+		it := uint32(0)
+		for {
+			anyLive.Set(it+1, 0) // prime next round's flag (common CW)
+			round := k.base + it + 1
+
+			// Select: a live vertex joins iff its priority beats every live
+			// neighbour's. Reads only; live is stable within the phase.
+			tc.Range(k.n, func(lo, hi int) {
+				sawLive := false
+				for v := lo; v < hi; v++ {
+					if k.live[v] == 0 {
+						continue
+					}
+					sawLive = true
+					mine := prio(seed, it, uint32(v))
+					wins := true
+					for j := offsets[v]; j < offsets[v+1]; j++ {
+						u := targets[j]
+						if u != uint32(v) && k.live[u] == 1 && prio(seed, it, u) < mine {
+							wins = false
+							break
+						}
+					}
+					if wins {
+						k.joins[v] = 1 // exclusive write to own cell
+					}
+				}
+				if sawLive {
+					anyLive.Set(it, 1)
+				}
+			})
+			if anyLive.Get(it) == 0 {
+				if tc.W == 0 {
+					rounds = it + 1 // one select phase per consumed round id
+				}
+				break
+			}
+
+			// Commit winners: own-cell exclusive writes.
+			tc.Range(k.n, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					if k.joins[v] == 1 {
+						k.joins[v] = 0
+						k.inSet[v] = 1
+						k.live[v] = 0
+					}
+				}
+			})
+
+			// Kill neighbourhoods: the common concurrent write under study.
+			tc.Range(len(k.arcSrc), func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					u := k.arcSrc[j]
+					if k.inSet[u] == 0 {
+						continue
+					}
+					v := targets[j]
+					if atomic.LoadUint32(&k.live[v]) == 1 {
+						kill(int(v), round)
+					}
+				}
+			})
+			if needsReset {
+				tc.Range(k.n, func(lo, hi int) { k.gates.ResetRange(lo, hi) })
+			}
+
+			it++
+			if int(it) > maxIter {
+				panic(fmt.Sprintf("mis: no convergence after %d iterations (bug)", it))
+			}
+		}
+	})
+	k.base += rounds
+	return k.inSet
+}

@@ -1,0 +1,77 @@
+package mis
+
+import (
+	"testing"
+
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/graph"
+	"crcwpram/internal/race"
+)
+
+func TestTeamGuardedMethodsProduceValidMIS(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		m := testMachine(t, p)
+		for name, g := range testGraphs() {
+			k := NewKernel(m, g)
+			for _, method := range guardedMethods {
+				k.Prepare()
+				inSet := k.RunTeam(method, 77)
+				if err := Validate(g, inSet); err != nil {
+					t.Fatalf("p=%d %s %v: %v", p, name, method, err)
+				}
+			}
+		}
+	}
+}
+
+func TestTeamNaiveProducesValidMIS(t *testing.T) {
+	if race.Enabled {
+		t.Skip("naive variant is intentionally racy (benign common CW); skipped under -race")
+	}
+	m := testMachine(t, 4)
+	for name, g := range testGraphs() {
+		k := NewKernel(m, g)
+		k.Prepare()
+		if err := Validate(g, k.RunTeam(cw.Naive, 3)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestTeamAgreesWithPool: the priorities are deterministic in (seed,
+// iteration, vertex) and the select/commit structure is unchanged, so pool
+// and team runs from the same seed compute the same set.
+func TestTeamAgreesWithPool(t *testing.T) {
+	m := testMachine(t, 4)
+	g := graph.ConnectedRandom(250, 900, 61)
+	k := NewKernel(m, g)
+	for _, seed := range []uint64{1, 77, 4242} {
+		k.Prepare()
+		pool := append([]uint32(nil), k.Run(cw.CASLT, seed)...)
+		k.Prepare()
+		team := k.RunTeam(cw.CASLT, seed)
+		for v := range pool {
+			if pool[v] != team[v] {
+				t.Fatalf("seed %d inSet[%d]: pool %d, team %d", seed, v, pool[v], team[v])
+			}
+		}
+	}
+}
+
+func TestTeamRepeatedAndInterleavedWithPool(t *testing.T) {
+	m := testMachine(t, 4)
+	g := graph.ConnectedRandom(200, 700, 67)
+	k := NewKernel(m, g)
+	for rep := 0; rep < 8; rep++ {
+		k.Prepare()
+		var inSet []uint32
+		if rep%2 == 0 {
+			inSet = k.RunTeam(cw.CASLT, uint64(rep))
+		} else {
+			inSet = k.Run(cw.CASLT, uint64(rep))
+		}
+		if err := Validate(g, inSet); err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/machine"
 	"crcwpram/internal/stats"
 )
 
@@ -36,6 +37,10 @@ type Config struct {
 	// Methods are the concurrent-write methods to compare; defaults to
 	// the paper's set for the figure at hand.
 	Methods []cw.Method
+	// Exec selects how kernels drive the machine: machine.ExecPool (one
+	// pool round per ParallelFor, the default) or machine.ExecTeam (one
+	// persistent parallel region per kernel).
+	Exec machine.Exec
 
 	// MaxSizes is the list-size x-axis of Figure 5.
 	MaxSizes []int
@@ -199,6 +204,8 @@ type Series struct {
 type Table struct {
 	ID       string // e.g. "fig5"
 	Title    string
+	Kernel   string // kernel name for machine-readable output
+	Exec     string // execution mode the series were measured under
 	XLabel   string
 	Xs       []int
 	Series   []Series

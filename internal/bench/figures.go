@@ -56,6 +56,30 @@ func methodsOr(cfg Config, def []cw.Method) []cw.Method {
 	return def
 }
 
+// runMax/runBFS/runCC dispatch a kernel run to the configured execution
+// mode, so every figure measures (and validates) the same code path the
+// -exec axis selects.
+func runMax(k *maxfind.Kernel, method cw.Method, exec machine.Exec) int {
+	if exec == machine.ExecTeam {
+		return k.RunTeam(method)
+	}
+	return k.Run(method)
+}
+
+func runBFS(k *bfs.Kernel, method cw.Method, exec machine.Exec) bfs.Result {
+	if exec == machine.ExecTeam {
+		return k.RunTeam(method)
+	}
+	return k.Run(method)
+}
+
+func runCC(k *cc.Kernel, method cw.Method, exec machine.Exec) cc.Result {
+	if exec == machine.ExecTeam {
+		return k.RunTeam(method)
+	}
+	return k.Run(method)
+}
+
 func randomList(n int, seed int64) []uint32 {
 	rng := rand.New(rand.NewSource(seed))
 	list := make([]uint32, n)
@@ -72,7 +96,9 @@ func Fig5MaxBySize(cfg Config) Table {
 	methods := methodsOr(cfg, maxMethods)
 	t := Table{
 		ID:       "fig5",
-		Title:    fmt.Sprintf("Constant-time maximum: time vs list size (%d threads)", cfg.Threads),
+		Title:    fmt.Sprintf("Constant-time maximum: time vs list size (%d threads, %s exec)", cfg.Threads, cfg.Exec),
+		Kernel:   "maxfind",
+		Exec:     cfg.Exec.String(),
 		XLabel:   "list size",
 		Xs:       cfg.MaxSizes,
 		Baseline: cw.Naive,
@@ -86,7 +112,7 @@ func Fig5MaxBySize(cfg Config) Table {
 			list := randomList(n, cfg.Seed+int64(n))
 			want := maxfind.Sequential(list)
 			p := measure(cfg.Reps, func() { k.Prepare(list) }, func() {
-				if got := k.Run(method); got != want {
+				if got := runMax(k, method, cfg.Exec); got != want {
 					panic(fmt.Sprintf("bench: fig5 %v returned %d, want %d", method, got, want))
 				}
 			})
@@ -105,7 +131,9 @@ func Fig6MaxByThreads(cfg Config) Table {
 	methods := methodsOr(cfg, maxMethods)
 	t := Table{
 		ID:       "fig6",
-		Title:    fmt.Sprintf("Constant-time maximum: time vs threads (N=%d)", cfg.MaxN),
+		Title:    fmt.Sprintf("Constant-time maximum: time vs threads (N=%d, %s exec)", cfg.MaxN, cfg.Exec),
+		Kernel:   "maxfind",
+		Exec:     cfg.Exec.String(),
 		XLabel:   "threads",
 		Xs:       cfg.ThreadSweep,
 		Baseline: cw.Naive,
@@ -118,7 +146,7 @@ func Fig6MaxByThreads(cfg Config) Table {
 			m := machine.New(p)
 			k := maxfind.NewKernel(m, cfg.MaxN)
 			pt := measure(cfg.Reps, func() { k.Prepare(list) }, func() {
-				if got := k.Run(method); got != want {
+				if got := runMax(k, method, cfg.Exec); got != want {
 					panic(fmt.Sprintf("bench: fig6 %v returned %d, want %d", method, got, want))
 				}
 			})
@@ -138,6 +166,8 @@ func bfsFigure(id int, cfg Config, title, xlabel string, xs []int, pick func(x i
 	t := Table{
 		ID:       fmt.Sprintf("fig%d", id),
 		Title:    title,
+		Kernel:   "bfs",
+		Exec:     cfg.Exec.String(),
 		XLabel:   xlabel,
 		Xs:       xs,
 		Baseline: cw.Naive,
@@ -149,10 +179,10 @@ func bfsFigure(id int, cfg Config, title, xlabel string, xs []int, pick func(x i
 			g := graph.ConnectedRandom(nv, ne, cfg.Seed+int64(i))
 			m := machine.New(p)
 			k := bfs.NewKernel(m, g)
-			pt := measure(cfg.Reps, func() { k.Prepare(0) }, func() { k.Run(method) })
+			pt := measure(cfg.Reps, func() { k.Prepare(0) }, func() { runBFS(k, method, cfg.Exec) })
 			// Validate once per point, outside the timed region.
 			k.Prepare(0)
-			if err := bfs.Validate(g, 0, k.Run(method), method.SafeForArbitrary()); err != nil {
+			if err := bfs.Validate(g, 0, runBFS(k, method, cfg.Exec), method.SafeForArbitrary()); err != nil {
 				panic(fmt.Sprintf("bench: fig%d %v: %v", id, method, err))
 			}
 			m.Close()
@@ -169,7 +199,7 @@ func bfsFigure(id int, cfg Config, title, xlabel string, xs []int, pick func(x i
 func Fig7BFSByEdges(cfg Config) Table {
 	cfg = cfg.withDefaults()
 	return bfsFigure(7, cfg,
-		fmt.Sprintf("BFS: time vs edges (%d vertices, %d threads)", cfg.BFSVertices, cfg.Threads),
+		fmt.Sprintf("BFS: time vs edges (%d vertices, %d threads, %s exec)", cfg.BFSVertices, cfg.Threads, cfg.Exec),
 		"edges", cfg.BFSEdgeSweep,
 		func(x int) (int, int, int) { return cfg.BFSVertices, x, cfg.Threads })
 }
@@ -179,7 +209,7 @@ func Fig7BFSByEdges(cfg Config) Table {
 func Fig8BFSByVertices(cfg Config) Table {
 	cfg = cfg.withDefaults()
 	return bfsFigure(8, cfg,
-		fmt.Sprintf("BFS: time vs vertices (%d edges, %d threads)", cfg.BFSEdges, cfg.Threads),
+		fmt.Sprintf("BFS: time vs vertices (%d edges, %d threads, %s exec)", cfg.BFSEdges, cfg.Threads, cfg.Exec),
 		"vertices", cfg.BFSVertexSweep,
 		func(x int) (int, int, int) { return x, cfg.BFSEdges, cfg.Threads })
 }
@@ -189,7 +219,7 @@ func Fig8BFSByVertices(cfg Config) Table {
 func Fig9BFSByThreads(cfg Config) Table {
 	cfg = cfg.withDefaults()
 	return bfsFigure(9, cfg,
-		fmt.Sprintf("BFS: time vs threads (%d vertices, %d edges)", cfg.BFSVertices, cfg.BFSEdges),
+		fmt.Sprintf("BFS: time vs threads (%d vertices, %d edges, %s exec)", cfg.BFSVertices, cfg.BFSEdges, cfg.Exec),
 		"threads", cfg.ThreadSweep,
 		func(x int) (int, int, int) { return cfg.BFSVertices, cfg.BFSEdges, x })
 }
@@ -199,6 +229,8 @@ func ccFigure(id int, cfg Config, title, xlabel string, xs []int) Table {
 	t := Table{
 		ID:       fmt.Sprintf("fig%d", id),
 		Title:    title,
+		Kernel:   "cc",
+		Exec:     cfg.Exec.String(),
 		XLabel:   xlabel,
 		Xs:       xs,
 		Baseline: cw.Gatekeeper,
@@ -218,9 +250,9 @@ func ccFigure(id int, cfg Config, title, xlabel string, xs []int) Table {
 			g := graph.RandomUndirected(nv, ne, cfg.Seed+int64(i))
 			m := machine.New(p)
 			k := cc.NewKernel(m, g)
-			pt := measure(cfg.Reps, func() { k.Prepare() }, func() { k.Run(method) })
+			pt := measure(cfg.Reps, func() { k.Prepare() }, func() { runCC(k, method, cfg.Exec) })
 			k.Prepare()
-			if err := cc.Validate(g, k.Run(method)); err != nil {
+			if err := cc.Validate(g, runCC(k, method, cfg.Exec)); err != nil {
 				panic(fmt.Sprintf("bench: fig%d %v: %v", id, method, err))
 			}
 			m.Close()
@@ -236,7 +268,7 @@ func ccFigure(id int, cfg Config, title, xlabel string, xs []int) Table {
 func Fig10CCByEdges(cfg Config) Table {
 	cfg = cfg.withDefaults()
 	return ccFigure(10, cfg,
-		fmt.Sprintf("Connected components: time vs edges (%d vertices, %d threads)", cfg.CCVertices, cfg.Threads),
+		fmt.Sprintf("Connected components: time vs edges (%d vertices, %d threads, %s exec)", cfg.CCVertices, cfg.Threads, cfg.Exec),
 		"edges", cfg.CCEdgeSweep)
 }
 
@@ -244,7 +276,7 @@ func Fig10CCByEdges(cfg Config) Table {
 func Fig11CCByVertices(cfg Config) Table {
 	cfg = cfg.withDefaults()
 	return ccFigure(11, cfg,
-		fmt.Sprintf("Connected components: time vs vertices (%d edges, %d threads)", cfg.CCEdges, cfg.Threads),
+		fmt.Sprintf("Connected components: time vs vertices (%d edges, %d threads, %s exec)", cfg.CCEdges, cfg.Threads, cfg.Exec),
 		"vertices", cfg.CCVertexSweep)
 }
 
@@ -252,7 +284,7 @@ func Fig11CCByVertices(cfg Config) Table {
 func Fig12CCByThreads(cfg Config) Table {
 	cfg = cfg.withDefaults()
 	return ccFigure(12, cfg,
-		fmt.Sprintf("Connected components: time vs threads (%d vertices, %d edges)", cfg.CCVertices, cfg.CCEdges),
+		fmt.Sprintf("Connected components: time vs threads (%d vertices, %d edges, %s exec)", cfg.CCVertices, cfg.CCEdges, cfg.Exec),
 		"threads", cfg.ThreadSweep)
 }
 

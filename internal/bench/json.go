@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Row is one machine-readable measurement, the unit of the -json output:
+// enough identity (kernel, method, execution mode, worker count, sweep
+// position) to track a benchmark trajectory across commits.
+type Row struct {
+	Bench   string  `json:"bench"`            // "figure" or "roundoverhead"
+	Figure  string  `json:"figure,omitempty"` // e.g. "fig7"
+	Kernel  string  `json:"kernel,omitempty"` // "maxfind", "bfs", "cc", ...
+	Method  string  `json:"method,omitempty"` // concurrent-write method
+	Exec    string  `json:"exec"`             // execution mode: pool | team
+	Threads int     `json:"threads"`          // worker count of the point
+	XLabel  string  `json:"x_label,omitempty"`
+	X       int     `json:"x,omitempty"`
+	NsOp    float64 `json:"ns_op"` // median ns per run (or per round)
+}
+
+// Rows flattens a figure table into machine-readable rows. defaultThreads
+// is the fixed worker count of non-thread-sweep figures; for thread sweeps
+// the x value is the worker count.
+func (t *Table) Rows(defaultThreads int) []Row {
+	var out []Row
+	for _, s := range t.Series {
+		for i, x := range t.Xs {
+			threads := defaultThreads
+			if t.XLabel == "threads" {
+				threads = x
+			}
+			out = append(out, Row{
+				Bench:   "figure",
+				Figure:  t.ID,
+				Kernel:  t.Kernel,
+				Method:  s.Method.String(),
+				Exec:    t.Exec,
+				Threads: threads,
+				XLabel:  t.XLabel,
+				X:       x,
+				NsOp:    float64(s.Points[i].Median.Nanoseconds()),
+			})
+		}
+	}
+	return out
+}
+
+// WriteJSON emits rows as indented JSON (one array), stable for diffing
+// committed baselines.
+func WriteJSON(w io.Writer, rows []Row) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

@@ -109,7 +109,7 @@ func writeAligned(b *strings.Builder, rows [][]string) {
 // record per (x, method) pair.
 func (t *Table) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"figure", t.XLabel, "method", "median_ns", "reps"}); err != nil {
+	if err := cw.Write([]string{"figure", t.XLabel, "method", "exec", "median_ns", "reps"}); err != nil {
 		return err
 	}
 	for _, s := range t.Series {
@@ -118,6 +118,7 @@ func (t *Table) WriteCSV(w io.Writer) error {
 				t.ID,
 				strconv.Itoa(x),
 				s.Method.String(),
+				t.Exec,
 				strconv.FormatInt(s.Points[i].Median.Nanoseconds(), 10),
 				strconv.Itoa(s.Points[i].Sample.N()),
 			}

@@ -16,10 +16,17 @@
 // barrier between rounds, so a round costs two barrier phases rather than P
 // goroutine spawns, mirroring an OpenMP parallel region with an active wait
 // policy (the configuration the paper measures).
+//
+// Two execution modes drive the pool. ParallelFor/ParallelRange run one
+// round per call, re-entering the pool from the caller each time. Team runs
+// a whole kernel inside one persistent parallel region — the exact shape of
+// the paper's OpenMP listings, at one team barrier per round instead of two
+// pool phases — see team.go.
 package machine
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"crcwpram/internal/barrier"
 	"crcwpram/internal/sched"
@@ -40,6 +47,16 @@ type Machine struct {
 	// the barrier provides the happens-before edge.
 	step stepDesc
 
+	// Team-region state (team.go): the worker-only barrier, the one
+	// pre-allocated cursor shared by all dynamic/guided team loops, the
+	// ticket/ready words of its per-loop reset protocol, and the abort
+	// flag a panicking team body raises.
+	teamBar     *teamBarrier
+	teamCur     *sched.Cursor
+	teamTicket  atomic.Uint64
+	teamReady   atomic.Uint64
+	teamAborted atomic.Bool
+
 	round  uint32
 	closed bool
 }
@@ -49,6 +66,7 @@ type stepDesc struct {
 	body   func(i, w int)
 	ranged func(lo, hi, w int)
 	cursor *sched.Cursor
+	team   func(tc *TeamCtx)
 	quit   bool
 	panics []any // one slot per worker, pre-sized; nil = no panic
 }
@@ -83,6 +101,8 @@ func New(p int, opts ...Option) *Machine {
 	}
 	// The caller participates in both barrier phases, so the party is p+1.
 	m.bar = barrier.New(m.barKind, p+1)
+	m.teamBar = newTeamBarrier(p)
+	m.teamCur = sched.NewCursor(m.policy, 0, p, m.chunk)
 	m.step.panics = make([]any, p)
 	for w := 0; w < p; w++ {
 		go m.worker(w)
@@ -204,12 +224,24 @@ func (m *Machine) cursorFor(n int) *sched.Cursor {
 func (m *Machine) runStep() {
 	m.bar.Wait(m.p) // start phase: workers pick up m.step
 	m.bar.Wait(m.p) // end phase: all workers finished their shares
-	// Re-raise the first worker panic, if any, on the caller.
+	m.reraise()
+}
+
+// reraise re-raises the first recorded worker panic on the caller,
+// clearing every slot so a multi-worker panic cannot leak into the next
+// step.
+func (m *Machine) reraise() {
+	var first any
 	for w := 0; w < m.p; w++ {
 		if pv := m.step.panics[w]; pv != nil {
 			m.step.panics[w] = nil
-			panic(pv)
+			if first == nil {
+				first = pv
+			}
 		}
+	}
+	if first != nil {
+		panic(first)
 	}
 }
 
@@ -220,7 +252,11 @@ func (m *Machine) worker(id int) {
 		if st.quit {
 			return
 		}
-		m.runShare(st, id)
+		if st.team != nil {
+			m.runTeamShare(st, id)
+		} else {
+			m.runShare(st, id)
+		}
 		m.bar.Wait(id) // end phase
 	}
 }

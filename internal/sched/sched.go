@@ -113,30 +113,40 @@ func NewCursor(policy Policy, n, p, chunk int) *Cursor {
 // Next claims the next chunk, returning [lo, hi) and ok=false when the
 // index space is exhausted. Safe for concurrent use by all workers.
 func (c *Cursor) Next() (lo, hi int, ok bool) {
-	for {
-		size := c.chunk
-		if c.guided {
-			// Guided: chunk ≈ remaining / parties, floored at the minimum.
-			cur := c.next.Load()
-			remaining := c.n - cur
-			if remaining <= 0 {
-				return 0, 0, false
-			}
-			size = remaining / c.parties
-			if size < c.chunk {
-				size = c.chunk
-			}
-		}
-		start := c.next.Add(size) - size
-		if start >= c.n {
+	size := c.chunk
+	if c.guided {
+		// Guided: chunk ≈ remaining / parties, floored at the minimum.
+		cur := c.next.Load()
+		remaining := c.n - cur
+		if remaining <= 0 {
 			return 0, 0, false
 		}
-		end := start + size
-		if end > c.n {
-			end = c.n
+		size = remaining / c.parties
+		if size < c.chunk {
+			size = c.chunk
 		}
-		return int(start), int(end), true
 	}
+	start := c.next.Add(size) - size
+	if start >= c.n {
+		return 0, 0, false
+	}
+	end := start + size
+	if end > c.n {
+		end = c.n
+	}
+	return int(start), int(end), true
+}
+
+// Reset rewinds the cursor to the start of a fresh index space [0, n),
+// keeping the policy, party size and chunk. It lets a long-lived loop
+// context (e.g. a team-mode kernel) reuse one cursor allocation across many
+// rounds instead of allocating one per round. Reset is NOT safe against
+// concurrent Next calls: the caller must publish it to the other workers
+// through an acquire/release edge (a barrier, or the epoch word the
+// machine's team loops use) before any of them claims.
+func (c *Cursor) Reset(n int) {
+	c.n = int64(n)
+	c.next.Store(0)
 }
 
 // For iterates worker w's share of [0, n) under the given policy, invoking
