@@ -19,6 +19,10 @@
 //	                round per ParallelFor, the default) and/or team (one
 //	                persistent parallel region per kernel); figures run
 //	                once per listed mode
+//	-balance LIST   comma-separated work-partitioning policies: vertex
+//	                (equal vertex counts, the paper's split, the default)
+//	                and/or edge (equal arc counts); the BFS figures run
+//	                once per listed policy, other figures ignore the axis
 //	-paper          use the paper's full-size parameters (needs a large
 //	                machine; the default is a scaled-down sweep with the
 //	                same shape)
@@ -34,6 +38,16 @@
 //	                execution modes across the thread sweep; combinable
 //	                with -figure N (use -figure 0 explicitly to also run
 //	                all figures)
+//	-edgebalance    run the load-balance sweep: the CAS-LT BFS variants
+//	                (sweep, frontier, pull, hybrid) on an RMAT and a star
+//	                graph under both balance policies and both execution
+//	                modes, reporting wall medians plus the deterministic
+//	                work model; combinable like -roundoverhead
+//
+// And a baseline checker:
+//
+//	-validatejson F  parse a -json output file and verify its shape (used
+//	                 by CI's perf-smoke step); runs nothing else
 //
 // Instead of a timing figure, three analyses are available:
 //
@@ -51,6 +65,8 @@
 //	crcwbench -paper -figure 7
 //	crcwbench -figure 7 -exec pool,team -json bench.json
 //	crcwbench -roundoverhead
+//	crcwbench -edgebalance -threads 8 -json BENCH_edgebalance.json
+//	crcwbench -validatejson BENCH_edgebalance.json
 //	crcwbench -kernelops
 package main
 
@@ -63,6 +79,7 @@ import (
 	"crcwpram/internal/bench"
 	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
 )
 
 func main() {
@@ -85,8 +102,11 @@ func run(args []string) error {
 		verbose       = fs.Bool("v", false, "log per-point progress to stderr")
 		tiny          = fs.Bool("tiny", false, "miniature sweep for smoke tests (seconds, shapes not meaningful)")
 		execList      = fs.String("exec", "pool", "comma-separated execution modes to measure: pool and/or team")
+		balanceList   = fs.String("balance", "vertex", "comma-separated work-partitioning policies for the BFS figures: vertex and/or edge")
 		jsonPath      = fs.String("json", "", "write machine-readable results as JSON to this file")
 		roundoverhead = fs.Bool("roundoverhead", false, "measure ns per empty round for both execution modes across the thread sweep")
+		edgebalance   = fs.Bool("edgebalance", false, "run the BFS load-balance sweep (balance x kernel x exec) with the deterministic work model")
+		validateJSON  = fs.String("validatejson", "", "validate a -json output file and exit")
 		opcount       = fs.Bool("opcount", false, "run the Section-6 atomic-operation-count validation instead of a timing figure")
 		kernelops     = fs.Bool("kernelops", false, "count selection-protocol operations over full BFS/CC runs instead of timing")
 		simulations   = fs.Bool("simulations", false, "time one Priority write step per rung of the CW hierarchy instead of a figure")
@@ -134,6 +154,28 @@ func run(args []string) error {
 		}
 		execs = append(execs, e)
 	}
+	var balances []graph.Balance
+	for _, name := range strings.Split(*balanceList, ",") {
+		b, ok := graph.ParseBalance(strings.TrimSpace(name))
+		if !ok {
+			return fmt.Errorf("unknown balance policy %q (known: %v)", name, graph.Balances)
+		}
+		balances = append(balances, b)
+	}
+
+	if *validateJSON != "" {
+		f, err := os.Open(*validateJSON)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := bench.ValidateJSON(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *validateJSON, err)
+		}
+		fmt.Printf("%s: %d rows ok\n", *validateJSON, n)
+		return nil
+	}
 
 	if *opcount {
 		rows := bench.OpCountTable(cfg.Threads, []int{1000, 10000, 100000, 1000000})
@@ -159,6 +201,22 @@ func run(args []string) error {
 		jsonRows = append(jsonRows, bench.OverheadJSONRows(rows)...)
 	}
 
+	if *edgebalance {
+		// Like -roundoverhead, the sweep is itself a pool-vs-team
+		// comparison, so it always measures both modes.
+		infos, rows, err := bench.EdgeBalance(cfg, nil)
+		if err != nil {
+			return err
+		}
+		if *roundoverhead {
+			fmt.Println()
+		}
+		if err := bench.FormatEdgeBalance(os.Stdout, infos, rows); err != nil {
+			return err
+		}
+		jsonRows = append(jsonRows, bench.EdgeBalanceJSONRows(rows)...)
+	}
+
 	figureSet := false
 	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "figure" {
@@ -168,9 +226,9 @@ func run(args []string) error {
 	ids := bench.SortedFigureIDs()
 	if *figure != 0 {
 		ids = []int{*figure}
-	} else if *roundoverhead && !figureSet {
-		// -roundoverhead alone runs only the microbenchmark; add
-		// -figure 0 explicitly to also sweep every figure.
+	} else if (*roundoverhead || *edgebalance) && !figureSet {
+		// -roundoverhead / -edgebalance alone run only their own sweep;
+		// add -figure 0 explicitly to also sweep every figure.
 		ids = nil
 	}
 
@@ -184,27 +242,36 @@ func run(args []string) error {
 		csvFile = f
 	}
 
-	printed := *roundoverhead
+	printed := *roundoverhead || *edgebalance
 	for _, exec := range execs {
 		cfg.Exec = exec
 		for _, id := range ids {
-			table, err := bench.Figure(id, cfg)
-			if err != nil {
-				return err
+			// The balance axis only moves the BFS figures; everything else
+			// runs once, under the first listed policy.
+			bals := balances
+			if !bench.FigureUsesBalance(id) {
+				bals = balances[:1]
 			}
-			if printed {
-				fmt.Println()
-			}
-			printed = true
-			if err := table.Format(os.Stdout); err != nil {
-				return err
-			}
-			if csvFile != nil {
-				if err := table.WriteCSV(csvFile); err != nil {
-					return fmt.Errorf("write csv: %w", err)
+			for _, bal := range bals {
+				cfg.Balance = bal
+				table, err := bench.Figure(id, cfg)
+				if err != nil {
+					return err
 				}
+				if printed {
+					fmt.Println()
+				}
+				printed = true
+				if err := table.Format(os.Stdout); err != nil {
+					return err
+				}
+				if csvFile != nil {
+					if err := table.WriteCSV(csvFile); err != nil {
+						return fmt.Errorf("write csv: %w", err)
+					}
+				}
+				jsonRows = append(jsonRows, table.Rows(cfg.Threads)...)
 			}
-			jsonRows = append(jsonRows, table.Rows(cfg.Threads)...)
 		}
 	}
 

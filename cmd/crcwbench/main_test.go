@@ -190,6 +190,71 @@ func TestRunRoundOverhead(t *testing.T) {
 	}
 }
 
+func TestRunEdgeBalance(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eb.json")
+	out, err := capture(t, func() error {
+		return run([]string{"-tiny", "-edgebalance", "-reps", "1", "-json", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"edgebalance", "bfs-hybrid", "bfs-pull", "imbal", "skew"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "fig5") {
+		t.Fatal("-edgebalance without -figure ran the figure sweep")
+	}
+	// The emitted file must pass the CLI's own validator.
+	vout, err := capture(t, func() error {
+		return run([]string{"-validatejson", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(vout, "rows ok") {
+		t.Fatalf("validatejson output wrong:\n%s", vout)
+	}
+}
+
+func TestRunBalanceAxis(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-tiny", "-figure", "7", "-balance", "vertex,edge",
+			"-methods", "caslt", "-reps", "1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "vertex balance") || !strings.Contains(out, "edge balance") {
+		t.Fatalf("expected one fig7 table per balance policy:\n%s", out)
+	}
+	// A non-BFS figure runs once, under the first policy only.
+	out, err = capture(t, func() error {
+		return run([]string{"-tiny", "-figure", "5", "-balance", "vertex,edge",
+			"-methods", "caslt", "-reps", "1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(out, "== fig5"); n != 1 {
+		t.Fatalf("figure 5 rendered %d tables across the balance axis, want 1:\n%s", n, out)
+	}
+}
+
+func TestRunValidateJSONRejects(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`[{"bench":"x","exec":"omp","threads":1,"ns_op":1}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error { return run([]string{"-validatejson", path}) }); err == nil {
+		t.Fatal("malformed json accepted")
+	}
+	if _, err := capture(t, func() error { return run([]string{"-validatejson", filepath.Join(t.TempDir(), "missing.json")}) }); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
 func TestRunOpCount(t *testing.T) {
 	out, err := capture(t, func() error {
 		return run([]string{"-opcount", "-threads", "2"})
@@ -208,6 +273,7 @@ func TestRunErrors(t *testing.T) {
 		{"-figure", "13"},
 		{"-methods", "bogus"},
 		{"-exec", "bogus"},
+		{"-balance", "bogus"},
 		{"-tiny", "-paper"},
 		{"-nonexistent-flag"},
 	}

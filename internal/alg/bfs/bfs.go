@@ -71,11 +71,25 @@ type Kernel struct {
 	source uint32
 	base   uint32 // CAS-LT round offset carried across runs
 
+	// balance selects vertex- or edge-balanced loop partitioning;
+	// arcBounds caches the equal-arc vertex shards for the whole range.
+	balance   graph.Balance
+	arcBounds []int
+
 	// Frontier-variant state (frontier.go), allocated on first use.
 	frontier []uint32
 	next     []uint32
 	bufs     [][]uint32 // per-worker discovery buffers
 	wOff     []int      // per-worker offsets into next
+	degSum   []uint64   // per-worker arc count of the level's discoveries
+	discArcs uint64     // level's total discovered arcs (team hybrid Single)
+
+	// Edge-balanced frontier scratch (allocated when balance is edge):
+	// per-vertex frontier degrees, their prefix scan, and the per-worker
+	// partial sums of the team-mode in-region scan.
+	deg     []uint32
+	cum     []uint32
+	degPart []uint32
 }
 
 // NewKernel returns a BFS kernel over g executed on m. The machine and
@@ -94,6 +108,40 @@ func NewKernel(m *machine.Machine, g *graph.Graph) *Kernel {
 		gates:   cw.NewGateArray(n, cw.Packed),
 		mtx:     cw.NewMutexArray(n),
 	}
+}
+
+// SetBalance selects how the kernel's vertex loops are partitioned:
+// equal-vertex blocks (the default, the paper's formulation) or the
+// equal-arc shards of graph.ArcBounds, which unskew the per-worker arc work
+// on hub-heavy graphs. Frontier variants additionally shard each level's
+// frontier by its edge count. Balance changes which worker walks which
+// vertices, never who may write what, so results are unaffected. Call it
+// before Run*, not during.
+func (k *Kernel) SetBalance(b graph.Balance) { k.balance = b }
+
+// Balance returns the kernel's current balance policy.
+func (k *Kernel) Balance() graph.Balance { return k.balance }
+
+// ensureArcBounds caches the equal-arc shards of the full vertex range.
+// Must be called from the driver goroutine (in team mode: before the
+// region opens).
+func (k *Kernel) ensureArcBounds() []int {
+	if len(k.arcBounds) != k.m.P()+1 {
+		k.arcBounds = graph.ArcBounds(k.g, k.m.P())
+	}
+	return k.arcBounds
+}
+
+// sweep executes one whole-vertex-range round under the kernel's balance
+// policy: equal-vertex blocks or equal-arc shards. Re-initialization
+// passes (gate resets, Prepare) stay on ParallelRange — their per-vertex
+// cost is uniform, so vertex balance is already optimal there.
+func (k *Kernel) sweep(body func(lo, hi, w int)) {
+	if k.balance == graph.BalanceEdge {
+		k.m.ParallelBounds(k.ensureArcBounds(), body)
+		return
+	}
+	k.m.ParallelRange(k.n, body)
 }
 
 // Prepare resets the traversal arrays for a run from the given source.
@@ -157,7 +205,7 @@ func (k *Kernel) RunCASLT() Result {
 	for {
 		done.Store(1)
 		round := k.base + L + 1
-		k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+		k.sweep(func(lo, hi, _ int) {
 			progress := false
 			for v := lo; v < hi; v++ {
 				if atomic.LoadUint32(&k.level[v]) != L {
@@ -205,7 +253,7 @@ func (k *Kernel) runGate(checked bool) Result {
 	L := uint32(0)
 	for {
 		done.Store(1)
-		k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+		k.sweep(func(lo, hi, _ int) {
 			progress := false
 			for v := lo; v < hi; v++ {
 				if atomic.LoadUint32(&k.level[v]) != L {
@@ -257,7 +305,7 @@ func (k *Kernel) RunNaive() Result {
 	L := uint32(0)
 	for {
 		done.Store(1)
-		k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+		k.sweep(func(lo, hi, _ int) {
 			progress := false
 			for v := lo; v < hi; v++ {
 				if k.level[v] != L {
@@ -295,7 +343,7 @@ func (k *Kernel) RunMutex() Result {
 	L := uint32(0)
 	for {
 		done.Store(1)
-		k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+		k.sweep(func(lo, hi, _ int) {
 			progress := false
 			for v := lo; v < hi; v++ {
 				if atomic.LoadUint32(&k.level[v]) != L {

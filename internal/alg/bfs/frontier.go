@@ -1,6 +1,12 @@
 package bfs
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"crcwpram/internal/graph"
+	"crcwpram/internal/scan"
+	"crcwpram/internal/sched"
+)
 
 // This file implements the frontier-based refinement of the paper's BFS:
 // instead of sweeping all N vertices per level to find the frontier (the
@@ -12,71 +18,114 @@ import "sync/atomic"
 // concurrent-write handling is unchanged (CAS-LT with the level as the
 // round id), so the variant isolates the algorithmic sweep cost from the
 // CW method cost; the ablation benchmark compares the two formulations.
+//
+// Under edge balance the frontier itself is re-sharded every level: the
+// frontier vertices' degrees are prefix-scanned (scan.BlockExclusive) into
+// an arc-prefix array and each worker takes a near-equal-arc slice of it
+// (sched.WeightedRange), so one hub on the frontier no longer serializes
+// the level behind a single worker.
 
 // ensureFrontierState lazily allocates the frontier variant's buffers: the
 // two level buffers (current and next frontier), the per-worker discovery
-// buffers and the offset scratch. Both level buffers are owned by the kernel
-// and survive across runs, so repeated runs reuse grown capacity instead of
-// re-appending into a stale slice header.
+// buffers, the offset scratch, and — when the kernel is edge-balanced — the
+// frontier-degree arrays. Both level buffers are owned by the kernel and
+// survive across runs, so repeated runs reuse grown capacity instead of
+// re-appending into a stale slice header. Team-mode entry points call this
+// before the region opens, so allocation never races.
 func (k *Kernel) ensureFrontierState() {
 	p := k.m.P()
 	if k.bufs == nil {
 		k.bufs = make([][]uint32, p)
 		k.wOff = make([]int, p+1)
+		k.degSum = make([]uint64, p)
 	}
 	if cap(k.frontier) < k.n {
 		k.frontier = make([]uint32, 0, k.n)
 		k.next = make([]uint32, 0, k.n)
 	}
+	if k.balance == graph.BalanceEdge && len(k.cum) < k.n+1 {
+		k.deg = make([]uint32, k.n)
+		k.cum = make([]uint32, k.n+1)
+		k.degPart = make([]uint32, p)
+	}
+}
+
+// relaxFrontier runs one push level: every frontier vertex relaxes its
+// arcs, CAS-LT winners write the discovery tuple and append the vertex to
+// their worker's buffer, adding its degree to the worker's degSum slot (the
+// hybrid driver's frontier-edge counter). Partitioning follows the
+// kernel's balance policy.
+func (k *Kernel) relaxFrontier(L, round uint32) {
+	offsets, targets := k.g.Offsets(), k.g.Targets()
+	frontier := k.frontier
+	bufs := k.bufs
+	relax := func(v uint32, w int) {
+		for j := offsets[v]; j < offsets[v+1]; j++ {
+			u := targets[j]
+			if atomic.LoadUint32(&k.visited[u]) != 0 {
+				continue
+			}
+			if k.cells.TryClaim(int(u), round) {
+				k.parent[u] = v
+				k.selEdge[u] = j
+				atomic.StoreUint32(&k.visited[u], 1)
+				atomic.StoreUint32(&k.level[u], L+1)
+				bufs[w] = append(bufs[w], u)
+				k.degSum[w] += uint64(offsets[u+1] - offsets[u])
+			}
+		}
+	}
+	nf := len(frontier)
+	if k.balance == graph.BalanceEdge && nf > 1 {
+		p := k.m.P()
+		deg := graph.FrontierDegrees(k.g, frontier, k.deg)
+		cum := k.cum[:nf+1]
+		cum[nf] = scan.BlockExclusive(k.m, deg, cum[:nf])
+		// One index per shard; the executing worker (not the shard id) owns
+		// the discovery buffer, so this is balanced under any loop policy.
+		k.m.ParallelForWorker(p, func(shard, w int) {
+			lo, hi := sched.WeightedRange(cum, p, shard)
+			for i := lo; i < hi; i++ {
+				relax(frontier[i], w)
+			}
+		})
+		return
+	}
+	k.m.ParallelForWorker(nf, func(i, w int) { relax(frontier[i], w) })
+}
+
+// assembleNext turns the per-worker discovery buffers into the next
+// frontier: a serial scan of the P buffer sizes, then each worker copies
+// its buffer to its offset. The kernel-owned buffers are swapped — the
+// assembled frontier becomes current, the consumed one (passed in) becomes
+// the next level's target — and the new frontier size is returned.
+func (k *Kernel) assembleNext(consumed []uint32) int {
+	p := k.m.P()
+	total := 0
+	for w := 0; w < p; w++ {
+		k.wOff[w] = total
+		total += len(k.bufs[w])
+	}
+	k.wOff[p] = total
+	next := k.next[:total]
+	k.m.ParallelFor(p, func(w int) {
+		copy(next[k.wOff[w]:k.wOff[w+1]], k.bufs[w])
+		k.bufs[w] = k.bufs[w][:0]
+	})
+	k.frontier, k.next = next, consumed[:0]
+	return total
 }
 
 // RunCASLTFrontier executes BFS with an explicit frontier and
 // CAS-LT-guarded discovery tuples. Prepare must have been called first.
 func (k *Kernel) RunCASLTFrontier() Result {
-	offsets, targets := k.g.Offsets(), k.g.Targets()
-	p := k.m.P()
 	k.ensureFrontierState()
 	k.frontier = append(k.frontier[:0], k.source)
 	L := uint32(0)
 	for len(k.frontier) > 0 {
-		round := k.base + L + 1
 		frontier := k.frontier
-		bufs := k.bufs
-		k.m.ParallelForWorker(len(frontier), func(i, w int) {
-			v := frontier[i]
-			for j := offsets[v]; j < offsets[v+1]; j++ {
-				u := targets[j]
-				if atomic.LoadUint32(&k.visited[u]) != 0 {
-					continue
-				}
-				if k.cells.TryClaim(int(u), round) {
-					k.parent[u] = v
-					k.selEdge[u] = j
-					atomic.StoreUint32(&k.visited[u], 1)
-					atomic.StoreUint32(&k.level[u], L+1)
-					bufs[w] = append(bufs[w], u)
-				}
-			}
-		})
-
-		// Assemble the next frontier: serial scan of the P buffer sizes,
-		// then each worker copies its buffer to its offset.
-		total := 0
-		for w := 0; w < p; w++ {
-			k.wOff[w] = total
-			total += len(bufs[w])
-		}
-		k.wOff[p] = total
-		next := k.next[:total]
-		k.m.ParallelFor(p, func(w int) {
-			copy(next[k.wOff[w]:k.wOff[w+1]], bufs[w])
-			bufs[w] = bufs[w][:0]
-		})
-
-		// Swap the kernel-owned buffers: the assembled frontier becomes
-		// current, the just-consumed one becomes next level's target.
-		k.frontier, k.next = next, frontier[:0]
-		if total == 0 {
+		k.relaxFrontier(L, k.base+L+1)
+		if k.assembleNext(frontier) == 0 {
 			break
 		}
 		L++

@@ -1,0 +1,176 @@
+package bfs
+
+import "sync/atomic"
+
+// Direction-optimizing BFS (Beamer, Asanović, Patterson, SC'12) on top of
+// the CAS-LT kernel.
+//
+// The push formulations above relax every arc out of the frontier, and
+// each discovery is a *common concurrent write*: several frontier vertices
+// may discover the same u in one round, so the tuple write needs a CW
+// method. The pull (bottom-up) formulation inverts the loop: every
+// still-unreached vertex u scans its own adjacency list for a neighbor at
+// the current level and, on success, writes its *own* tuple
+// (Parent[u], SelEdge[u], Visited[u], Level[u]). Exactly one virtual
+// processor writes each location — an *exclusive* write in PRAM terms — so
+// no CAS-LT claim (and no round id) is needed at all. That makes pull the
+// repo's EW ablation point against the paper's CW methods: same traversal,
+// same tuple, no write contention by construction.
+//
+// Pull pays for that by touching every unreached vertex each level; it wins
+// only when the frontier's arc count dwarfs the unexplored arc count,
+// because most pull scans then terminate after a few arcs (the first
+// neighbor probed is already at level L). The hybrid driver switches
+// per level on Beamer's heuristic: push→pull when the frontier's outgoing
+// arcs m_f exceed the unexplored arcs m_u / α, and pull→push when the
+// frontier shrinks below N/β vertices. Each level is still one PRAM round
+// bracketed by machine barriers; only the loop *shape* (and hence the CW
+// class) changes between rounds, never the round protocol around it.
+//
+// SelEdge direction: a push discovery records the arc parent→u, a pull
+// discovery the arc u→parent (the arc the scan actually examined — the
+// reverse arc need not exist at a findable index in a directed CSR).
+// ValidateBidir accepts either orientation; the strict push validator
+// applies to push-only runs.
+
+const (
+	// HybridAlpha is the push→pull threshold: switch when
+	// m_f * HybridAlpha > m_u (frontier arcs outgrow unexplored arcs/α).
+	HybridAlpha = 14
+	// HybridBeta is the pull→push threshold: switch back when the frontier
+	// holds fewer than N/HybridBeta vertices.
+	HybridBeta = 24
+)
+
+// NextDirection applies the Beamer switch with hysteresis: pull reports
+// whether the *previous* level ran bottom-up; the return value directs the
+// next level. mf is the arc count out of the current frontier, mu the arc
+// count out of still-unvisited vertices, nf the frontier vertex count.
+// Exported so the bench harness's deterministic work model replays the
+// hybrid's direction decisions with the kernel's own rule.
+func NextDirection(pull bool, mf, mu, nf, n uint64) bool {
+	if !pull {
+		return mf*HybridAlpha > mu
+	}
+	return nf*HybridBeta >= n
+}
+
+// pullLevel runs one bottom-up level over worker range [lo, hi): each
+// still-unreached vertex scans its arcs for a neighbor at level L and
+// claims itself for level L+1. level[u] is written only by the worker that
+// owns u's shard (shards are static across levels), so the filter read is
+// plain; neighbor levels are cross-worker and read atomically. Returns
+// whether anything was discovered. onFound, if non-nil, observes each
+// discovery (the hybrid driver's frontier collection).
+func (k *Kernel) pullLevel(lo, hi int, L uint32, onFound func(u uint32)) bool {
+	offsets, targets := k.g.Offsets(), k.g.Targets()
+	progress := false
+	for u := lo; u < hi; u++ {
+		if k.level[u] != Unreached {
+			continue
+		}
+		for j := offsets[u]; j < offsets[u+1]; j++ {
+			v := targets[j]
+			if atomic.LoadUint32(&k.level[v]) == L {
+				k.parent[u] = v
+				k.selEdge[u] = j
+				atomic.StoreUint32(&k.visited[u], 1)
+				atomic.StoreUint32(&k.level[u], L+1)
+				progress = true
+				if onFound != nil {
+					onFound(uint32(u))
+				}
+				break
+			}
+		}
+	}
+	return progress
+}
+
+// RunCASLTPull executes a pure bottom-up BFS. Prepare must have been called
+// first. Every level sweeps all unreached vertices (under the kernel's
+// balance policy), so this is the ablation endpoint, not the practical
+// kernel — use RunCASLTHybrid for that. No CAS-LT rounds are consumed: all
+// writes are exclusive.
+// requireSymmetric guards the bottom-up variants: pull scans a vertex's
+// *out*-arcs to find a parent, which finds the in-neighbors only when the
+// CSR stores both directions.
+func (k *Kernel) requireSymmetric() {
+	if !k.g.Undirected() {
+		panic("bfs: pull/hybrid BFS requires an undirected (symmetric) graph")
+	}
+}
+
+func (k *Kernel) RunCASLTPull() Result {
+	k.requireSymmetric()
+	var done atomic.Uint32
+	L := uint32(0)
+	for {
+		done.Store(1)
+		k.sweep(func(lo, hi, _ int) {
+			if k.pullLevel(lo, hi, L, nil) {
+				done.Store(0)
+			}
+		})
+		if done.Load() == 1 {
+			break
+		}
+		L++
+	}
+	return k.result(int(L))
+}
+
+// pullFrontierLevel is one bottom-up level that also collects discoveries
+// into the per-worker buffers (with degSum bookkeeping), so the hybrid
+// driver can keep its explicit frontier across direction switches.
+func (k *Kernel) pullFrontierLevel(L uint32) {
+	offsets := k.g.Offsets()
+	k.sweep(func(lo, hi, w int) {
+		k.pullLevel(lo, hi, L, func(u uint32) {
+			k.bufs[w] = append(k.bufs[w], u)
+			k.degSum[w] += uint64(offsets[u+1] - offsets[u])
+		})
+	})
+}
+
+// RunCASLTHybrid executes the direction-optimizing BFS: push levels are the
+// CAS-LT frontier relaxation (edge- or vertex-balanced), pull levels the
+// bottom-up scan, chosen per level by NextDirection. The explicit frontier
+// is maintained through both directions; m_u starts at the graph's arc
+// count minus the source's degree and decreases by each level's discovered
+// arc count. Prepare must have been called first.
+func (k *Kernel) RunCASLTHybrid() Result {
+	k.requireSymmetric()
+	p := k.m.P()
+	k.ensureFrontierState()
+	k.frontier = append(k.frontier[:0], k.source)
+	mf := uint64(k.g.Degree(k.source))
+	mu := uint64(k.g.NumArcs()) - mf
+	pull := false
+	L := uint32(0)
+	for len(k.frontier) > 0 {
+		pull = NextDirection(pull, mf, mu, uint64(len(k.frontier)), uint64(k.n))
+		frontier := k.frontier
+		for w := 0; w < p; w++ {
+			k.degSum[w] = 0
+		}
+		if pull {
+			k.pullFrontierLevel(L)
+		} else {
+			k.relaxFrontier(L, k.base+L+1)
+		}
+		total := k.assembleNext(frontier)
+		var disc uint64
+		for w := 0; w < p; w++ {
+			disc += k.degSum[w]
+		}
+		mu -= disc
+		mf = disc
+		if total == 0 {
+			break
+		}
+		L++
+	}
+	k.base += L + 1
+	return k.result(int(L))
+}

@@ -5,6 +5,8 @@ import (
 
 	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
+	"crcwpram/internal/sched"
 )
 
 // This file ports the BFS variants to the machine's team execution mode:
@@ -35,12 +37,27 @@ func (k *Kernel) RunTeam(method cw.Method) Result {
 	}
 }
 
+// teamSweep executes one worker's share of a whole-vertex-range round
+// under the kernel's balance policy — the in-region analogue of
+// Kernel.sweep. Edge balance requires k.arcBounds to be populated before
+// the region opens (teamLevels and the hybrid driver do so).
+func (k *Kernel) teamSweep(tc *machine.TeamCtx, body func(lo, hi int)) {
+	if k.balance == graph.BalanceEdge {
+		tc.Bounds(k.arcBounds, body)
+		return
+	}
+	tc.Range(k.n, body)
+}
+
 // teamLevels drives the level loop inside one team region. sweep executes
 // one worker's share [lo, hi) of level L's vertex sweep and reports whether
 // it discovered anything; gateReset adds the gatekeeper's O(N)
 // re-initialization pass between levels. Returns the depth (max finite
 // level), identical to the pool drivers' L at loop exit.
 func (k *Kernel) teamLevels(sweep func(lo, hi int, L, round uint32) bool, gateReset bool) uint32 {
+	if k.balance == graph.BalanceEdge {
+		k.ensureArcBounds() // allocate outside the region
+	}
 	var done machine.TeamFlag
 	done.Set(0, 1)
 	var depth uint32
@@ -49,7 +66,7 @@ func (k *Kernel) teamLevels(sweep func(lo, hi int, L, round uint32) bool, gateRe
 		for {
 			done.Set(L+1, 1) // prime next level's flag (common CW)
 			round := k.base + L + 1
-			tc.Range(k.n, func(lo, hi int) {
+			k.teamSweep(tc, func(lo, hi int) {
 				if sweep(lo, hi, L, round) {
 					done.Set(L, 0)
 				}
@@ -190,6 +207,77 @@ func (k *Kernel) RunMutexTeam() Result {
 	return k.result(int(depth))
 }
 
+// teamRelaxFrontier runs one worker's share of a push level inside the
+// region: the in-region analogue of relaxFrontier, with the same balance
+// behavior. Under edge balance the frontier-degree prefix scan runs
+// in-region too (two aligned tc.Range passes around a tc.Single, the
+// textbook block scan), after which every worker derives its own
+// near-equal-arc slice with sched.WeightedRange — no extra serial step.
+// Ends with the level's closing barrier either way.
+func (k *Kernel) teamRelaxFrontier(tc *machine.TeamCtx, frontier []uint32, L, round uint32) {
+	offsets, targets := k.g.Offsets(), k.g.Targets()
+	w := tc.W
+	relax := func(v uint32) {
+		for j := offsets[v]; j < offsets[v+1]; j++ {
+			u := targets[j]
+			if atomic.LoadUint32(&k.visited[u]) != 0 {
+				continue
+			}
+			if k.cells.TryClaim(int(u), round) {
+				k.parent[u] = v
+				k.selEdge[u] = j
+				atomic.StoreUint32(&k.visited[u], 1)
+				atomic.StoreUint32(&k.level[u], L+1)
+				k.bufs[w] = append(k.bufs[w], u)
+				k.degSum[w] += uint64(offsets[u+1] - offsets[u])
+			}
+		}
+	}
+	nf := len(frontier)
+	if k.balance == graph.BalanceEdge && nf > 1 {
+		p := tc.P()
+		deg := k.deg[:nf]
+		cum := k.cum[:nf+1]
+		// Pass 1: degrees plus this worker's block partial sum. Workers
+		// with an empty block publish zero.
+		k.degPart[w] = 0
+		tc.Range(nf, func(lo, hi int) {
+			var s uint32
+			for i := lo; i < hi; i++ {
+				v := frontier[i]
+				deg[i] = offsets[v+1] - offsets[v]
+				s += deg[i]
+			}
+			k.degPart[w] = s
+		})
+		// Serial P-element exclusive scan of the partials.
+		tc.Single(func() {
+			var tot uint32
+			for i := 0; i < p; i++ {
+				s := k.degPart[i]
+				k.degPart[i] = tot
+				tot += s
+			}
+			cum[nf] = tot
+		})
+		// Pass 2: same block ranges, so each worker's partial lines up.
+		tc.Range(nf, func(lo, hi int) {
+			run := k.degPart[w]
+			for i := lo; i < hi; i++ {
+				cum[i] = run
+				run += deg[i]
+			}
+		})
+		lo, hi := sched.WeightedRange(cum, p, w)
+		for i := lo; i < hi; i++ {
+			relax(frontier[i])
+		}
+		tc.Barrier()
+		return
+	}
+	tc.ForWorker(nf, func(i, _ int) { relax(frontier[i]) })
+}
+
 // RunCASLTFrontierTeam is the frontier variant inside one team region. The
 // serial P-element offset scan that the pool variant runs on the caller —
 // with all P workers parked across two extra barrier phases — becomes a
@@ -197,7 +285,6 @@ func (k *Kernel) RunMutexTeam() Result {
 // barriers total (sweep, single, copy) instead of four pool phases plus
 // caller-side serial work.
 func (k *Kernel) RunCASLTFrontierTeam() Result {
-	offsets, targets := k.g.Offsets(), k.g.Targets()
 	p := k.m.P()
 	k.ensureFrontierState()
 	k.frontier = append(k.frontier[:0], k.source)
@@ -208,22 +295,7 @@ func (k *Kernel) RunCASLTFrontierTeam() Result {
 		for {
 			round := k.base + L + 1
 			frontier := k.frontier
-			tc.ForWorker(len(frontier), func(i, w int) {
-				v := frontier[i]
-				for j := offsets[v]; j < offsets[v+1]; j++ {
-					u := targets[j]
-					if atomic.LoadUint32(&k.visited[u]) != 0 {
-						continue
-					}
-					if k.cells.TryClaim(int(u), round) {
-						k.parent[u] = v
-						k.selEdge[u] = j
-						atomic.StoreUint32(&k.visited[u], 1)
-						atomic.StoreUint32(&k.level[u], L+1)
-						k.bufs[w] = append(k.bufs[w], u)
-					}
-				}
-			})
+			k.teamRelaxFrontier(tc, frontier, L, round)
 			tc.Single(func() {
 				total := 0
 				for i := 0; i < p; i++ {

@@ -1,0 +1,94 @@
+package bfs
+
+import (
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
+)
+
+// Team-mode ports of the direction-optimizing variants (pull.go). The pull
+// sweep slots straight into the generic teamLevels driver — it is just
+// another whole-range sweep, with exclusive writes instead of CAS-LT
+// claims. The hybrid driver needs its own region body: the per-level
+// direction decision must be SPMD-consistent, so every worker tracks
+// (m_f, m_u, direction) in worker-local variables that are updated from
+// shared per-worker counters only after the level's Single published them —
+// all workers therefore compute the identical decision sequence.
+
+// RunCASLTPullTeam is the pure bottom-up BFS inside one team region.
+// Prepare must have been called first.
+func (k *Kernel) RunCASLTPullTeam() Result {
+	k.requireSymmetric()
+	depth := k.teamLevels(func(lo, hi int, L, _ uint32) bool {
+		return k.pullLevel(lo, hi, L, nil)
+	}, false)
+	return k.result(int(depth))
+}
+
+// RunCASLTHybridTeam is the direction-optimizing BFS inside one team
+// region. Per level it costs the relax/pull sweep barrier, the Single that
+// assembles offsets and the level's arc count, and the copy barrier —
+// the same three-barrier shape as RunCASLTFrontierTeam regardless of
+// direction. Prepare must have been called first.
+func (k *Kernel) RunCASLTHybridTeam() Result {
+	k.requireSymmetric()
+	offsets := k.g.Offsets()
+	p := k.m.P()
+	k.ensureFrontierState()
+	if k.balance == graph.BalanceEdge {
+		k.ensureArcBounds()
+	}
+	k.frontier = append(k.frontier[:0], k.source)
+	mfInit := uint64(k.g.Degree(k.source))
+	muInit := uint64(k.g.NumArcs()) - mfInit
+	var depth uint32
+	k.m.Team(func(tc *machine.TeamCtx) {
+		w := tc.W
+		mf, mu := mfInit, muInit
+		pull := false
+		L := uint32(0)
+		for {
+			pull = NextDirection(pull, mf, mu, uint64(len(k.frontier)), uint64(k.n))
+			round := k.base + L + 1
+			frontier := k.frontier
+			k.degSum[w] = 0
+			if pull {
+				k.teamSweep(tc, func(lo, hi int) {
+					k.pullLevel(lo, hi, L, func(u uint32) {
+						k.bufs[w] = append(k.bufs[w], u)
+						k.degSum[w] += uint64(offsets[u+1] - offsets[u])
+					})
+				})
+			} else {
+				k.teamRelaxFrontier(tc, frontier, L, round)
+			}
+			tc.Single(func() {
+				total := 0
+				var disc uint64
+				for i := 0; i < p; i++ {
+					k.wOff[i] = total
+					total += len(k.bufs[i])
+					disc += k.degSum[i]
+				}
+				k.wOff[p] = total
+				k.discArcs = disc
+				k.frontier, k.next = k.next[:total], frontier[:0]
+			})
+			// Single's barrier published the offsets, the swap and discArcs.
+			mu -= k.discArcs
+			mf = k.discArcs
+			if len(k.frontier) == 0 {
+				if w == 0 {
+					depth = L
+				}
+				break
+			}
+			next := k.frontier
+			copy(next[k.wOff[w]:k.wOff[w+1]], k.bufs[w])
+			k.bufs[w] = k.bufs[w][:0]
+			tc.Barrier()
+			L++
+		}
+	})
+	k.base += depth + 1
+	return k.result(int(depth))
+}

@@ -87,6 +87,58 @@ func Validate(g *graph.Graph, source uint32, r Result, strict bool) error {
 	return nil
 }
 
+// ValidateBidir checks a result whose discoveries may have been made in
+// either traversal direction — the pull and hybrid variants. Levels,
+// parent reachability and parent level are checked exactly as in strict
+// Validate; the untorn-tuple check accepts either arc orientation for
+// SelEdge[u]: the arc parent→u (a push discovery) or the arc u→parent (a
+// pull discovery records the arc its own scan examined). In both cases the
+// (Parent, SelEdge) pair must agree on one edge, so a torn tuple still
+// fails.
+func ValidateBidir(g *graph.Graph, source uint32, r Result) error {
+	n := g.NumVertices()
+	if len(r.Level) != n || len(r.Parent) != n || len(r.SelEdge) != n {
+		return fmt.Errorf("bfs: result arrays sized %d/%d/%d, want %d", len(r.Level), len(r.Parent), len(r.SelEdge), n)
+	}
+	want := Sequential(g, source)
+	if r.Depth != want.Depth {
+		return fmt.Errorf("bfs: depth %d, want %d", r.Depth, want.Depth)
+	}
+	offsets, targets := g.Offsets(), g.Targets()
+	for u := 0; u < n; u++ {
+		if r.Level[u] != want.Level[u] {
+			return fmt.Errorf("bfs: level[%d] = %d, want %d", u, r.Level[u], want.Level[u])
+		}
+		if uint32(u) == source {
+			continue
+		}
+		if r.Level[u] == Unreached {
+			if r.Parent[u] != Unreached || r.SelEdge[u] != Unreached {
+				return fmt.Errorf("bfs: unreached vertex %d has parent %d / edge %d", u, r.Parent[u], r.SelEdge[u])
+			}
+			continue
+		}
+		p := r.Parent[u]
+		if p == Unreached || int(p) >= n {
+			return fmt.Errorf("bfs: reached vertex %d has invalid parent %d", u, p)
+		}
+		if r.Level[p] != r.Level[u]-1 {
+			return fmt.Errorf("bfs: parent[%d] = %d at level %d, want level %d", u, p, r.Level[p], r.Level[u]-1)
+		}
+		e := r.SelEdge[u]
+		if e == Unreached || int(e) >= g.NumArcs() {
+			return fmt.Errorf("bfs: reached vertex %d has invalid selEdge %d", u, e)
+		}
+		pushArc := e >= offsets[p] && e < offsets[p+1] && targets[e] == uint32(u)
+		pullArc := e >= offsets[u] && e < offsets[u+1] && targets[e] == p
+		if !pushArc && !pullArc {
+			return fmt.Errorf("bfs: selEdge[%d] = %d matches neither arc %d->%d nor %d->%d (torn tuple)",
+				u, e, p, u, u, p)
+		}
+	}
+	return nil
+}
+
 // arcSource finds the source vertex of CSR arc e by binary search over the
 // offsets array.
 func arcSource(offsets []uint32, e uint32) uint32 {

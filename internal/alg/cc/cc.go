@@ -110,11 +110,16 @@ func NewKernel(m *machine.Machine, g *graph.Graph) *Kernel {
 	}
 	// Precompute each arc's source vertex so hooking can parallelize
 	// across arcs, "parallelizing across all edges to perform the hooking
-	// step" as the paper describes.
+	// step" as the paper describes. The pass itself costs deg(v) per
+	// vertex, so it is sharded by arcs (graph.ArcBounds), not vertices — on
+	// a hub-skewed graph an equal-vertex split would serialize it behind
+	// the worker that owns the hubs.
 	offsets := g.Offsets()
-	m.ParallelFor(n, func(v int) {
-		for j := offsets[v]; j < offsets[v+1]; j++ {
-			k.arcSrc[j] = uint32(v)
+	m.ParallelBounds(graph.ArcBounds(g, m.P()), func(lo, hi, _ int) {
+		for v := lo; v < hi; v++ {
+			for j := offsets[v]; j < offsets[v+1]; j++ {
+				k.arcSrc[j] = uint32(v)
+			}
 		}
 	})
 	return k

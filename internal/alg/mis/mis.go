@@ -39,10 +39,11 @@ type Kernel struct {
 	g *graph.Graph
 	n int
 
-	live   []uint32
-	inSet  []uint32
-	joins  []uint32
-	arcSrc []uint32
+	live      []uint32
+	inSet     []uint32
+	joins     []uint32
+	arcSrc    []uint32
+	arcBounds []int // equal-arc vertex shards for the select phases
 
 	cells *cw.Array
 	gates *cw.GateArray
@@ -71,10 +72,17 @@ func NewKernel(m *machine.Machine, g *graph.Graph) *Kernel {
 		gates:  cw.NewGateArray(n, cw.Packed),
 		mtx:    cw.NewMutexArray(n),
 	}
+	// Both the arc-source precompute and every select phase walk each
+	// vertex's whole adjacency list, so they are sharded by arcs
+	// (graph.ArcBounds), not vertices; the shards are static for the
+	// kernel's lifetime and shared by the pool and team drivers.
+	k.arcBounds = graph.ArcBounds(g, m.P())
 	offsets := g.Offsets()
-	m.ParallelFor(n, func(v int) {
-		for j := offsets[v]; j < offsets[v+1]; j++ {
-			k.arcSrc[j] = uint32(v)
+	m.ParallelBounds(k.arcBounds, func(lo, hi, _ int) {
+		for v := lo; v < hi; v++ {
+			for j := offsets[v]; j < offsets[v+1]; j++ {
+				k.arcSrc[j] = uint32(v)
+			}
 		}
 	})
 	return k
@@ -127,8 +135,10 @@ func (k *Kernel) Run(method cw.Method, seed uint64) []uint32 {
 		round := k.base
 
 		// Select: a live vertex joins iff its priority beats every live
-		// neighbour's. Reads only; live is stable within the phase.
-		k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+		// neighbour's. Reads only; live is stable within the phase. The
+		// phase's cost is the arc scan, so it runs over the equal-arc
+		// shards.
+		k.m.ParallelBounds(k.arcBounds, func(lo, hi, _ int) {
 			sawLive := false
 			for v := lo; v < hi; v++ {
 				if k.live[v] == 0 {

@@ -35,7 +35,8 @@ func (k *Kernel) RunTeam(method cw.Method, seed uint64) []uint32 {
 
 			// Select: a live vertex joins iff its priority beats every live
 			// neighbour's. Reads only; live is stable within the phase.
-			tc.Range(k.n, func(lo, hi int) {
+			// Sharded by arcs, matching the pool driver.
+			tc.Bounds(k.arcBounds, func(lo, hi int) {
 				sawLive := false
 				for v := lo; v < hi; v++ {
 					if k.live[v] == 0 {

@@ -18,6 +18,7 @@ import (
 
 	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
 	"crcwpram/internal/stats"
 )
 
@@ -64,6 +65,16 @@ type Config struct {
 	CCEdges       int
 	CCVertexSweep []int
 
+	// Balance selects the work-partitioning policy the BFS figures hand to
+	// their kernels (the -balance axis); the zero value is the paper's
+	// vertex-count split.
+	Balance graph.Balance
+	// EBScale and EBStar size the edge-balance sweep's workloads: an RMAT
+	// graph on 2^EBScale vertices with 8·2^EBScale edges, and the star on
+	// EBStar vertices.
+	EBScale int
+	EBStar  int
+
 	// Log, when non-nil, receives progress lines during a sweep.
 	Log io.Writer
 }
@@ -87,6 +98,8 @@ func DefaultConfig() Config {
 		CCEdgeSweep:    []int{50000, 100000, 200000, 400000, 800000},
 		CCEdges:        400000,
 		CCVertexSweep:  []int{5000, 10000, 20000, 40000, 80000},
+		EBScale:        16,
+		EBStar:         1 << 16,
 	}
 }
 
@@ -109,6 +122,8 @@ func TinyConfig() Config {
 		CCEdgeSweep:    []int{1000, 2000},
 		CCEdges:        2000,
 		CCVertexSweep:  []int{250, 500},
+		EBScale:        8,
+		EBStar:         1 << 8,
 	}
 }
 
@@ -178,6 +193,12 @@ func (c Config) withDefaults() Config {
 	if len(c.CCVertexSweep) == 0 {
 		c.CCVertexSweep = d.CCVertexSweep
 	}
+	if c.EBScale == 0 {
+		c.EBScale = d.EBScale
+	}
+	if c.EBStar == 0 {
+		c.EBStar = d.EBStar
+	}
 	return c
 }
 
@@ -206,6 +227,7 @@ type Table struct {
 	Title    string
 	Kernel   string // kernel name for machine-readable output
 	Exec     string // execution mode the series were measured under
+	Balance  string // work-partitioning policy, when the kernel honors one
 	XLabel   string
 	Xs       []int
 	Series   []Series

@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"crcwpram/internal/alg/bfs"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
+)
+
+// The edge-balance sweep is the load-balancing experiment behind the
+// -balance axis: the four CAS-LT BFS formulations (full sweep, explicit
+// frontier, pure bottom-up, direction-optimizing hybrid) on two
+// skewed-degree workloads — an RMAT power-law graph and the star, the
+// maximal-straggler input — under both partitioning policies and both
+// execution modes. Each cell reports the median wall time *and* the
+// deterministic work model (see workmodel.go): on a host with fewer cores
+// than workers the wall clock cannot see the straggler that vertex
+// balancing creates, while WorkCrit/Imbalance expose it exactly.
+
+// ebKernels are the swept BFS formulations, in presentation order.
+var ebKernels = []string{"bfs", "bfs-frontier", "bfs-pull", "bfs-hybrid"}
+
+// EdgeBalanceGraph identifies one workload of the sweep.
+type EdgeBalanceGraph struct {
+	Name   string
+	Source uint32
+	Stats  graph.Stats
+}
+
+// EdgeBalanceRow is one measured cell.
+type EdgeBalanceRow struct {
+	Graph   string
+	Kernel  string
+	Balance graph.Balance
+	Exec    string
+	Threads int
+	NsOp    float64
+	Model   WorkModel
+}
+
+// ebRunner maps a kernel name and execution mode to the kernel entry point.
+func ebRunner(k *bfs.Kernel, kernel string, exec machine.Exec) func() bfs.Result {
+	team := exec == machine.ExecTeam
+	switch kernel {
+	case "bfs":
+		if team {
+			return k.RunCASLTTeam
+		}
+		return k.RunCASLT
+	case "bfs-frontier":
+		if team {
+			return k.RunCASLTFrontierTeam
+		}
+		return k.RunCASLTFrontier
+	case "bfs-pull":
+		if team {
+			return k.RunCASLTPullTeam
+		}
+		return k.RunCASLTPull
+	case "bfs-hybrid":
+		if team {
+			return k.RunCASLTHybridTeam
+		}
+		return k.RunCASLTHybrid
+	default:
+		panic("bench: unknown edge-balance kernel " + kernel)
+	}
+}
+
+// ebValidate checks a result with the validator matching the kernel's
+// traversal direction: strict push validation for the push formulations,
+// bidirectional for pull and hybrid.
+func ebValidate(g *graph.Graph, source uint32, kernel string, r bfs.Result) error {
+	if kernel == "bfs-pull" || kernel == "bfs-hybrid" {
+		return bfs.ValidateBidir(g, source, r)
+	}
+	return bfs.Validate(g, source, r, true)
+}
+
+// EdgeBalance runs the sweep: for each workload × balance × kernel ×
+// execution mode, the median wall time over cfg.Reps runs (validated once
+// per cell) plus the replayed work model. The workload sizes come from
+// cfg.EBScale / cfg.EBStar; the worker count is cfg.Threads.
+func EdgeBalance(cfg Config, execs []machine.Exec) ([]EdgeBalanceGraph, []EdgeBalanceRow, error) {
+	cfg = cfg.withDefaults()
+	if len(execs) == 0 {
+		execs = machine.Execs
+	}
+	type workload struct {
+		name   string
+		g      *graph.Graph
+		source uint32
+	}
+	// RMAT: BFS from vertex 0, the likeliest hub under the canonical
+	// probabilities. Star: BFS from a leaf, so the entire level-1 frontier
+	// is the hub — the worst straggler a vertex partition can produce.
+	workloads := []workload{
+		{fmt.Sprintf("rmat%d", cfg.EBScale),
+			graph.RMAT(cfg.EBScale, 8<<cfg.EBScale, 0.57, 0.19, 0.19, cfg.Seed), 0},
+		{fmt.Sprintf("star%d", cfg.EBStar), graph.Star(cfg.EBStar), 1},
+	}
+	var infos []EdgeBalanceGraph
+	var rows []EdgeBalanceRow
+	for _, wl := range workloads {
+		infos = append(infos, EdgeBalanceGraph{
+			Name:   wl.name,
+			Source: wl.source,
+			Stats:  graph.ComputeStats(wl.g),
+		})
+		seq := bfs.Sequential(wl.g, wl.source)
+		model := newBFSModel(wl.g, wl.source, cfg.Threads, seq)
+		for _, bal := range graph.Balances {
+			models := make(map[string]WorkModel, len(ebKernels))
+			for _, kernel := range ebKernels {
+				models[kernel] = model.For(kernel, bal)
+			}
+			for _, exec := range execs {
+				m := machine.New(cfg.Threads)
+				k := bfs.NewKernel(m, wl.g)
+				k.SetBalance(bal)
+				for _, kernel := range ebKernels {
+					run := ebRunner(k, kernel, exec)
+					var r bfs.Result
+					pt := measure(cfg.Reps, func() { k.Prepare(wl.source) }, func() { r = run() })
+					if err := ebValidate(wl.g, wl.source, kernel, r); err != nil {
+						m.Close()
+						return nil, nil, fmt.Errorf("edgebalance %s %s %s %s: %w",
+							wl.name, kernel, bal, exec, err)
+					}
+					rows = append(rows, EdgeBalanceRow{
+						Graph:   wl.name,
+						Kernel:  kernel,
+						Balance: bal,
+						Exec:    exec.String(),
+						Threads: cfg.Threads,
+						NsOp:    float64(pt.Median.Nanoseconds()),
+						Model:   models[kernel],
+					})
+					cfg.logf("edgebalance %s kernel=%s bal=%s exec=%s median=%v imbal=%.2f\n",
+						wl.name, kernel, bal, exec, pt.Median, models[kernel].Imbalance())
+				}
+				m.Close()
+			}
+		}
+	}
+	return infos, rows, nil
+}
+
+// FormatEdgeBalance renders one table per workload: a (kernel, balance)
+// line with both execution modes' wall medians side by side and the work
+// model's critical path, ideal, and imbalance.
+func FormatEdgeBalance(w io.Writer, infos []EdgeBalanceGraph, rows []EdgeBalanceRow) error {
+	var b strings.Builder
+	ms := func(ns float64) string {
+		return strconv.FormatFloat(ns/1e6, 'f', 3, 64)
+	}
+	for gi, info := range infos {
+		if gi > 0 {
+			fmt.Fprintln(&b)
+		}
+		fmt.Fprintf(&b, "== edgebalance: %s source=%d ==\n", info.Name, info.Source)
+		fmt.Fprintf(&b, "   %s\n", info.Stats)
+		table := [][]string{{"kernel", "balance", "pool(ms)", "team(ms)", "crit", "ideal", "imbal", "depth"}}
+		for _, kernel := range ebKernels {
+			for _, bal := range graph.Balances {
+				var pool, team float64
+				var m WorkModel
+				found := false
+				for _, r := range rows {
+					if r.Graph != info.Name || r.Kernel != kernel || r.Balance != bal {
+						continue
+					}
+					found = true
+					m = r.Model
+					if r.Exec == "team" {
+						team = r.NsOp
+					} else {
+						pool = r.NsOp
+					}
+				}
+				if !found {
+					continue
+				}
+				table = append(table, []string{
+					kernel,
+					bal.String(),
+					ms(pool),
+					ms(team),
+					strconv.FormatUint(m.Crit, 10),
+					strconv.FormatUint(m.Ideal, 10),
+					strconv.FormatFloat(m.Imbalance(), 'f', 2, 64),
+					strconv.Itoa(m.Depth),
+				})
+			}
+		}
+		writeAligned(&b, table)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// EdgeBalanceJSONRows converts the sweep to the machine-readable rows.
+func EdgeBalanceJSONRows(rows []EdgeBalanceRow) []Row {
+	out := make([]Row, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, Row{
+			Bench:     "edgebalance",
+			Kernel:    r.Kernel,
+			Method:    "caslt",
+			Exec:      r.Exec,
+			Threads:   r.Threads,
+			NsOp:      r.NsOp,
+			Graph:     r.Graph,
+			Balance:   r.Balance.String(),
+			Depth:     r.Model.Depth,
+			WorkTotal: r.Model.Total,
+			WorkCrit:  r.Model.Crit,
+			WorkIdeal: r.Model.Ideal,
+			Imbalance: r.Model.Imbalance(),
+		})
+	}
+	return out
+}

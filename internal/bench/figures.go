@@ -49,6 +49,11 @@ func Figure(id int, cfg Config) (Table, error) {
 // FigureIDs lists the reproducible paper figures.
 var FigureIDs = []int{5, 6, 7, 8, 9, 10, 11, 12}
 
+// FigureUsesBalance reports whether a figure's kernel honors the
+// work-partitioning axis (-balance): the BFS figures do, the maximum and CC
+// figures split by element/vertex count regardless.
+func FigureUsesBalance(id int) bool { return id >= 7 && id <= 9 }
+
 func methodsOr(cfg Config, def []cw.Method) []cw.Method {
 	if len(cfg.Methods) > 0 {
 		return cfg.Methods
@@ -168,6 +173,7 @@ func bfsFigure(id int, cfg Config, title, xlabel string, xs []int, pick func(x i
 		Title:    title,
 		Kernel:   "bfs",
 		Exec:     cfg.Exec.String(),
+		Balance:  cfg.Balance.String(),
 		XLabel:   xlabel,
 		Xs:       xs,
 		Baseline: cw.Naive,
@@ -179,6 +185,7 @@ func bfsFigure(id int, cfg Config, title, xlabel string, xs []int, pick func(x i
 			g := graph.ConnectedRandom(nv, ne, cfg.Seed+int64(i))
 			m := machine.New(p)
 			k := bfs.NewKernel(m, g)
+			k.SetBalance(cfg.Balance)
 			pt := measure(cfg.Reps, func() { k.Prepare(0) }, func() { runBFS(k, method, cfg.Exec) })
 			// Validate once per point, outside the timed region.
 			k.Prepare(0)
@@ -199,7 +206,7 @@ func bfsFigure(id int, cfg Config, title, xlabel string, xs []int, pick func(x i
 func Fig7BFSByEdges(cfg Config) Table {
 	cfg = cfg.withDefaults()
 	return bfsFigure(7, cfg,
-		fmt.Sprintf("BFS: time vs edges (%d vertices, %d threads, %s exec)", cfg.BFSVertices, cfg.Threads, cfg.Exec),
+		fmt.Sprintf("BFS: time vs edges (%d vertices, %d threads, %s exec, %s balance)", cfg.BFSVertices, cfg.Threads, cfg.Exec, cfg.Balance),
 		"edges", cfg.BFSEdgeSweep,
 		func(x int) (int, int, int) { return cfg.BFSVertices, x, cfg.Threads })
 }
@@ -209,7 +216,7 @@ func Fig7BFSByEdges(cfg Config) Table {
 func Fig8BFSByVertices(cfg Config) Table {
 	cfg = cfg.withDefaults()
 	return bfsFigure(8, cfg,
-		fmt.Sprintf("BFS: time vs vertices (%d edges, %d threads, %s exec)", cfg.BFSEdges, cfg.Threads, cfg.Exec),
+		fmt.Sprintf("BFS: time vs vertices (%d edges, %d threads, %s exec, %s balance)", cfg.BFSEdges, cfg.Threads, cfg.Exec, cfg.Balance),
 		"vertices", cfg.BFSVertexSweep,
 		func(x int) (int, int, int) { return x, cfg.BFSEdges, cfg.Threads })
 }
@@ -219,7 +226,7 @@ func Fig8BFSByVertices(cfg Config) Table {
 func Fig9BFSByThreads(cfg Config) Table {
 	cfg = cfg.withDefaults()
 	return bfsFigure(9, cfg,
-		fmt.Sprintf("BFS: time vs threads (%d vertices, %d edges, %s exec)", cfg.BFSVertices, cfg.BFSEdges, cfg.Exec),
+		fmt.Sprintf("BFS: time vs threads (%d vertices, %d edges, %s exec, %s balance)", cfg.BFSVertices, cfg.BFSEdges, cfg.Exec, cfg.Balance),
 		"threads", cfg.ThreadSweep,
 		func(x int) (int, int, int) { return cfg.BFSVertices, cfg.BFSEdges, x })
 }

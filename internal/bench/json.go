@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 )
 
@@ -18,6 +19,21 @@ type Row struct {
 	XLabel  string  `json:"x_label,omitempty"`
 	X       int     `json:"x,omitempty"`
 	NsOp    float64 `json:"ns_op"` // median ns per run (or per round)
+
+	// Edge-balance sweep extras (bench "edgebalance"): the workload identity
+	// and the deterministic work model. WorkCrit is the modelled critical
+	// path (sum over rounds of the busiest worker's units), WorkIdeal the
+	// per-round perfect split of the same units, Imbalance their ratio — the
+	// number a wall clock would show with one core per worker, reported
+	// alongside NsOp because wall time on an oversubscribed host cannot
+	// separate balance from scheduling noise.
+	Graph     string  `json:"graph,omitempty"`   // workload graph name
+	Balance   string  `json:"balance,omitempty"` // partitioning: vertex | edge
+	Depth     int     `json:"depth,omitempty"`   // BFS depth reached
+	WorkTotal uint64  `json:"work_total,omitempty"`
+	WorkCrit  uint64  `json:"work_crit,omitempty"`
+	WorkIdeal uint64  `json:"work_ideal,omitempty"`
+	Imbalance float64 `json:"imbalance,omitempty"` // WorkCrit / WorkIdeal
 }
 
 // Rows flattens a figure table into machine-readable rows. defaultThreads
@@ -37,6 +53,7 @@ func (t *Table) Rows(defaultThreads int) []Row {
 				Kernel:  t.Kernel,
 				Method:  s.Method.String(),
 				Exec:    t.Exec,
+				Balance: t.Balance,
 				Threads: threads,
 				XLabel:  t.XLabel,
 				X:       x,
@@ -53,4 +70,54 @@ func WriteJSON(w io.Writer, rows []Row) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rows)
+}
+
+// ValidateJSON reads a -json output back and checks its shape: one
+// non-empty array whose every row names a bench, a known execution mode, a
+// positive worker count and a positive measurement, with the edge-balance
+// rows additionally carrying a consistent work model
+// (Total >= Crit >= Ideal > 0). CI's perf-smoke step runs this so a
+// malformed trajectory fails the build instead of polluting committed
+// baselines. It returns the number of rows checked.
+func ValidateJSON(r io.Reader) (int, error) {
+	dec := json.NewDecoder(r)
+	var rows []Row
+	if err := dec.Decode(&rows); err != nil {
+		return 0, fmt.Errorf("parse: %w", err)
+	}
+	if dec.More() {
+		return 0, fmt.Errorf("trailing data after the row array")
+	}
+	if len(rows) == 0 {
+		return 0, fmt.Errorf("no rows")
+	}
+	for i, row := range rows {
+		fail := func(format string, args ...any) (int, error) {
+			return 0, fmt.Errorf("row %d: %s", i, fmt.Sprintf(format, args...))
+		}
+		if row.Bench == "" {
+			return fail("missing bench")
+		}
+		if row.Exec != "pool" && row.Exec != "team" {
+			return fail("unknown exec %q", row.Exec)
+		}
+		if row.Threads <= 0 {
+			return fail("non-positive threads %d", row.Threads)
+		}
+		if !(row.NsOp > 0) {
+			return fail("non-positive ns_op %v", row.NsOp)
+		}
+		if row.Bench == "edgebalance" {
+			switch {
+			case row.Graph == "" || row.Balance == "":
+				return fail("edgebalance row missing graph/balance")
+			case row.WorkIdeal == 0 || row.WorkCrit < row.WorkIdeal || row.WorkTotal < row.WorkCrit:
+				return fail("inconsistent work model total=%d crit=%d ideal=%d",
+					row.WorkTotal, row.WorkCrit, row.WorkIdeal)
+			case row.Imbalance < 1:
+				return fail("imbalance %v < 1", row.Imbalance)
+			}
+		}
+	}
+	return len(rows), nil
 }

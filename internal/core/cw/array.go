@@ -30,51 +30,41 @@ func (l Layout) String() string {
 	}
 }
 
-type paddedCell struct {
-	Cell
-	_ [CacheLineBytes - 4]byte
-}
-
-type paddedGate struct {
-	Gate
-	_ [CacheLineBytes - 4]byte
+// layoutStride returns the element spacing, in Cell-sized (4-byte) units,
+// of the given layout: 1 for Packed, one cell per cache line for
+// PaddedLayout. Both array types below store their cells in a single slice
+// indexed i*stride, so the per-access layout decision is a multiply rather
+// than a branch — the claim loops of every kernel go through Cell/Gate on
+// each probe, and the old two-slice representation re-tested `padded != nil`
+// on every one of them.
+func layoutStride(layout Layout) int {
+	if layout == PaddedLayout {
+		return CacheLineBytes / 4
+	}
+	return 1
 }
 
 // Array is a fixed-size array of CAS-LT cells, one per concurrent-write
 // target, in either packed or cache-line-padded layout. It is what a kernel
 // allocates as `unsigned RoundWritten[N]` in the paper's Figure 3(a).
 type Array struct {
-	packed []Cell
-	padded []paddedCell
+	cells  []Cell
+	n      int
+	stride int
 }
 
 // NewArray returns an n-cell array in the given layout, with every cell in
 // the never-written state.
 func NewArray(n int, layout Layout) *Array {
-	a := &Array{}
-	if layout == PaddedLayout {
-		a.padded = make([]paddedCell, n)
-	} else {
-		a.packed = make([]Cell, n)
-	}
-	return a
+	stride := layoutStride(layout)
+	return &Array{cells: make([]Cell, n*stride), n: n, stride: stride}
 }
 
 // Len returns the number of cells.
-func (a *Array) Len() int {
-	if a.padded != nil {
-		return len(a.padded)
-	}
-	return len(a.packed)
-}
+func (a *Array) Len() int { return a.n }
 
 // Cell returns cell i.
-func (a *Array) Cell(i int) *Cell {
-	if a.padded != nil {
-		return &a.padded[i].Cell
-	}
-	return &a.packed[i]
-}
+func (a *Array) Cell(i int) *Cell { return &a.cells[i*a.stride] }
 
 // TryClaim applies Cell.TryClaim to cell i.
 func (a *Array) TryClaim(i int, round uint32) bool { return a.Cell(i).TryClaim(round) }
@@ -99,37 +89,23 @@ func (a *Array) ResetRange(lo, hi int) {
 // GateArray is a fixed-size array of gatekeeper words, the
 // `unsigned gatekeeper[N]` of the paper's Figure 3(b).
 type GateArray struct {
-	packed []Gate
-	padded []paddedGate
+	gates  []Gate
+	n      int
+	stride int
 }
 
 // NewGateArray returns an n-gate array in the given layout with every gate
 // open.
 func NewGateArray(n int, layout Layout) *GateArray {
-	g := &GateArray{}
-	if layout == PaddedLayout {
-		g.padded = make([]paddedGate, n)
-	} else {
-		g.packed = make([]Gate, n)
-	}
-	return g
+	stride := layoutStride(layout)
+	return &GateArray{gates: make([]Gate, n*stride), n: n, stride: stride}
 }
 
 // Len returns the number of gates.
-func (g *GateArray) Len() int {
-	if g.padded != nil {
-		return len(g.padded)
-	}
-	return len(g.packed)
-}
+func (g *GateArray) Len() int { return g.n }
 
 // Gate returns gate i.
-func (g *GateArray) Gate(i int) *Gate {
-	if g.padded != nil {
-		return &g.padded[i].Gate
-	}
-	return &g.packed[i]
-}
+func (g *GateArray) Gate(i int) *Gate { return &g.gates[i*g.stride] }
 
 // TryEnter applies Gate.TryEnter to gate i.
 func (g *GateArray) TryEnter(i int) bool { return g.Gate(i).TryEnter() }

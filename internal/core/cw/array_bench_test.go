@@ -1,0 +1,49 @@
+package cw
+
+import "testing"
+
+// Micro-benchmarks for the Array.Cell hot path. Every kernel claim loop
+// resolves cells through Array.Cell, so the accessor's per-call cost rides
+// on every CAS-LT probe. The single-slice + stride representation makes the
+// layout decision a multiply; these benchmarks compare it against the
+// unavoidable baseline of indexing a raw []Cell directly, for both layouts
+// and for the load-only Written probe (the loser fast path).
+
+const benchCells = 1 << 12
+
+func benchmarkArrayTryClaim(b *testing.B, layout Layout) {
+	a := NewArray(benchCells, layout)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Round 1+i/benchCells rises slowly, so most probes lose at the
+		// load pre-check — the kernel steady state.
+		a.TryClaim(i&(benchCells-1), uint32(1+i/benchCells))
+	}
+}
+
+func BenchmarkArrayTryClaimPacked(b *testing.B) { benchmarkArrayTryClaim(b, Packed) }
+func BenchmarkArrayTryClaimPadded(b *testing.B) { benchmarkArrayTryClaim(b, PaddedLayout) }
+
+func BenchmarkRawSliceTryClaim(b *testing.B) {
+	cells := make([]Cell, benchCells)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cells[i&(benchCells-1)].TryClaim(uint32(1 + i/benchCells))
+	}
+}
+
+func benchmarkArrayWritten(b *testing.B, layout Layout) {
+	a := NewArray(benchCells, layout)
+	for i := 0; i < benchCells; i += 2 {
+		a.TryClaim(i, 1)
+	}
+	b.ReportAllocs()
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = a.Written(i&(benchCells-1), 1)
+	}
+	_ = sink
+}
+
+func BenchmarkArrayWrittenPacked(b *testing.B) { benchmarkArrayWritten(b, Packed) }
+func BenchmarkArrayWrittenPadded(b *testing.B) { benchmarkArrayWritten(b, PaddedLayout) }

@@ -65,6 +65,7 @@ type stepDesc struct {
 	n      int
 	body   func(i, w int)
 	ranged func(lo, hi, w int)
+	bounds []int // optional shard boundaries for ranged (ParallelBounds)
 	cursor *sched.Cursor
 	team   func(tc *TeamCtx)
 	quit   bool
@@ -198,6 +199,36 @@ func (m *Machine) ParallelRange(n int, body func(lo, hi, w int)) {
 	m.runStep()
 }
 
+// ParallelBounds executes one PRAM round in block form over caller-supplied
+// shard boundaries: worker w receives the contiguous range
+// [bounds[w], bounds[w+1]) once. It is ParallelRange with the boundary
+// placement chosen by the caller — typically the equal-arc vertex shards of
+// graph.ArcBounds — so loops whose per-index cost is skewed can balance by
+// work instead of count. len(bounds) must be P()+1 and bounds must be
+// non-decreasing; workers with an empty shard skip the body.
+func (m *Machine) ParallelBounds(bounds []int, body func(lo, hi, w int)) {
+	if m.closed {
+		panic("machine: use after Close")
+	}
+	if len(bounds) != m.p+1 {
+		panic(fmt.Sprintf("machine: ParallelBounds: %d bounds for %d workers", len(bounds), m.p))
+	}
+	if bounds[m.p] <= bounds[0] {
+		return
+	}
+	if m.p == 1 {
+		body(bounds[0], bounds[1], 0)
+		return
+	}
+	m.step = stepDesc{
+		n:      bounds[m.p],
+		ranged: body,
+		bounds: bounds,
+		panics: m.step.panics,
+	}
+	m.runStep()
+}
+
 // ParallelFor2D executes body(i, j) for every pair in [0, n1) x [0, n2),
 // collapsing the two loops into one index space exactly like the paper's
 // `#pragma omp for collapse(2)` in the maximum kernel (Figure 4).
@@ -270,7 +301,12 @@ func (m *Machine) runShare(st stepDesc, id int) {
 		}
 	}()
 	if st.ranged != nil {
-		lo, hi := sched.BlockRange(st.n, m.p, id)
+		var lo, hi int
+		if st.bounds != nil {
+			lo, hi = st.bounds[id], st.bounds[id+1]
+		} else {
+			lo, hi = sched.BlockRange(st.n, m.p, id)
+		}
 		if lo < hi {
 			st.ranged(lo, hi, id)
 		}

@@ -152,6 +152,29 @@ func (tc *TeamCtx) Range(n int, body func(lo, hi int)) {
 	tc.Barrier()
 }
 
+// Bounds executes one work-shared round in block form over caller-supplied
+// shard boundaries: this worker receives [bounds[tc.W], bounds[tc.W+1])
+// once, followed by a team barrier — the in-region analogue of
+// Machine.ParallelBounds. All workers must pass the same bounds slice (SPMD
+// discipline), with len(bounds) == P()+1 and non-decreasing entries; a
+// worker with an empty shard goes straight to the barrier.
+func (tc *TeamCtx) Bounds(bounds []int, body func(lo, hi int)) {
+	m := tc.m
+	if len(bounds) != m.p+1 {
+		panic("machine: TeamCtx.Bounds: bounds length must be P()+1")
+	}
+	if m.p == 1 {
+		if bounds[0] < bounds[1] {
+			body(bounds[0], bounds[1])
+		}
+		return
+	}
+	if lo, hi := bounds[tc.W], bounds[tc.W+1]; lo < hi {
+		body(lo, hi)
+	}
+	tc.Barrier()
+}
+
 // Single executes f on exactly one worker (worker 0) while the others wait
 // at the closing team barrier — the in-region replacement for caller-side
 // serial sections (OpenMP's `single`). Data f reads must have been

@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Stats summarizes a graph for experiment logs.
 type Stats struct {
@@ -9,14 +12,16 @@ type Stats struct {
 	Arcs       int
 	MinDegree  int
 	MaxDegree  int
+	P99Degree  int // 99th-percentile degree
 	AvgDegree  float64
+	Skew       float64 // MaxDegree / AvgDegree; 1.0 = perfectly regular
 	Components int
 	Isolated   int // vertices of degree 0
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("n=%d m=%d arcs=%d deg[min=%d avg=%.2f max=%d] components=%d isolated=%d",
-		s.Vertices, s.Edges, s.Arcs, s.MinDegree, s.AvgDegree, s.MaxDegree, s.Components, s.Isolated)
+	return fmt.Sprintf("n=%d m=%d arcs=%d deg[min=%d avg=%.2f p99=%d max=%d skew=%.1f] components=%d isolated=%d",
+		s.Vertices, s.Edges, s.Arcs, s.MinDegree, s.AvgDegree, s.P99Degree, s.MaxDegree, s.Skew, s.Components, s.Isolated)
 }
 
 // ComputeStats walks the graph once (plus one sequential component sweep)
@@ -31,9 +36,11 @@ func ComputeStats(g *Graph) Stats {
 	if n == 0 {
 		return s
 	}
+	degrees := make([]int, n)
 	s.MinDegree = g.Degree(0)
 	for v := 0; v < n; v++ {
 		d := g.Degree(uint32(v))
+		degrees[v] = d
 		if d < s.MinDegree {
 			s.MinDegree = d
 		}
@@ -44,7 +51,17 @@ func ComputeStats(g *Graph) Stats {
 			s.Isolated++
 		}
 	}
+	sort.Ints(degrees)
+	// Nearest-rank p99: the degree at rank ceil(0.99*n) (1-based).
+	rank := (99*n + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	s.P99Degree = degrees[rank-1]
 	s.AvgDegree = float64(g.NumArcs()) / float64(n)
+	if s.AvgDegree > 0 {
+		s.Skew = float64(s.MaxDegree) / s.AvgDegree
+	}
 	s.Components = CountComponents(g)
 	return s
 }

@@ -1,0 +1,86 @@
+package sched
+
+// Weighted (edge-balanced) partitioning.
+//
+// BlockRange splits [0, n) into ranges of near-equal *count*, which is the
+// right cost model when every index does the same work. Graph kernels break
+// that assumption: a vertex loop that walks each vertex's arcs costs deg(v)
+// per index, and on skewed-degree graphs (R-MAT, star) an equal-count split
+// hands one worker a hub's worth of arcs while the rest idle at the round
+// barrier. The functions here split by *cumulative weight* instead: given a
+// monotone prefix-weight array (for CSR graphs, the offsets array itself),
+// they place the p-1 interior boundaries by binary search so every shard
+// carries a near-equal weight.
+
+// WeightedBounds returns p+1 boundaries over [0, n) such that shard w is
+// [bounds[w], bounds[w+1]) and the shards partition [0, n) exactly with
+// near-equal total weight. cum must be a non-decreasing prefix-weight array
+// of length n+1 with cum[0] as the zero origin: item i has weight
+// cum[i+1]-cum[i]. For CSR graphs, pass the offsets array verbatim.
+//
+// Each shard's weight is at most ceil(W/p) + maxItemWeight, where W is the
+// total weight: the boundary search cannot split a single item, so a shard
+// overshoots the even share by at most the heaviest item that straddles its
+// end. Zero-weight items (isolated vertices) are carried by whichever shard
+// spans them; the final boundary is always n, so coverage is exact even when
+// a weightless tail follows the last weighted item.
+func WeightedBounds(cum []uint32, p int) []int {
+	if p < 1 {
+		p = 1
+	}
+	n := len(cum) - 1
+	if n < 0 {
+		n = 0
+	}
+	bounds := make([]int, p+1)
+	for w := 1; w < p; w++ {
+		bounds[w] = weightedBoundary(cum, n, p, w)
+	}
+	bounds[p] = n
+	return bounds
+}
+
+// WeightedRange returns the contiguous range [lo, hi) owned by worker w of a
+// party of p under the prefix-weight array cum, equal to the w-th shard of
+// WeightedBounds without materializing the full boundary slice. Workers can
+// therefore derive their own shard independently (e.g. inside a team region
+// right after the prefix array is published) with two binary searches.
+func WeightedRange(cum []uint32, p, w int) (lo, hi int) {
+	if p < 1 {
+		p = 1
+	}
+	n := len(cum) - 1
+	if n < 0 {
+		n = 0
+	}
+	lo = weightedBoundary(cum, n, p, w)
+	if w+1 >= p {
+		return lo, n
+	}
+	return lo, weightedBoundary(cum, n, p, w+1)
+}
+
+// weightedBoundary returns the smallest v in [0, n] whose prefix weight
+// reaches the even share w*W/p, i.e. min{v : cum[v]*p >= W*w}. Comparing
+// cross-products in uint64 keeps the w*W/p rational exact with no overflow
+// for weights and party sizes that fit uint32.
+func weightedBoundary(cum []uint32, n, p, w int) int {
+	if w <= 0 || n == 0 {
+		return 0
+	}
+	if w >= p {
+		return n
+	}
+	base := uint64(cum[0])
+	target := (uint64(cum[n]) - base) * uint64(w)
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if (uint64(cum[mid])-base)*uint64(p) >= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

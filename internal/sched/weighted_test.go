@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func prefix(weights []uint32) []uint32 {
+	cum := make([]uint32, len(weights)+1)
+	for i, w := range weights {
+		cum[i+1] = cum[i] + w
+	}
+	return cum
+}
+
+func maxWeight(weights []uint32) uint32 {
+	var m uint32
+	for _, w := range weights {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// checkWeightedPartition verifies the two partitioner invariants from the
+// package doc: shards cover [0, n) exactly, and every shard's weight is
+// within one max item weight of the even share.
+func checkWeightedPartition(t *testing.T, weights []uint32, p int) {
+	t.Helper()
+	cum := prefix(weights)
+	n := len(weights)
+	bounds := WeightedBounds(cum, p)
+	if len(bounds) != p+1 {
+		t.Fatalf("p=%d: got %d bounds, want %d", p, len(bounds), p+1)
+	}
+	if bounds[0] != 0 || bounds[p] != n {
+		t.Fatalf("p=%d: bounds endpoints %d,%d, want 0,%d", p, bounds[0], bounds[p], n)
+	}
+	total := uint64(cum[n])
+	share := (total + uint64(p) - 1) / uint64(p)
+	limit := share + uint64(maxWeight(weights))
+	for w := 0; w < p; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo > hi {
+			t.Fatalf("p=%d w=%d: bounds not monotone: [%d,%d)", p, w, lo, hi)
+		}
+		if glo, ghi := WeightedRange(cum, p, w); glo != lo || ghi != hi {
+			t.Fatalf("p=%d w=%d: WeightedRange [%d,%d) != WeightedBounds [%d,%d)",
+				p, w, glo, ghi, lo, hi)
+		}
+		got := uint64(cum[hi] - cum[lo])
+		if got > limit {
+			t.Fatalf("p=%d w=%d: shard weight %d exceeds even share %d + max item %d",
+				p, w, got, share, maxWeight(weights))
+		}
+	}
+}
+
+func TestWeightedBoundsStructured(t *testing.T) {
+	cases := map[string][]uint32{
+		"empty":      {},
+		"single":     {7},
+		"uniform":    {1, 1, 1, 1, 1, 1, 1, 1, 1},
+		"zeros":      {0, 0, 0, 0, 0},
+		"hub-first":  {1000, 1, 1, 1, 1, 1, 1, 1},
+		"hub-last":   {1, 1, 1, 1, 1, 1, 1, 1000},
+		"hub-middle": {1, 1, 1, 5000, 1, 1, 1},
+		"zero-tail":  {4, 4, 4, 4, 0, 0, 0, 0},
+		"zero-head":  {0, 0, 0, 0, 4, 4, 4, 4},
+	}
+	for name, weights := range cases {
+		for _, p := range []int{1, 2, 3, 4, 7, 8, 16, len(weights) + 3} {
+			t.Run(name, func(t *testing.T) { checkWeightedPartition(t, weights, p) })
+		}
+	}
+}
+
+func TestWeightedBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	prop := func(seed int64, rawP uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(200)
+		weights := make([]uint32, n)
+		for i := range weights {
+			// Heavy-tailed: mostly small, occasionally huge.
+			if r.Intn(10) == 0 {
+				weights[i] = uint32(r.Intn(100000))
+			} else {
+				weights[i] = uint32(r.Intn(8))
+			}
+		}
+		p := int(rawP)%16 + 1
+		checkWeightedPartition(t, weights, p)
+		return !t.Failed()
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWeightedRangeOffsetOrigin checks that a sub-slice of a larger prefix
+// array (nonzero cum[0]) partitions by relative weight, as team-mode
+// frontier sharding relies on.
+func TestWeightedRangeOffsetOrigin(t *testing.T) {
+	cum := prefix([]uint32{5, 5, 1, 1, 1, 1, 1, 1, 1, 1})
+	sub := cum[2:] // items 2..9, all weight 1, but sub[0] == 10
+	lo, hi := WeightedRange(sub, 2, 0)
+	if lo != 0 || hi != 4 {
+		t.Fatalf("offset-origin shard 0 = [%d,%d), want [0,4)", lo, hi)
+	}
+	lo, hi = WeightedRange(sub, 2, 1)
+	if lo != 4 || hi != 8 {
+		t.Fatalf("offset-origin shard 1 = [%d,%d), want [4,8)", lo, hi)
+	}
+}
+
+func BenchmarkWeightedRange(b *testing.B) {
+	weights := make([]uint32, 1<<16)
+	rng := rand.New(rand.NewSource(1))
+	for i := range weights {
+		weights[i] = uint32(rng.Intn(64))
+	}
+	cum := prefix(weights)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo, hi := WeightedRange(cum, 8, i&7)
+		if lo > hi {
+			b.Fatal("bad range")
+		}
+	}
+}
