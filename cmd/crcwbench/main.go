@@ -16,8 +16,9 @@
 //	-methods LIST   comma-separated subset: caslt,gatekeeper,
 //	                gatekeeper-checked,naive,mutex
 //	-exec LIST      comma-separated execution modes: pool (one worker-pool
-//	                round per ParallelFor, the default) and/or team (one
-//	                persistent parallel region per kernel); figures run
+//	                round per ParallelFor, the default), team (one
+//	                persistent parallel region per kernel) and/or trace
+//	                (serial counting replay, for debugging); figures run
 //	                once per listed mode
 //	-balance LIST   comma-separated work-partitioning policies: vertex
 //	                (equal vertex counts, the paper's split, the default)
@@ -43,18 +44,25 @@
 //	                graph under both balance policies and both execution
 //	                modes, reporting wall medians plus the deterministic
 //	                work model; combinable like -roundoverhead
+//	-listrank       time Wyllie's list ranking (the EREW comparison kernel)
+//	                across the size sweep under both timed execution modes;
+//	                combinable like -roundoverhead
 //
 // And a baseline checker:
 //
 //	-validatejson F  parse a -json output file and verify its shape (used
 //	                 by CI's perf-smoke step); runs nothing else
 //
-// Instead of a timing figure, three analyses are available:
+// Instead of a timing figure, four analyses are available:
 //
 //	-opcount        the Section-6 validation: atomic operations per
 //	                concurrent-write step on one cell, as P_PRAM grows
 //	-kernelops      selection-protocol operation counts over full BFS and
-//	                CC runs (instrumented resolvers)
+//	                CC runs (counting resolvers composed with the trace
+//	                execution backend); combinable with -json
+//	-kerneltrace    structural cost (steps, barriers, CW rounds, per-worker
+//	                iteration split) of every kernel of the suite under the
+//	                trace backend; combinable with -json
 //	-simulations    one Priority write step per rung of the CW hierarchy
 //	                (native / common-CW all-pairs / EREW tournament)
 //
@@ -67,7 +75,8 @@
 //	crcwbench -roundoverhead
 //	crcwbench -edgebalance -threads 8 -json BENCH_edgebalance.json
 //	crcwbench -validatejson BENCH_edgebalance.json
-//	crcwbench -kernelops
+//	crcwbench -listrank -threads 8
+//	crcwbench -kernelops -kerneltrace -json kernelops.json
 package main
 
 import (
@@ -101,14 +110,16 @@ func run(args []string) error {
 		csvPath       = fs.String("csv", "", "also write raw medians as CSV to this file")
 		verbose       = fs.Bool("v", false, "log per-point progress to stderr")
 		tiny          = fs.Bool("tiny", false, "miniature sweep for smoke tests (seconds, shapes not meaningful)")
-		execList      = fs.String("exec", "pool", "comma-separated execution modes to measure: pool and/or team")
+		execList      = fs.String("exec", "pool", "comma-separated execution modes to measure: pool, team and/or trace")
 		balanceList   = fs.String("balance", "vertex", "comma-separated work-partitioning policies for the BFS figures: vertex and/or edge")
 		jsonPath      = fs.String("json", "", "write machine-readable results as JSON to this file")
 		roundoverhead = fs.Bool("roundoverhead", false, "measure ns per empty round for both execution modes across the thread sweep")
 		edgebalance   = fs.Bool("edgebalance", false, "run the BFS load-balance sweep (balance x kernel x exec) with the deterministic work model")
+		listrankSweep = fs.Bool("listrank", false, "time Wyllie's list ranking across the size sweep under both timed execution modes")
 		validateJSON  = fs.String("validatejson", "", "validate a -json output file and exit")
 		opcount       = fs.Bool("opcount", false, "run the Section-6 atomic-operation-count validation instead of a timing figure")
-		kernelops     = fs.Bool("kernelops", false, "count selection-protocol operations over full BFS/CC runs instead of timing")
+		kernelops     = fs.Bool("kernelops", false, "count selection-protocol operations over full BFS/CC runs (trace backend) instead of timing")
+		kerneltrace   = fs.Bool("kerneltrace", false, "report every kernel's structural cost (steps, barriers, rounds) under the trace backend")
 		simulations   = fs.Bool("simulations", false, "time one Priority write step per rung of the CW hierarchy instead of a figure")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -181,20 +192,43 @@ func run(args []string) error {
 		rows := bench.OpCountTable(cfg.Threads, []int{1000, 10000, 100000, 1000000})
 		return bench.FormatOpCounts(os.Stdout, cfg.Threads, rows)
 	}
-	if *kernelops {
-		nv, ne := cfg.BFSVertices, cfg.BFSEdges
-		rows := bench.KernelOpCounts(cfg.Threads, nv, ne, cfg.Seed)
-		return bench.FormatKernelOps(os.Stdout, nv, ne, rows)
-	}
 	if *simulations {
 		rows := bench.SimulationTable(cfg.Threads, cfg.Reps, []int{64, 256, 1024, 4096}, cfg.Seed)
 		return bench.FormatSimulations(os.Stdout, rows)
 	}
 
 	var jsonRows []bench.Row
+	printed := false
+	section := func() {
+		if printed {
+			fmt.Println()
+		}
+		printed = true
+	}
+
+	if *kernelops {
+		nv, ne := cfg.BFSVertices, cfg.BFSEdges
+		rows := bench.KernelOpCounts(cfg.Threads, nv, ne, cfg.Seed)
+		section()
+		if err := bench.FormatKernelOps(os.Stdout, nv, ne, rows); err != nil {
+			return err
+		}
+		jsonRows = append(jsonRows, bench.KernelOpsJSONRows(rows, cfg.Threads)...)
+	}
+
+	if *kerneltrace {
+		nv, ne := cfg.BFSVertices, cfg.BFSEdges
+		rows := bench.KernelTraceCounts(cfg.Threads, nv, ne, cfg.Seed)
+		section()
+		if err := bench.FormatKernelTraces(os.Stdout, nv, ne, rows); err != nil {
+			return err
+		}
+		jsonRows = append(jsonRows, bench.KernelTraceJSONRows(rows)...)
+	}
 
 	if *roundoverhead {
 		rows := bench.RoundOverhead(cfg.ThreadSweep, 0, cfg.Reps, cfg.Log)
+		section()
 		if err := bench.FormatRoundOverhead(os.Stdout, rows); err != nil {
 			return err
 		}
@@ -208,13 +242,24 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		if *roundoverhead {
-			fmt.Println()
-		}
+		section()
 		if err := bench.FormatEdgeBalance(os.Stdout, infos, rows); err != nil {
 			return err
 		}
 		jsonRows = append(jsonRows, bench.EdgeBalanceJSONRows(rows)...)
+	}
+
+	if *listrankSweep {
+		// Also a pool-vs-team comparison by construction.
+		rows, err := bench.ListRank(cfg, nil)
+		if err != nil {
+			return err
+		}
+		section()
+		if err := bench.FormatListRank(os.Stdout, cfg.Threads, rows); err != nil {
+			return err
+		}
+		jsonRows = append(jsonRows, bench.ListRankJSONRows(rows)...)
 	}
 
 	figureSet := false
@@ -226,9 +271,9 @@ func run(args []string) error {
 	ids := bench.SortedFigureIDs()
 	if *figure != 0 {
 		ids = []int{*figure}
-	} else if (*roundoverhead || *edgebalance) && !figureSet {
-		// -roundoverhead / -edgebalance alone run only their own sweep;
-		// add -figure 0 explicitly to also sweep every figure.
+	} else if (*roundoverhead || *edgebalance || *listrankSweep || *kernelops || *kerneltrace) && !figureSet {
+		// The dedicated sweeps and analyses alone run only themselves; add
+		// -figure 0 explicitly to also sweep every figure.
 		ids = nil
 	}
 
@@ -242,7 +287,6 @@ func run(args []string) error {
 		csvFile = f
 	}
 
-	printed := *roundoverhead || *edgebalance
 	for _, exec := range execs {
 		cfg.Exec = exec
 		for _, id := range ids {
@@ -258,10 +302,7 @@ func run(args []string) error {
 				if err != nil {
 					return err
 				}
-				if printed {
-					fmt.Println()
-				}
-				printed = true
+				section()
 				if err := table.Format(os.Stdout); err != nil {
 					return err
 				}

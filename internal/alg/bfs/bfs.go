@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/exec"
 	"crcwpram/internal/core/machine"
 	"crcwpram/internal/graph"
 )
@@ -69,7 +70,8 @@ type Kernel struct {
 	mtx   *cw.MutexArray
 
 	source uint32
-	base   uint32 // CAS-LT round offset carried across runs
+	base   uint32           // CAS-LT round offset carried across runs
+	trace  *exec.TraceStats // structural record of the last trace-backend run
 
 	// balance selects vertex- or edge-balanced loop partitioning;
 	// arcBounds caches the equal-arc vertex shards for the whole range.
@@ -132,16 +134,18 @@ func (k *Kernel) ensureArcBounds() []int {
 	return k.arcBounds
 }
 
-// sweep executes one whole-vertex-range round under the kernel's balance
-// policy: equal-vertex blocks or equal-arc shards. Re-initialization
-// passes (gate resets, Prepare) stay on ParallelRange — their per-vertex
-// cost is uniform, so vertex balance is already optimal there.
-func (k *Kernel) sweep(body func(lo, hi, w int)) {
+// ctxSweep executes one whole-vertex-range round under the kernel's
+// balance policy: equal-vertex blocks or equal-arc shards.
+// Re-initialization passes (gate resets, Prepare) stay on plain Range —
+// their per-vertex cost is uniform, so vertex balance is already optimal
+// there. Edge balance requires k.arcBounds to be populated before the
+// region opens (runLevels and the hybrid driver do so).
+func (k *Kernel) ctxSweep(ctx exec.Ctx, body func(lo, hi, w int)) {
 	if k.balance == graph.BalanceEdge {
-		k.m.ParallelBounds(k.ensureArcBounds(), body)
+		ctx.Bounds(k.arcBounds, body)
 		return
 	}
-	k.m.ParallelRange(k.n, body)
+	ctx.Range(k.n, body)
 }
 
 // Prepare resets the traversal arrays for a run from the given source.
@@ -171,21 +175,26 @@ func (k *Kernel) Prepare(source uint32) {
 	k.visited[source] = 1
 }
 
-// Run executes BFS with the given method. Prepare must have been called
-// first; a Result view over the kernel's arrays is returned (valid until
-// the next Prepare/Run).
+// Run executes BFS with the given method under the machine's default
+// execution backend. Prepare must have been called first; a Result view
+// over the kernel's arrays is returned (valid until the next Prepare/Run).
 func (k *Kernel) Run(method cw.Method) Result {
+	return k.RunExec(k.m.Exec(), method)
+}
+
+// RunExec is Run under an explicit execution backend.
+func (k *Kernel) RunExec(e machine.Exec, method cw.Method) Result {
 	switch method {
 	case cw.CASLT:
-		return k.RunCASLT()
+		return k.RunCASLTExec(e)
 	case cw.Gatekeeper:
-		return k.RunGatekeeper()
+		return k.runGate(e, false)
 	case cw.GatekeeperChecked:
-		return k.RunGateChecked()
+		return k.runGate(e, true)
 	case cw.Naive:
-		return k.RunNaive()
+		return k.RunNaiveExec(e)
 	case cw.Mutex:
-		return k.RunMutex()
+		return k.RunMutexExec(e)
 	default:
 		panic("bfs: unknown method " + method.String())
 	}
@@ -195,103 +204,126 @@ func (k *Kernel) result(depth int) Result {
 	return Result{Level: k.level, Parent: k.parent, SelEdge: k.selEdge, Depth: depth}
 }
 
+// Trace returns the structural record of the kernel's last run under the
+// trace backend, or nil if the last run used a timed backend.
+func (k *Kernel) Trace() *exec.TraceStats { return k.trace }
+
+// runLevels drives the level loop through the execution layer. sweep
+// executes one worker's share [lo, hi) of level L's vertex sweep (under
+// the kernel's balance policy) and reports whether it discovered anything;
+// gateReset adds the gatekeeper's O(N) re-initialization pass between
+// levels, inside the timed region as in Figure 3(b). Returns the depth
+// (max finite level). The per-level convergence word is the region's
+// rotating Flag; each level is one round under every backend (pool closes
+// it with the loop's own join, team with the sense barrier).
+func (k *Kernel) runLevels(e machine.Exec, sweep func(lo, hi, w int, L, round uint32) bool, gateReset bool) uint32 {
+	if k.balance == graph.BalanceEdge {
+		k.ensureArcBounds() // allocate outside the region
+	}
+	var depth uint32
+	k.trace = exec.Run(k.m, e, func(ctx exec.Ctx) {
+		progress := ctx.Flag()
+		L := uint32(0)
+		for {
+			progress.Set(L+1, 0) // prime next level's flag (common CW)
+			round := k.base + L + 1
+			k.ctxSweep(ctx, func(lo, hi, w int) {
+				if sweep(lo, hi, w, L, round) {
+					progress.Set(L, 1)
+				}
+			})
+			if progress.Get(L) == 0 {
+				if ctx.Worker() == 0 {
+					depth = L
+				}
+				break
+			}
+			if gateReset {
+				// Figure 3(b) lines 34-35: re-open every gate before the
+				// next level — the O(N)-work re-initialization the method
+				// requires.
+				ctx.Range(k.n, func(lo, hi, _ int) { k.gates.ResetRange(lo, hi) })
+			}
+			L++ // "round could be substituted by the loop iteration ... for free"
+		}
+	})
+	return depth
+}
+
 // RunCASLT is Figure 3(a): the concurrent write of each discovery tuple is
 // guarded by canConWriteCASLT(&RoundWritten[u], L+1); the level counter is
 // the round id.
-func (k *Kernel) RunCASLT() Result {
+func (k *Kernel) RunCASLT() Result { return k.RunCASLTExec(k.m.Exec()) }
+
+// RunCASLTExec is RunCASLT under an explicit execution backend.
+func (k *Kernel) RunCASLTExec(e machine.Exec) Result {
 	offsets, targets := k.g.Offsets(), k.g.Targets()
-	var done atomic.Uint32
-	L := uint32(0)
-	for {
-		done.Store(1)
-		round := k.base + L + 1
-		k.sweep(func(lo, hi, _ int) {
-			progress := false
-			for v := lo; v < hi; v++ {
-				if atomic.LoadUint32(&k.level[v]) != L {
+	depth := k.runLevels(e, func(lo, hi, _ int, L, round uint32) bool {
+		progress := false
+		for v := lo; v < hi; v++ {
+			if atomic.LoadUint32(&k.level[v]) != L {
+				continue
+			}
+			for j := offsets[v]; j < offsets[v+1]; j++ {
+				u := targets[j]
+				if atomic.LoadUint32(&k.visited[u]) != 0 {
 					continue
 				}
-				for j := offsets[v]; j < offsets[v+1]; j++ {
-					u := targets[j]
-					if atomic.LoadUint32(&k.visited[u]) != 0 {
-						continue
-					}
-					if k.cells.TryClaim(int(u), round) {
-						k.parent[u] = uint32(v)
-						k.selEdge[u] = j
-						atomic.StoreUint32(&k.visited[u], 1)
-						atomic.StoreUint32(&k.level[u], L+1)
-						progress = true
-					}
+				if k.cells.TryClaim(int(u), round) {
+					k.parent[u] = uint32(v)
+					k.selEdge[u] = j
+					atomic.StoreUint32(&k.visited[u], 1)
+					atomic.StoreUint32(&k.level[u], L+1)
+					progress = true
 				}
 			}
-			if progress {
-				done.Store(0)
-			}
-		})
-		if done.Load() == 1 {
-			break
 		}
-		L++ // "round could be substituted by the loop iteration ... for free"
-	}
-	k.base += L + 1
-	return k.result(int(L))
+		return progress
+	}, false)
+	k.base += depth + 1
+	return k.result(int(depth))
 }
 
 // RunGatekeeper is Figure 3(b): canConWriteAtomic(&gatekeeper[u]) guards
 // the tuple, and after every level the whole gatekeeper array is re-zeroed
 // in a parallel pass — inside the timed region, as in the listing.
-func (k *Kernel) RunGatekeeper() Result { return k.runGate(false) }
+func (k *Kernel) RunGatekeeper() Result { return k.runGate(k.m.Exec(), false) }
 
 // RunGateChecked is RunGatekeeper with the load pre-check mitigation the
 // paper suggests (skip the atomic once the gatekeeper is non-zero).
-func (k *Kernel) RunGateChecked() Result { return k.runGate(true) }
+func (k *Kernel) RunGateChecked() Result { return k.runGate(k.m.Exec(), true) }
 
-func (k *Kernel) runGate(checked bool) Result {
+func (k *Kernel) runGate(e machine.Exec, checked bool) Result {
 	offsets, targets := k.g.Offsets(), k.g.Targets()
-	var done atomic.Uint32
-	L := uint32(0)
-	for {
-		done.Store(1)
-		k.sweep(func(lo, hi, _ int) {
-			progress := false
-			for v := lo; v < hi; v++ {
-				if atomic.LoadUint32(&k.level[v]) != L {
+	depth := k.runLevels(e, func(lo, hi, _ int, L, _ uint32) bool {
+		progress := false
+		for v := lo; v < hi; v++ {
+			if atomic.LoadUint32(&k.level[v]) != L {
+				continue
+			}
+			for j := offsets[v]; j < offsets[v+1]; j++ {
+				u := targets[j]
+				if atomic.LoadUint32(&k.visited[u]) != 0 {
 					continue
 				}
-				for j := offsets[v]; j < offsets[v+1]; j++ {
-					u := targets[j]
-					if atomic.LoadUint32(&k.visited[u]) != 0 {
-						continue
-					}
-					var won bool
-					if checked {
-						won = k.gates.TryEnterChecked(int(u))
-					} else {
-						won = k.gates.TryEnter(int(u))
-					}
-					if won {
-						k.parent[u] = uint32(v)
-						k.selEdge[u] = j
-						atomic.StoreUint32(&k.visited[u], 1)
-						atomic.StoreUint32(&k.level[u], L+1)
-						progress = true
-					}
+				var won bool
+				if checked {
+					won = k.gates.TryEnterChecked(int(u))
+				} else {
+					won = k.gates.TryEnter(int(u))
+				}
+				if won {
+					k.parent[u] = uint32(v)
+					k.selEdge[u] = j
+					atomic.StoreUint32(&k.visited[u], 1)
+					atomic.StoreUint32(&k.level[u], L+1)
+					progress = true
 				}
 			}
-			if progress {
-				done.Store(0)
-			}
-		})
-		if done.Load() == 1 {
-			break
 		}
-		L++
-		// Figure 3(b) lines 34-35: re-open every gate before the next
-		// level — the O(N)-work re-initialization the method requires.
-		k.m.ParallelRange(k.n, func(lo, hi, _ int) { k.gates.ResetRange(lo, hi) })
-	}
-	return k.result(int(L))
+		return progress
+	}, true)
+	return k.result(int(depth))
 }
 
 // RunNaive reproduces the unmodified Rodinia approach: every discoverer
@@ -299,82 +331,66 @@ func (k *Kernel) runGate(checked bool) Result {
 // survivors, field by field. Levels are a common CW (all discoverers write
 // L+1) and therefore correct; Parent and SelEdge are arbitrary CWs and may
 // be torn across fields (see package comment).
-func (k *Kernel) RunNaive() Result {
+func (k *Kernel) RunNaive() Result { return k.RunNaiveExec(k.m.Exec()) }
+
+// RunNaiveExec is RunNaive under an explicit execution backend.
+func (k *Kernel) RunNaiveExec(e machine.Exec) Result {
 	offsets, targets := k.g.Offsets(), k.g.Targets()
-	var done atomic.Uint32
-	L := uint32(0)
-	for {
-		done.Store(1)
-		k.sweep(func(lo, hi, _ int) {
-			progress := false
-			for v := lo; v < hi; v++ {
-				if k.level[v] != L {
-					continue
-				}
-				for j := offsets[v]; j < offsets[v+1]; j++ {
-					u := targets[j]
-					if k.visited[u] == 0 {
-						k.parent[u] = uint32(v)
-						k.selEdge[u] = j
-						k.visited[u] = 1
-						k.level[u] = L + 1
-						progress = true
-					}
+	depth := k.runLevels(e, func(lo, hi, _ int, L, _ uint32) bool {
+		progress := false
+		for v := lo; v < hi; v++ {
+			if k.level[v] != L {
+				continue
+			}
+			for j := offsets[v]; j < offsets[v+1]; j++ {
+				u := targets[j]
+				if k.visited[u] == 0 {
+					k.parent[u] = uint32(v)
+					k.selEdge[u] = j
+					k.visited[u] = 1
+					k.level[u] = L + 1
+					progress = true
 				}
 			}
-			if progress {
-				done.Store(0)
-			}
-		})
-		if done.Load() == 1 {
-			break
 		}
-		L++
-	}
-	return k.result(int(L))
+		return progress
+	}, false)
+	return k.result(int(depth))
 }
 
 // RunMutex is the critical-section baseline: the whole discovery tuple is
 // written under the target vertex's lock, with the visited test inside the
 // lock so each vertex is discovered exactly once.
-func (k *Kernel) RunMutex() Result {
+func (k *Kernel) RunMutex() Result { return k.RunMutexExec(k.m.Exec()) }
+
+// RunMutexExec is RunMutex under an explicit execution backend.
+func (k *Kernel) RunMutexExec(e machine.Exec) Result {
 	offsets, targets := k.g.Offsets(), k.g.Targets()
-	var done atomic.Uint32
-	L := uint32(0)
-	for {
-		done.Store(1)
-		k.sweep(func(lo, hi, _ int) {
-			progress := false
-			for v := lo; v < hi; v++ {
-				if atomic.LoadUint32(&k.level[v]) != L {
+	depth := k.runLevels(e, func(lo, hi, _ int, L, _ uint32) bool {
+		progress := false
+		for v := lo; v < hi; v++ {
+			if atomic.LoadUint32(&k.level[v]) != L {
+				continue
+			}
+			for j := offsets[v]; j < offsets[v+1]; j++ {
+				u := targets[j]
+				if atomic.LoadUint32(&k.visited[u]) != 0 {
 					continue
 				}
-				for j := offsets[v]; j < offsets[v+1]; j++ {
-					u := targets[j]
-					if atomic.LoadUint32(&k.visited[u]) != 0 {
-						continue
-					}
-					k.mtx.Lock(int(u))
-					if k.visited[u] == 0 {
-						k.parent[u] = uint32(v)
-						k.selEdge[u] = j
-						atomic.StoreUint32(&k.visited[u], 1)
-						atomic.StoreUint32(&k.level[u], L+1)
-						progress = true
-					}
-					k.mtx.Unlock(int(u))
+				k.mtx.Lock(int(u))
+				if k.visited[u] == 0 {
+					k.parent[u] = uint32(v)
+					k.selEdge[u] = j
+					atomic.StoreUint32(&k.visited[u], 1)
+					atomic.StoreUint32(&k.level[u], L+1)
+					progress = true
 				}
+				k.mtx.Unlock(int(u))
 			}
-			if progress {
-				done.Store(0)
-			}
-		})
-		if done.Load() == 1 {
-			break
 		}
-		L++
-	}
-	return k.result(int(L))
+		return progress
+	}, false)
+	return k.result(int(depth))
 }
 
 // Sequential is the queue-based validation baseline: it returns the exact

@@ -3,8 +3,9 @@ package bfs
 import (
 	"sync/atomic"
 
+	"crcwpram/internal/core/exec"
+	"crcwpram/internal/core/machine"
 	"crcwpram/internal/graph"
-	"crcwpram/internal/scan"
 	"crcwpram/internal/sched"
 )
 
@@ -19,9 +20,13 @@ import (
 // round id), so the variant isolates the algorithmic sweep cost from the
 // CW method cost; the ablation benchmark compares the two formulations.
 //
-// Under edge balance the frontier itself is re-sharded every level: the
-// frontier vertices' degrees are prefix-scanned (scan.BlockExclusive) into
-// an arc-prefix array and each worker takes a near-equal-arc slice of it
+// The level loop is one SPMD body over exec.Ctx: the offset scan runs in a
+// Single (one worker between barriers under team, inline under pool), and
+// a level costs three region rounds — relax, single, copy — under every
+// backend. Under edge balance the frontier itself is re-sharded every
+// level: the frontier vertices' degrees are block-scanned in-region (two
+// aligned Range passes around a Single, the textbook block scan) into an
+// arc-prefix array, and each shard takes a near-equal-arc slice of it
 // (sched.WeightedRange), so one hub on the frontier no longer serializes
 // the level behind a single worker.
 
@@ -30,8 +35,8 @@ import (
 // buffers, the offset scratch, and — when the kernel is edge-balanced — the
 // frontier-degree arrays. Both level buffers are owned by the kernel and
 // survive across runs, so repeated runs reuse grown capacity instead of
-// re-appending into a stale slice header. Team-mode entry points call this
-// before the region opens, so allocation never races.
+// re-appending into a stale slice header. Entry points call this before
+// the region opens, so allocation never races.
 func (k *Kernel) ensureFrontierState() {
 	p := k.m.P()
 	if k.bufs == nil {
@@ -52,12 +57,12 @@ func (k *Kernel) ensureFrontierState() {
 
 // relaxFrontier runs one push level: every frontier vertex relaxes its
 // arcs, CAS-LT winners write the discovery tuple and append the vertex to
-// their worker's buffer, adding its degree to the worker's degSum slot (the
+// the share's buffer, adding its degree to the share's degSum slot (the
 // hybrid driver's frontier-edge counter). Partitioning follows the
-// kernel's balance policy.
-func (k *Kernel) relaxFrontier(L, round uint32) {
+// kernel's balance policy. Ends with the level's closing barrier either
+// way (the loop constructs' own).
+func (k *Kernel) relaxFrontier(ctx exec.Ctx, frontier []uint32, L, round uint32) {
 	offsets, targets := k.g.Offsets(), k.g.Targets()
-	frontier := k.frontier
 	bufs := k.bufs
 	relax := func(v uint32, w int) {
 		for j := offsets[v]; j < offsets[v+1]; j++ {
@@ -77,13 +82,47 @@ func (k *Kernel) relaxFrontier(L, round uint32) {
 	}
 	nf := len(frontier)
 	if k.balance == graph.BalanceEdge && nf > 1 {
-		p := k.m.P()
-		deg := graph.FrontierDegrees(k.g, frontier, k.deg)
+		p := ctx.P()
+		deg := k.deg[:nf]
 		cum := k.cum[:nf+1]
-		cum[nf] = scan.BlockExclusive(k.m, deg, cum[:nf])
-		// One index per shard; the executing worker (not the shard id) owns
-		// the discovery buffer, so this is balanced under any loop policy.
-		k.m.ParallelForWorker(p, func(shard, w int) {
+		// Pass 1: degrees plus each block's partial sum. Shares map to
+		// workers block-wise under every backend, so the partial lands in
+		// the share's own slot.
+		ctx.Range(nf, func(lo, hi, w int) {
+			var s uint32
+			for i := lo; i < hi; i++ {
+				v := frontier[i]
+				deg[i] = offsets[v+1] - offsets[v]
+				s += deg[i]
+			}
+			k.degPart[w] = s
+		})
+		// Serial P-element exclusive scan of the partials. Empty shares
+		// never ran pass 1, so their stale slots are re-derived from the
+		// same block partition the loops use.
+		ctx.Single(func() {
+			var tot uint32
+			for i := 0; i < p; i++ {
+				if lo, hi := sched.BlockRange(nf, p, i); lo == hi {
+					k.degPart[i] = 0
+				}
+				s := k.degPart[i]
+				k.degPart[i] = tot
+				tot += s
+			}
+			cum[nf] = tot
+		})
+		// Pass 2: same block ranges, so each share's partial lines up.
+		ctx.Range(nf, func(lo, hi, w int) {
+			run := k.degPart[w]
+			for i := lo; i < hi; i++ {
+				cum[i] = run
+				run += deg[i]
+			}
+		})
+		// One shard per slot; the executing worker owns the discovery
+		// buffer, so this is balanced under any loop policy.
+		ctx.ForWorker(p, func(shard, w int) {
 			lo, hi := sched.WeightedRange(cum, p, shard)
 			for i := lo; i < hi; i++ {
 				relax(frontier[i], w)
@@ -91,47 +130,56 @@ func (k *Kernel) relaxFrontier(L, round uint32) {
 		})
 		return
 	}
-	k.m.ParallelForWorker(nf, func(i, w int) { relax(frontier[i], w) })
-}
-
-// assembleNext turns the per-worker discovery buffers into the next
-// frontier: a serial scan of the P buffer sizes, then each worker copies
-// its buffer to its offset. The kernel-owned buffers are swapped — the
-// assembled frontier becomes current, the consumed one (passed in) becomes
-// the next level's target — and the new frontier size is returned.
-func (k *Kernel) assembleNext(consumed []uint32) int {
-	p := k.m.P()
-	total := 0
-	for w := 0; w < p; w++ {
-		k.wOff[w] = total
-		total += len(k.bufs[w])
-	}
-	k.wOff[p] = total
-	next := k.next[:total]
-	k.m.ParallelFor(p, func(w int) {
-		copy(next[k.wOff[w]:k.wOff[w+1]], k.bufs[w])
-		k.bufs[w] = k.bufs[w][:0]
-	})
-	k.frontier, k.next = next, consumed[:0]
-	return total
+	ctx.ForWorker(nf, func(i, w int) { relax(frontier[i], w) })
 }
 
 // RunCASLTFrontier executes BFS with an explicit frontier and
-// CAS-LT-guarded discovery tuples. Prepare must have been called first.
-func (k *Kernel) RunCASLTFrontier() Result {
+// CAS-LT-guarded discovery tuples under the machine's default execution
+// backend. Prepare must have been called first.
+func (k *Kernel) RunCASLTFrontier() Result { return k.RunCASLTFrontierExec(k.m.Exec()) }
+
+// RunCASLTFrontierExec is RunCASLTFrontier under an explicit execution
+// backend.
+func (k *Kernel) RunCASLTFrontierExec(e machine.Exec) Result {
+	p := k.m.P()
 	k.ensureFrontierState()
 	k.frontier = append(k.frontier[:0], k.source)
-	L := uint32(0)
-	for len(k.frontier) > 0 {
-		frontier := k.frontier
-		k.relaxFrontier(L, k.base+L+1)
-		if k.assembleNext(frontier) == 0 {
-			break
+	var depth uint32
+	k.trace = exec.Run(k.m, e, func(ctx exec.Ctx) {
+		L := uint32(0)
+		for {
+			round := k.base + L + 1
+			frontier := k.frontier
+			k.relaxFrontier(ctx, frontier, L, round)
+			ctx.Single(func() {
+				total := 0
+				for i := 0; i < p; i++ {
+					k.wOff[i] = total
+					total += len(k.bufs[i])
+					k.degSum[i] = 0 // consumed by the hybrid only; keep zeroed
+				}
+				k.wOff[p] = total
+				// Swap the kernel-owned buffers: the assembled frontier
+				// becomes current, the consumed one the next level's target.
+				k.frontier, k.next = k.next[:total], frontier[:0]
+			})
+			// Single's barrier published the offsets and the swap.
+			if len(k.frontier) == 0 {
+				if ctx.Worker() == 0 {
+					depth = L
+				}
+				break
+			}
+			next := k.frontier
+			ctx.ForWorker(p, func(i, _ int) {
+				copy(next[k.wOff[i]:k.wOff[i+1]], k.bufs[i])
+				k.bufs[i] = k.bufs[i][:0]
+			})
+			L++
 		}
-		L++
-	}
-	k.base += L + 1
-	return k.result(int(L))
+	})
+	k.base += depth + 1
+	return k.result(int(depth))
 }
 
 // frontierStateBytes reports the extra memory the frontier variant keeps,

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"crcwpram/internal/core/machine"
 	"crcwpram/internal/graph"
 )
 
@@ -88,6 +89,15 @@ func TestFrontierMemoryStaysLinear(t *testing.T) {
 	// per vertex plus slack.
 	if got, limit := k.frontierStateBytes(), 16*g.NumVertices()+4096; got > limit {
 		t.Fatalf("frontier state %d bytes exceeds %d", got, limit)
+	}
+	// The team backend shares the same state; running under it must not
+	// allocate a second copy.
+	for rep := 0; rep < 5; rep++ {
+		k.Prepare(0)
+		k.RunCASLTFrontierExec(machine.ExecTeam)
+	}
+	if got, limit := k.frontierStateBytes(), 16*g.NumVertices()+4096; got > limit {
+		t.Fatalf("frontier state %d bytes exceeds %d after team runs", got, limit)
 	}
 }
 

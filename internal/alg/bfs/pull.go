@@ -1,6 +1,12 @@
 package bfs
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"crcwpram/internal/core/exec"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
+)
 
 // Direction-optimizing BFS (Beamer, Asanović, Patterson, SC'12) on top of
 // the CAS-LT kernel.
@@ -24,8 +30,12 @@ import "sync/atomic"
 // per level on Beamer's heuristic: push→pull when the frontier's outgoing
 // arcs m_f exceed the unexplored arcs m_u / α, and pull→push when the
 // frontier shrinks below N/β vertices. Each level is still one PRAM round
-// bracketed by machine barriers; only the loop *shape* (and hence the CW
-// class) changes between rounds, never the round protocol around it.
+// bracketed by region barriers; only the loop *shape* (and hence the CW
+// class) changes between rounds, never the round protocol around it. The
+// per-level direction decision must be SPMD-consistent, so every worker
+// tracks (m_f, m_u, direction) in worker-local variables updated from
+// shared counters only after the level's Single published them — all
+// workers therefore compute the identical decision sequence.
 //
 // SelEdge direction: a push discovery records the arc parent→u, a pull
 // discovery the arc u→parent (the arc the scan actually examined — the
@@ -87,11 +97,6 @@ func (k *Kernel) pullLevel(lo, hi int, L uint32, onFound func(u uint32)) bool {
 	return progress
 }
 
-// RunCASLTPull executes a pure bottom-up BFS. Prepare must have been called
-// first. Every level sweeps all unreached vertices (under the kernel's
-// balance policy), so this is the ablation endpoint, not the practical
-// kernel — use RunCASLTHybrid for that. No CAS-LT rounds are consumed: all
-// writes are exclusive.
 // requireSymmetric guards the bottom-up variants: pull scans a vertex's
 // *out*-arcs to find a parent, which finds the in-neighbors only when the
 // CSR stores both directions.
@@ -101,76 +106,96 @@ func (k *Kernel) requireSymmetric() {
 	}
 }
 
-func (k *Kernel) RunCASLTPull() Result {
+// RunCASLTPull executes a pure bottom-up BFS under the machine's default
+// execution backend. Prepare must have been called first. Every level
+// sweeps all unreached vertices (under the kernel's balance policy), so
+// this is the ablation endpoint, not the practical kernel — use
+// RunCASLTHybrid for that. No CAS-LT rounds are consumed: all writes are
+// exclusive.
+func (k *Kernel) RunCASLTPull() Result { return k.RunCASLTPullExec(k.m.Exec()) }
+
+// RunCASLTPullExec is RunCASLTPull under an explicit execution backend.
+func (k *Kernel) RunCASLTPullExec(e machine.Exec) Result {
 	k.requireSymmetric()
-	var done atomic.Uint32
-	L := uint32(0)
-	for {
-		done.Store(1)
-		k.sweep(func(lo, hi, _ int) {
-			if k.pullLevel(lo, hi, L, nil) {
-				done.Store(0)
-			}
-		})
-		if done.Load() == 1 {
-			break
-		}
-		L++
-	}
-	return k.result(int(L))
+	depth := k.runLevels(e, func(lo, hi, _ int, L, _ uint32) bool {
+		return k.pullLevel(lo, hi, L, nil)
+	}, false)
+	return k.result(int(depth))
 }
 
-// pullFrontierLevel is one bottom-up level that also collects discoveries
-// into the per-worker buffers (with degSum bookkeeping), so the hybrid
-// driver can keep its explicit frontier across direction switches.
-func (k *Kernel) pullFrontierLevel(L uint32) {
+// RunCASLTHybrid executes the direction-optimizing BFS under the machine's
+// default execution backend: push levels are the CAS-LT frontier
+// relaxation (edge- or vertex-balanced), pull levels the bottom-up scan,
+// chosen per level by NextDirection. The explicit frontier is maintained
+// through both directions; m_u starts at the graph's arc count minus the
+// source's degree and decreases by each level's discovered arc count.
+// Prepare must have been called first.
+func (k *Kernel) RunCASLTHybrid() Result { return k.RunCASLTHybridExec(k.m.Exec()) }
+
+// RunCASLTHybridExec is RunCASLTHybrid under an explicit execution
+// backend. Per level it costs the relax/pull sweep round, the Single that
+// assembles offsets and the level's arc count, and the copy round — the
+// same three-round shape as RunCASLTFrontierExec regardless of direction.
+func (k *Kernel) RunCASLTHybridExec(e machine.Exec) Result {
+	k.requireSymmetric()
 	offsets := k.g.Offsets()
-	k.sweep(func(lo, hi, w int) {
-		k.pullLevel(lo, hi, L, func(u uint32) {
-			k.bufs[w] = append(k.bufs[w], u)
-			k.degSum[w] += uint64(offsets[u+1] - offsets[u])
-		})
-	})
-}
-
-// RunCASLTHybrid executes the direction-optimizing BFS: push levels are the
-// CAS-LT frontier relaxation (edge- or vertex-balanced), pull levels the
-// bottom-up scan, chosen per level by NextDirection. The explicit frontier
-// is maintained through both directions; m_u starts at the graph's arc
-// count minus the source's degree and decreases by each level's discovered
-// arc count. Prepare must have been called first.
-func (k *Kernel) RunCASLTHybrid() Result {
-	k.requireSymmetric()
 	p := k.m.P()
 	k.ensureFrontierState()
-	k.frontier = append(k.frontier[:0], k.source)
-	mf := uint64(k.g.Degree(k.source))
-	mu := uint64(k.g.NumArcs()) - mf
-	pull := false
-	L := uint32(0)
-	for len(k.frontier) > 0 {
-		pull = NextDirection(pull, mf, mu, uint64(len(k.frontier)), uint64(k.n))
-		frontier := k.frontier
-		for w := 0; w < p; w++ {
-			k.degSum[w] = 0
-		}
-		if pull {
-			k.pullFrontierLevel(L)
-		} else {
-			k.relaxFrontier(L, k.base+L+1)
-		}
-		total := k.assembleNext(frontier)
-		var disc uint64
-		for w := 0; w < p; w++ {
-			disc += k.degSum[w]
-		}
-		mu -= disc
-		mf = disc
-		if total == 0 {
-			break
-		}
-		L++
+	if k.balance == graph.BalanceEdge {
+		k.ensureArcBounds() // allocate outside the region
 	}
-	k.base += L + 1
-	return k.result(int(L))
+	k.frontier = append(k.frontier[:0], k.source)
+	mfInit := uint64(k.g.Degree(k.source))
+	muInit := uint64(k.g.NumArcs()) - mfInit
+	var depth uint32
+	k.trace = exec.Run(k.m, e, func(ctx exec.Ctx) {
+		mf, mu := mfInit, muInit
+		pull := false
+		L := uint32(0)
+		for {
+			pull = NextDirection(pull, mf, mu, uint64(len(k.frontier)), uint64(k.n))
+			round := k.base + L + 1
+			frontier := k.frontier
+			if pull {
+				k.ctxSweep(ctx, func(lo, hi, w int) {
+					k.pullLevel(lo, hi, L, func(u uint32) {
+						k.bufs[w] = append(k.bufs[w], u)
+						k.degSum[w] += uint64(offsets[u+1] - offsets[u])
+					})
+				})
+			} else {
+				k.relaxFrontier(ctx, frontier, L, round)
+			}
+			ctx.Single(func() {
+				total := 0
+				var disc uint64
+				for i := 0; i < p; i++ {
+					k.wOff[i] = total
+					total += len(k.bufs[i])
+					disc += k.degSum[i]
+					k.degSum[i] = 0 // re-zero for the next level's counters
+				}
+				k.wOff[p] = total
+				k.discArcs = disc
+				k.frontier, k.next = k.next[:total], frontier[:0]
+			})
+			// Single's barrier published the offsets, the swap and discArcs.
+			mu -= k.discArcs
+			mf = k.discArcs
+			if len(k.frontier) == 0 {
+				if ctx.Worker() == 0 {
+					depth = L
+				}
+				break
+			}
+			next := k.frontier
+			ctx.ForWorker(p, func(i, _ int) {
+				copy(next[k.wOff[i]:k.wOff[i+1]], k.bufs[i])
+				k.bufs[i] = k.bufs[i][:0]
+			})
+			L++
+		}
+	})
+	k.base += depth + 1
+	return k.result(int(depth))
 }

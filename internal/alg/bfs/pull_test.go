@@ -3,6 +3,7 @@ package bfs
 import (
 	"testing"
 
+	"crcwpram/internal/core/machine"
 	"crcwpram/internal/graph"
 )
 
@@ -55,9 +56,9 @@ func TestPullHybridMatchPush(t *testing.T) {
 				push.Level = pushLevels
 				runs := map[string]func() Result{
 					"pull-pool":   k.RunCASLTPull,
-					"pull-team":   k.RunCASLTPullTeam,
+					"pull-team":   func() Result { return k.RunCASLTPullExec(machine.ExecTeam) },
 					"hybrid-pool": k.RunCASLTHybrid,
-					"hybrid-team": k.RunCASLTHybridTeam,
+					"hybrid-team": func() Result { return k.RunCASLTHybridExec(machine.ExecTeam) },
 				}
 				for kind, run := range runs {
 					k.Prepare(0)
@@ -94,7 +95,7 @@ func TestPullHybridNonZeroSource(t *testing.T) {
 			for kind, run := range map[string]func() Result{
 				"pull-pool":   k.RunCASLTPull,
 				"hybrid-pool": k.RunCASLTHybrid,
-				"hybrid-team": k.RunCASLTHybridTeam,
+				"hybrid-team": func() Result { return k.RunCASLTHybridExec(machine.ExecTeam) },
 			} {
 				k.Prepare(tc.src)
 				r := run()
@@ -123,11 +124,11 @@ func TestEdgeBalancedPushMatchesVertex(t *testing.T) {
 				t.Fatalf("p=%d %s edge frontier: %v", p, name, err)
 			}
 			k.Prepare(0)
-			if err := Validate(gr, 0, k.RunCASLTTeam(), true); err != nil {
+			if err := Validate(gr, 0, k.RunCASLTExec(machine.ExecTeam), true); err != nil {
 				t.Fatalf("p=%d %s edge team sweep: %v", p, name, err)
 			}
 			k.Prepare(0)
-			if err := Validate(gr, 0, k.RunCASLTFrontierTeam(), true); err != nil {
+			if err := Validate(gr, 0, k.RunCASLTFrontierExec(machine.ExecTeam), true); err != nil {
 				t.Fatalf("p=%d %s edge team frontier: %v", p, name, err)
 			}
 			if gr.Undirected() {
@@ -156,7 +157,7 @@ func TestHybridRepeatedRuns(t *testing.T) {
 		case 0:
 			r = k.RunCASLTHybrid()
 		case 1:
-			r = k.RunCASLTHybridTeam()
+			r = k.RunCASLTHybridExec(machine.ExecTeam)
 		case 2:
 			r = k.RunCASLTFrontier()
 		}

@@ -4,62 +4,81 @@ import (
 	"sync/atomic"
 
 	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/exec"
+	"crcwpram/internal/core/machine"
 )
 
 // RunResolver executes the Figure 3 BFS with the concurrent write handled
-// by an arbitrary cw.Resolver. It is the generic entry point: slightly
-// slower than the specialized Run* variants (one closure per winning
-// write), and therefore not what the timing figures use, but it composes
-// with any resolver — in particular cw.NewCountingResolver, which is how
-// the harness measures the atomic traffic of a whole BFS run per method.
+// by an arbitrary cw.Resolver, under the machine's default execution
+// backend. It is the generic entry point: slightly slower than the
+// specialized Run* variants (one closure per winning write), and therefore
+// not what the timing figures use, but it composes with any resolver — in
+// particular cw.NewCountingResolver, which is how the harness measures the
+// atomic traffic of a whole BFS run per method.
 //
 // The resolver must be fresh (or ResetRange over all targets must have
 // been applied) and must span the graph's vertices. Prepare must have been
 // called first.
 func (k *Kernel) RunResolver(r cw.Resolver) Result {
+	return k.RunResolverExec(k.m.Exec(), r)
+}
+
+// RunResolverExec is RunResolver under an explicit execution backend.
+// Combined with ExecTrace it yields both the resolver's operation counts
+// and the kernel's structural trace in one deterministic replay. Round ids
+// passed to the resolver restart at 1 for every call, so a CAS-LT-backed
+// resolver must not be reused across calls (counting resolvers are
+// per-experiment anyway).
+func (k *Kernel) RunResolverExec(e machine.Exec, r cw.Resolver) Result {
 	if r.Len() < k.n {
 		panic("bfs: resolver smaller than the vertex set")
 	}
 	offsets, targets := k.g.Offsets(), k.g.Targets()
 	needsReset := r.Method().NeedsReset()
-	var done atomic.Uint32
-	L := uint32(0)
-	for {
-		done.Store(1)
-		round := L + 1
-		k.m.ParallelRange(k.n, func(lo, hi, _ int) {
-			progress := false
-			for v := lo; v < hi; v++ {
-				if atomic.LoadUint32(&k.level[v]) != L {
-					continue
-				}
-				for j := offsets[v]; j < offsets[v+1]; j++ {
-					u := targets[j]
-					if atomic.LoadUint32(&k.visited[u]) != 0 {
+	var depth uint32
+	k.trace = exec.Run(k.m, e, func(ctx exec.Ctx) {
+		progress := ctx.Flag()
+		L := uint32(0)
+		for {
+			progress.Set(L+1, 0) // prime next level's flag (common CW)
+			round := L + 1
+			ctx.Range(k.n, func(lo, hi, _ int) {
+				prog := false
+				for v := lo; v < hi; v++ {
+					if atomic.LoadUint32(&k.level[v]) != L {
 						continue
 					}
-					v := v
-					if r.Do(int(u), round, func() {
-						k.parent[u] = uint32(v)
-						k.selEdge[u] = j
-						atomic.StoreUint32(&k.visited[u], 1)
-						atomic.StoreUint32(&k.level[u], L+1)
-					}) {
-						progress = true
+					for j := offsets[v]; j < offsets[v+1]; j++ {
+						u := targets[j]
+						if atomic.LoadUint32(&k.visited[u]) != 0 {
+							continue
+						}
+						v := v
+						if r.Do(int(u), round, func() {
+							k.parent[u] = uint32(v)
+							k.selEdge[u] = j
+							atomic.StoreUint32(&k.visited[u], 1)
+							atomic.StoreUint32(&k.level[u], L+1)
+						}) {
+							prog = true
+						}
 					}
 				}
+				if prog {
+					progress.Set(L, 1)
+				}
+			})
+			if progress.Get(L) == 0 {
+				if ctx.Worker() == 0 {
+					depth = L
+				}
+				break
 			}
-			if progress {
-				done.Store(0)
+			if needsReset {
+				ctx.Range(k.n, func(lo, hi, _ int) { r.ResetRange(lo, hi) })
 			}
-		})
-		if done.Load() == 1 {
-			break
+			L++
 		}
-		L++
-		if needsReset {
-			k.m.ParallelRange(k.n, func(lo, hi, _ int) { r.ResetRange(lo, hi) })
-		}
-	}
-	return k.result(int(L))
+	})
+	return k.result(int(depth))
 }

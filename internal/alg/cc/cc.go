@@ -46,6 +46,7 @@ import (
 	"sync/atomic"
 
 	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/exec"
 	"crcwpram/internal/core/machine"
 	"crcwpram/internal/graph"
 )
@@ -84,7 +85,8 @@ type Kernel struct {
 	gates *cw.GateArray
 	mtx   *cw.MutexArray
 
-	base uint32 // CAS-LT round offset carried across runs
+	base  uint32           // CAS-LT round offset carried across runs
+	trace *exec.TraceStats // structural record of the last trace-backend run
 }
 
 // NewKernel returns a CC kernel over g executed on m. The machine and graph
@@ -142,26 +144,54 @@ func (k *Kernel) Prepare() {
 	})
 }
 
-// Run executes the algorithm with the given method and returns a Result
-// view over the kernel's arrays (valid until the next Prepare/Run).
-// Prepare must have been called first. Run panics for cw.Naive: naive
-// arbitrary concurrent writes are unsafe (see package comment).
+// Run executes the algorithm with the given method under the machine's
+// default execution backend and returns a Result view over the kernel's
+// arrays (valid until the next Prepare/Run). Prepare must have been called
+// first. Run panics for cw.Naive: naive arbitrary concurrent writes are
+// unsafe (see package comment).
 func (k *Kernel) Run(method cw.Method) Result {
+	return k.RunExec(k.m.Exec(), method)
+}
+
+// RunExec is Run under an explicit execution backend.
+func (k *Kernel) RunExec(e machine.Exec, method cw.Method) Result {
 	switch method {
 	case cw.CASLT:
-		return k.RunCASLT()
+		// The per-phase round id is derived from the region round counter
+		// plus the kernel's base offset, so no auxiliary state is ever
+		// re-initialized.
+		return k.runExec(e,
+			func(round uint32) hookFunc {
+				return func(r int, j, target uint32) bool {
+					return k.cells.TryClaim(r, round) && k.commit(r, j, target)
+				}
+			},
+			true, func(exec.Ctx) {})
 	case cw.Gatekeeper:
-		return k.RunGatekeeper()
+		return k.runGate(e, false)
 	case cw.GatekeeperChecked:
-		return k.RunGateChecked()
+		return k.runGate(e, true)
 	case cw.Mutex:
-		return k.RunMutex()
+		return k.runExec(e,
+			func(uint32) hookFunc {
+				return func(r int, j, target uint32) bool {
+					k.mtx.Lock(r)
+					ok := k.commit(r, j, target)
+					k.mtx.Unlock(r)
+					return ok
+				}
+			},
+			false, func(exec.Ctx) {})
 	case cw.Naive:
 		panic("cc: the naive method cannot implement the arbitrary multi-array hooking write (see the paper, Section 7)")
 	default:
 		panic("cc: unknown method " + method.String())
 	}
 }
+
+// Trace returns the structural record of the kernel's last run under the
+// trace backend, or nil if the last run used a timed backend.
+func (k *Kernel) Trace() *exec.TraceStats { return k.trace }
 
 // maxIterations bounds the convergence loop: Awerbuch–Shiloach provably
 // finishes in O(log n) iterations, so exceeding a generous multiple
@@ -173,14 +203,14 @@ func (k *Kernel) maxIterations() int {
 // starCheck recomputes k.star from k.d in three rounds. D is not written
 // during the check, so plain reads of d are safe; star is written with
 // atomic stores because marks race benignly (common CW of 0).
-func (k *Kernel) starCheck() {
+func (k *Kernel) starCheck(ctx exec.Ctx) {
 	d, star := k.d, k.star
-	k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+	ctx.Range(k.n, func(lo, hi, _ int) {
 		for v := lo; v < hi; v++ {
 			star[v] = 1
 		}
 	})
-	k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+	ctx.Range(k.n, func(lo, hi, _ int) {
 		for v := lo; v < hi; v++ {
 			p := d[v]
 			gp := d[p]
@@ -194,7 +224,7 @@ func (k *Kernel) starCheck() {
 	})
 	// Propagate the root's verdict to depth-1 members. Only lowers, never
 	// raises, so racy interleavings within the round are benign.
-	k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+	ctx.Range(k.n, func(lo, hi, _ int) {
 		for v := lo; v < hi; v++ {
 			if atomic.LoadUint32(&star[v]) == 1 && atomic.LoadUint32(&star[d[v]]) == 0 {
 				atomic.StoreUint32(&star[v], 0)
@@ -203,13 +233,13 @@ func (k *Kernel) starCheck() {
 	})
 }
 
-// shortcut performs one pointer-jumping round, reporting whether any
-// pointer moved. Reading a neighbour's already-jumped pointer only jumps
-// further up the (acyclic) forest, so atomic loads of concurrent writes
-// are safe.
-func (k *Kernel) shortcut(changed *atomic.Uint32) {
+// shortcut performs one pointer-jumping round, marking iteration it's slot
+// of the rotating flag if any pointer moved. Reading a neighbour's
+// already-jumped pointer only jumps further up the (acyclic) forest, so
+// atomic loads of concurrent writes are safe.
+func (k *Kernel) shortcut(ctx exec.Ctx, changed *exec.Flag, it uint32) {
 	d := k.d
-	k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+	ctx.Range(k.n, func(lo, hi, _ int) {
 		progress := false
 		for v := lo; v < hi; v++ {
 			p := atomic.LoadUint32(&d[v])
@@ -220,7 +250,7 @@ func (k *Kernel) shortcut(changed *atomic.Uint32) {
 			}
 		}
 		if progress {
-			changed.Store(1)
+			changed.Set(it, 1)
 		}
 	})
 }
@@ -234,15 +264,15 @@ type hookFunc func(r int, j uint32, target uint32) bool
 // without the snapshot, an arc sourced at a root hooked earlier in the same
 // phase reads its freshly written pointer and can hook its new parent back,
 // forming a cycle). conditional selects the D[v] < D[u] rule (vs.
-// D[v] != D[u]).
-func (k *Kernel) hookPhase(conditional bool, hook hookFunc, changed *atomic.Uint32) {
+// D[v] != D[u]); progress marks iteration it's slot of the rotating flag.
+func (k *Kernel) hookPhase(ctx exec.Ctx, conditional bool, hook hookFunc, changed *exec.Flag, it uint32) {
 	d, star, arcSrc, targets := k.dprev, k.star, k.arcSrc, k.g.Targets()
 	// Snapshot the parent pointers; this copy is part of every method's
 	// timed cost, identically, so method comparisons are unaffected.
-	k.m.ParallelRange(k.n, func(lo, hi, _ int) {
+	ctx.Range(k.n, func(lo, hi, _ int) {
 		copy(k.dprev[lo:hi], k.d[lo:hi])
 	})
-	k.m.ParallelRange(len(arcSrc), func(lo, hi, _ int) {
+	ctx.Range(len(arcSrc), func(lo, hi, _ int) {
 		progress := false
 		for j := lo; j < hi; j++ {
 			u := arcSrc[j]
@@ -275,40 +305,60 @@ func (k *Kernel) hookPhase(conditional bool, hook hookFunc, changed *atomic.Uint
 			}
 		}
 		if progress {
-			changed.Store(1)
+			changed.Set(it, 1)
 		}
 	})
 }
 
-// run drives the iteration structure shared by all methods. nextRound
-// supplies a fresh round id before each hooking phase (CAS-LT); afterPhase
-// runs between rounds for methods needing re-initialization (gatekeeper).
-func (k *Kernel) run(hook func(round uint32) hookFunc, nextRound func() uint32, afterPhase func()) Result {
-	iter := 0
+// runExec drives the iteration structure shared by all methods under
+// backend e, as one SPMD body around the whole convergence loop. mk yields
+// the hook guard for a given round id — the region round counter plus the
+// kernel's base offset when useBase is set (CAS-LT), the bare counter
+// otherwise (two hooking phases per iteration either way). afterPhase runs
+// after each hooking phase for methods needing re-initialization
+// (gatekeeper). The per-iteration "did anything change?" word is the
+// region's rotating Flag, so no round is spent resetting it.
+func (k *Kernel) runExec(e machine.Exec, mk func(round uint32) hookFunc, useBase bool, afterPhase func(exec.Ctx)) Result {
 	maxIter := k.maxIterations()
-	var changed atomic.Uint32
-	for {
-		changed.Store(0)
-
-		k.starCheck()
-		k.hookPhase(true, hook(nextRound()), &changed)
-		afterPhase()
-
-		k.starCheck()
-		k.hookPhase(false, hook(nextRound()), &changed)
-		afterPhase()
-
-		k.shortcut(&changed)
-
-		iter++
-		if changed.Load() == 0 {
-			break
-		}
-		if iter > maxIter {
-			panic(fmt.Sprintf("cc: no convergence after %d iterations on %d vertices (bug)", iter, k.n))
-		}
+	off := uint32(0)
+	if useBase {
+		off = k.base
 	}
-	return Result{Labels: k.d, HookEdge: k.hookEdge, Iterations: iter}
+	var iters int
+	k.trace = exec.Run(k.m, e, func(ctx exec.Ctx) {
+		changed := ctx.Flag()
+		it := uint32(0)
+		for {
+			changed.Set(it+1, 0) // prime next iteration's flag (common CW)
+			r1 := off + ctx.NextRound()
+			r2 := off + ctx.NextRound()
+
+			k.starCheck(ctx)
+			k.hookPhase(ctx, true, mk(r1), changed, it)
+			afterPhase(ctx)
+
+			k.starCheck(ctx)
+			k.hookPhase(ctx, false, mk(r2), changed, it)
+			afterPhase(ctx)
+
+			k.shortcut(ctx, changed, it)
+
+			it++
+			if changed.Get(it-1) == 0 {
+				if ctx.Worker() == 0 {
+					iters = int(it)
+				}
+				break
+			}
+			if int(it) > maxIter {
+				panic(fmt.Sprintf("cc: no convergence after %d iterations on %d vertices (bug)", it, k.n))
+			}
+		}
+	})
+	if useBase {
+		k.base += uint32(2 * iters)
+	}
+	return Result{Labels: k.d, HookEdge: k.hookEdge, Iterations: iters}
 }
 
 // commit writes the hook tuple; it runs only on a claimant holding the
@@ -326,32 +376,21 @@ func (k *Kernel) commit(r int, j, target uint32) bool {
 }
 
 // RunCASLT guards each hooking write with a CAS-LT claim on the root's
-// cell; the per-phase round id is derived from the iteration counter, so
-// no auxiliary state is ever re-initialized.
-func (k *Kernel) RunCASLT() Result {
-	res := k.run(
-		func(round uint32) hookFunc {
-			return func(r int, j, target uint32) bool {
-				return k.cells.TryClaim(r, round) && k.commit(r, j, target)
-			}
-		},
-		func() uint32 { k.base++; return k.base },
-		func() {},
-	)
-	return res
-}
+// cell; the per-phase round id is derived from the region round counter,
+// so no auxiliary state is ever re-initialized.
+func (k *Kernel) RunCASLT() Result { return k.Run(cw.CASLT) }
 
 // RunGatekeeper guards each hooking write with an atomic fetch-and-add
 // gatekeeper per root, and re-zeroes the whole gatekeeper array after
 // every hooking phase — the O(N)-work re-initialization pass the method
 // requires, inside the timed region.
-func (k *Kernel) RunGatekeeper() Result { return k.runGate(false) }
+func (k *Kernel) RunGatekeeper() Result { return k.Run(cw.Gatekeeper) }
 
 // RunGateChecked is RunGatekeeper with the load pre-check mitigation.
-func (k *Kernel) RunGateChecked() Result { return k.runGate(true) }
+func (k *Kernel) RunGateChecked() Result { return k.Run(cw.GatekeeperChecked) }
 
-func (k *Kernel) runGate(checked bool) Result {
-	return k.run(
+func (k *Kernel) runGate(e machine.Exec, checked bool) Result {
+	return k.runExec(e,
 		func(uint32) hookFunc {
 			return func(r int, j, target uint32) bool {
 				var won bool
@@ -363,9 +402,9 @@ func (k *Kernel) runGate(checked bool) Result {
 				return won && k.commit(r, j, target)
 			}
 		},
-		func() uint32 { return 0 },
-		func() {
-			k.m.ParallelRange(k.n, func(lo, hi, _ int) { k.gates.ResetRange(lo, hi) })
+		false,
+		func(ctx exec.Ctx) {
+			ctx.Range(k.n, func(lo, hi, _ int) { k.gates.ResetRange(lo, hi) })
 		},
 	)
 }
@@ -374,20 +413,7 @@ func (k *Kernel) runGate(checked bool) Result {
 // the first writer to commit wins (the root re-verification makes later
 // writers skip), and the tuple stays consistent because both fields are
 // written inside the critical section.
-func (k *Kernel) RunMutex() Result {
-	return k.run(
-		func(uint32) hookFunc {
-			return func(r int, j, target uint32) bool {
-				k.mtx.Lock(r)
-				ok := k.commit(r, j, target)
-				k.mtx.Unlock(r)
-				return ok
-			}
-		},
-		func() uint32 { return 0 },
-		func() {},
-	)
-}
+func (k *Kernel) RunMutex() Result { return k.Run(cw.Mutex) }
 
 // SequentialLabels computes component labels with a union-find (path
 // halving + union by smaller id), the validation baseline. Labels are the

@@ -2,7 +2,9 @@ package cc
 
 import (
 	"math/bits"
-	"sync/atomic"
+
+	"crcwpram/internal/core/exec"
+	"crcwpram/internal/core/machine"
 )
 
 // This file implements Reif's random-mate connected components as a second
@@ -33,75 +35,91 @@ func coin(seed uint64, it uint32, v uint32) bool {
 }
 
 // RunRandMate executes random-mate connected components with
-// CAS-LT-guarded hooking. Prepare must have been called first. Like the
-// Awerbuch–Shiloach runs it fills the hook records, so Validate applies
-// unchanged. seed makes the coin flips deterministic.
+// CAS-LT-guarded hooking under the machine's default execution backend.
+// Prepare must have been called first. Like the Awerbuch–Shiloach runs it
+// fills the hook records, so Validate applies unchanged. seed makes the
+// coin flips deterministic.
 func (k *Kernel) RunRandMate(seed uint64) Result {
+	return k.RunRandMateExec(k.m.Exec(), seed)
+}
+
+// RunRandMateExec is RunRandMate under an explicit execution backend.
+func (k *Kernel) RunRandMateExec(e machine.Exec, seed uint64) Result {
 	// A generous bound: random mate halves the expected live-root count
 	// per iteration; exceeding ~64 + 8 log2 n is overwhelmingly a bug (or
 	// an astronomically unlucky seed) rather than a slow input.
 	maxIter := 8*bits.Len(uint(k.n)) + 64
 
 	d, dprev, arcSrc, targets := k.d, k.dprev, k.arcSrc, k.g.Targets()
-	var changed atomic.Uint32
-	it := uint32(0)
-	for {
-		changed.Store(0)
-		k.base++
-		round := k.base
+	// The region's Flag tracks per-iteration progress; cross-tree liveness
+	// needs a second rotating flag, declared driver-side so every SPMD copy
+	// shares it.
+	var live exec.Flag
+	var iters uint32
+	k.trace = exec.Run(k.m, e, func(ctx exec.Ctx) {
+		changed := ctx.Flag()
+		it := uint32(0)
+		for {
+			changed.Set(it+1, 0) // prime next iteration's flags (common CW)
+			live.Set(it+1, 0)
+			round := k.base + ctx.NextRound()
 
-		// Snapshot the forest: hooks read phase-start roots only.
-		k.m.ParallelRange(k.n, func(lo, hi, _ int) {
-			copy(dprev[lo:hi], d[lo:hi])
-		})
+			// Snapshot the forest: hooks read phase-start roots only.
+			ctx.Range(k.n, func(lo, hi, _ int) {
+				copy(dprev[lo:hi], d[lo:hi])
+			})
 
-		// Hooking: arcs whose source's root is a head and whose target's
-		// root is a tail hook head beneath tail. dprev[u] is u's parent at
-		// phase start; it equals u's root only when u is in a star, so —
-		// unlike Awerbuch–Shiloach — random mate additionally requires the
-		// parent to be a root (dprev[dprev[u]] == dprev[u]), which is the
-		// textbook formulation (hooking is attempted between mated roots).
-		// live records whether any arc still connects two distinct roots:
-		// an unlucky coin assignment can produce a hook-free iteration
-		// that must NOT terminate the loop while such arcs remain.
-		var live atomic.Uint32
-		k.m.ParallelRange(len(arcSrc), func(lo, hi, _ int) {
-			progress, cross := false, false
-			for j := lo; j < hi; j++ {
-				u := arcSrc[j]
-				ru := dprev[u]
-				if dprev[ru] != ru {
-					continue // u's parent is not a root
+			// Hooking: arcs whose source's root is a head and whose target's
+			// root is a tail hook head beneath tail. dprev[u] is u's parent at
+			// phase start; it equals u's root only when u is in a star, so —
+			// unlike Awerbuch–Shiloach — random mate additionally requires the
+			// parent to be a root (dprev[dprev[u]] == dprev[u]), which is the
+			// textbook formulation (hooking is attempted between mated roots).
+			// live records whether any arc still connects two distinct roots:
+			// an unlucky coin assignment can produce a hook-free iteration
+			// that must NOT terminate the loop while such arcs remain.
+			ctx.Range(len(arcSrc), func(lo, hi, _ int) {
+				progress, cross := false, false
+				for j := lo; j < hi; j++ {
+					u := arcSrc[j]
+					ru := dprev[u]
+					if dprev[ru] != ru {
+						continue // u's parent is not a root
+					}
+					rv := dprev[targets[j]]
+					if dprev[rv] != rv || ru == rv {
+						continue // v's parent is not a root, or same tree
+					}
+					cross = true
+					if !coin(seed, it, ru) || coin(seed, it, rv) {
+						continue // not a head-to-tail pairing this iteration
+					}
+					if k.cells.TryClaim(int(ru), round) && k.commit(int(ru), uint32(j), rv) {
+						progress = true
+					}
 				}
-				rv := dprev[targets[j]]
-				if dprev[rv] != rv || ru == rv {
-					continue // v's parent is not a root, or same tree
+				if progress {
+					changed.Set(it, 1)
 				}
-				cross = true
-				if !coin(seed, it, ru) || coin(seed, it, rv) {
-					continue // not a head-to-tail pairing this iteration
+				if cross {
+					live.Set(it, 1)
 				}
-				if k.cells.TryClaim(int(ru), round) && k.commit(int(ru), uint32(j), rv) {
-					progress = true
+			})
+
+			k.shortcut(ctx, changed, it)
+
+			it++
+			if changed.Get(it-1) == 0 && live.Get(it-1) == 0 {
+				if ctx.Worker() == 0 {
+					iters = it
 				}
+				break
 			}
-			if progress {
-				changed.Store(1)
+			if int(it) > maxIter {
+				panic("cc: random mate did not converge (bug or pathological seed)")
 			}
-			if cross {
-				live.Store(1)
-			}
-		})
-
-		k.shortcut(&changed)
-
-		it++
-		if changed.Load() == 0 && live.Load() == 0 {
-			break
 		}
-		if int(it) > maxIter {
-			panic("cc: random mate did not converge (bug or pathological seed)")
-		}
-	}
-	return Result{Labels: k.d, HookEdge: k.hookEdge, Iterations: int(it)}
+	})
+	k.base += iters
+	return Result{Labels: k.d, HookEdge: k.hookEdge, Iterations: int(iters)}
 }

@@ -1,23 +1,33 @@
 package cc
 
-import "crcwpram/internal/core/cw"
+import (
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/exec"
+	"crcwpram/internal/core/machine"
+)
 
 // RunResolver executes Awerbuch–Shiloach with the hooking write handled by
 // an arbitrary cw.Resolver — the generic entry point used by the harness
-// to count the atomic traffic of full CC runs (cw.NewCountingResolver).
-// Prepare must have been called first; the resolver must be fresh and span
-// the vertex set.
+// to count the atomic traffic of full CC runs (cw.NewCountingResolver) —
+// under the machine's default execution backend. Prepare must have been
+// called first; the resolver must be fresh and span the vertex set.
 //
 // Round ids passed to the resolver restart at 1 for every RunResolver
 // call, so a CAS-LT-backed resolver must not be reused across calls
 // (counting resolvers are per-experiment anyway).
 func (k *Kernel) RunResolver(r cw.Resolver) Result {
+	return k.RunResolverExec(k.m.Exec(), r)
+}
+
+// RunResolverExec is RunResolver under an explicit execution backend.
+// Combined with ExecTrace it yields both the resolver's operation counts
+// and the kernel's structural trace in one deterministic replay.
+func (k *Kernel) RunResolverExec(e machine.Exec, r cw.Resolver) Result {
 	if r.Len() < k.n {
 		panic("cc: resolver smaller than the vertex set")
 	}
-	var round uint32
 	needsReset := r.Method().NeedsReset()
-	return k.run(
+	return k.runExec(e,
 		func(round uint32) hookFunc {
 			return func(root int, j, target uint32) bool {
 				won := false
@@ -25,10 +35,10 @@ func (k *Kernel) RunResolver(r cw.Resolver) Result {
 				return won
 			}
 		},
-		func() uint32 { round++; return round },
-		func() {
+		false,
+		func(ctx exec.Ctx) {
 			if needsReset {
-				k.m.ParallelRange(k.n, func(lo, hi, _ int) { r.ResetRange(lo, hi) })
+				ctx.Range(k.n, func(lo, hi, _ int) { r.ResetRange(lo, hi) })
 			}
 		},
 	)

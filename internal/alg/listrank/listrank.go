@@ -23,6 +23,7 @@ import (
 	"math"
 	"math/rand"
 
+	"crcwpram/internal/core/exec"
 	"crcwpram/internal/core/machine"
 )
 
@@ -30,46 +31,75 @@ import (
 const Nil = math.MaxUint32
 
 // Rank returns, for every node of every list in the successor array, its
-// distance to its list's tail (tail = 0). next must be a valid successor
-// forest: every value is Nil or an in-range index, and no two nodes share
-// a successor (each node has at most one predecessor). Rank validates
-// these preconditions and panics on violations, since pointer jumping on a
-// malformed "list" (a rho shape) never terminates.
+// distance to its list's tail (tail = 0), under the machine's default
+// execution backend. next must be a valid successor forest: every value is
+// Nil or an in-range index, and no two nodes share a successor (each node
+// has at most one predecessor). Rank validates these preconditions and
+// panics on violations, since pointer jumping on a malformed "list" (a rho
+// shape) never terminates.
 func Rank(m *machine.Machine, next []uint32) []uint32 {
+	return RankExec(m, m.Exec(), next)
+}
+
+// RankExec is Rank under an explicit execution backend. The round loop is
+// one SPMD body: the trip count depends only on n, and the double-buffer
+// swaps happen on worker-local slice headers, so every worker agrees on
+// which buffer is current in every round.
+func RankExec(m *machine.Machine, e machine.Exec, next []uint32) []uint32 {
+	ranks, _ := RankExecTrace(m, e, next)
+	return ranks
+}
+
+// RankExecTrace is RankExec additionally returning the structural record
+// of the run — non-nil only under machine.ExecTrace (the kernel holds no
+// state between calls, so the trace is returned rather than stored).
+func RankExecTrace(m *machine.Machine, e machine.Exec, next []uint32) ([]uint32, *exec.TraceStats) {
 	n := len(next)
 	validate(next)
-	rank := make([]uint32, n)
 	if n == 0 {
-		return rank
+		return make([]uint32, 0), nil
 	}
-	succ := make([]uint32, n)
-	nextRank := make([]uint32, n)
-	nextSucc := make([]uint32, n)
+	bufRank := make([]uint32, n)
+	bufSucc := make([]uint32, n)
+	bufNextRank := make([]uint32, n)
+	bufNextSucc := make([]uint32, n)
 
-	// Round 0: rank 1 for every node with a successor, 0 for tails.
-	m.ParallelFor(n, func(i int) {
-		succ[i] = next[i]
-		if next[i] != Nil {
-			rank[i] = 1
+	var res []uint32
+	trace := exec.Run(m, e, func(ctx exec.Ctx) {
+		rank, succ := bufRank, bufSucc
+		nextRank, nextSucc := bufNextRank, bufNextSucc
+
+		// Round 0: rank 1 for every node with a successor, 0 for tails.
+		ctx.For(n, func(i int) {
+			succ[i] = next[i]
+			if next[i] != Nil {
+				rank[i] = 1
+			}
+		})
+
+		// ceil(log2(n)) pointer-jumping rounds suffice: reach doubles.
+		for reach := 1; reach < n; reach *= 2 {
+			r, s, nr, ns := rank, succ, nextRank, nextSucc
+			ctx.For(n, func(i int) {
+				si := s[i]
+				if si == Nil {
+					nr[i] = r[i]
+					ns[i] = Nil
+					return
+				}
+				nr[i] = r[i] + r[si]
+				ns[i] = s[si]
+			})
+			rank, nextRank = nextRank, rank
+			succ, nextSucc = nextSucc, succ
+		}
+		// Worker 0 publishes which buffer holds the final ranks; the
+		// region-closing barrier orders the write before the caller's read.
+		if ctx.Worker() == 0 {
+			res = rank
 		}
 	})
-
-	// ceil(log2(n)) pointer-jumping rounds suffice: reach doubles.
-	for reach := 1; reach < n; reach *= 2 {
-		m.ParallelFor(n, func(i int) {
-			s := succ[i]
-			if s == Nil {
-				nextRank[i] = rank[i]
-				nextSucc[i] = Nil
-				return
-			}
-			nextRank[i] = rank[i] + rank[s]
-			nextSucc[i] = succ[s]
-		})
-		rank, nextRank = nextRank, rank
-		succ, nextSucc = nextSucc, succ
-	}
-	return rank
+	return res, trace
 }
 
 // validate panics unless next is a successor forest (see Rank).

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/exec"
 	"crcwpram/internal/core/machine"
 	"crcwpram/internal/graph"
 )
@@ -73,7 +74,8 @@ type Kernel struct {
 	propCells   *cw.Array // level-1 guard: one per tail
 	acceptCells *cw.Array // level-2 guard: one per head
 
-	base uint32
+	base  uint32
+	trace *exec.TraceStats // structural record of the last trace-backend run
 }
 
 // NewKernel returns a matching kernel over g executed on m. g must be
@@ -137,73 +139,92 @@ func head(seed uint64, it uint32, v uint32) bool {
 }
 
 // Run executes the randomized maximal matching with CAS-LT-guarded
-// proposal and acceptance writes. Prepare must have been called first.
-// seed makes the coin flips deterministic.
+// proposal and acceptance writes, under the machine's default execution
+// backend. Prepare must have been called first. seed makes the coin flips
+// deterministic.
 func (k *Kernel) Run(seed uint64) Result {
+	return k.RunExec(k.m.Exec(), seed)
+}
+
+// RunExec is Run under an explicit execution backend: one SPMD body around
+// the whole propose/accept loop, two barriers per iteration (one per level
+// of the two-level arbitrary concurrent write). The per-iteration liveness
+// word is the region's rotating Flag.
+func (k *Kernel) RunExec(e machine.Exec, seed uint64) Result {
 	maxIter := 8*bits.Len(uint(k.g.NumArcs()+2)) + 64
 	targets := k.g.Targets()
-	it := uint32(0)
-	var live atomic.Uint32
-	for {
-		live.Store(0)
-		k.base++
-		round := k.base
+	var rounds uint32
+	k.trace = exec.Run(k.m, e, func(ctx exec.Ctx) {
+		live := ctx.Flag()
+		it := uint32(0)
+		for {
+			live.Set(it+1, 0) // prime next iteration's flag (common CW)
+			round := k.base + ctx.NextRound()
 
-		// Level 1 — propose: heads race on each live tail's slot.
-		k.m.ParallelRange(len(k.arcSrc), func(lo, hi, _ int) {
-			sawLive := false
-			for j := lo; j < hi; j++ {
-				u := k.arcSrc[j]
-				v := targets[j]
-				if k.alive[u] == 0 || k.alive[v] == 0 || u == v {
-					continue
+			// Level 1 — propose: heads race on each live tail's slot.
+			ctx.Range(len(k.arcSrc), func(lo, hi, _ int) {
+				sawLive := false
+				for j := lo; j < hi; j++ {
+					u := k.arcSrc[j]
+					v := targets[j]
+					if k.alive[u] == 0 || k.alive[v] == 0 || u == v {
+						continue
+					}
+					sawLive = true
+					if !head(seed, it, u) || head(seed, it, v) {
+						continue
+					}
+					if k.propCells.TryClaim(int(v), round) {
+						k.proposer[v] = u
+						k.propArc[v] = uint32(j)
+					}
 				}
-				sawLive = true
-				if !head(seed, it, u) || head(seed, it, v) {
-					continue
+				if sawLive {
+					live.Set(it, 1)
 				}
-				if k.propCells.TryClaim(int(v), round) {
-					k.proposer[v] = u
-					k.propArc[v] = uint32(j)
-				}
-			}
-			if sawLive {
-				live.Store(1)
-			}
-		})
+			})
 
-		// Level 2 — accept: proposed-to tails race on their proposer's
-		// slot; the winner forms the match and both endpoints die.
-		k.m.ParallelRange(k.n, func(lo, hi, _ int) {
-			for v := lo; v < hi; v++ {
-				if !k.propCells.Written(v, round) {
-					continue
+			// Level 2 — accept: proposed-to tails race on their proposer's
+			// slot; the winner forms the match and both endpoints die.
+			ctx.Range(k.n, func(lo, hi, _ int) {
+				for v := lo; v < hi; v++ {
+					if !k.propCells.Written(v, round) {
+						continue
+					}
+					u := k.proposer[v]
+					if k.acceptCells.TryClaim(int(u), round) {
+						j := k.propArc[v]
+						k.mate[v] = u
+						k.mate[u] = uint32(v)
+						k.mateEdge[v] = j
+						k.mateEdge[u] = j
+						// Dying is a write to the vertex's own cells plus the
+						// partner's; the acceptance win makes it exclusive.
+						atomic.StoreUint32(&k.alive[v], 0)
+						atomic.StoreUint32(&k.alive[u], 0)
+					}
 				}
-				u := k.proposer[v]
-				if k.acceptCells.TryClaim(int(u), round) {
-					j := k.propArc[v]
-					k.mate[v] = u
-					k.mate[u] = uint32(v)
-					k.mateEdge[v] = j
-					k.mateEdge[u] = j
-					// Dying is a write to the vertex's own cells plus the
-					// partner's; the acceptance win makes it exclusive.
-					atomic.StoreUint32(&k.alive[v], 0)
-					atomic.StoreUint32(&k.alive[u], 0)
-				}
-			}
-		})
+			})
 
-		it++
-		if live.Load() == 0 {
-			break
+			it++
+			if live.Get(it-1) == 0 {
+				if ctx.Worker() == 0 {
+					rounds = it
+				}
+				break
+			}
+			if int(it) > maxIter {
+				panic(fmt.Sprintf("matching: no convergence after %d iterations (bug or pathological seed)", it))
+			}
 		}
-		if int(it) > maxIter {
-			panic(fmt.Sprintf("matching: no convergence after %d iterations (bug or pathological seed)", it))
-		}
-	}
-	return Result{Mate: k.mate, MateEdge: k.mateEdge, Iterations: int(it)}
+	})
+	k.base += rounds
+	return Result{Mate: k.mate, MateEdge: k.mateEdge, Iterations: int(rounds)}
 }
+
+// Trace returns the structural record of the kernel's last run under the
+// trace backend, or nil if the last run used a timed backend.
+func (k *Kernel) Trace() *exec.TraceStats { return k.trace }
 
 // Validate checks that a result is a valid maximal matching of g:
 // symmetry, edge-backed pairs (untorn payloads), and maximality (no edge

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/exec"
 	"crcwpram/internal/core/machine"
 )
 
@@ -38,6 +39,8 @@ type Kernel struct {
 	mtx   *cw.MutexArray
 
 	round uint32 // CAS-LT round id, advanced once per Run
+
+	trace *exec.TraceStats // structural record of the last trace-backend run
 }
 
 // NewKernel returns a kernel for lists of n elements executed on m.
@@ -74,24 +77,73 @@ func (k *Kernel) Prepare(list []uint32) {
 }
 
 // Run executes the maximum algorithm with the given concurrent-write
-// method and returns the index of the maximum element. Prepare must have
-// been called for the current input.
+// method under the machine's default execution backend and returns the
+// index of the maximum element. Prepare must have been called for the
+// current input.
 func (k *Kernel) Run(method cw.Method) int {
+	return k.RunExec(k.m.Exec(), method)
+}
+
+// RunExec is Run under an explicit execution backend.
+func (k *Kernel) RunExec(e machine.Exec, method cw.Method) int {
+	// The write closure and (for CAS-LT) the round id are chosen
+	// driver-side: nextRound mutates kernel state, which SPMD bodies must
+	// not do.
+	var write func(loser int)
 	switch method {
 	case cw.CASLT:
-		return k.RunCASLT()
+		round := k.nextRound()
+		write = func(loser int) {
+			if k.cells.TryClaim(loser, round) {
+				k.isMax[loser] = 0
+			}
+		}
 	case cw.Gatekeeper:
-		return k.RunGatekeeper()
+		write = func(loser int) {
+			if k.gates.TryEnter(loser) {
+				k.isMax[loser] = 0
+			}
+		}
 	case cw.GatekeeperChecked:
-		return k.RunGateChecked()
+		write = func(loser int) {
+			if k.gates.TryEnterChecked(loser) {
+				k.isMax[loser] = 0
+			}
+		}
 	case cw.Naive:
-		return k.RunNaive()
+		write = func(loser int) { k.isMax[loser] = 0 }
 	case cw.Mutex:
-		return k.RunMutex()
+		write = func(loser int) {
+			k.mtx.Lock(loser)
+			k.isMax[loser] = 0
+			k.mtx.Unlock(loser)
+		}
 	default:
 		panic("maxfind: unknown method " + method.String())
 	}
+	n := k.n
+	max := -1
+	k.trace = exec.Run(k.m, e, func(ctx exec.Ctx) {
+		// The paper's collapse(2) pair loop as one round: the loser of each
+		// comparison takes a common concurrent write.
+		ctx.Range(n*n, func(lo, hi, _ int) {
+			for idx := lo; idx < hi; idx++ {
+				i, j := idx/n, idx%n
+				if i == j {
+					continue
+				}
+				write(k.loserOf(i, j))
+			}
+		})
+		// The final scan of Figure 4: one worker scans while the rest wait.
+		ctx.Single(func() { max = k.scan() })
+	})
+	return max
 }
+
+// Trace returns the structural record of the kernel's last run under the
+// trace backend, or nil if the last run used a timed backend.
+func (k *Kernel) Trace() *exec.TraceStats { return k.trace }
 
 // loserOf returns the index whose flag the pair (i, j) clears, following
 // the paper's comparison: the smaller value loses; on ties the smaller
@@ -116,85 +168,30 @@ func (k *Kernel) scan() int {
 	return max
 }
 
-// pairLoop runs body(i, j) over all ordered pairs i != j, sharing the N²
-// index space block-wise over the workers with the inner loop inlined (one
-// closure call per worker, not per pair), the shape of the paper's
-// collapse(2) OpenMP loop.
-func (k *Kernel) pairLoop(body func(i, j int)) {
-	n := k.n
-	k.m.ParallelRange(n*n, func(lo, hi, _ int) {
-		for idx := lo; idx < hi; idx++ {
-			i, j := idx/n, idx%n
-			if i == j {
-				continue
-			}
-			body(i, j)
-		}
-	})
-}
-
 // RunNaive is the paper's 'naive' version: every loser write is issued and
 // the memory system serializes them. Safe here because the write is a
 // common CW of a single word (all writers store 0), but every one of the
 // ~N² writes goes to memory.
-func (k *Kernel) RunNaive() int {
-	k.pairLoop(func(i, j int) {
-		k.isMax[k.loserOf(i, j)] = 0
-	})
-	return k.scan()
-}
+func (k *Kernel) RunNaive() int { return k.Run(cw.Naive) }
 
 // RunGatekeeper is the atomic prefix-sum version (Figure 2): every loser
 // write attempt performs a fetch-and-add on the loser's gatekeeper; only
 // the first writer stores. The atomic executes on every attempt, long
 // after a winner exists — the serialization the paper blames for this
 // method losing to naive on this kernel.
-func (k *Kernel) RunGatekeeper() int {
-	k.pairLoop(func(i, j int) {
-		loser := k.loserOf(i, j)
-		if k.gates.TryEnter(loser) {
-			k.isMax[loser] = 0
-		}
-	})
-	return k.scan()
-}
+func (k *Kernel) RunGatekeeper() int { return k.Run(cw.Gatekeeper) }
 
 // RunGateChecked is RunGatekeeper with the load pre-check mitigation.
-func (k *Kernel) RunGateChecked() int {
-	k.pairLoop(func(i, j int) {
-		loser := k.loserOf(i, j)
-		if k.gates.TryEnterChecked(loser) {
-			k.isMax[loser] = 0
-		}
-	})
-	return k.scan()
-}
+func (k *Kernel) RunGateChecked() int { return k.Run(cw.GatekeeperChecked) }
 
 // RunCASLT is the paper's method: the first attempt on each loser cell
 // wins a CAS-LT claim; every later attempt fails the load pre-check and
 // skips both the atomic and the store.
-func (k *Kernel) RunCASLT() int {
-	round := k.nextRound()
-	k.pairLoop(func(i, j int) {
-		loser := k.loserOf(i, j)
-		if k.cells.TryClaim(loser, round) {
-			k.isMax[loser] = 0
-		}
-	})
-	return k.scan()
-}
+func (k *Kernel) RunCASLT() int { return k.Run(cw.CASLT) }
 
 // RunMutex is the critical-section baseline: every loser write acquires the
 // loser's lock.
-func (k *Kernel) RunMutex() int {
-	k.pairLoop(func(i, j int) {
-		loser := k.loserOf(i, j)
-		k.mtx.Lock(loser)
-		k.isMax[loser] = 0
-		k.mtx.Unlock(loser)
-	})
-	return k.scan()
-}
+func (k *Kernel) RunMutex() int { return k.Run(cw.Mutex) }
 
 // nextRound advances the CAS-LT round, resetting the cells on the rare
 // uint32 wrap so stale claims can never alias.

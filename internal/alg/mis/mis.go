@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/exec"
 	"crcwpram/internal/core/machine"
 	"crcwpram/internal/graph"
 )
@@ -49,7 +50,8 @@ type Kernel struct {
 	gates *cw.GateArray
 	mtx   *cw.MutexArray
 
-	base uint32
+	base  uint32
+	trace *exec.TraceStats // structural record of the last trace-backend run
 }
 
 // NewKernel returns an MIS kernel over g executed on m. g must be
@@ -119,90 +121,110 @@ func prio(seed uint64, it uint32, v uint32) uint64 {
 }
 
 // Run executes Luby's algorithm with the given concurrent-write method for
-// the neighbourhood-kill writes. Prepare must have been called first; seed
-// makes the priorities deterministic. The returned slice (1 = in the set)
-// aliases kernel state valid until the next Prepare.
+// the neighbourhood-kill writes, under the machine's default execution
+// backend. Prepare must have been called first; seed makes the priorities
+// deterministic. The returned slice (1 = in the set) aliases kernel state
+// valid until the next Prepare.
 func (k *Kernel) Run(method cw.Method, seed uint64) []uint32 {
+	return k.RunExec(k.m.Exec(), method, seed)
+}
+
+// RunExec is Run under an explicit execution backend. The round loop is one
+// SPMD body: the liveness word is the region's rotating Flag, round ids
+// come from the worker-local NextRound counter (offset by the kernel's
+// base), and the consumed-round count is captured by worker 0 for the
+// caller-side base advance.
+func (k *Kernel) RunExec(e machine.Exec, method cw.Method, seed uint64) []uint32 {
 	kill := k.killFunc(method)
 	needsReset := method.NeedsReset()
 	offsets, targets := k.g.Offsets(), k.g.Targets()
 	maxIter := 8*bits.Len(uint(k.n)) + 64
-	it := uint32(0)
-	var anyLive atomic.Uint32
-	for {
-		anyLive.Store(0)
-		k.base++
-		round := k.base
+	var rounds uint32
+	k.trace = exec.Run(k.m, e, func(ctx exec.Ctx) {
+		anyLive := ctx.Flag()
+		it := uint32(0)
+		for {
+			anyLive.Set(it+1, 0) // prime next round's flag (common CW)
+			round := k.base + ctx.NextRound()
 
-		// Select: a live vertex joins iff its priority beats every live
-		// neighbour's. Reads only; live is stable within the phase. The
-		// phase's cost is the arc scan, so it runs over the equal-arc
-		// shards.
-		k.m.ParallelBounds(k.arcBounds, func(lo, hi, _ int) {
-			sawLive := false
-			for v := lo; v < hi; v++ {
-				if k.live[v] == 0 {
-					continue
-				}
-				sawLive = true
-				mine := prio(seed, it, uint32(v))
-				wins := true
-				for j := offsets[v]; j < offsets[v+1]; j++ {
-					u := targets[j]
-					if u != uint32(v) && k.live[u] == 1 && prio(seed, it, u) < mine {
-						wins = false
-						break
+			// Select: a live vertex joins iff its priority beats every live
+			// neighbour's. Reads only; live is stable within the phase. The
+			// phase's cost is the arc scan, so it runs over the equal-arc
+			// shards.
+			ctx.Bounds(k.arcBounds, func(lo, hi, _ int) {
+				sawLive := false
+				for v := lo; v < hi; v++ {
+					if k.live[v] == 0 {
+						continue
+					}
+					sawLive = true
+					mine := prio(seed, it, uint32(v))
+					wins := true
+					for j := offsets[v]; j < offsets[v+1]; j++ {
+						u := targets[j]
+						if u != uint32(v) && k.live[u] == 1 && prio(seed, it, u) < mine {
+							wins = false
+							break
+						}
+					}
+					if wins {
+						k.joins[v] = 1 // exclusive write to own cell
 					}
 				}
-				if wins {
-					k.joins[v] = 1 // exclusive write to own cell
+				if sawLive {
+					anyLive.Set(it, 1)
 				}
+			})
+			if anyLive.Get(it) == 0 {
+				if ctx.Worker() == 0 {
+					rounds = it + 1 // one select phase per consumed round id
+				}
+				break
 			}
-			if sawLive {
-				anyLive.Store(1)
-			}
-		})
-		if anyLive.Load() == 0 {
-			break
-		}
 
-		// Commit winners: own-cell exclusive writes.
-		k.m.ParallelRange(k.n, func(lo, hi, _ int) {
-			for v := lo; v < hi; v++ {
-				if k.joins[v] == 1 {
-					k.joins[v] = 0
-					k.inSet[v] = 1
-					k.live[v] = 0
+			// Commit winners: own-cell exclusive writes.
+			ctx.Range(k.n, func(lo, hi, _ int) {
+				for v := lo; v < hi; v++ {
+					if k.joins[v] == 1 {
+						k.joins[v] = 0
+						k.inSet[v] = 1
+						k.live[v] = 0
+					}
 				}
-			}
-		})
+			})
 
-		// Kill neighbourhoods: the common concurrent write under study.
-		// Arcs out of fresh set members all store "dead" into the
-		// neighbour's cell.
-		k.m.ParallelRange(len(k.arcSrc), func(lo, hi, _ int) {
-			for j := lo; j < hi; j++ {
-				u := k.arcSrc[j]
-				if k.inSet[u] == 0 {
-					continue
+			// Kill neighbourhoods: the common concurrent write under study.
+			// Arcs out of fresh set members all store "dead" into the
+			// neighbour's cell.
+			ctx.Range(len(k.arcSrc), func(lo, hi, _ int) {
+				for j := lo; j < hi; j++ {
+					u := k.arcSrc[j]
+					if k.inSet[u] == 0 {
+						continue
+					}
+					v := targets[j]
+					if atomic.LoadUint32(&k.live[v]) == 1 {
+						kill(int(v), round)
+					}
 				}
-				v := targets[j]
-				if atomic.LoadUint32(&k.live[v]) == 1 {
-					kill(int(v), round)
-				}
+			})
+			if needsReset {
+				ctx.Range(k.n, func(lo, hi, _ int) { k.gates.ResetRange(lo, hi) })
 			}
-		})
-		if needsReset {
-			k.m.ParallelRange(k.n, func(lo, hi, _ int) { k.gates.ResetRange(lo, hi) })
-		}
 
-		it++
-		if int(it) > maxIter {
-			panic(fmt.Sprintf("mis: no convergence after %d iterations (bug)", it))
+			it++
+			if int(it) > maxIter {
+				panic(fmt.Sprintf("mis: no convergence after %d iterations (bug)", it))
+			}
 		}
-	}
+	})
+	k.base += rounds
 	return k.inSet
 }
+
+// Trace returns the structural record of the kernel's last run under the
+// trace backend, or nil if the last run used a timed backend.
+func (k *Kernel) Trace() *exec.TraceStats { return k.trace }
 
 // killFunc returns the guarded common write `live[v] = 0` for the method.
 func (k *Kernel) killFunc(method cw.Method) func(v int, round uint32) {

@@ -65,6 +65,10 @@ type Config struct {
 	CCEdges       int
 	CCVertexSweep []int
 
+	// ListRankSizes is the list-length x-axis of the list-ranking sweep
+	// (the EREW comparison point the paper's conclusion proposes).
+	ListRankSizes []int
+
 	// Balance selects the work-partitioning policy the BFS figures hand to
 	// their kernels (the -balance axis); the zero value is the paper's
 	// vertex-count split.
@@ -98,6 +102,7 @@ func DefaultConfig() Config {
 		CCEdgeSweep:    []int{50000, 100000, 200000, 400000, 800000},
 		CCEdges:        400000,
 		CCVertexSweep:  []int{5000, 10000, 20000, 40000, 80000},
+		ListRankSizes:  []int{4096, 16384, 65536},
 		EBScale:        16,
 		EBStar:         1 << 16,
 	}
@@ -122,6 +127,7 @@ func TinyConfig() Config {
 		CCEdgeSweep:    []int{1000, 2000},
 		CCEdges:        2000,
 		CCVertexSweep:  []int{250, 500},
+		ListRankSizes:  []int{128, 256},
 		EBScale:        8,
 		EBStar:         1 << 8,
 	}
@@ -145,6 +151,7 @@ func PaperConfig() Config {
 	c.CCEdgeSweep = []int{1000000, 5000000, 10000000, 20000000, 30000000}
 	c.CCEdges = 30000000
 	c.CCVertexSweep = []int{25000, 50000, 100000, 200000, 400000}
+	c.ListRankSizes = []int{100000, 400000, 1600000}
 	return c
 }
 
@@ -192,6 +199,9 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.CCVertexSweep) == 0 {
 		c.CCVertexSweep = d.CCVertexSweep
+	}
+	if len(c.ListRankSizes) == 0 {
+		c.ListRankSizes = d.ListRankSizes
 	}
 	if c.EBScale == 0 {
 		c.EBScale = d.EBScale

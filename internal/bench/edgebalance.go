@@ -44,28 +44,15 @@ type EdgeBalanceRow struct {
 
 // ebRunner maps a kernel name and execution mode to the kernel entry point.
 func ebRunner(k *bfs.Kernel, kernel string, exec machine.Exec) func() bfs.Result {
-	team := exec == machine.ExecTeam
 	switch kernel {
 	case "bfs":
-		if team {
-			return k.RunCASLTTeam
-		}
-		return k.RunCASLT
+		return func() bfs.Result { return k.RunCASLTExec(exec) }
 	case "bfs-frontier":
-		if team {
-			return k.RunCASLTFrontierTeam
-		}
-		return k.RunCASLTFrontier
+		return func() bfs.Result { return k.RunCASLTFrontierExec(exec) }
 	case "bfs-pull":
-		if team {
-			return k.RunCASLTPullTeam
-		}
-		return k.RunCASLTPull
+		return func() bfs.Result { return k.RunCASLTPullExec(exec) }
 	case "bfs-hybrid":
-		if team {
-			return k.RunCASLTHybridTeam
-		}
-		return k.RunCASLTHybrid
+		return func() bfs.Result { return k.RunCASLTHybridExec(exec) }
 	default:
 		panic("bench: unknown edge-balance kernel " + kernel)
 	}

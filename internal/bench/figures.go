@@ -62,27 +62,18 @@ func methodsOr(cfg Config, def []cw.Method) []cw.Method {
 }
 
 // runMax/runBFS/runCC dispatch a kernel run to the configured execution
-// mode, so every figure measures (and validates) the same code path the
+// backend, so every figure measures (and validates) the same code path the
 // -exec axis selects.
 func runMax(k *maxfind.Kernel, method cw.Method, exec machine.Exec) int {
-	if exec == machine.ExecTeam {
-		return k.RunTeam(method)
-	}
-	return k.Run(method)
+	return k.RunExec(exec, method)
 }
 
 func runBFS(k *bfs.Kernel, method cw.Method, exec machine.Exec) bfs.Result {
-	if exec == machine.ExecTeam {
-		return k.RunTeam(method)
-	}
-	return k.Run(method)
+	return k.RunExec(exec, method)
 }
 
 func runCC(k *cc.Kernel, method cw.Method, exec machine.Exec) cc.Result {
-	if exec == machine.ExecTeam {
-		return k.RunTeam(method)
-	}
-	return k.Run(method)
+	return k.RunExec(exec, method)
 }
 
 func randomList(n int, seed int64) []uint32 {

@@ -14,7 +14,7 @@ type Row struct {
 	Figure  string  `json:"figure,omitempty"` // e.g. "fig7"
 	Kernel  string  `json:"kernel,omitempty"` // "maxfind", "bfs", "cc", ...
 	Method  string  `json:"method,omitempty"` // concurrent-write method
-	Exec    string  `json:"exec"`             // execution mode: pool | team
+	Exec    string  `json:"exec"`             // execution mode: pool | team | trace
 	Threads int     `json:"threads"`          // worker count of the point
 	XLabel  string  `json:"x_label,omitempty"`
 	X       int     `json:"x,omitempty"`
@@ -34,6 +34,28 @@ type Row struct {
 	WorkCrit  uint64  `json:"work_crit,omitempty"`
 	WorkIdeal uint64  `json:"work_ideal,omitempty"`
 	Imbalance float64 `json:"imbalance,omitempty"` // WorkCrit / WorkIdeal
+
+	// Counting extras (benches "kernelops" and "kerneltrace"): produced by
+	// the trace execution backend composed with the cw layer's counting
+	// resolvers. These rows carry no timing (NsOp is zero by construction —
+	// a traced replay is not a measurement) but pin the per-run operation
+	// and synchronization totals, which are deterministic and therefore
+	// diffable across commits without noise.
+	Loads     uint64 `json:"loads,omitempty"`      // resolver plain loads
+	RMWs      uint64 `json:"rmws,omitempty"`       // resolver atomic RMWs
+	Wins      uint64 `json:"wins,omitempty"`       // resolver winning writes
+	Steps     uint64 `json:"steps,omitempty"`      // work-shared loops
+	Barriers  uint64 `json:"barriers,omitempty"`   // synchronization points
+	Singles   uint64 `json:"singles,omitempty"`    // serial sections
+	Rounds    uint64 `json:"rounds,omitempty"`     // CW round ids consumed
+	IterMax   uint64 `json:"iter_max,omitempty"`   // busiest logical worker
+	IterTotal uint64 `json:"iter_total,omitempty"` // summed iterations
+}
+
+// countingBench reports whether a bench's rows are deterministic counts
+// rather than timings (see the counting extras on Row).
+func countingBench(bench string) bool {
+	return bench == "kernelops" || bench == "kerneltrace"
 }
 
 // Rows flattens a figure table into machine-readable rows. defaultThreads
@@ -74,8 +96,10 @@ func WriteJSON(w io.Writer, rows []Row) error {
 
 // ValidateJSON reads a -json output back and checks its shape: one
 // non-empty array whose every row names a bench, a known execution mode, a
-// positive worker count and a positive measurement, with the edge-balance
-// rows additionally carrying a consistent work model
+// positive worker count and a positive measurement — except the counting
+// benches (kernelops, kerneltrace), whose rows are trace-produced counts
+// and must instead carry a zero timing, the trace exec and a non-empty
+// structure. Edge-balance rows additionally carry a consistent work model
 // (Total >= Crit >= Ideal > 0). CI's perf-smoke step runs this so a
 // malformed trajectory fails the build instead of polluting committed
 // baselines. It returns the number of rows checked.
@@ -98,13 +122,26 @@ func ValidateJSON(r io.Reader) (int, error) {
 		if row.Bench == "" {
 			return fail("missing bench")
 		}
-		if row.Exec != "pool" && row.Exec != "team" {
+		if row.Exec != "pool" && row.Exec != "team" && row.Exec != "trace" {
 			return fail("unknown exec %q", row.Exec)
 		}
 		if row.Threads <= 0 {
 			return fail("non-positive threads %d", row.Threads)
 		}
-		if !(row.NsOp > 0) {
+		if countingBench(row.Bench) {
+			// Counting rows are traced, not timed: no ns_op, but the
+			// structure must be there — every kernel has at least one
+			// work-shared loop and its closing barrier.
+			if row.Exec != "trace" {
+				return fail("%s row with exec %q, want trace", row.Bench, row.Exec)
+			}
+			if row.NsOp != 0 {
+				return fail("%s row carries ns_op %v", row.Bench, row.NsOp)
+			}
+			if row.Steps == 0 || row.Barriers == 0 {
+				return fail("%s row missing steps/barriers", row.Bench)
+			}
+		} else if !(row.NsOp > 0) {
 			return fail("non-positive ns_op %v", row.NsOp)
 		}
 		if row.Bench == "edgebalance" {

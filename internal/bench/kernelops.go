@@ -8,28 +8,71 @@ import (
 
 	"crcwpram/internal/alg/bfs"
 	"crcwpram/internal/alg/cc"
+	"crcwpram/internal/alg/listrank"
+	"crcwpram/internal/alg/matching"
+	"crcwpram/internal/alg/maxfind"
+	"crcwpram/internal/alg/mis"
 	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/exec"
 	"crcwpram/internal/core/machine"
 	"crcwpram/internal/graph"
 )
 
 // KernelOpRow reports the selection-protocol memory operations one method
-// executed over one full kernel run.
+// executed over one full kernel run, plus the structural shape of that run
+// as seen by the trace backend: the counting resolver attributes the
+// atomic traffic, the trace attributes the rounds and barriers it was
+// spread over. Both instruments observe the *same* deterministic replay.
 type KernelOpRow struct {
-	Kernel string
-	Method cw.Method
-	Loads  uint64
-	RMWs   uint64
-	Wins   uint64
+	Kernel   string
+	Method   cw.Method
+	Loads    uint64
+	RMWs     uint64
+	Wins     uint64
+	Steps    uint64 // work-shared loops in the traced run
+	Barriers uint64 // synchronization points in the traced run
+}
+
+// KernelTraceRow is one kernel's structural cost under the trace backend:
+// the numbers a timed backend would have to pay for, independent of the
+// concurrent-write method (all methods share the round structure).
+type KernelTraceRow struct {
+	Kernel    string
+	P         int
+	Steps     uint64
+	Barriers  uint64
+	Singles   uint64
+	Rounds    uint32 // region-local CAS-LT round ids consumed
+	IterMax   uint64 // busiest logical worker (unit-cost critical path)
+	IterTotal uint64 // summed iterations over all logical workers
 }
 
 // kernelOpMethods are the methods with counting resolvers.
 var kernelOpMethods = []cw.Method{cw.CASLT, cw.GatekeeperChecked, cw.Gatekeeper}
 
+// traceRow flattens a kernel's TraceStats into a KernelTraceRow.
+func traceRow(kernel string, st *exec.TraceStats) KernelTraceRow {
+	if st == nil {
+		panic("bench: kernel ran under the trace backend but recorded no trace")
+	}
+	return KernelTraceRow{
+		Kernel:    kernel,
+		P:         st.P,
+		Steps:     uint64(st.Steps),
+		Barriers:  uint64(st.Barriers),
+		Singles:   uint64(st.Singles),
+		Rounds:    st.Rounds,
+		IterMax:   st.MaxIters(),
+		IterTotal: st.TotalIters(),
+	}
+}
+
 // KernelOpCounts runs BFS and CC over a generated random graph once per
-// method with instrumented resolvers and reports the atomic traffic each
-// method generated — the whole-kernel extension of the single-cell
-// Section 6 experiment. Results are validated before being reported.
+// method with instrumented resolvers under the trace backend and reports
+// the atomic traffic each method generated — the whole-kernel extension of
+// the single-cell Section 6 experiment — alongside the step/barrier
+// structure of the traced run. Results are validated before being
+// reported.
 func KernelOpCounts(threads, vertices, edges int, seed int64) []KernelOpRow {
 	m := machine.New(threads)
 	defer m.Close()
@@ -41,12 +84,17 @@ func KernelOpCounts(threads, vertices, edges int, seed int64) []KernelOpRow {
 		var ops cw.OpCounts
 		r := cw.NewCountingResolver(method, bg.NumVertices(), &ops)
 		bk.Prepare(0)
-		res := bk.RunResolver(r)
+		res := bk.RunResolverExec(machine.ExecTrace, r)
 		if err := bfs.Validate(bg, 0, res, true); err != nil {
 			panic(fmt.Sprintf("bench: kernelops bfs %v: %v", method, err))
 		}
 		loads, rmws, wins := ops.Snapshot()
-		rows = append(rows, KernelOpRow{Kernel: "bfs", Method: method, Loads: loads, RMWs: rmws, Wins: wins})
+		st := bk.Trace()
+		rows = append(rows, KernelOpRow{
+			Kernel: "bfs", Method: method,
+			Loads: loads, RMWs: rmws, Wins: wins,
+			Steps: uint64(st.Steps), Barriers: uint64(st.Barriers),
+		})
 	}
 
 	cg := graph.RandomUndirected(vertices, edges, seed)
@@ -55,13 +103,80 @@ func KernelOpCounts(threads, vertices, edges int, seed int64) []KernelOpRow {
 		var ops cw.OpCounts
 		r := cw.NewCountingResolver(method, cg.NumVertices(), &ops)
 		ck.Prepare()
-		res := ck.RunResolver(r)
+		res := ck.RunResolverExec(machine.ExecTrace, r)
 		if err := cc.Validate(cg, res); err != nil {
 			panic(fmt.Sprintf("bench: kernelops cc %v: %v", method, err))
 		}
 		loads, rmws, wins := ops.Snapshot()
-		rows = append(rows, KernelOpRow{Kernel: "cc", Method: method, Loads: loads, RMWs: rmws, Wins: wins})
+		st := ck.Trace()
+		rows = append(rows, KernelOpRow{
+			Kernel: "cc", Method: method,
+			Loads: loads, RMWs: rmws, Wins: wins,
+			Steps: uint64(st.Steps), Barriers: uint64(st.Barriers),
+		})
 	}
+	return rows
+}
+
+// KernelTraceCounts replays every kernel of the suite once under the trace
+// backend with P logical workers and reports each run's structural cost.
+// maxfind runs on its own much smaller list (its work is N², so the
+// BFS-sized n would swamp the replay for no extra information). Every
+// result is validated before its trace is reported.
+func KernelTraceCounts(threads, vertices, edges int, seed int64) []KernelTraceRow {
+	m := machine.New(threads, machine.WithExec(machine.ExecTrace))
+	defer m.Close()
+	var rows []KernelTraceRow
+
+	const maxfindN = 512
+	list := randomList(maxfindN, seed)
+	mk := maxfind.NewKernel(m, maxfindN)
+	mk.Prepare(list)
+	if got, want := mk.Run(cw.CASLT), maxfind.Sequential(list); got != want {
+		panic(fmt.Sprintf("bench: kerneltrace maxfind: got %d, want %d", got, want))
+	}
+	rows = append(rows, traceRow("maxfind", mk.Trace()))
+
+	bg := graph.ConnectedRandom(vertices, edges, seed)
+	bk := bfs.NewKernel(m, bg)
+	bk.Prepare(0)
+	if err := bfs.Validate(bg, 0, bk.RunCASLT(), true); err != nil {
+		panic(fmt.Sprintf("bench: kerneltrace bfs: %v", err))
+	}
+	rows = append(rows, traceRow("bfs", bk.Trace()))
+
+	ug := graph.RandomUndirected(vertices, edges, seed)
+	ck := cc.NewKernel(m, ug)
+	ck.Prepare()
+	if err := cc.Validate(ug, ck.RunCASLT()); err != nil {
+		panic(fmt.Sprintf("bench: kerneltrace cc: %v", err))
+	}
+	rows = append(rows, traceRow("cc", ck.Trace()))
+
+	sk := mis.NewKernel(m, ug)
+	sk.Prepare()
+	if err := mis.Validate(ug, sk.Run(cw.CASLT, uint64(seed))); err != nil {
+		panic(fmt.Sprintf("bench: kerneltrace mis: %v", err))
+	}
+	rows = append(rows, traceRow("mis", sk.Trace()))
+
+	wk := matching.NewKernel(m, ug)
+	wk.Prepare()
+	if err := matching.Validate(ug, wk.Run(uint64(seed))); err != nil {
+		panic(fmt.Sprintf("bench: kerneltrace matching: %v", err))
+	}
+	rows = append(rows, traceRow("matching", wk.Trace()))
+
+	next := listrank.RandomList(vertices, seed)
+	ranks, st := listrank.RankExecTrace(m, machine.ExecTrace, next)
+	want := listrank.SequentialRank(next)
+	for i := range ranks {
+		if ranks[i] != want[i] {
+			panic(fmt.Sprintf("bench: kerneltrace listrank: rank[%d] = %d, want %d", i, ranks[i], want[i]))
+		}
+	}
+	rows = append(rows, traceRow("listrank", st))
+
 	return rows
 }
 
@@ -70,7 +185,7 @@ func KernelOpCounts(threads, vertices, edges int, seed int64) []KernelOpRow {
 func FormatKernelOps(w io.Writer, vertices, edges int, rows []KernelOpRow) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== kernel-ops: selection-protocol operations per full run (n=%d, m=%d) ==\n", vertices, edges)
-	out := [][]string{{"kernel", "method", "loads", "atomic RMWs", "wins"}}
+	out := [][]string{{"kernel", "method", "loads", "atomic RMWs", "wins", "steps", "barriers"}}
 	for _, r := range rows {
 		out = append(out, []string{
 			r.Kernel,
@@ -78,12 +193,85 @@ func FormatKernelOps(w io.Writer, vertices, edges int, rows []KernelOpRow) error
 			strconv.FormatUint(r.Loads, 10),
 			strconv.FormatUint(r.RMWs, 10),
 			strconv.FormatUint(r.Wins, 10),
+			strconv.FormatUint(r.Steps, 10),
+			strconv.FormatUint(r.Barriers, 10),
 		})
 	}
 	writeAligned(&b, out)
 	b.WriteString("\nwins are identical across methods (same algorithm, one winner per\n" +
 		"target per round); the gatekeeper turns every attempt into an atomic RMW,\n" +
-		"the pre-checked variants turn almost all of them into plain loads.\n")
+		"the pre-checked variants turn almost all of them into plain loads.\n" +
+		"steps/barriers come from the trace backend's deterministic replay:\n" +
+		"the synchronization structure every method pays for identically.\n")
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// FormatKernelTraces renders the per-kernel structural costs as an aligned
+// table.
+func FormatKernelTraces(w io.Writer, vertices, edges int, rows []KernelTraceRow) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== kernel-trace: structural cost per full run (n=%d, m=%d; maxfind n=512) ==\n", vertices, edges)
+	out := [][]string{{"kernel", "p", "steps", "barriers", "singles", "cw rounds", "iter max", "iter total"}}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Kernel,
+			strconv.Itoa(r.P),
+			strconv.FormatUint(r.Steps, 10),
+			strconv.FormatUint(r.Barriers, 10),
+			strconv.FormatUint(r.Singles, 10),
+			strconv.FormatUint(uint64(r.Rounds), 10),
+			strconv.FormatUint(r.IterMax, 10),
+			strconv.FormatUint(r.IterTotal, 10),
+		})
+	}
+	writeAligned(&b, out)
+	b.WriteString("\nsteps are work-shared loops; barriers are the synchronizations a timed\n" +
+		"backend would execute (pool: fork/join steps; team: sense barriers).\n" +
+		"iter max / p vs iter total / p² is the unit-cost load imbalance.\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// KernelOpsJSONRows converts the op-count rows to the machine-readable
+// trajectory rows. They carry counts rather than a timing, so NsOp stays
+// zero and the exec field records the trace backend that produced them.
+func KernelOpsJSONRows(rows []KernelOpRow, threads int) []Row {
+	out := make([]Row, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, Row{
+			Bench:    "kernelops",
+			Kernel:   r.Kernel,
+			Method:   r.Method.String(),
+			Exec:     machine.ExecTrace.String(),
+			Threads:  threads,
+			Loads:    r.Loads,
+			RMWs:     r.RMWs,
+			Wins:     r.Wins,
+			Steps:    r.Steps,
+			Barriers: r.Barriers,
+		})
+	}
+	return out
+}
+
+// KernelTraceJSONRows converts the trace rows to the machine-readable
+// trajectory rows.
+func KernelTraceJSONRows(rows []KernelTraceRow) []Row {
+	out := make([]Row, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, Row{
+			Bench:     "kerneltrace",
+			Kernel:    r.Kernel,
+			Exec:      machine.ExecTrace.String(),
+			Threads:   r.P,
+			Steps:     r.Steps,
+			Barriers:  r.Barriers,
+			Singles:   r.Singles,
+			Rounds:    uint64(r.Rounds),
+			IterMax:   r.IterMax,
+			IterTotal: r.IterTotal,
+		})
+	}
+	return out
 }

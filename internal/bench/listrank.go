@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"crcwpram/internal/alg/listrank"
+	"crcwpram/internal/core/machine"
+)
+
+// The list-ranking sweep is the EREW comparison point the paper's
+// conclusion proposes: Wyllie's pointer jumping uses no concurrent writes
+// at all, so its cost is pure round structure — D(log N) rounds of W(N)
+// work — making it the cleanest probe of the execution backends' per-round
+// overhead on a kernel that actually moves data (unlike the empty-round
+// sweep). Each cell times RankExec on a random single list under one
+// backend; every result is validated against the sequential baseline.
+
+// ListRankRow is one measured (size, exec) cell of the sweep.
+type ListRankRow struct {
+	N       int
+	Exec    string
+	Threads int
+	NsOp    float64
+}
+
+// ListRank times Wyllie's list ranking for every list size in
+// cfg.ListRankSizes under each given execution mode (default: the timed
+// modes), cfg.Reps times per cell, reporting medians.
+func ListRank(cfg Config, execs []machine.Exec) ([]ListRankRow, error) {
+	cfg = cfg.withDefaults()
+	if len(execs) == 0 {
+		execs = machine.Execs
+	}
+	var rows []ListRankRow
+	for _, n := range cfg.ListRankSizes {
+		next := listrank.RandomList(n, cfg.Seed+int64(n))
+		want := listrank.SequentialRank(next)
+		for _, e := range execs {
+			m := machine.New(cfg.Threads)
+			var got []uint32
+			pt := measure(cfg.Reps, func() {}, func() { got = listrank.RankExec(m, e, next) })
+			m.Close()
+			for i := range got {
+				if got[i] != want[i] {
+					return nil, fmt.Errorf("listrank n=%d exec=%s: rank[%d] = %d, want %d",
+						n, e, i, got[i], want[i])
+				}
+			}
+			rows = append(rows, ListRankRow{
+				N:       n,
+				Exec:    e.String(),
+				Threads: cfg.Threads,
+				NsOp:    float64(pt.Median.Nanoseconds()),
+			})
+			cfg.logf("listrank n=%d exec=%s median=%v\n", n, e, pt.Median)
+		}
+	}
+	return rows, nil
+}
+
+// FormatListRank renders the sweep as one row per list size with both
+// timed modes side by side and the pool/team ratio.
+func FormatListRank(w io.Writer, threads int, rows []ListRankRow) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== listrank: Wyllie pointer jumping, ns per run (p=%d) ==\n", threads)
+	byN := map[int]map[string]float64{}
+	var ns []int
+	for _, r := range rows {
+		if byN[r.N] == nil {
+			byN[r.N] = map[string]float64{}
+			ns = append(ns, r.N)
+		}
+		byN[r.N][r.Exec] = r.NsOp
+	}
+	ms := func(v float64) string { return strconv.FormatFloat(v/1e6, 'f', 3, 64) }
+	table := [][]string{{"n", "pool(ms)", "team(ms)", "pool/team"}}
+	for _, n := range ns {
+		pool, team := byN[n]["pool"], byN[n]["team"]
+		ratio := "-"
+		if team > 0 && pool > 0 {
+			ratio = strconv.FormatFloat(pool/team, 'f', 2, 64) + "x"
+		}
+		table = append(table, []string{
+			strconv.Itoa(n), ms(pool), ms(team), ratio,
+		})
+	}
+	writeAligned(&b, table)
+	b.WriteString("\nlist ranking is EREW — zero concurrent writes — so the pool/team gap\n" +
+		"here is the per-round synchronization cost on a real data-moving kernel.\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ListRankJSONRows converts the sweep to the machine-readable rows.
+func ListRankJSONRows(rows []ListRankRow) []Row {
+	out := make([]Row, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, Row{
+			Bench:   "listrank",
+			Kernel:  "listrank",
+			Exec:    r.Exec,
+			Threads: r.Threads,
+			XLabel:  "n",
+			X:       r.N,
+			NsOp:    r.NsOp,
+		})
+	}
+	return out
+}

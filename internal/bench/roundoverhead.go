@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"crcwpram/internal/core/exec"
 	"crcwpram/internal/core/machine"
 	"crcwpram/internal/stats"
 )
@@ -15,9 +16,12 @@ import (
 // modes — the quantity the team mode exists to reduce. An empty-body round
 // is pure synchronization: the pool path pays two (P+1)-party barrier
 // phases plus a step descriptor per round; the team path pays one P-party
-// team barrier inside a region entered once. The same measurement is
-// available as BenchmarkRoundOverhead in the machine package; this variant
-// feeds the CLI's tables and JSON trajectory.
+// team barrier inside a region entered once. Both modes run the identical
+// SPMD body through exec.Run, so the measured gap is exactly the backend
+// difference the -exec axis selects, including the unified layer's own
+// dispatch cost. The same measurement is available as
+// BenchmarkRoundOverhead in the machine package; this variant feeds the
+// CLI's tables and JSON trajectory.
 
 // OverheadRow is one measured (P, exec) cell of the round-overhead sweep.
 type OverheadRow struct {
@@ -39,33 +43,27 @@ func RoundOverhead(ps []int, rounds, reps int, log io.Writer) []OverheadRow {
 	}
 	var out []OverheadRow
 	for _, p := range ps {
-		for _, exec := range machine.Execs {
+		for _, e := range machine.Execs {
 			var s stats.Sample
 			for r := 0; r < reps; r++ {
 				m := machine.New(p)
 				start := time.Now()
-				if exec == machine.ExecTeam {
-					m.Team(func(tc *machine.TeamCtx) {
-						for i := 0; i < rounds; i++ {
-							tc.For(p, func(int) {})
-						}
-					})
-				} else {
+				exec.Run(m, e, func(ctx exec.Ctx) {
 					for i := 0; i < rounds; i++ {
-						m.ParallelFor(p, func(int) {})
+						ctx.For(p, func(int) {})
 					}
-				}
+				})
 				s.Add(time.Since(start))
 				m.Close()
 			}
 			row := OverheadRow{
 				P:          p,
-				Exec:       exec.String(),
+				Exec:       e.String(),
 				NsPerRound: float64(s.Median().Nanoseconds()) / float64(rounds),
 			}
 			out = append(out, row)
 			if log != nil {
-				fmt.Fprintf(log, "roundoverhead p=%d exec=%s ns/round=%.1f\n", p, exec.String(), row.NsPerRound)
+				fmt.Fprintf(log, "roundoverhead p=%d exec=%s ns/round=%.1f\n", p, e.String(), row.NsPerRound)
 			}
 		}
 	}

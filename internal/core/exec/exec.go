@@ -1,0 +1,138 @@
+// Package exec presents one kernel-facing execution context over the
+// machine's backends, so every PRAM kernel is written exactly once.
+//
+// A CRCW PRAM kernel is a sequence of lock-step rounds: work-shared loops
+// separated by synchronization points, with the occasional serial section
+// and convergence flag in between. The machine package offers two ways to
+// run that shape — pool mode (one fork/join step per loop, driven from the
+// caller) and team mode (one persistent parallel region per kernel,
+// SPMD-style) — and this package adds a third, trace, which replays the
+// kernel serially while counting its structure. Ctx abstracts over all
+// three: a kernel body written against Ctx runs unmodified under each
+// backend, dispatched by Run on a machine.Exec value.
+//
+// The body is SPMD code under every backend. Under team it literally runs
+// once per worker; under pool and trace it runs once on the caller, which
+// behaves like the team's worker 0 (Worker() == 0, Single inline, Barrier
+// where team mode would place one). The discipline is therefore the team
+// one: control flow feeding a Ctx primitive — loop trip counts, break
+// decisions, round ids — must be computed identically by every worker,
+// from worker-local deterministic state or from shared state read after a
+// barrier. Per-worker scratch flows through the loop-body worker argument
+// (ForWorker/Range/Bounds), never through Worker(), whose only sanctioned
+// use is electing worker 0 to capture a region result.
+//
+// Barrier semantics per backend:
+//
+//   - pool: every For/Range/Bounds call is a complete fork/join step with
+//     its own closing barrier, so an explicit Barrier() is a no-op — the
+//     PRAM round boundary the paper requires after a concurrent write is
+//     already paid by the step split. Single runs inline on the caller
+//     while the workers are parked, which is the same serial section.
+//   - team: For/Range/Bounds end in one real sense barrier (TeamCtx
+//     semantics), Barrier() is that barrier alone, and Single elects
+//     worker 0 with a closing barrier.
+//   - trace: no synchronization exists (the replay is serial); barriers
+//     are counted, not executed.
+//
+// Because the convergence-flag idiom needs one shared word visible to all
+// workers, Flag() returns a region-level triple-buffered flag allocated
+// once per Run — all SPMD copies of the body observe the same Flag, which
+// a per-worker allocation inside the body could not provide.
+package exec
+
+import (
+	"sync/atomic"
+
+	"crcwpram/internal/core/machine"
+)
+
+// Ctx is one worker's view of a kernel execution region. It is valid only
+// inside the body passed to Run and must not leak to other goroutines.
+type Ctx interface {
+	// P returns the number of workers sharing each loop (logical workers
+	// under trace).
+	P() int
+	// Worker returns this SPMD copy's worker id. Under pool and trace the
+	// single body acts as worker 0. Use it only to elect one worker for
+	// result capture; per-iteration worker ids come from the loop bodies.
+	Worker() int
+	// For executes one work-shared PRAM round: body(i) for every i in
+	// [0, n), with a (possibly implicit) barrier before For returns.
+	For(n int, body func(i int))
+	// ForWorker is For with the executing worker's id passed to the body.
+	ForWorker(n int, body func(i, w int))
+	// Range executes one round in block form: each worker receives its
+	// contiguous share [lo, hi) of [0, n) once, with its id. Workers with
+	// an empty share skip the body.
+	Range(n int, body func(lo, hi, w int))
+	// Bounds is Range over caller-supplied shard boundaries
+	// (len(bounds) == P()+1, non-decreasing), the edge-balanced form.
+	Bounds(bounds []int, body func(lo, hi, w int))
+	// Barrier closes the current PRAM round: no dependent read proceeds
+	// until every write of the round is visible. Under pool it is free
+	// (each loop already closed its step); under team it is one sense
+	// barrier.
+	Barrier()
+	// Single executes f on exactly one worker, with f's writes visible to
+	// the whole team after Single returns.
+	Single(f func())
+	// Flag returns the region's convergence flag, shared by all workers.
+	// One flag exists per Run; kernels needing more declare driver-side
+	// Flag values before entering the region.
+	Flag() *Flag
+	// NextRound returns the next region-local round id (1, 2, 3, ...).
+	// The counter is worker-local and advances identically in every SPMD
+	// copy, so all workers agree on the id without synchronization.
+	// Kernels add their machine-lifetime base offset themselves.
+	NextRound() uint32
+}
+
+// Flag is a rotating convergence flag for round loops, usable under every
+// backend. It is the exec-layer twin of machine.TeamFlag: one shared word
+// per round — primed before the round, written during it, read after its
+// closing barrier — with three rotating slots (indexed round mod 3) so a
+// prime for round r+1 can never race a slow peer's read for round r-1.
+// The protocol is
+//
+//	Set(r+1, primeValue)  at the top of round r (any or all workers);
+//	Set(r,   seenValue)   during round r's work-shared loops;
+//	Get(r)                after round r's closing barrier.
+//
+// See machine.TeamFlag for the three-slot sufficiency argument. Under
+// pool and trace the rotation is unnecessary but harmless; using one
+// protocol everywhere keeps kernel bodies backend-agnostic.
+type Flag struct {
+	slots [3]atomic.Uint32
+}
+
+// Set stores v into round r's slot. Safe for concurrent use by all
+// workers when they store the same value (the common-CW idiom).
+func (f *Flag) Set(r, v uint32) { f.slots[r%3].Store(v) }
+
+// Get loads round r's slot. Call it only after round r's closing barrier.
+func (f *Flag) Get(r uint32) uint32 { return f.slots[r%3].Load() }
+
+// Run executes body under the backend selected by e: pool (fork/join
+// steps), team (one persistent parallel region), or trace (serial
+// counting replay). It returns the trace statistics for ExecTrace and nil
+// otherwise.
+func Run(m *machine.Machine, e machine.Exec, body func(Ctx)) *TraceStats {
+	// The region's one shared Flag: allocated here, before the SPMD split,
+	// so every worker's Flag() call observes the same word.
+	flag := new(Flag)
+	switch e {
+	case machine.ExecTeam:
+		m.Team(func(tc *machine.TeamCtx) {
+			body(&teamCtx{tc: tc, flag: flag})
+		})
+		return nil
+	case machine.ExecTrace:
+		st := &TraceStats{P: m.P(), Iters: make([]uint64, m.P())}
+		body(&traceCtx{p: m.P(), flag: flag, stats: st})
+		return st
+	default:
+		body(&poolCtx{m: m, flag: flag})
+		return nil
+	}
+}

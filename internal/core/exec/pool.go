@@ -1,0 +1,39 @@
+package exec
+
+import "crcwpram/internal/core/machine"
+
+// poolCtx drives the machine one fork/join step per loop. The body runs
+// once, on the caller, which plays the role of team worker 0: loops fan
+// out to the pool and join before returning, so every loop boundary is
+// already a PRAM round boundary and Barrier degenerates to a no-op.
+// Serial code between loops — the Single sections of the SPMD form — runs
+// inline while the workers are parked, exactly as today's pool kernels
+// wrote it.
+type poolCtx struct {
+	m     *machine.Machine
+	flag  *Flag
+	round uint32
+}
+
+func (c *poolCtx) P() int      { return c.m.P() }
+func (c *poolCtx) Worker() int { return 0 }
+
+func (c *poolCtx) For(n int, body func(i int))              { c.m.ParallelFor(n, body) }
+func (c *poolCtx) ForWorker(n int, body func(i, w int))     { c.m.ParallelForWorker(n, body) }
+func (c *poolCtx) Range(n int, body func(lo, hi, w int))    { c.m.ParallelRange(n, body) }
+func (c *poolCtx) Bounds(b []int, body func(lo, hi, w int)) { c.m.ParallelBounds(b, body) }
+
+// Barrier is a no-op: each pool loop closed its own step, which is the
+// barrier. Nothing runs concurrently with the caller between loops.
+func (c *poolCtx) Barrier() {}
+
+// Single runs f inline: between steps the caller is the only goroutine
+// touching kernel state.
+func (c *poolCtx) Single(f func()) { f() }
+
+func (c *poolCtx) Flag() *Flag { return c.flag }
+
+func (c *poolCtx) NextRound() uint32 {
+	c.round++
+	return c.round
+}

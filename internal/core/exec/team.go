@@ -1,0 +1,43 @@
+package exec
+
+import "crcwpram/internal/core/machine"
+
+// teamCtx adapts a machine.TeamCtx: the body runs once per worker inside
+// one persistent parallel region, every loop ends in a real sense
+// barrier, and Single elects worker 0. The only translation needed is
+// injecting the worker id into the Range/Bounds body signature, which
+// TeamCtx exposes as a field rather than an argument.
+type teamCtx struct {
+	tc    *machine.TeamCtx
+	flag  *Flag
+	round uint32
+}
+
+func (c *teamCtx) P() int      { return c.tc.P() }
+func (c *teamCtx) Worker() int { return c.tc.W }
+
+func (c *teamCtx) For(n int, body func(i int))          { c.tc.For(n, body) }
+func (c *teamCtx) ForWorker(n int, body func(i, w int)) { c.tc.ForWorker(n, body) }
+
+func (c *teamCtx) Range(n int, body func(lo, hi, w int)) {
+	w := c.tc.W
+	c.tc.Range(n, func(lo, hi int) { body(lo, hi, w) })
+}
+
+func (c *teamCtx) Bounds(bounds []int, body func(lo, hi, w int)) {
+	w := c.tc.W
+	c.tc.Bounds(bounds, func(lo, hi int) { body(lo, hi, w) })
+}
+
+func (c *teamCtx) Barrier()        { c.tc.Barrier() }
+func (c *teamCtx) Single(f func()) { c.tc.Single(f) }
+
+func (c *teamCtx) Flag() *Flag { return c.flag }
+
+// NextRound advances this worker's copy of the region round counter. All
+// workers execute the same round sequence (SPMD discipline), so their
+// counters agree without synchronization.
+func (c *teamCtx) NextRound() uint32 {
+	c.round++
+	return c.round
+}

@@ -57,6 +57,7 @@ type Machine struct {
 	teamReady   atomic.Uint64
 	teamAborted atomic.Bool
 
+	exec   Exec
 	round  uint32
 	closed bool
 }
@@ -84,6 +85,11 @@ func WithChunk(c int) Option { return func(m *Machine) { m.chunk = c } }
 
 // WithBarrier selects the barrier construction (default barrier.KindSense).
 func WithBarrier(k barrier.Kind) Option { return func(m *Machine) { m.barKind = k } }
+
+// WithExec selects the machine's default execution backend (default
+// ExecPool). Kernels dispatched without an explicit backend — the plain
+// Run entry points — use this choice via Exec().
+func WithExec(e Exec) Option { return func(m *Machine) { m.exec = e } }
 
 // New returns a Machine with p workers. p must be >= 1. The caller owns the
 // machine and must Close it to release the workers.
@@ -116,6 +122,9 @@ func (m *Machine) P() int { return m.p }
 
 // Policy returns the partitioning policy.
 func (m *Machine) Policy() sched.Policy { return m.policy }
+
+// Exec returns the default execution backend chosen with WithExec.
+func (m *Machine) Exec() Exec { return m.exec }
 
 // Round returns the current round id. Round ids start at 0 and advance by
 // NextRound (or by kernels using their own loop counters).

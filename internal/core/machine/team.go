@@ -311,7 +311,8 @@ func (f *TeamFlag) Set(r, v uint32) { f.slots[r%3].Store(v) }
 func (f *TeamFlag) Get(r uint32) uint32 { return f.slots[r%3].Load() }
 
 // Exec selects how a kernel drives the machine: one pool round per
-// ParallelFor call, or one persistent team region per kernel.
+// ParallelFor call, one persistent team region per kernel, or a serial
+// counting replay (trace).
 type Exec int
 
 const (
@@ -320,9 +321,15 @@ const (
 	ExecPool Exec = iota
 	// ExecTeam runs the whole kernel inside one Team region.
 	ExecTeam
+	// ExecTrace replays the kernel serially with P logical workers,
+	// counting steps, barriers, and per-worker iterations instead of
+	// using the pool (see internal/core/exec). It is an observability
+	// mode, not a timed one, so Execs excludes it.
+	ExecTrace
 )
 
-// Execs lists the execution modes in presentation order.
+// Execs lists the timed execution modes in presentation order. ExecTrace
+// is deliberately absent: its serial replay measures structure, not time.
 var Execs = []Exec{ExecPool, ExecTeam}
 
 func (e Exec) String() string {
@@ -331,15 +338,17 @@ func (e Exec) String() string {
 		return "pool"
 	case ExecTeam:
 		return "team"
+	case ExecTrace:
+		return "trace"
 	default:
 		return "unknown-exec"
 	}
 }
 
 // ParseExec converts an execution-mode name (as produced by String) back
-// to an Exec.
+// to an Exec. It accepts every backend, including the untimed "trace".
 func ParseExec(s string) (Exec, bool) {
-	for _, e := range Execs {
+	for _, e := range []Exec{ExecPool, ExecTeam, ExecTrace} {
 		if e.String() == s {
 			return e, true
 		}

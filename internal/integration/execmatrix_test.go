@@ -1,0 +1,333 @@
+// The execution-backend differential matrix: every kernel of the suite,
+// under every concurrent-write method it supports, runs on fixed-seed
+// inputs under all three exec backends (pool, team, trace), and the
+// deterministic projection of each result must be byte-identical across
+// backends. This is the single test that replaces the per-algorithm
+// team_test.go files: a kernel whose SPMD body behaves differently under
+// any backend — a missed barrier, a stale flag slot, a partition mismatch
+// — diverges here. CI additionally runs this package under -race, where
+// the team backend's sense barriers and the pool backend's fork/join
+// steps are both exercised with real concurrency.
+//
+// What "deterministic projection" means per kernel:
+//
+//   - bfs (all variants): Level and Depth are the distance metric — unique
+//     regardless of which parent wins the arbitrary write.
+//   - cc (both algorithms): the partition (labels up to renaming); label
+//     values depend on hook winners, the partition cannot.
+//   - maxfind: the winning index (the tie-break is a total order).
+//   - mis: the membership vector (priorities are seed-deterministic and
+//     kills are common writes, so the set itself is unique).
+//   - matching: validator-checked always; the full mate vector is compared
+//     only at P=1, where all three backends execute serially and the
+//     arbitrary-write winners coincide.
+//   - listrank: the rank vector (EREW — no concurrent writes at all).
+package integration
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"crcwpram/internal/alg/bfs"
+	"crcwpram/internal/alg/cc"
+	"crcwpram/internal/alg/listrank"
+	"crcwpram/internal/alg/matching"
+	"crcwpram/internal/alg/maxfind"
+	"crcwpram/internal/alg/mis"
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
+	"crcwpram/internal/race"
+)
+
+// matrixExecs is every backend, including the untimed trace replay.
+var matrixExecs = []machine.Exec{machine.ExecPool, machine.ExecTeam, machine.ExecTrace}
+
+// guardedMethods are the methods that safely implement the kernels'
+// arbitrary concurrent writes (cw.Naive is not among them; where a kernel's
+// writes are common, naive joins the matrix unless -race is on, matching
+// the per-package test policy for the intentionally racy Rodinia idiom).
+var guardedMethods = []cw.Method{cw.CASLT, cw.Gatekeeper, cw.GatekeeperChecked, cw.Mutex}
+
+func commonWriteMethods() []cw.Method {
+	if race.Enabled {
+		return guardedMethods
+	}
+	return append(append([]cw.Method(nil), guardedMethods...), cw.Naive)
+}
+
+// matrixGraphs are the fixed-seed workloads: a deep path (2000 levels — the
+// round-structure stress case), a hub-skewed power-law graph, and a
+// disconnected multi-component graph. All are undirected, so every BFS
+// variant (including pull and hybrid) runs on all of them.
+func matrixGraphs() []struct {
+	name string
+	g    *graph.Graph
+} {
+	return []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path2000", graph.Path(2000)},
+		{"rmat", graph.RMAT(7, 600, 0.57, 0.19, 0.19, 9)},
+		{"disjoint", graph.Disjoint(graph.ConnectedRandom(60, 220, 5), 3)},
+	}
+}
+
+func u32bytes(xs []uint32) []byte {
+	out := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(out[4*i:], x)
+	}
+	return out
+}
+
+// canonicalPartition renames labels to the smallest vertex index of each
+// class, making partitions comparable byte-for-byte.
+func canonicalPartition(labels []uint32) []uint32 {
+	first := map[uint32]uint32{}
+	out := make([]uint32, len(labels))
+	for v, l := range labels {
+		if _, ok := first[l]; !ok {
+			first[l] = uint32(v)
+		}
+		out[v] = first[l]
+	}
+	return out
+}
+
+// runMatrix runs one (kernel, method, graph) cell under every backend and
+// fails unless every backend's projection is byte-identical to the pool
+// backend's.
+func runMatrix(t *testing.T, tag string, run func(e machine.Exec) []byte) {
+	t.Helper()
+	var want []byte
+	for i, e := range matrixExecs {
+		got := run(e)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: %s backend diverges from %s (projections %d vs %d bytes)",
+				tag, e, matrixExecs[0], len(got), len(want))
+		}
+	}
+}
+
+func bfsProjection(r bfs.Result) []byte {
+	return append(u32bytes(r.Level), byte(r.Depth), byte(r.Depth>>8), byte(r.Depth>>16), byte(r.Depth>>24))
+}
+
+func TestExecMatrixBFS(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		m := testMachine(t, p)
+		for _, wl := range matrixGraphs() {
+			k := bfs.NewKernel(m, wl.g)
+			for _, method := range commonWriteMethods() {
+				// BFS's parent/selEdge writes are arbitrary; the naive method
+				// can only promise the level metric (validated non-strictly).
+				strict := method != cw.Naive
+				tag := fmt.Sprintf("p=%d %s bfs/%v", p, wl.name, method)
+				runMatrix(t, tag, func(e machine.Exec) []byte {
+					k.Prepare(0)
+					r := k.RunExec(e, method)
+					if err := bfs.Validate(wl.g, 0, r, strict); err != nil {
+						t.Fatalf("%s under %s: %v", tag, e, err)
+					}
+					return bfsProjection(r)
+				})
+			}
+			// The CAS-LT formulation variants share the same projection.
+			variants := map[string]func(e machine.Exec) bfs.Result{
+				"frontier": k.RunCASLTFrontierExec,
+				"pull":     k.RunCASLTPullExec,
+				"hybrid":   k.RunCASLTHybridExec,
+			}
+			for name, run := range variants {
+				tag := fmt.Sprintf("p=%d %s bfs-%s", p, wl.name, name)
+				runMatrix(t, tag, func(e machine.Exec) []byte {
+					k.Prepare(0)
+					r := run(e)
+					if err := bfs.ValidateBidir(wl.g, 0, r); err != nil {
+						t.Fatalf("%s under %s: %v", tag, e, err)
+					}
+					return bfsProjection(r)
+				})
+			}
+		}
+	}
+}
+
+func TestExecMatrixCC(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		m := testMachine(t, p)
+		for _, wl := range matrixGraphs() {
+			k := cc.NewKernel(m, wl.g)
+			for _, method := range guardedMethods {
+				tag := fmt.Sprintf("p=%d %s cc/%v", p, wl.name, method)
+				runMatrix(t, tag, func(e machine.Exec) []byte {
+					k.Prepare()
+					r := k.RunExec(e, method)
+					if err := cc.Validate(wl.g, r); err != nil {
+						t.Fatalf("%s under %s: %v", tag, e, err)
+					}
+					return u32bytes(canonicalPartition(r.Labels))
+				})
+			}
+			tag := fmt.Sprintf("p=%d %s cc/randmate", p, wl.name)
+			runMatrix(t, tag, func(e machine.Exec) []byte {
+				k.Prepare()
+				r := k.RunRandMateExec(e, 42)
+				if err := cc.Validate(wl.g, r); err != nil {
+					t.Fatalf("%s under %s: %v", tag, e, err)
+				}
+				return u32bytes(canonicalPartition(r.Labels))
+			})
+		}
+	}
+}
+
+func TestExecMatrixMaxfind(t *testing.T) {
+	list := make([]uint32, 300)
+	for i := range list {
+		list[i] = uint32((i * 131) % 197)
+	}
+	want := maxfind.Sequential(list)
+	for _, p := range []int{1, 2, 4} {
+		m := testMachine(t, p)
+		k := maxfind.NewKernel(m, len(list))
+		for _, method := range commonWriteMethods() {
+			tag := fmt.Sprintf("p=%d maxfind/%v", p, method)
+			runMatrix(t, tag, func(e machine.Exec) []byte {
+				k.Prepare(list)
+				got := k.RunExec(e, method)
+				if got != want {
+					t.Fatalf("%s under %s: max %d, want %d", tag, e, got, want)
+				}
+				return []byte{byte(got), byte(got >> 8), byte(got >> 16), byte(got >> 24)}
+			})
+		}
+	}
+}
+
+func TestExecMatrixMIS(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		m := testMachine(t, p)
+		for _, wl := range matrixGraphs() {
+			k := mis.NewKernel(m, wl.g)
+			for _, method := range commonWriteMethods() {
+				tag := fmt.Sprintf("p=%d %s mis/%v", p, wl.name, method)
+				runMatrix(t, tag, func(e machine.Exec) []byte {
+					k.Prepare()
+					inSet := k.RunExec(e, method, 7)
+					if err := mis.Validate(wl.g, inSet); err != nil {
+						t.Fatalf("%s under %s: %v", tag, e, err)
+					}
+					return u32bytes(inSet)
+				})
+			}
+		}
+	}
+}
+
+func TestExecMatrixMatching(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		m := testMachine(t, p)
+		for _, wl := range matrixGraphs() {
+			k := matching.NewKernel(m, wl.g)
+			tag := fmt.Sprintf("p=%d %s matching", p, wl.name)
+			runMatrix(t, tag, func(e machine.Exec) []byte {
+				k.Prepare()
+				r := k.RunExec(e, 7)
+				if err := matching.Validate(wl.g, r); err != nil {
+					t.Fatalf("%s under %s: %v", tag, e, err)
+				}
+				if p == 1 {
+					return append(u32bytes(r.Mate), u32bytes(r.MateEdge)...)
+				}
+				// At P>1 the arbitrary-write winners (and thus the matching)
+				// legitimately differ per backend; the validator above is the
+				// check, and the projection collapses to nothing.
+				return nil
+			})
+		}
+	}
+}
+
+func TestExecMatrixListRank(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		m := testMachine(t, p)
+		for _, n := range []int{1, 2, 257, 2000} {
+			next := listrank.RandomList(n, int64(n))
+			want := u32bytes(listrank.SequentialRank(next))
+			tag := fmt.Sprintf("p=%d listrank n=%d", p, n)
+			runMatrix(t, tag, func(e machine.Exec) []byte {
+				got := u32bytes(listrank.RankExec(m, e, next))
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s under %s: ranks diverge from sequential", tag, e)
+				}
+				return got
+			})
+		}
+	}
+}
+
+// TestExecInterleavedRoundOffsets drives one kernel instance through the
+// backends in rotation with no state reset beyond Prepare: the CAS-LT
+// round base must carry across backend switches (a stale claim from a pool
+// run must never alias a later team run's round, and the trace replay must
+// consume rounds from the same sequence).
+func TestExecInterleavedRoundOffsets(t *testing.T) {
+	m := testMachine(t, 4)
+	g := graph.ConnectedRandom(150, 600, 23)
+
+	bk := bfs.NewKernel(m, g)
+	ck := cc.NewKernel(m, g)
+	sk := mis.NewKernel(m, g)
+	for rep := 0; rep < 9; rep++ {
+		e := matrixExecs[rep%len(matrixExecs)]
+		src := uint32(rep * 17 % g.NumVertices())
+		bk.Prepare(src)
+		if err := bfs.Validate(g, src, bk.RunExec(e, cw.CASLT), true); err != nil {
+			t.Fatalf("rep %d bfs under %s: %v", rep, e, err)
+		}
+		ck.Prepare()
+		if err := cc.Validate(g, ck.RunExec(e, cw.CASLT)); err != nil {
+			t.Fatalf("rep %d cc under %s: %v", rep, e, err)
+		}
+		sk.Prepare()
+		if err := mis.Validate(g, sk.RunExec(e, cw.CASLT, uint64(rep))); err != nil {
+			t.Fatalf("rep %d mis under %s: %v", rep, e, err)
+		}
+	}
+}
+
+// TestExecTraceRecords pins the observability contract: a trace-backend
+// run records a structural trace, a timed run clears it.
+func TestExecTraceRecords(t *testing.T) {
+	m := testMachine(t, 4)
+	g := graph.ConnectedRandom(100, 400, 3)
+	k := bfs.NewKernel(m, g)
+
+	k.Prepare(0)
+	k.RunExec(machine.ExecTrace, cw.CASLT)
+	st := k.Trace()
+	if st == nil {
+		t.Fatal("trace run recorded no trace")
+	}
+	if st.P != 4 || st.Steps == 0 || st.Barriers == 0 || len(st.Iters) != 4 {
+		t.Fatalf("implausible trace: %+v", st)
+	}
+	if st.TotalIters() < uint64(g.NumVertices()) {
+		t.Fatalf("trace counted %d iterations, want at least n=%d", st.TotalIters(), g.NumVertices())
+	}
+
+	k.Prepare(0)
+	k.RunExec(machine.ExecPool, cw.CASLT)
+	if k.Trace() != nil {
+		t.Fatal("timed run left a stale trace")
+	}
+}

@@ -125,7 +125,33 @@ var (
 	WithChunk = machine.WithChunk
 	// WithBarrier selects the barrier construction.
 	WithBarrier = machine.WithBarrier
+	// WithExec selects the machine's default execution backend — what the
+	// kernels' plain Run entry points dispatch through.
+	WithExec = machine.WithExec
 )
+
+// Exec selects how kernels drive the machine (see the Exec* constants).
+type Exec = machine.Exec
+
+// Execution backends for WithExec and the kernels' RunExec entry points.
+const (
+	// ExecPool re-enters the worker pool from the caller for every
+	// lock-step round (one fork/join per round) — the default.
+	ExecPool = machine.ExecPool
+	// ExecTeam runs the whole kernel inside one persistent parallel
+	// region; rounds are separated by sense barriers.
+	ExecTeam = machine.ExecTeam
+	// ExecTrace replays the kernel serially with P logical workers,
+	// counting steps, barriers and per-worker iterations instead of
+	// synchronizing — an observability backend, not a timed one.
+	ExecTrace = machine.ExecTrace
+)
+
+// ParseExec converts a backend name ("pool", "team", "trace") to an Exec.
+func ParseExec(s string) (Exec, bool) { return machine.ParseExec(s) }
+
+// Execs lists the timed execution backends in presentation order.
+var Execs = machine.Execs
 
 // Scheduling policies for WithPolicy.
 const (
