@@ -48,6 +48,20 @@
 //	                across the size sweep under both timed execution modes;
 //	                combinable like -roundoverhead
 //
+// Live contention metrics (the observability layer, not a timing figure —
+// the per-cell probe adds contention of its own, so these runs are never
+// timed):
+//
+//	-metrics        run every kernel under the guarded CW methods with the
+//	                machine's metrics recorder and per-cell probe enabled,
+//	                and print per-kernel CAS attempts / wins / losses,
+//	                pre-check skips, the observed maximum executed attempts
+//	                on any cell in any round (checked against the paper's
+//	                ≤ P bound), rounds to convergence, and the busy /
+//	                barrier-wait split; combinable like -roundoverhead
+//	-metricsjson F  write just the metrics rows as JSON to F (the rows are
+//	                also appended to -json output when both are given)
+//
 // And a baseline checker:
 //
 //	-validatejson F  parse a -json output file and verify its shape (used
@@ -76,6 +90,7 @@
 //	crcwbench -edgebalance -threads 8 -json BENCH_edgebalance.json
 //	crcwbench -validatejson BENCH_edgebalance.json
 //	crcwbench -listrank -threads 8
+//	crcwbench -tiny -metrics -exec pool,team -metricsjson metrics.json
 //	crcwbench -kernelops -kerneltrace -json kernelops.json
 package main
 
@@ -120,6 +135,8 @@ func run(args []string) error {
 		opcount       = fs.Bool("opcount", false, "run the Section-6 atomic-operation-count validation instead of a timing figure")
 		kernelops     = fs.Bool("kernelops", false, "count selection-protocol operations over full BFS/CC runs (trace backend) instead of timing")
 		kerneltrace   = fs.Bool("kerneltrace", false, "report every kernel's structural cost (steps, barriers, rounds) under the trace backend")
+		metricsTable  = fs.Bool("metrics", false, "run every kernel on a metrics-enabled machine and report live contention (CAS attempts/wins/losses, pre-check skips, max RMWs per cell per round, busy/barrier time split) per listed timed exec mode")
+		metricsJSON   = fs.String("metricsjson", "", "write the -metrics contention rows alone as JSON to this file (implies -metrics)")
 		simulations   = fs.Bool("simulations", false, "time one Priority write step per rung of the CW hierarchy instead of a figure")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -226,6 +243,30 @@ func run(args []string) error {
 		jsonRows = append(jsonRows, bench.KernelTraceJSONRows(rows)...)
 	}
 
+	if *metricsTable || *metricsJSON != "" {
+		nv, ne := cfg.BFSVertices, cfg.BFSEdges
+		rows, err := bench.Contention(cfg.Threads, nv, ne, cfg.Seed, execs)
+		if err != nil {
+			return err
+		}
+		section()
+		if err := bench.FormatContention(os.Stdout, cfg.Threads, nv, ne, rows); err != nil {
+			return err
+		}
+		mrows := bench.ContentionJSONRows(rows, cfg.Threads)
+		jsonRows = append(jsonRows, mrows...)
+		if *metricsJSON != "" {
+			f, err := os.Create(*metricsJSON)
+			if err != nil {
+				return fmt.Errorf("create metrics json: %w", err)
+			}
+			defer f.Close()
+			if err := bench.WriteJSON(f, mrows); err != nil {
+				return fmt.Errorf("write metrics json: %w", err)
+			}
+		}
+	}
+
 	if *roundoverhead {
 		rows := bench.RoundOverhead(cfg.ThreadSweep, 0, cfg.Reps, cfg.Log)
 		section()
@@ -271,7 +312,8 @@ func run(args []string) error {
 	ids := bench.SortedFigureIDs()
 	if *figure != 0 {
 		ids = []int{*figure}
-	} else if (*roundoverhead || *edgebalance || *listrankSweep || *kernelops || *kerneltrace) && !figureSet {
+	} else if (*roundoverhead || *edgebalance || *listrankSweep || *kernelops || *kerneltrace ||
+		*metricsTable || *metricsJSON != "") && !figureSet {
 		// The dedicated sweeps and analyses alone run only themselves; add
 		// -figure 0 explicitly to also sweep every figure.
 		ids = nil

@@ -34,6 +34,7 @@ import (
 	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/exec"
 	"crcwpram/internal/core/machine"
+	"crcwpram/internal/core/metrics"
 	"crcwpram/internal/graph"
 )
 
@@ -216,19 +217,25 @@ func (k *Kernel) Trace() *exec.TraceStats { return k.trace }
 // (max finite level). The per-level convergence word is the region's
 // rotating Flag; each level is one round under every backend (pool closes
 // it with the loop's own join, team with the sense barrier).
-func (k *Kernel) runLevels(e machine.Exec, sweep func(lo, hi, w int, L, round uint32) bool, gateReset bool) uint32 {
+func (k *Kernel) runLevels(e machine.Exec, sweep func(lo, hi, w int, L, round uint32, sh *metrics.Shard) bool, gateReset bool) uint32 {
 	if k.balance == graph.BalanceEdge {
 		k.ensureArcBounds() // allocate outside the region
 	}
 	var depth uint32
 	k.trace = exec.Run(k.m, e, func(ctx exec.Ctx) {
+		rec := ctx.Metrics()
 		progress := ctx.Flag()
 		L := uint32(0)
 		for {
 			progress.Set(L+1, 0) // prime next level's flag (common CW)
 			round := k.base + L + 1
+			if ctx.Worker() == 0 {
+				// The level counter doubles as the round id (no NextRound
+				// call to count), so credit the consumed round here.
+				rec.AddRounds(1)
+			}
 			k.ctxSweep(ctx, func(lo, hi, w int) {
-				if sweep(lo, hi, w, L, round) {
+				if sweep(lo, hi, w, L, round, rec.Shard(w)) {
 					progress.Set(L, 1)
 				}
 			})
@@ -258,7 +265,7 @@ func (k *Kernel) RunCASLT() Result { return k.RunCASLTExec(k.m.Exec()) }
 // RunCASLTExec is RunCASLT under an explicit execution backend.
 func (k *Kernel) RunCASLTExec(e machine.Exec) Result {
 	offsets, targets := k.g.Offsets(), k.g.Targets()
-	depth := k.runLevels(e, func(lo, hi, _ int, L, round uint32) bool {
+	depth := k.runLevels(e, func(lo, hi, _ int, L, round uint32, sh *metrics.Shard) bool {
 		progress := false
 		for v := lo; v < hi; v++ {
 			if atomic.LoadUint32(&k.level[v]) != L {
@@ -269,7 +276,7 @@ func (k *Kernel) RunCASLTExec(e machine.Exec) Result {
 				if atomic.LoadUint32(&k.visited[u]) != 0 {
 					continue
 				}
-				if k.cells.TryClaim(int(u), round) {
+				if sh.Claim(int(u), round, k.cells.TryClaimOutcome(int(u), round)) {
 					k.parent[u] = uint32(v)
 					k.selEdge[u] = j
 					atomic.StoreUint32(&k.visited[u], 1)
@@ -295,7 +302,7 @@ func (k *Kernel) RunGateChecked() Result { return k.runGate(k.m.Exec(), true) }
 
 func (k *Kernel) runGate(e machine.Exec, checked bool) Result {
 	offsets, targets := k.g.Offsets(), k.g.Targets()
-	depth := k.runLevels(e, func(lo, hi, _ int, L, _ uint32) bool {
+	depth := k.runLevels(e, func(lo, hi, _ int, L, round uint32, sh *metrics.Shard) bool {
 		progress := false
 		for v := lo; v < hi; v++ {
 			if atomic.LoadUint32(&k.level[v]) != L {
@@ -306,13 +313,13 @@ func (k *Kernel) runGate(e machine.Exec, checked bool) Result {
 				if atomic.LoadUint32(&k.visited[u]) != 0 {
 					continue
 				}
-				var won bool
+				var o cw.Outcome
 				if checked {
-					won = k.gates.TryEnterChecked(int(u))
+					o = k.gates.TryEnterCheckedOutcome(int(u))
 				} else {
-					won = k.gates.TryEnter(int(u))
+					o = k.gates.TryEnterOutcome(int(u))
 				}
-				if won {
+				if sh.Claim(int(u), round, o) {
 					k.parent[u] = uint32(v)
 					k.selEdge[u] = j
 					atomic.StoreUint32(&k.visited[u], 1)
@@ -336,7 +343,7 @@ func (k *Kernel) RunNaive() Result { return k.RunNaiveExec(k.m.Exec()) }
 // RunNaiveExec is RunNaive under an explicit execution backend.
 func (k *Kernel) RunNaiveExec(e machine.Exec) Result {
 	offsets, targets := k.g.Offsets(), k.g.Targets()
-	depth := k.runLevels(e, func(lo, hi, _ int, L, _ uint32) bool {
+	depth := k.runLevels(e, func(lo, hi, _ int, L, round uint32, sh *metrics.Shard) bool {
 		progress := false
 		for v := lo; v < hi; v++ {
 			if k.level[v] != L {
@@ -345,6 +352,9 @@ func (k *Kernel) RunNaiveExec(e machine.Exec) Result {
 			for j := offsets[v]; j < offsets[v+1]; j++ {
 				u := targets[j]
 				if k.visited[u] == 0 {
+					// No winner selection: every issued write counts as an
+					// executed win; the visited filter plays the pre-check.
+					sh.Claim(int(u), round, cw.OutcomeWin)
 					k.parent[u] = uint32(v)
 					k.selEdge[u] = j
 					k.visited[u] = 1
@@ -366,7 +376,7 @@ func (k *Kernel) RunMutex() Result { return k.RunMutexExec(k.m.Exec()) }
 // RunMutexExec is RunMutex under an explicit execution backend.
 func (k *Kernel) RunMutexExec(e machine.Exec) Result {
 	offsets, targets := k.g.Offsets(), k.g.Targets()
-	depth := k.runLevels(e, func(lo, hi, _ int, L, _ uint32) bool {
+	depth := k.runLevels(e, func(lo, hi, _ int, L, round uint32, sh *metrics.Shard) bool {
 		progress := false
 		for v := lo; v < hi; v++ {
 			if atomic.LoadUint32(&k.level[v]) != L {
@@ -378,7 +388,11 @@ func (k *Kernel) RunMutexExec(e machine.Exec) Result {
 					continue
 				}
 				k.mtx.Lock(int(u))
+				// Each lock acquisition is one executed attempt; the
+				// visited re-check decides win vs loss.
+				o := cw.OutcomeLoss
 				if k.visited[u] == 0 {
+					o = cw.OutcomeWin
 					k.parent[u] = uint32(v)
 					k.selEdge[u] = j
 					atomic.StoreUint32(&k.visited[u], 1)
@@ -386,6 +400,7 @@ func (k *Kernel) RunMutexExec(e machine.Exec) Result {
 					progress = true
 				}
 				k.mtx.Unlock(int(u))
+				sh.Claim(int(u), round, o)
 			}
 		}
 		return progress

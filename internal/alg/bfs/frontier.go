@@ -64,13 +64,15 @@ func (k *Kernel) ensureFrontierState() {
 func (k *Kernel) relaxFrontier(ctx exec.Ctx, frontier []uint32, L, round uint32) {
 	offsets, targets := k.g.Offsets(), k.g.Targets()
 	bufs := k.bufs
+	rec := ctx.Metrics()
 	relax := func(v uint32, w int) {
+		sh := rec.Shard(w)
 		for j := offsets[v]; j < offsets[v+1]; j++ {
 			u := targets[j]
 			if atomic.LoadUint32(&k.visited[u]) != 0 {
 				continue
 			}
-			if k.cells.TryClaim(int(u), round) {
+			if sh.Claim(int(u), round, k.cells.TryClaimOutcome(int(u), round)) {
 				k.parent[u] = v
 				k.selEdge[u] = j
 				atomic.StoreUint32(&k.visited[u], 1)

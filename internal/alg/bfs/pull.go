@@ -5,6 +5,7 @@ import (
 
 	"crcwpram/internal/core/exec"
 	"crcwpram/internal/core/machine"
+	"crcwpram/internal/core/metrics"
 	"crcwpram/internal/graph"
 )
 
@@ -117,7 +118,9 @@ func (k *Kernel) RunCASLTPull() Result { return k.RunCASLTPullExec(k.m.Exec()) }
 // RunCASLTPullExec is RunCASLTPull under an explicit execution backend.
 func (k *Kernel) RunCASLTPullExec(e machine.Exec) Result {
 	k.requireSymmetric()
-	depth := k.runLevels(e, func(lo, hi, _ int, L, _ uint32) bool {
+	// Pull's writes are exclusive (each vertex writes only its own tuple),
+	// so there are no selection attempts to record — the shard is unused.
+	depth := k.runLevels(e, func(lo, hi, _ int, L, _ uint32, _ *metrics.Shard) bool {
 		return k.pullLevel(lo, hi, L, nil)
 	}, false)
 	return k.result(int(depth))

@@ -37,12 +37,14 @@ func (k *Kernel) RunResolverExec(e machine.Exec, r cw.Resolver) Result {
 	needsReset := r.Method().NeedsReset()
 	var depth uint32
 	k.trace = exec.Run(k.m, e, func(ctx exec.Ctx) {
+		rec := ctx.Metrics()
 		progress := ctx.Flag()
 		L := uint32(0)
 		for {
 			progress.Set(L+1, 0) // prime next level's flag (common CW)
 			round := L + 1
-			ctx.Range(k.n, func(lo, hi, _ int) {
+			ctx.Range(k.n, func(lo, hi, w int) {
+				sh := rec.Shard(w)
 				prog := false
 				for v := lo; v < hi; v++ {
 					if atomic.LoadUint32(&k.level[v]) != L {
@@ -54,12 +56,12 @@ func (k *Kernel) RunResolverExec(e machine.Exec, r cw.Resolver) Result {
 							continue
 						}
 						v := v
-						if r.Do(int(u), round, func() {
+						if sh.Claim(int(u), round, r.DoOutcome(int(u), round, func() {
 							k.parent[u] = uint32(v)
 							k.selEdge[u] = j
 							atomic.StoreUint32(&k.visited[u], 1)
 							atomic.StoreUint32(&k.level[u], L+1)
-						}) {
+						})) {
 							prog = true
 						}
 					}

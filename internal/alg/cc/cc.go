@@ -48,6 +48,7 @@ import (
 	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/exec"
 	"crcwpram/internal/core/machine"
+	"crcwpram/internal/core/metrics"
 	"crcwpram/internal/graph"
 )
 
@@ -162,8 +163,8 @@ func (k *Kernel) RunExec(e machine.Exec, method cw.Method) Result {
 		// re-initialized.
 		return k.runExec(e,
 			func(round uint32) hookFunc {
-				return func(r int, j, target uint32) bool {
-					return k.cells.TryClaim(r, round) && k.commit(r, j, target)
+				return func(sh *metrics.Shard, r int, j, target uint32) bool {
+					return sh.Claim(r, round, k.cells.TryClaimOutcome(r, round)) && k.commit(r, j, target)
 				}
 			},
 			true, func(exec.Ctx) {})
@@ -173,11 +174,18 @@ func (k *Kernel) RunExec(e machine.Exec, method cw.Method) Result {
 		return k.runGate(e, true)
 	case cw.Mutex:
 		return k.runExec(e,
-			func(uint32) hookFunc {
-				return func(r int, j, target uint32) bool {
+			func(round uint32) hookFunc {
+				return func(sh *metrics.Shard, r int, j, target uint32) bool {
 					k.mtx.Lock(r)
 					ok := k.commit(r, j, target)
 					k.mtx.Unlock(r)
+					// Each lock acquisition is one executed attempt; the
+					// root re-verification inside commit decides win/loss.
+					o := cw.OutcomeLoss
+					if ok {
+						o = cw.OutcomeWin
+					}
+					sh.Claim(r, round, o)
 					return ok
 				}
 			},
@@ -256,8 +264,9 @@ func (k *Kernel) shortcut(ctx exec.Ctx, changed *exec.Flag, it uint32) {
 }
 
 // hookFunc attempts the guarded multi-array hook of root r via arc j to
-// target; it returns true if this caller won the write.
-type hookFunc func(r int, j uint32, target uint32) bool
+// target; it returns true if this caller won the write. sh is the calling
+// worker's metrics shard (nil when metrics are off).
+type hookFunc func(sh *metrics.Shard, r int, j uint32, target uint32) bool
 
 // hookPhase runs one hooking round over all arcs, reading parent pointers
 // from the phase-start snapshot dprev (PRAM reads-before-writes semantics:
@@ -272,7 +281,9 @@ func (k *Kernel) hookPhase(ctx exec.Ctx, conditional bool, hook hookFunc, change
 	ctx.Range(k.n, func(lo, hi, _ int) {
 		copy(k.dprev[lo:hi], k.d[lo:hi])
 	})
-	ctx.Range(len(arcSrc), func(lo, hi, _ int) {
+	rec := ctx.Metrics()
+	ctx.Range(len(arcSrc), func(lo, hi, w int) {
+		sh := rec.Shard(w)
 		progress := false
 		for j := lo; j < hi; j++ {
 			u := arcSrc[j]
@@ -300,7 +311,7 @@ func (k *Kernel) hookPhase(ctx exec.Ctx, conditional bool, hook hookFunc, change
 				// the conditional phase.
 				want = dv > du
 			}
-			if want && hook(int(du), uint32(j), dv) {
+			if want && hook(sh, int(du), uint32(j), dv) {
 				progress = true
 			}
 		}
@@ -391,15 +402,15 @@ func (k *Kernel) RunGateChecked() Result { return k.Run(cw.GatekeeperChecked) }
 
 func (k *Kernel) runGate(e machine.Exec, checked bool) Result {
 	return k.runExec(e,
-		func(uint32) hookFunc {
-			return func(r int, j, target uint32) bool {
-				var won bool
+		func(round uint32) hookFunc {
+			return func(sh *metrics.Shard, r int, j, target uint32) bool {
+				var o cw.Outcome
 				if checked {
-					won = k.gates.TryEnterChecked(r)
+					o = k.gates.TryEnterCheckedOutcome(r)
 				} else {
-					won = k.gates.TryEnter(r)
+					o = k.gates.TryEnterOutcome(r)
 				}
-				return won && k.commit(r, j, target)
+				return sh.Claim(r, round, o) && k.commit(r, j, target)
 			}
 		},
 		false,

@@ -57,6 +57,7 @@ func (k *Kernel) RunRandMateExec(e machine.Exec, seed uint64) Result {
 	var live exec.Flag
 	var iters uint32
 	k.trace = exec.Run(k.m, e, func(ctx exec.Ctx) {
+		rec := ctx.Metrics()
 		changed := ctx.Flag()
 		it := uint32(0)
 		for {
@@ -78,7 +79,8 @@ func (k *Kernel) RunRandMateExec(e machine.Exec, seed uint64) Result {
 			// live records whether any arc still connects two distinct roots:
 			// an unlucky coin assignment can produce a hook-free iteration
 			// that must NOT terminate the loop while such arcs remain.
-			ctx.Range(len(arcSrc), func(lo, hi, _ int) {
+			ctx.Range(len(arcSrc), func(lo, hi, w int) {
+				sh := rec.Shard(w)
 				progress, cross := false, false
 				for j := lo; j < hi; j++ {
 					u := arcSrc[j]
@@ -94,7 +96,8 @@ func (k *Kernel) RunRandMateExec(e machine.Exec, seed uint64) Result {
 					if !coin(seed, it, ru) || coin(seed, it, rv) {
 						continue // not a head-to-tail pairing this iteration
 					}
-					if k.cells.TryClaim(int(ru), round) && k.commit(int(ru), uint32(j), rv) {
+					if sh.Claim(int(ru), round, k.cells.TryClaimOutcome(int(ru), round)) &&
+						k.commit(int(ru), uint32(j), rv) {
 						progress = true
 					}
 				}

@@ -4,6 +4,7 @@ import (
 	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/exec"
 	"crcwpram/internal/core/machine"
+	"crcwpram/internal/core/metrics"
 )
 
 // RunResolver executes Awerbuch–Shiloach with the hooking write handled by
@@ -29,9 +30,10 @@ func (k *Kernel) RunResolverExec(e machine.Exec, r cw.Resolver) Result {
 	needsReset := r.Method().NeedsReset()
 	return k.runExec(e,
 		func(round uint32) hookFunc {
-			return func(root int, j, target uint32) bool {
+			return func(sh *metrics.Shard, root int, j, target uint32) bool {
 				won := false
-				r.Do(root, round, func() { won = k.commit(root, j, target) })
+				o := r.DoOutcome(root, round, func() { won = k.commit(root, j, target) })
+				sh.Claim(root, round, o)
 				return won
 			}
 		},

@@ -66,6 +66,7 @@ func RankExecTrace(m *machine.Machine, e machine.Exec, next []uint32) ([]uint32,
 
 	var res []uint32
 	trace := exec.Run(m, e, func(ctx exec.Ctx) {
+		rec := ctx.Metrics()
 		rank, succ := bufRank, bufSucc
 		nextRank, nextSucc := bufNextRank, bufNextSucc
 
@@ -79,6 +80,9 @@ func RankExecTrace(m *machine.Machine, e machine.Exec, next []uint32) ([]uint32,
 
 		// ceil(log2(n)) pointer-jumping rounds suffice: reach doubles.
 		for reach := 1; reach < n; reach *= 2 {
+			if ctx.Worker() == 0 {
+				rec.AddRounds(1) // EREW rounds: no round ids, count the jumps
+			}
 			r, s, nr, ns := rank, succ, nextRank, nextSucc
 			ctx.For(n, func(i int) {
 				si := s[i]

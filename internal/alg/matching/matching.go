@@ -155,6 +155,7 @@ func (k *Kernel) RunExec(e machine.Exec, seed uint64) Result {
 	targets := k.g.Targets()
 	var rounds uint32
 	k.trace = exec.Run(k.m, e, func(ctx exec.Ctx) {
+		rec := ctx.Metrics()
 		live := ctx.Flag()
 		it := uint32(0)
 		for {
@@ -162,7 +163,8 @@ func (k *Kernel) RunExec(e machine.Exec, seed uint64) Result {
 			round := k.base + ctx.NextRound()
 
 			// Level 1 — propose: heads race on each live tail's slot.
-			ctx.Range(len(k.arcSrc), func(lo, hi, _ int) {
+			ctx.Range(len(k.arcSrc), func(lo, hi, w int) {
+				sh := rec.Shard(w)
 				sawLive := false
 				for j := lo; j < hi; j++ {
 					u := k.arcSrc[j]
@@ -174,7 +176,7 @@ func (k *Kernel) RunExec(e machine.Exec, seed uint64) Result {
 					if !head(seed, it, u) || head(seed, it, v) {
 						continue
 					}
-					if k.propCells.TryClaim(int(v), round) {
+					if sh.Claim(int(v), round, k.propCells.TryClaimOutcome(int(v), round)) {
 						k.proposer[v] = u
 						k.propArc[v] = uint32(j)
 					}
@@ -186,13 +188,14 @@ func (k *Kernel) RunExec(e machine.Exec, seed uint64) Result {
 
 			// Level 2 — accept: proposed-to tails race on their proposer's
 			// slot; the winner forms the match and both endpoints die.
-			ctx.Range(k.n, func(lo, hi, _ int) {
+			ctx.Range(k.n, func(lo, hi, w int) {
+				sh := rec.Shard(w)
 				for v := lo; v < hi; v++ {
 					if !k.propCells.Written(v, round) {
 						continue
 					}
 					u := k.proposer[v]
-					if k.acceptCells.TryClaim(int(u), round) {
+					if sh.Claim(int(u), round, k.acceptCells.TryClaimOutcome(int(u), round)) {
 						j := k.propArc[v]
 						k.mate[v] = u
 						k.mate[u] = uint32(v)

@@ -199,7 +199,9 @@ func allPairsMax(ctx exec.Ctx, s *dlScratch, list []uint32, cand []uint32) uint3
 		s.cells = cw.NewArray(k, cw.Packed)
 	})
 	alive, cells := s.alive, s.cells
-	ctx.Range(k*k, func(lo, hi, _ int) {
+	rec := ctx.Metrics()
+	ctx.Range(k*k, func(lo, hi, w int) {
+		sh := rec.Shard(w)
 		for p := lo; p < hi; p++ {
 			i, j := p/k, p%k
 			if i == j {
@@ -210,7 +212,7 @@ func allPairsMax(ctx exec.Ctx, s *dlScratch, list []uint32, cand []uint32) uint3
 			if list[a] > list[b] || (list[a] == list[b] && a > b) {
 				loser = j
 			}
-			if cells.TryClaim(loser, 1) {
+			if sh.Claim(loser, 1, cells.TryClaimOutcome(loser, 1)) {
 				alive[loser] = 0
 			}
 		}

@@ -24,6 +24,7 @@ import (
 	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/exec"
 	"crcwpram/internal/core/machine"
+	"crcwpram/internal/core/metrics"
 )
 
 // Kernel holds the shared arrays for repeated maximum runs over lists of a
@@ -88,35 +89,42 @@ func (k *Kernel) Run(method cw.Method) int {
 func (k *Kernel) RunExec(e machine.Exec, method cw.Method) int {
 	// The write closure and (for CAS-LT) the round id are chosen
 	// driver-side: nextRound mutates kernel state, which SPMD bodies must
-	// not do.
-	var write func(loser int)
+	// not do. Each write threads the caller's metrics shard through
+	// Shard.Claim, which reduces to the won bool when metrics are off.
+	var write func(sh *metrics.Shard, loser int)
 	switch method {
 	case cw.CASLT:
 		round := k.nextRound()
-		write = func(loser int) {
-			if k.cells.TryClaim(loser, round) {
+		write = func(sh *metrics.Shard, loser int) {
+			if sh.Claim(loser, round, k.cells.TryClaimOutcome(loser, round)) {
 				k.isMax[loser] = 0
 			}
 		}
 	case cw.Gatekeeper:
-		write = func(loser int) {
-			if k.gates.TryEnter(loser) {
+		write = func(sh *metrics.Shard, loser int) {
+			if sh.Claim(loser, 1, k.gates.TryEnterOutcome(loser)) {
 				k.isMax[loser] = 0
 			}
 		}
 	case cw.GatekeeperChecked:
-		write = func(loser int) {
-			if k.gates.TryEnterChecked(loser) {
+		write = func(sh *metrics.Shard, loser int) {
+			if sh.Claim(loser, 1, k.gates.TryEnterCheckedOutcome(loser)) {
 				k.isMax[loser] = 0
 			}
 		}
 	case cw.Naive:
-		write = func(loser int) { k.isMax[loser] = 0 }
+		// Naive has no winner selection: every write is issued, so every
+		// attempt records as an executed win.
+		write = func(sh *metrics.Shard, loser int) {
+			sh.Claim(loser, 1, cw.OutcomeWin)
+			k.isMax[loser] = 0
+		}
 	case cw.Mutex:
-		write = func(loser int) {
+		write = func(sh *metrics.Shard, loser int) {
 			k.mtx.Lock(loser)
 			k.isMax[loser] = 0
 			k.mtx.Unlock(loser)
+			sh.Claim(loser, 1, cw.OutcomeWin)
 		}
 	default:
 		panic("maxfind: unknown method " + method.String())
@@ -124,15 +132,20 @@ func (k *Kernel) RunExec(e machine.Exec, method cw.Method) int {
 	n := k.n
 	max := -1
 	k.trace = exec.Run(k.m, e, func(ctx exec.Ctx) {
+		rec := ctx.Metrics()
+		if ctx.Worker() == 0 {
+			rec.AddRounds(1) // constant-round kernel: one CW round per run
+		}
 		// The paper's collapse(2) pair loop as one round: the loser of each
 		// comparison takes a common concurrent write.
-		ctx.Range(n*n, func(lo, hi, _ int) {
+		ctx.Range(n*n, func(lo, hi, w int) {
+			sh := rec.Shard(w)
 			for idx := lo; idx < hi; idx++ {
 				i, j := idx/n, idx%n
 				if i == j {
 					continue
 				}
-				write(k.loserOf(i, j))
+				write(sh, k.loserOf(i, j))
 			}
 		})
 		// The final scan of Figure 4: one worker scans while the rest wait.

@@ -31,6 +31,7 @@ import (
 	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/exec"
 	"crcwpram/internal/core/machine"
+	"crcwpram/internal/core/metrics"
 	"crcwpram/internal/graph"
 )
 
@@ -141,6 +142,7 @@ func (k *Kernel) RunExec(e machine.Exec, method cw.Method, seed uint64) []uint32
 	maxIter := 8*bits.Len(uint(k.n)) + 64
 	var rounds uint32
 	k.trace = exec.Run(k.m, e, func(ctx exec.Ctx) {
+		rec := ctx.Metrics()
 		anyLive := ctx.Flag()
 		it := uint32(0)
 		for {
@@ -196,7 +198,8 @@ func (k *Kernel) RunExec(e machine.Exec, method cw.Method, seed uint64) []uint32
 			// Kill neighbourhoods: the common concurrent write under study.
 			// Arcs out of fresh set members all store "dead" into the
 			// neighbour's cell.
-			ctx.Range(len(k.arcSrc), func(lo, hi, _ int) {
+			ctx.Range(len(k.arcSrc), func(lo, hi, w int) {
+				sh := rec.Shard(w)
 				for j := lo; j < hi; j++ {
 					u := k.arcSrc[j]
 					if k.inSet[u] == 0 {
@@ -204,7 +207,7 @@ func (k *Kernel) RunExec(e machine.Exec, method cw.Method, seed uint64) []uint32
 					}
 					v := targets[j]
 					if atomic.LoadUint32(&k.live[v]) == 1 {
-						kill(int(v), round)
+						kill(sh, int(v), round)
 					}
 				}
 			})
@@ -227,37 +230,44 @@ func (k *Kernel) RunExec(e machine.Exec, method cw.Method, seed uint64) []uint32
 func (k *Kernel) Trace() *exec.TraceStats { return k.trace }
 
 // killFunc returns the guarded common write `live[v] = 0` for the method.
-func (k *Kernel) killFunc(method cw.Method) func(v int, round uint32) {
+// Each variant reports its attempt to the worker's metrics shard (nil under
+// metrics-off). Naive and Mutex always execute their store, so they record
+// OutcomeWin unconditionally; the guarded methods record whatever the guard
+// decided. All pass the kernel's real round so the per-cell probe restarts
+// its count each round.
+func (k *Kernel) killFunc(method cw.Method) func(sh *metrics.Shard, v int, round uint32) {
 	switch method {
 	case cw.Naive:
-		return func(v int, _ uint32) {
-			k.live[v] = 0 // common CW: every writer stores 0
+		return func(sh *metrics.Shard, v int, round uint32) {
+			sh.Claim(v, round, cw.OutcomeWin) // every issued store executes
+			k.live[v] = 0                     // common CW: every writer stores 0
 		}
 	case cw.CASLT:
-		return func(v int, round uint32) {
-			if k.cells.TryClaim(v, round) {
+		return func(sh *metrics.Shard, v int, round uint32) {
+			if sh.Claim(v, round, k.cells.TryClaimOutcome(v, round)) {
 				atomic.StoreUint32(&k.live[v], 0)
 			}
 		}
 	case cw.Gatekeeper:
-		return func(v int, _ uint32) {
-			if k.gates.TryEnter(v) {
+		return func(sh *metrics.Shard, v int, round uint32) {
+			if sh.Claim(v, round, k.gates.TryEnterOutcome(v)) {
 				atomic.StoreUint32(&k.live[v], 0)
 			}
 		}
 	case cw.GatekeeperChecked:
-		return func(v int, _ uint32) {
-			if k.gates.TryEnterChecked(v) {
+		return func(sh *metrics.Shard, v int, round uint32) {
+			if sh.Claim(v, round, k.gates.TryEnterCheckedOutcome(v)) {
 				atomic.StoreUint32(&k.live[v], 0)
 			}
 		}
 	case cw.Mutex:
-		return func(v int, _ uint32) {
+		return func(sh *metrics.Shard, v int, round uint32) {
 			k.mtx.Lock(v)
 			// Atomic store: the pre-check loads of other arcs do not take
 			// the victim's lock.
 			atomic.StoreUint32(&k.live[v], 0)
 			k.mtx.Unlock(v)
+			sh.Claim(v, round, cw.OutcomeWin) // every acquisition writes
 		}
 	default:
 		panic("mis: unknown method " + method.String())

@@ -9,6 +9,20 @@
 // pre-allocate in NewKernel and re-initialize in Prepare, and only Run is
 // inside the timed region. Each point is measured Reps times and the median
 // is reported.
+//
+// The package divides into timed drivers and counting/observability
+// drivers, and the distinction matters when reading its numbers:
+//
+//   - TIMED (production measurement): the figure sweeps (figures.go), the
+//     round-overhead microbenchmark (roundoverhead.go), the edge-balance
+//     sweep (edgebalance.go) and the list-ranking sweep (listrank.go) run
+//     uninstrumented kernels and report wall time.
+//   - COUNTING/OBSERVABILITY (never timings): the Section-6 op-count table
+//     (opcount.go) and the whole-kernel op counts (kernelops.go) run the
+//     test-only counting resolvers under the serial trace backend, and the
+//     live-contention sweep (metrics.go) runs instrumented kernels with the
+//     per-cell probe attached; all three deliberately report operation
+//     counts without ns/op, because their instrumentation perturbs timing.
 package bench
 
 import (

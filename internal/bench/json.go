@@ -50,6 +50,22 @@ type Row struct {
 	Rounds    uint64 `json:"rounds,omitempty"`     // CW round ids consumed
 	IterMax   uint64 `json:"iter_max,omitempty"`   // busiest logical worker
 	IterTotal uint64 `json:"iter_total,omitempty"` // summed iterations
+
+	// Live-contention extras (bench "metrics"): aggregated from the
+	// metrics layer's per-worker shards over one full kernel run under a
+	// timed backend (internal/core/metrics). These rows also carry no
+	// ns_op — the per-cell probe that produces MaxCellClaims adds a CAS
+	// per executed attempt, so their wall clock is not a measurement —
+	// but the exec field names the timed backend that ran them, because
+	// contention only exists under genuine concurrency.
+	CASAttempts   uint64 `json:"cas_attempts,omitempty"`    // executed RMWs (wins + losses)
+	CASWins       uint64 `json:"cas_wins,omitempty"`        // winning RMWs
+	CASLosses     uint64 `json:"cas_losses,omitempty"`      // losing RMWs
+	PrecheckSkips uint64 `json:"precheck_skips,omitempty"`  // resolved by plain-load pre-check
+	MaxCellClaims uint64 `json:"max_cell_claims,omitempty"` // max RMWs on one cell in one round
+	BusyNs        int64  `json:"busy_ns,omitempty"`         // summed worker in-loop time
+	BarrierWaitNs int64  `json:"barrier_wait_ns,omitempty"` // summed worker barrier waits
+	RoundNs       int64  `json:"round_ns,omitempty"`        // coordinator wall over parallel rounds
 }
 
 // countingBench reports whether a bench's rows are deterministic counts
@@ -140,6 +156,38 @@ func ValidateJSON(r io.Reader) (int, error) {
 			}
 			if row.Steps == 0 || row.Barriers == 0 {
 				return fail("%s row missing steps/barriers", row.Bench)
+			}
+		} else if row.Bench == "metrics" {
+			// Contention rows come from a probe-carrying run under a timed
+			// backend: no ns_op, but every guarded kernel must have executed
+			// attempts (listrank is the EREW negative control — its counters
+			// must be zero) and the time split must be populated.
+			if row.Exec == "trace" {
+				return fail("metrics row with exec trace, want a timed backend")
+			}
+			if row.NsOp != 0 {
+				return fail("metrics row carries ns_op %v", row.NsOp)
+			}
+			if row.Kernel == "" {
+				return fail("metrics row missing kernel")
+			}
+			if row.CASAttempts != row.CASWins+row.CASLosses {
+				return fail("metrics row attempts %d != wins %d + losses %d",
+					row.CASAttempts, row.CASWins, row.CASLosses)
+			}
+			if row.Kernel == "listrank" {
+				if row.CASAttempts != 0 || row.PrecheckSkips != 0 {
+					return fail("listrank (EREW) metrics row carries CW counters")
+				}
+			} else if row.CASAttempts == 0 || row.CASWins == 0 {
+				return fail("metrics row for %s without executed attempts", row.Kernel)
+			}
+			if row.BusyNs <= 0 || row.RoundNs <= 0 {
+				return fail("metrics row missing time split busy=%d round=%d",
+					row.BusyNs, row.RoundNs)
+			}
+			if row.Rounds == 0 {
+				return fail("metrics row for %s without rounds-to-convergence", row.Kernel)
 			}
 		} else if !(row.NsOp > 0) {
 			return fail("non-positive ns_op %v", row.NsOp)

@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"crcwpram/internal/alg/bfs"
+	"crcwpram/internal/alg/cc"
+	"crcwpram/internal/alg/listrank"
+	"crcwpram/internal/alg/matching"
+	"crcwpram/internal/alg/maxfind"
+	"crcwpram/internal/alg/mis"
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/core/metrics"
+	"crcwpram/internal/graph"
+)
+
+// MetricsRow is one kernel run's live-contention snapshot: the aggregated
+// per-worker counters (internal/core/metrics) of a full run under a timed
+// execution backend. Unlike the counting benches, which replay serially
+// under the trace backend, these numbers come from genuinely concurrent
+// runs — they show the contention the paper's protocols actually absorb,
+// at the price of not being bit-for-bit repeatable.
+type MetricsRow struct {
+	Kernel string
+	Method string // "" for listrank (EREW by construction: no CW method)
+	Exec   machine.Exec
+	Snap   metrics.Snapshot
+}
+
+// contentionMethods are the guarded selection protocols the contention
+// table compares. Naive and Mutex are omitted: naive records every issued
+// store as a win (no selection to observe) and mutex contention lives in
+// the lock, not in a countable RMW.
+var contentionMethods = []cw.Method{cw.CASLT, cw.GatekeeperChecked, cw.Gatekeeper}
+
+// Contention runs every kernel of the suite on a metrics-enabled machine
+// under each requested timed backend (trace entries are skipped: the trace
+// backend is serial, so its "contention" is vacuous and Ctx.Metrics is nil
+// by design) and reports each run's aggregated metrics snapshot. The
+// per-cell probe is attached for every run, so the table includes the
+// paper's bound quantity — the maximum executed read-modify-writes any
+// cell absorbed in a single round — and the run times are therefore NOT
+// reported as measurements (the probe is an observer that adds a CAS per
+// executed attempt).
+//
+// For CAS-LT rows the probe maximum is checked against the paper's bound:
+// at most P executed CASes per cell per round (2P for matching, whose
+// propose and accept cell arrays share the probe's index space, giving two
+// guarded writes per vertex id per round). A violation returns an error —
+// it would falsify the claim the metrics layer exists to verify.
+//
+// Every result is validated against its sequential oracle before its
+// snapshot is reported.
+func Contention(threads, vertices, edges int, seed int64, execs []machine.Exec) ([]MetricsRow, error) {
+	m := machine.New(threads, machine.WithMetrics())
+	defer m.Close()
+	rec := m.Metrics()
+
+	var rows []MetricsRow
+	// run resets the recorder (Prepare's untimed machine loops have already
+	// polluted it), attaches a cells-sized probe, executes body under pprof
+	// labels identifying the run, validates, then snapshots.
+	run := func(kernel, method string, e machine.Exec, cells int, body func() error) error {
+		rec.Reset()
+		rec.EnableProbe(cells)
+		var err error
+		labels := pprof.Labels("kernel", kernel, "method", method, "exec", e.String())
+		pprof.Do(context.Background(), labels, func(context.Context) { err = body() })
+		if err != nil {
+			return fmt.Errorf("bench: metrics %s/%s/%s: %w", kernel, method, e, err)
+		}
+		snap := m.Snapshot()
+		if method == cw.CASLT.String() {
+			bound := uint64(threads)
+			if kernel == "matching" {
+				bound *= 2 // two cell arrays share the probe index space
+			}
+			if snap.MaxCellClaims > bound {
+				return fmt.Errorf("bench: metrics %s/%s/%s: %d executed CASes on one cell in one round, paper bounds it by %d",
+					kernel, method, e, snap.MaxCellClaims, bound)
+			}
+		}
+		rows = append(rows, MetricsRow{Kernel: kernel, Method: method, Exec: e, Snap: snap})
+		return nil
+	}
+
+	const maxfindN = 512
+	list := randomList(maxfindN, seed)
+	maxWant := maxfind.Sequential(list)
+	mk := maxfind.NewKernel(m, maxfindN)
+
+	bg := graph.ConnectedRandom(vertices, edges, seed)
+	bk := bfs.NewKernel(m, bg)
+	ug := graph.RandomUndirected(vertices, edges, seed)
+	ck := cc.NewKernel(m, ug)
+	sk := mis.NewKernel(m, ug)
+	wk := matching.NewKernel(m, ug)
+
+	next := listrank.RandomList(vertices, seed)
+	rankWant := listrank.SequentialRank(next)
+
+	for _, e := range execs {
+		if e == machine.ExecTrace {
+			continue
+		}
+		for _, method := range contentionMethods {
+			name := method.String()
+			if err := run("maxfind", name, e, maxfindN, func() error {
+				mk.Prepare(list)
+				rec.Reset()
+				if got := mk.RunExec(e, method); got != maxWant {
+					return fmt.Errorf("got max %d, want %d", got, maxWant)
+				}
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+			if err := run("bfs", name, e, vertices, func() error {
+				bk.Prepare(0)
+				rec.Reset()
+				return bfs.Validate(bg, 0, bk.RunExec(e, method), true)
+			}); err != nil {
+				return nil, err
+			}
+			if err := run("cc", name, e, vertices, func() error {
+				ck.Prepare()
+				rec.Reset()
+				return cc.Validate(ug, ck.RunExec(e, method))
+			}); err != nil {
+				return nil, err
+			}
+			if err := run("mis", name, e, vertices, func() error {
+				sk.Prepare()
+				rec.Reset()
+				return mis.Validate(ug, sk.RunExec(e, method, uint64(seed)))
+			}); err != nil {
+				return nil, err
+			}
+		}
+		// Matching's two-level arbitrary CW is CAS-LT by construction.
+		if err := run("matching", cw.CASLT.String(), e, vertices, func() error {
+			wk.Prepare()
+			rec.Reset()
+			return matching.Validate(ug, wk.RunExec(e, uint64(seed)))
+		}); err != nil {
+			return nil, err
+		}
+		// List ranking is the EREW comparison kernel: no concurrent writes,
+		// so its row carries only the time split and shows the counters at
+		// zero — the observability layer's negative control.
+		if err := run("listrank", "", e, 0, func() error {
+			ranks := listrank.RankExec(m, e, next)
+			for i := range ranks {
+				if ranks[i] != rankWant[i] {
+					return fmt.Errorf("rank[%d] = %d, want %d", i, ranks[i], rankWant[i])
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// FormatContention renders the contention snapshots as an aligned table.
+func FormatContention(w io.Writer, threads, vertices, edges int, rows []MetricsRow) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== metrics: live contention per full run (p=%d, n=%d, m=%d; maxfind n=512) ==\n",
+		threads, vertices, edges)
+	out := [][]string{{"kernel", "method", "exec", "attempts", "wins", "losses",
+		"skips", "max/cell/round", "rounds", "busy", "barrier", "roundwall"}}
+	ms := func(ns int64) string {
+		return time.Duration(ns).Round(10 * time.Microsecond).String()
+	}
+	for _, r := range rows {
+		method := r.Method
+		if method == "" {
+			method = "-"
+		}
+		out = append(out, []string{
+			r.Kernel,
+			method,
+			r.Exec.String(),
+			strconv.FormatUint(r.Snap.CASAttempts, 10),
+			strconv.FormatUint(r.Snap.CASWins, 10),
+			strconv.FormatUint(r.Snap.CASLosses, 10),
+			strconv.FormatUint(r.Snap.PrecheckSkips, 10),
+			strconv.FormatUint(r.Snap.MaxCellClaims, 10),
+			strconv.FormatUint(r.Snap.Rounds, 10),
+			ms(r.Snap.BusyNs),
+			ms(r.Snap.BarrierWaitNs),
+			ms(r.Snap.RoundNs),
+		})
+	}
+	writeAligned(&b, out)
+	b.WriteString("\nattempts are executed RMWs (wins + losses); skips were resolved by the\n" +
+		"plain-load pre-check without touching an atomic. max/cell/round is the\n" +
+		"most RMWs any single cell absorbed in one round — the paper bounds it\n" +
+		"by P for CAS-LT. busy/barrier sum each worker's in-loop vs waiting\n" +
+		"time; roundwall is the coordinator's wall clock over parallel rounds.\n" +
+		"The per-cell probe is attached, so these runs are NOT timings.\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ContentionJSONRows converts the contention snapshots to the
+// machine-readable trajectory rows. Like the counting benches they carry
+// no ns_op — the probe distorts timing — but unlike those they record the
+// timed backend that produced them, because the contention itself is the
+// measurement.
+func ContentionJSONRows(rows []MetricsRow, threads int) []Row {
+	out := make([]Row, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, Row{
+			Bench:         "metrics",
+			Kernel:        r.Kernel,
+			Method:        r.Method,
+			Exec:          r.Exec.String(),
+			Threads:       threads,
+			Rounds:        r.Snap.Rounds,
+			CASAttempts:   r.Snap.CASAttempts,
+			CASWins:       r.Snap.CASWins,
+			CASLosses:     r.Snap.CASLosses,
+			PrecheckSkips: r.Snap.PrecheckSkips,
+			MaxCellClaims: r.Snap.MaxCellClaims,
+			BusyNs:        r.Snap.BusyNs,
+			BarrierWaitNs: r.Snap.BarrierWaitNs,
+			RoundNs:       r.Snap.RoundNs,
+		})
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"crcwpram/internal/core/machine"
+)
+
+// TestContentionSweep runs the miniature live-contention sweep end to end:
+// row counts, per-row invariants, the CAS-LT bound check, formatting, and
+// the JSON round trip through ValidateJSON.
+func TestContentionSweep(t *testing.T) {
+	const (
+		threads  = 2
+		vertices = 300
+		edges    = 1200
+		seed     = 7
+	)
+	execs := []machine.Exec{machine.ExecPool, machine.ExecTeam, machine.ExecTrace}
+	rows, err := Contention(threads, vertices, edges, seed, execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per timed exec: 4 kernels x 3 guarded methods + matching + listrank.
+	// The trace entry must be skipped, not reported.
+	want := 2 * (4*len(contentionMethods) + 2)
+	if len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.Exec == machine.ExecTrace {
+			t.Fatalf("trace backend leaked a contention row: %+v", r)
+		}
+		s := r.Snap
+		if s.CASAttempts != s.CASWins+s.CASLosses {
+			t.Fatalf("%s/%s/%s: attempts %d != wins %d + losses %d",
+				r.Kernel, r.Method, r.Exec, s.CASAttempts, s.CASWins, s.CASLosses)
+		}
+		if r.Kernel == "listrank" {
+			if s.CASAttempts != 0 || s.PrecheckSkips != 0 || s.MaxCellClaims != 0 {
+				t.Fatalf("listrank (EREW control) recorded CW activity: %+v", s)
+			}
+		} else if s.CASWins == 0 {
+			t.Fatalf("%s/%s/%s: no winning attempts recorded", r.Kernel, r.Method, r.Exec)
+		}
+		if s.Rounds == 0 || s.BusyNs <= 0 || s.RoundNs <= 0 {
+			t.Fatalf("%s/%s/%s: missing rounds/time split: %+v", r.Kernel, r.Method, r.Exec, s)
+		}
+	}
+
+	var out strings.Builder
+	if err := FormatContention(&out, threads, vertices, edges, rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, wantStr := range []string{"metrics", "max/cell/round", "maxfind", "listrank", "NOT timings"} {
+		if !strings.Contains(out.String(), wantStr) {
+			t.Fatalf("format output missing %q:\n%s", wantStr, out.String())
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, ContentionJSONRows(rows, threads)); err != nil {
+		t.Fatal(err)
+	}
+	nrows, err := ValidateJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrows != want {
+		t.Fatalf("ValidateJSON counted %d rows, want %d", nrows, want)
+	}
+}
+
+// TestValidateJSONMetricsBranch pins the metrics-row failure classes the
+// -validatejson CI gate relies on, plus a representative good row of each
+// flavour (guarded kernel, EREW control).
+func TestValidateJSONMetricsBranch(t *testing.T) {
+	bad := map[string]string{
+		"trace exec": `[{"bench":"metrics","exec":"trace","threads":2,"kernel":"bfs",
+			"cas_attempts":5,"cas_wins":5,"busy_ns":1,"round_ns":1,"rounds":3}]`,
+		"carries ns_op": `[{"bench":"metrics","exec":"pool","threads":2,"kernel":"bfs","ns_op":9,
+			"cas_attempts":5,"cas_wins":5,"busy_ns":1,"round_ns":1,"rounds":3}]`,
+		"no kernel": `[{"bench":"metrics","exec":"pool","threads":2,
+			"cas_attempts":5,"cas_wins":5,"busy_ns":1,"round_ns":1,"rounds":3}]`,
+		"attempts mismatch": `[{"bench":"metrics","exec":"pool","threads":2,"kernel":"bfs",
+			"cas_attempts":5,"cas_wins":3,"cas_losses":1,"busy_ns":1,"round_ns":1,"rounds":3}]`,
+		"listrank with counters": `[{"bench":"metrics","exec":"pool","threads":2,"kernel":"listrank",
+			"cas_attempts":1,"cas_wins":1,"busy_ns":1,"round_ns":1,"rounds":3}]`,
+		"guarded without attempts": `[{"bench":"metrics","exec":"pool","threads":2,"kernel":"bfs",
+			"busy_ns":1,"round_ns":1,"rounds":3}]`,
+		"no time split": `[{"bench":"metrics","exec":"pool","threads":2,"kernel":"bfs",
+			"cas_attempts":5,"cas_wins":5,"rounds":3}]`,
+		"no rounds": `[{"bench":"metrics","exec":"pool","threads":2,"kernel":"bfs",
+			"cas_attempts":5,"cas_wins":5,"busy_ns":1,"round_ns":1}]`,
+	}
+	for name, text := range bad {
+		if _, err := ValidateJSON(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted %q", name, text)
+		}
+	}
+	good := `[
+		{"bench":"metrics","exec":"team","threads":2,"kernel":"cc","method":"caslt",
+		 "cas_attempts":7,"cas_wins":5,"cas_losses":2,"precheck_skips":40,
+		 "max_cell_claims":2,"busy_ns":100,"barrier_wait_ns":20,"round_ns":120,"rounds":6},
+		{"bench":"metrics","exec":"pool","threads":2,"kernel":"listrank",
+		 "busy_ns":100,"round_ns":120,"rounds":9}
+	]`
+	if n, err := ValidateJSON(strings.NewReader(good)); err != nil || n != 2 {
+		t.Fatalf("good rows rejected: n=%d err=%v", n, err)
+	}
+}

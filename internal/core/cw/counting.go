@@ -17,6 +17,13 @@ import "sync/atomic"
 // The instrumented types mirror the uninstrumented semantics exactly but
 // pay two extra atomic increments per operation; use them for analysis,
 // never for timing.
+//
+// This file is a TEST/ANALYSIS-ONLY path: nothing in it is reached by the
+// timed kernels or the production resolvers. The production entry points
+// are Cell/Gate (cell.go, gatekeeper.go) and NewResolver (resolver.go);
+// live-run measurement without the per-operation atomic cost is the job of
+// internal/core/metrics, whose per-worker shards these global atomic
+// counters predate.
 
 // OpCounts aggregates the memory operations executed through an
 // instrumented primitive. Counters are cumulative; read them at a
@@ -125,6 +132,21 @@ func (r *countingCellResolver) Do(i int, round uint32, write func()) bool {
 	}
 	return false
 }
+func (r *countingCellResolver) DoOutcome(i int, round uint32, write func()) Outcome {
+	c := &r.cells[i]
+	c.ops.Loads.Add(1)
+	cur := c.last.Load()
+	if cur >= round {
+		return OutcomeSkip
+	}
+	c.ops.RMWs.Add(1)
+	if c.last.CompareAndSwap(cur, round) {
+		c.ops.Wins.Add(1)
+		write()
+		return OutcomeWin
+	}
+	return OutcomeLoss
+}
 func (r *countingCellResolver) ResetRange(lo, hi int) {}
 
 type countingGateResolver struct {
@@ -150,6 +172,22 @@ func (r *countingGateResolver) Do(i int, round uint32, write func()) bool {
 		write()
 	}
 	return won
+}
+func (r *countingGateResolver) DoOutcome(i int, round uint32, write func()) Outcome {
+	g := &r.gates[i]
+	if r.checked {
+		g.ops.Loads.Add(1)
+		if g.n.Load() != 0 {
+			return OutcomeSkip
+		}
+	}
+	g.ops.RMWs.Add(1)
+	if g.n.Add(1) == 1 {
+		g.ops.Wins.Add(1)
+		write()
+		return OutcomeWin
+	}
+	return OutcomeLoss
 }
 func (r *countingGateResolver) ResetRange(lo, hi int) {
 	for i := lo; i < hi; i++ {

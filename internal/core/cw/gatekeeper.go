@@ -13,6 +13,10 @@ import "sync/atomic"
 // paper identifies as one of the method's two fundamental costs. The other
 // is that every attempt executes an atomic read-modify-write even long after
 // a winner exists, serializing all attempts on the cell's cache line.
+//
+// Gate is a PRODUCTION path: the gatekeeper and gatekeeper-checked kernel
+// variants and resolvers run through it in timed benchmarks. The counting
+// twin in counting.go (CountingGate) is test/analysis-only.
 type Gate struct {
 	n atomic.Uint32
 }

@@ -1,0 +1,95 @@
+package cw
+
+// Outcome classifies one winner-selection attempt for the metrics layer
+// (internal/core/metrics). The three values distinguish exactly what the
+// paper's cost model distinguishes: whether an attempt executed an atomic
+// read-modify-write at all, and if so, whether it won.
+//
+// The *Outcome variants of the selection primitives (Cell.TryClaimOutcome,
+// Gate.TryEnterOutcome, Resolver.DoOutcome, ...) report an Outcome instead
+// of a bare won/lost bool; they are otherwise identical to their boolean
+// twins, and kernels that do not record metrics keep calling the boolean
+// forms.
+type Outcome uint8
+
+const (
+	// OutcomeSkip: the load pre-check observed an existing winner and the
+	// attempt completed without executing an atomic read-modify-write.
+	// This is the cheap late-arrival path of CAS-LT (Figure 1 line 6) and
+	// of the checked gatekeeper; the unchecked gatekeeper never skips.
+	OutcomeSkip Outcome = iota
+	// OutcomeWin: the attempt executed its read-modify-write and won the
+	// concurrent write.
+	OutcomeWin
+	// OutcomeLoss: the attempt executed its read-modify-write and lost
+	// (another thread won the cell in the same round).
+	OutcomeLoss
+)
+
+// Won reports whether the attempt won the concurrent write.
+func (o Outcome) Won() bool { return o == OutcomeWin }
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeSkip:
+		return "skip"
+	case OutcomeWin:
+		return "win"
+	case OutcomeLoss:
+		return "loss"
+	default:
+		return "unknown-outcome"
+	}
+}
+
+// TryClaimOutcome is Cell.TryClaim reporting how the attempt resolved:
+// OutcomeSkip when the pre-check failed (no atomic executed), OutcomeWin
+// when the CAS succeeded, OutcomeLoss when the CAS was executed and failed.
+// o.Won() is equivalent to what TryClaim would have returned.
+func (c *Cell) TryClaimOutcome(round uint32) Outcome {
+	cur := c.last.Load()
+	if cur >= round {
+		return OutcomeSkip
+	}
+	if c.last.CompareAndSwap(cur, round) {
+		return OutcomeWin
+	}
+	return OutcomeLoss
+}
+
+// TryEnterOutcome is Gate.TryEnter reporting how the attempt resolved.
+// The unchecked gatekeeper has no pre-check, so the outcome is never
+// OutcomeSkip: every attempt executes the fetch-and-add.
+func (g *Gate) TryEnterOutcome() Outcome {
+	if g.n.Add(1) == 1 {
+		return OutcomeWin
+	}
+	return OutcomeLoss
+}
+
+// TryEnterCheckedOutcome is Gate.TryEnterChecked reporting how the attempt
+// resolved: OutcomeSkip when the load pre-check observed a closed gate.
+func (g *Gate) TryEnterCheckedOutcome() Outcome {
+	if g.n.Load() != 0 {
+		return OutcomeSkip
+	}
+	if g.n.Add(1) == 1 {
+		return OutcomeWin
+	}
+	return OutcomeLoss
+}
+
+// TryClaimOutcome applies Cell.TryClaimOutcome to cell i.
+func (a *Array) TryClaimOutcome(i int, round uint32) Outcome {
+	return a.Cell(i).TryClaimOutcome(round)
+}
+
+// TryEnterOutcome applies Gate.TryEnterOutcome to gate i.
+func (g *GateArray) TryEnterOutcome(i int) Outcome {
+	return g.Gate(i).TryEnterOutcome()
+}
+
+// TryEnterCheckedOutcome applies Gate.TryEnterCheckedOutcome to gate i.
+func (g *GateArray) TryEnterCheckedOutcome(i int) Outcome {
+	return g.Gate(i).TryEnterCheckedOutcome()
+}

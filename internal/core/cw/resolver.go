@@ -90,6 +90,12 @@ type Resolver interface {
 	// Do executes write if the caller wins target i's concurrent write for
 	// the given round, and reports whether it did.
 	Do(i int, round uint32, write func()) bool
+	// DoOutcome is Do reporting how the attempt resolved, for the metrics
+	// layer: OutcomeSkip when a pre-check avoided the atomic, OutcomeWin /
+	// OutcomeLoss otherwise. Methods without winner selection report every
+	// call as OutcomeWin (Naive: every write runs; Mutex: every write runs
+	// serially and the last one survives).
+	DoOutcome(i int, round uint32, write func()) Outcome
 	// ResetRange prepares targets [lo, hi) for the next round, for methods
 	// that need it; it is a no-op otherwise.
 	ResetRange(lo, hi int)
@@ -125,6 +131,13 @@ func (r *casltResolver) Do(i int, round uint32, write func()) bool {
 	}
 	return false
 }
+func (r *casltResolver) DoOutcome(i int, round uint32, write func()) Outcome {
+	o := r.a.TryClaimOutcome(i, round)
+	if o == OutcomeWin {
+		write()
+	}
+	return o
+}
 func (r *casltResolver) ResetRange(lo, hi int) {} // CAS-LT never needs reinitialization.
 
 type gateResolver struct {
@@ -151,6 +164,18 @@ func (r *gateResolver) Do(i int, round uint32, write func()) bool {
 	}
 	return won
 }
+func (r *gateResolver) DoOutcome(i int, round uint32, write func()) Outcome {
+	var o Outcome
+	if r.checked {
+		o = r.g.TryEnterCheckedOutcome(i)
+	} else {
+		o = r.g.TryEnterOutcome(i)
+	}
+	if o == OutcomeWin {
+		write()
+	}
+	return o
+}
 func (r *gateResolver) ResetRange(lo, hi int) { r.g.ResetRange(lo, hi) }
 
 type naiveResolver struct{ n int }
@@ -161,6 +186,10 @@ func (r naiveResolver) Do(i int, round uint32, write func()) bool {
 	write()
 	return true
 }
+func (r naiveResolver) DoOutcome(i int, round uint32, write func()) Outcome {
+	write()
+	return OutcomeWin
+}
 func (r naiveResolver) ResetRange(lo, hi int) {}
 
 type mutexResolver struct{ m *MutexArray }
@@ -170,5 +199,9 @@ func (r *mutexResolver) Len() int       { return r.m.Len() }
 func (r *mutexResolver) Do(i int, round uint32, write func()) bool {
 	r.m.Do(i, write)
 	return true
+}
+func (r *mutexResolver) DoOutcome(i int, round uint32, write func()) Outcome {
+	r.m.Do(i, write)
+	return OutcomeWin
 }
 func (r *mutexResolver) ResetRange(lo, hi int) {}

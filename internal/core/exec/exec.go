@@ -45,6 +45,7 @@ import (
 	"sync/atomic"
 
 	"crcwpram/internal/core/machine"
+	"crcwpram/internal/core/metrics"
 )
 
 // Ctx is one worker's view of a kernel execution region. It is valid only
@@ -86,6 +87,11 @@ type Ctx interface {
 	// copy, so all workers agree on the id without synchronization.
 	// Kernels add their machine-lifetime base offset themselves.
 	NextRound() uint32
+	// Metrics returns the machine's live-metrics recorder, or nil when
+	// metrics are off (always nil under trace: the serial replay has its
+	// own counters). Kernels thread it unconditionally — a nil recorder's
+	// Shard is nil, and a nil shard's methods are single-branch no-ops.
+	Metrics() *metrics.Recorder
 }
 
 // Flag is a rotating convergence flag for round loops, usable under every
@@ -124,7 +130,7 @@ func Run(m *machine.Machine, e machine.Exec, body func(Ctx)) *TraceStats {
 	switch e {
 	case machine.ExecTeam:
 		m.Team(func(tc *machine.TeamCtx) {
-			body(&teamCtx{tc: tc, flag: flag})
+			body(&teamCtx{tc: tc, flag: flag, rec: m.Metrics()})
 		})
 		return nil
 	case machine.ExecTrace:
@@ -132,7 +138,7 @@ func Run(m *machine.Machine, e machine.Exec, body func(Ctx)) *TraceStats {
 		body(&traceCtx{p: m.P(), flag: flag, stats: st})
 		return st
 	default:
-		body(&poolCtx{m: m, flag: flag})
+		body(&poolCtx{m: m, flag: flag, rec: m.Metrics()})
 		return nil
 	}
 }

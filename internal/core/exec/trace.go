@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"crcwpram/internal/core/metrics"
 	"crcwpram/internal/sched"
 )
 
@@ -142,3 +143,7 @@ func (c *traceCtx) NextRound() uint32 {
 	c.stats.Rounds = c.round
 	return c.round
 }
+
+// Metrics is always nil under trace: the serial replay records structure
+// in TraceStats, and live timing of a serial replay would be meaningless.
+func (c *traceCtx) Metrics() *metrics.Recorder { return nil }

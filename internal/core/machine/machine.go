@@ -25,10 +25,14 @@
 package machine
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync/atomic"
+	"time"
 
 	"crcwpram/internal/barrier"
+	"crcwpram/internal/core/metrics"
 	"crcwpram/internal/sched"
 )
 
@@ -56,6 +60,11 @@ type Machine struct {
 	teamTicket  atomic.Uint64
 	teamReady   atomic.Uint64
 	teamAborted atomic.Bool
+
+	// rec is the live-metrics recorder, nil unless WithMetrics was given.
+	// Every instrumented path in the machine hangs off a single
+	// `m.rec != nil` branch, so the metrics-off hot path is unchanged.
+	rec *metrics.Recorder
 
 	exec   Exec
 	round  uint32
@@ -91,6 +100,14 @@ func WithBarrier(k barrier.Kind) Option { return func(m *Machine) { m.barKind = 
 // Run entry points — use this choice via Exec().
 func WithExec(e Exec) Option { return func(m *Machine) { m.exec = e } }
 
+// WithMetrics enables live contention metrics: the machine allocates a
+// per-worker-sharded metrics.Recorder that the pool and team backends and
+// the instrumented kernels feed while running. Off by default; when off,
+// Metrics() returns nil and the hot paths keep their uninstrumented cost
+// (BenchmarkMetricsOffOverhead pins this). Probed runs and timed runs
+// should be separate: see metrics.Recorder.EnableProbe.
+func WithMetrics() Option { return func(m *Machine) { m.rec = metrics.NewRecorder(m.p) } }
+
 // New returns a Machine with p workers. p must be >= 1. The caller owns the
 // machine and must Close it to release the workers.
 func New(p int, opts ...Option) *Machine {
@@ -125,6 +142,16 @@ func (m *Machine) Policy() sched.Policy { return m.policy }
 
 // Exec returns the default execution backend chosen with WithExec.
 func (m *Machine) Exec() Exec { return m.exec }
+
+// Metrics returns the machine's live-metrics recorder, or nil when the
+// machine was created without WithMetrics. The nil propagates through the
+// recorder's nil-safe methods, so callers thread it unconditionally.
+func (m *Machine) Metrics() *metrics.Recorder { return m.rec }
+
+// Snapshot aggregates the metrics recorder at a synchronization point (no
+// round or region in flight). It returns a zero Snapshot when metrics are
+// off.
+func (m *Machine) Snapshot() metrics.Snapshot { return m.rec.Snapshot() }
 
 // Round returns the current round id. Round ids start at 0 and advance by
 // NextRound (or by kernels using their own loop counters).
@@ -173,6 +200,12 @@ func (m *Machine) ParallelForWorker(n int, body func(i, w int)) {
 	}
 	// Single worker: run inline; the pool would only add barrier latency.
 	if m.p == 1 {
+		if m.rec != nil {
+			t0 := time.Now()
+			runSerial(m.policy, m.chunk, n, body)
+			m.rec.Shard(0).AddBusy(time.Since(t0))
+			return
+		}
 		runSerial(m.policy, m.chunk, n, body)
 		return
 	}
@@ -197,6 +230,12 @@ func (m *Machine) ParallelRange(n int, body func(lo, hi, w int)) {
 		return
 	}
 	if m.p == 1 {
+		if m.rec != nil {
+			t0 := time.Now()
+			body(0, n, 0)
+			m.rec.Shard(0).AddBusy(time.Since(t0))
+			return
+		}
 		body(0, n, 0)
 		return
 	}
@@ -226,6 +265,12 @@ func (m *Machine) ParallelBounds(bounds []int, body func(lo, hi, w int)) {
 		return
 	}
 	if m.p == 1 {
+		if m.rec != nil {
+			t0 := time.Now()
+			body(bounds[0], bounds[1], 0)
+			m.rec.Shard(0).AddBusy(time.Since(t0))
+			return
+		}
 		body(bounds[0], bounds[1], 0)
 		return
 	}
@@ -292,6 +337,14 @@ func (m *Machine) worker(id int) {
 		if st.quit {
 			return
 		}
+		// The per-machine metrics enable is this one branch: the entire
+		// instrumented step path (busy/barrier timing, pprof round-phase
+		// labels) lives behind it, so a machine without WithMetrics runs
+		// the loop below exactly as before.
+		if m.rec != nil {
+			m.runStepMetrics(st, id)
+			continue // runStepMetrics includes the end-phase wait
+		}
 		if st.team != nil {
 			m.runTeamShare(st, id)
 		} else {
@@ -299,6 +352,32 @@ func (m *Machine) worker(id int) {
 		}
 		m.bar.Wait(id) // end phase
 	}
+}
+
+// runStepMetrics is worker id's instrumented step path. The share runs
+// under a pprof "round-phase: work" label with its wall time credited to
+// the worker's shard as busy time — minus, for team regions, the in-region
+// barrier waits that TeamCtx.Barrier credits separately — and the
+// end-phase pool wait runs under "round-phase: barrier-wait" and is
+// credited as barrier wait. The start-phase wait is deliberately not
+// counted: it measures the caller's serial sections, not the round.
+func (m *Machine) runStepMetrics(st stepDesc, id int) {
+	sh := m.rec.Shard(id)
+	pprof.Do(context.Background(), pprof.Labels("round-phase", "work"), func(context.Context) {
+		b0 := sh.BarrierWaitTotal()
+		t0 := time.Now()
+		if st.team != nil {
+			m.runTeamShare(st, id)
+		} else {
+			m.runShare(st, id)
+		}
+		sh.AddBusy(time.Since(t0) - (sh.BarrierWaitTotal() - b0))
+	})
+	pprof.Do(context.Background(), pprof.Labels("round-phase", "barrier-wait"), func(context.Context) {
+		t0 := time.Now()
+		m.bar.Wait(id) // end phase
+		sh.AddBarrierWait(time.Since(t0))
+	})
 }
 
 // runShare executes worker id's share of the step, capturing panics so a

@@ -1,0 +1,52 @@
+package machine
+
+import (
+	"testing"
+
+	"crcwpram/internal/core/cw"
+)
+
+// BenchmarkMetricsOffOverhead pins the claim in WithMetrics's doc comment:
+// with metrics off (the default) the entire cost of the observability layer
+// is one predictable branch in the worker loop plus one nil-shard branch
+// per selection attempt. The benchmark body is the kernels' claim-site
+// shape — a work-shared range whose every iteration runs a CAS-LT claim
+// through Shard.Claim — so the "off" sub-benchmarks measure the
+// instrumented-off path end to end, and comparing them against the same
+// benchmark on the pre-metrics tree (or against "on" for the recording
+// cost) is the overhead argument. BENCH_metrics_overhead.txt at the repo
+// root holds a committed comparison.
+func BenchmarkMetricsOffOverhead(b *testing.B) {
+	const n = 1 << 15
+	for _, mode := range []string{"off", "on"} {
+		for _, p := range []int{1, 4} {
+			b.Run(mode+"/p="+itoa(p), func(b *testing.B) {
+				var opts []Option
+				if mode == "on" {
+					opts = append(opts, WithMetrics())
+				}
+				m := New(p, opts...)
+				defer m.Close()
+				cells := cw.NewArray(n, cw.Packed)
+				rec := m.Metrics() // nil in the off mode, as in production
+				round := uint32(0)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					round++
+					if round > 1<<31 {
+						b.StopTimer()
+						m.ParallelRange(n, func(lo, hi, _ int) { cells.ResetRange(lo, hi) })
+						round = 1
+						b.StartTimer()
+					}
+					m.ParallelRange(n, func(lo, hi, w int) {
+						sh := rec.Shard(w)
+						for j := lo; j < hi; j++ {
+							sh.Claim(j, round, cells.TryClaimOutcome(j, round))
+						}
+					})
+				}
+			})
+		}
+	}
+}

@@ -25,6 +25,7 @@ package machine
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"crcwpram/internal/sched"
 )
@@ -99,6 +100,17 @@ func (tc *TeamCtx) P() int { return tc.m.p }
 // between a concurrent-write round and its dependent reads.
 func (tc *TeamCtx) Barrier() {
 	if tc.m.p == 1 {
+		return
+	}
+	// Metrics on: time the wait and credit it to this worker's shard; the
+	// machine's region-wall accounting subtracts it from busy time.
+	if tc.m.rec != nil {
+		t0 := time.Now()
+		ok := tc.m.teamBar.wait(&tc.m.teamAborted)
+		tc.m.rec.Shard(tc.W).AddBarrierWait(time.Since(t0))
+		if !ok {
+			panic(teamAbort{})
+		}
 		return
 	}
 	if !tc.m.teamBar.wait(&tc.m.teamAborted) {
@@ -239,6 +251,12 @@ func (m *Machine) Team(body func(tc *TeamCtx)) {
 	}
 	if m.p == 1 {
 		// Single worker: the caller is the team. Barriers are no-ops.
+		if m.rec != nil {
+			t0 := time.Now()
+			body(&TeamCtx{m: m})
+			m.rec.Shard(0).AddBusy(time.Since(t0))
+			return
+		}
 		body(&TeamCtx{m: m})
 		return
 	}

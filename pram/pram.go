@@ -34,6 +34,7 @@ import (
 	"crcwpram/internal/barrier"
 	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/machine"
+	"crcwpram/internal/core/metrics"
 	"crcwpram/internal/graph"
 	"crcwpram/internal/sched"
 )
@@ -128,7 +129,16 @@ var (
 	// WithExec selects the machine's default execution backend — what the
 	// kernels' plain Run entry points dispatch through.
 	WithExec = machine.WithExec
+	// WithMetrics enables the live contention-metrics recorder; read it
+	// with Machine.Snapshot after a run. Off by default at zero cost.
+	WithMetrics = machine.WithMetrics
 )
+
+// MetricsSnapshot is the aggregated view of a metrics-enabled machine's
+// recorder: CAS attempts/wins/losses, pre-check skips, busy and
+// barrier-wait time per worker, round wall time and round count. See
+// crcwpram/internal/core/metrics.
+type MetricsSnapshot = metrics.Snapshot
 
 // Exec selects how kernels drive the machine (see the Exec* constants).
 type Exec = machine.Exec
