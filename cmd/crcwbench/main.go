@@ -24,12 +24,20 @@
 //	                (equal vertex counts, the paper's split, the default)
 //	                and/or edge (equal arc counts); the BFS figures run
 //	                once per listed policy, other figures ignore the axis
+//	-policy NAME    machine loop-scheduling policy for the figure and
+//	                list-ranking sweeps: block (static split, the default),
+//	                cyclic, dynamic, guided or stealing (per-worker deques
+//	                with randomized stealing); the dedicated sweeps pick
+//	                their own policies and ignore this
 //	-paper          use the paper's full-size parameters (needs a large
 //	                machine; the default is a scaled-down sweep with the
 //	                same shape)
 //	-csv FILE       also write raw medians as CSV
 //	-json FILE      write machine-readable results (kernel, method, exec
 //	                mode, threads, ns/op) for all benchmarks run
+//	-cpuprofile F   write a pprof CPU profile of the whole run to F
+//	-memprofile F   write a pprof heap profile (after a forced GC) to F
+//	                when the run finishes
 //	-v              log per-point progress to stderr
 //	-tiny           miniature smoke-test sweep
 //
@@ -47,6 +55,13 @@
 //	-listrank       time Wyllie's list ranking (the EREW comparison kernel)
 //	                across the size sweep under both timed execution modes;
 //	                combinable like -roundoverhead
+//	-stealing       run the scheduling-policy sweep: frontier and hybrid
+//	                BFS on an RMAT and a degree-uniform graph across every
+//	                policy and the StealThreads axis, reporting wall
+//	                medians, the deterministic scheduling model (critical
+//	                path with per-chunk acquisition costs vs the ideal
+//	                split) and the live deque counters of the stealing
+//	                cells; combinable like -roundoverhead
 //
 // Live contention metrics (the observability layer, not a timing figure —
 // the per-cell probe adds contention of its own, so these runs are never
@@ -86,10 +101,13 @@
 //	crcwbench -figure 10 -threads 8 -reps 5 -csv fig10.csv
 //	crcwbench -paper -figure 7
 //	crcwbench -figure 7 -exec pool,team -json bench.json
+//	crcwbench -figure 7 -policy stealing -methods caslt
 //	crcwbench -roundoverhead
 //	crcwbench -edgebalance -threads 8 -json BENCH_edgebalance.json
 //	crcwbench -validatejson BENCH_edgebalance.json
 //	crcwbench -listrank -threads 8
+//	crcwbench -stealing -json BENCH_stealing.json
+//	crcwbench -stealing -cpuprofile steal.prof
 //	crcwbench -tiny -metrics -exec pool,team -metricsjson metrics.json
 //	crcwbench -kernelops -kerneltrace -json kernelops.json
 package main
@@ -98,12 +116,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"crcwpram/internal/bench"
 	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/machine"
 	"crcwpram/internal/graph"
+	"crcwpram/internal/sched"
 )
 
 func main() {
@@ -113,7 +134,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("crcwbench", flag.ContinueOnError)
 	var (
 		figure        = fs.Int("figure", 0, "paper figure to reproduce (5..12), 0 = all")
@@ -127,10 +148,12 @@ func run(args []string) error {
 		tiny          = fs.Bool("tiny", false, "miniature sweep for smoke tests (seconds, shapes not meaningful)")
 		execList      = fs.String("exec", "pool", "comma-separated execution modes to measure: pool, team and/or trace")
 		balanceList   = fs.String("balance", "vertex", "comma-separated work-partitioning policies for the BFS figures: vertex and/or edge")
+		policyName    = fs.String("policy", "", "machine loop-scheduling policy for the figure and listrank sweeps: block, cyclic, dynamic, guided or stealing (empty = block)")
 		jsonPath      = fs.String("json", "", "write machine-readable results as JSON to this file")
 		roundoverhead = fs.Bool("roundoverhead", false, "measure ns per empty round for both execution modes across the thread sweep")
 		edgebalance   = fs.Bool("edgebalance", false, "run the BFS load-balance sweep (balance x kernel x exec) with the deterministic work model")
 		listrankSweep = fs.Bool("listrank", false, "time Wyllie's list ranking across the size sweep under both timed execution modes")
+		stealingSweep = fs.Bool("stealing", false, "run the scheduling-policy sweep (kernel x policy x threads on RMAT and uniform graphs) with the deterministic scheduling model and live deque counters")
 		validateJSON  = fs.String("validatejson", "", "validate a -json output file and exit")
 		opcount       = fs.Bool("opcount", false, "run the Section-6 atomic-operation-count validation instead of a timing figure")
 		kernelops     = fs.Bool("kernelops", false, "count selection-protocol operations over full BFS/CC runs (trace backend) instead of timing")
@@ -138,6 +161,8 @@ func run(args []string) error {
 		metricsTable  = fs.Bool("metrics", false, "run every kernel on a metrics-enabled machine and report live contention (CAS attempts/wins/losses, pre-check skips, max RMWs per cell per round, busy/barrier time split) per listed timed exec mode")
 		metricsJSON   = fs.String("metricsjson", "", "write the -metrics contention rows alone as JSON to this file (implies -metrics)")
 		simulations   = fs.Bool("simulations", false, "time one Priority write step per rung of the CW hierarchy instead of a figure")
+		cpuProfile    = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memProfile    = fs.String("memprofile", "", "write a pprof heap profile (after a forced GC) to this file when the run finishes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -189,6 +214,39 @@ func run(args []string) error {
 			return fmt.Errorf("unknown balance policy %q (known: %v)", name, graph.Balances)
 		}
 		balances = append(balances, b)
+	}
+	if *policyName != "" {
+		pol, ok := sched.ParsePolicy(strings.TrimSpace(*policyName))
+		if !ok {
+			return fmt.Errorf("unknown scheduling policy %q (known: %v)", *policyName, sched.Policies)
+		}
+		cfg.Policy = pol
+	}
+
+	// Profiling wraps everything the run does, including the dedicated
+	// sweeps, so a single flag profiles whichever benchmark was requested.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("start cpu profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("close cpu profile: %w", cerr)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if werr := writeHeapProfile(*memProfile); werr != nil && err == nil {
+				err = werr
+			}
+		}()
 	}
 
 	if *validateJSON != "" {
@@ -303,6 +361,20 @@ func run(args []string) error {
 		jsonRows = append(jsonRows, bench.ListRankJSONRows(rows)...)
 	}
 
+	if *stealingSweep {
+		// The policy axis IS the sweep here, so -policy does not apply; the
+		// first listed exec mode drives the timed cells.
+		rows, err := bench.Stealing(cfg, execs[0])
+		if err != nil {
+			return err
+		}
+		section()
+		if err := bench.FormatStealing(os.Stdout, rows); err != nil {
+			return err
+		}
+		jsonRows = append(jsonRows, bench.StealingJSONRows(rows)...)
+	}
+
 	figureSet := false
 	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "figure" {
@@ -312,8 +384,8 @@ func run(args []string) error {
 	ids := bench.SortedFigureIDs()
 	if *figure != 0 {
 		ids = []int{*figure}
-	} else if (*roundoverhead || *edgebalance || *listrankSweep || *kernelops || *kerneltrace ||
-		*metricsTable || *metricsJSON != "") && !figureSet {
+	} else if (*roundoverhead || *edgebalance || *listrankSweep || *stealingSweep || *kernelops ||
+		*kerneltrace || *metricsTable || *metricsJSON != "") && !figureSet {
 		// The dedicated sweeps and analyses alone run only themselves; add
 		// -figure 0 explicitly to also sweep every figure.
 		ids = nil
@@ -367,6 +439,22 @@ func run(args []string) error {
 		if err := bench.WriteJSON(f, jsonRows); err != nil {
 			return fmt.Errorf("write json: %w", err)
 		}
+	}
+	return nil
+}
+
+// writeHeapProfile dumps the live-heap profile after forcing a collection,
+// so the numbers reflect retained allocations rather than garbage awaiting
+// the next GC cycle.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create mem profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("write mem profile: %w", err)
 	}
 	return nil
 }

@@ -218,6 +218,91 @@ func TestRunEdgeBalance(t *testing.T) {
 	}
 }
 
+func TestRunStealingSweep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "steal.json")
+	out, err := capture(t, func() error {
+		return run([]string{"-tiny", "-stealing", "-reps", "1", "-json", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"stealing", "guided", "crit", "local"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "fig5") {
+		t.Fatal("-stealing without -figure ran the figure sweep")
+	}
+	// The emitted file must pass the CLI's own validator.
+	vout, err := capture(t, func() error {
+		return run([]string{"-validatejson", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(vout, "rows ok") {
+		t.Fatalf("validatejson output wrong:\n%s", vout)
+	}
+}
+
+func TestRunPolicyFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pol.json")
+	_, err := capture(t, func() error {
+		return run([]string{"-tiny", "-figure", "5", "-policy", "stealing",
+			"-methods", "caslt", "-reps", "1", "-json", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []struct {
+		Bench  string `json:"bench"`
+		Policy string `json:"policy"`
+	}
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("json output unparsable: %v\n%s", err, data)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no figure rows in json")
+	}
+	for _, r := range rows {
+		if r.Bench != "figure" || r.Policy != "stealing" {
+			t.Fatalf("figure row does not carry the requested policy: %+v", r)
+		}
+	}
+	// Figure rows run uninstrumented machines, so the validator must accept
+	// a stealing-policy figure row without deque counters.
+	if _, err := capture(t, func() error { return run([]string{"-validatejson", path}) }); err != nil {
+		t.Fatalf("stealing-policy figure rows rejected: %v", err)
+	}
+}
+
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	_, err := capture(t, func() error {
+		return run([]string{"-tiny", "-figure", "5", "-methods", "caslt", "-reps", "1",
+			"-cpuprofile", cpu, "-memprofile", mem})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s: empty profile", p)
+		}
+	}
+}
+
 func TestRunBalanceAxis(t *testing.T) {
 	out, err := capture(t, func() error {
 		return run([]string{"-tiny", "-figure", "7", "-balance", "vertex,edge",
@@ -274,6 +359,7 @@ func TestRunErrors(t *testing.T) {
 		{"-methods", "bogus"},
 		{"-exec", "bogus"},
 		{"-balance", "bogus"},
+		{"-policy", "bogus"},
 		{"-tiny", "-paper"},
 		{"-nonexistent-flag"},
 	}

@@ -79,6 +79,12 @@ type Kernel struct {
 	balance   graph.Balance
 	arcBounds []int
 
+	// steal routes the frontier relaxation (the irregular per-vertex-cost
+	// loop) through the work-stealing scheduler. Defaults to the graph's
+	// degree skew; see SetStealing. Edge balance takes precedence: when
+	// both are on, the WeightedRange shards already equalize arc work.
+	steal bool
+
 	// Frontier-variant state (frontier.go), allocated on first use.
 	frontier []uint32
 	next     []uint32
@@ -110,6 +116,7 @@ func NewKernel(m *machine.Machine, g *graph.Graph) *Kernel {
 		cells:   cw.NewArray(n, cw.Packed),
 		gates:   cw.NewGateArray(n, cw.Packed),
 		mtx:     cw.NewMutexArray(n),
+		steal:   graph.DegreeSkewed(g),
 	}
 }
 
@@ -124,6 +131,19 @@ func (k *Kernel) SetBalance(b graph.Balance) { k.balance = b }
 
 // Balance returns the kernel's current balance policy.
 func (k *Kernel) Balance() graph.Balance { return k.balance }
+
+// SetStealing selects whether the frontier relaxation — the one loop whose
+// per-index cost is the frontier vertex's degree — runs under the
+// work-stealing scheduler instead of the machine's configured policy. The
+// default is graph.DegreeSkewed(g): hub-heavy graphs steal, regular ones
+// keep static shares. Like balance, stealing changes which worker walks
+// which vertices, never who may write what, so results are unaffected.
+// Edge balance (SetBalance) takes precedence over stealing when both are
+// set. Call it before Run*, not during.
+func (k *Kernel) SetStealing(on bool) { k.steal = on }
+
+// Stealing returns whether the frontier relaxation uses work stealing.
+func (k *Kernel) Stealing() bool { return k.steal }
 
 // ensureArcBounds caches the equal-arc shards of the full vertex range.
 // Must be called from the driver goroutine (in team mode: before the

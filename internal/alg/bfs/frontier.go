@@ -132,6 +132,18 @@ func (k *Kernel) relaxFrontier(ctx exec.Ctx, frontier []uint32, L, round uint32)
 		})
 		return
 	}
+	if k.steal && nf > 1 {
+		// Work-stealing relaxation: chunks of the frontier migrate from
+		// straggling workers (the ones that drew the hubs) to idle ones.
+		// The executing worker owns the discovery buffer it appends to, so
+		// chunk migration never moves a buffer between workers mid-append.
+		ctx.StealRange(nf, func(lo, hi, w int) {
+			for i := lo; i < hi; i++ {
+				relax(frontier[i], w)
+			}
+		})
+		return
+	}
 	ctx.ForWorker(nf, func(i, w int) { relax(frontier[i], w) })
 }
 

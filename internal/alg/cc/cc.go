@@ -88,6 +88,13 @@ type Kernel struct {
 
 	base  uint32           // CAS-LT round offset carried across runs
 	trace *exec.TraceStats // structural record of the last trace-backend run
+
+	// steal routes random mate's hooking loop through the work-stealing
+	// scheduler: a hub's arcs are contiguous in CSR order, so on skewed
+	// graphs a static arc share concentrates both the branchy root checks
+	// and the CAS contention on one worker. Defaults to the graph's degree
+	// skew; see SetStealing.
+	steal bool
 }
 
 // NewKernel returns a CC kernel over g executed on m. The machine and graph
@@ -99,6 +106,7 @@ func NewKernel(m *machine.Machine, g *graph.Graph) *Kernel {
 	}
 	n := g.NumVertices()
 	k := &Kernel{
+		steal:    graph.DegreeSkewed(g),
 		m:        m,
 		g:        g,
 		n:        n,
@@ -127,6 +135,17 @@ func NewKernel(m *machine.Machine, g *graph.Graph) *Kernel {
 	})
 	return k
 }
+
+// SetStealing selects whether random mate's hooking loop runs under the
+// work-stealing scheduler instead of the machine's configured policy.
+// Defaults to graph.DegreeSkewed(g). Stealing changes which worker walks
+// which arcs, never who may write what, so results are unaffected. The
+// Awerbuch–Shiloach runs are untouched: their hook phase is a regular
+// whole-range sweep. Call it before Run*, not during.
+func (k *Kernel) SetStealing(on bool) { k.steal = on }
+
+// Stealing returns whether random mate's hooking uses work stealing.
+func (k *Kernel) Stealing() bool { return k.steal }
 
 // Prepare resets the forest to singletons and the hook records. Prepare is
 // the untimed initialization phase; CAS-LT cells are reused across runs via

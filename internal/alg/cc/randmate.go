@@ -79,7 +79,10 @@ func (k *Kernel) RunRandMateExec(e machine.Exec, seed uint64) Result {
 			// live records whether any arc still connects two distinct roots:
 			// an unlucky coin assignment can produce a hook-free iteration
 			// that must NOT terminate the loop while such arcs remain.
-			ctx.Range(len(arcSrc), func(lo, hi, w int) {
+			// The hook body accumulates its progress/cross flags per share
+			// (or per stolen chunk — the flag sets are idempotent common
+			// writes, so chunk granularity changes nothing).
+			hook := func(lo, hi, w int) {
 				sh := rec.Shard(w)
 				progress, cross := false, false
 				for j := lo; j < hi; j++ {
@@ -107,7 +110,12 @@ func (k *Kernel) RunRandMateExec(e machine.Exec, seed uint64) Result {
 				if cross {
 					live.Set(it, 1)
 				}
-			})
+			}
+			if k.steal {
+				ctx.StealRange(len(arcSrc), hook)
+			} else {
+				ctx.Range(len(arcSrc), hook)
+			}
 
 			k.shortcut(ctx, changed, it)
 

@@ -76,6 +76,11 @@ type Kernel struct {
 
 	base  uint32
 	trace *exec.TraceStats // structural record of the last trace-backend run
+
+	// steal routes the propose loop (arc-parallel, CSR-contiguous hub arcs)
+	// through the work-stealing scheduler. Defaults to the graph's degree
+	// skew; see SetStealing. The accept loop stays a regular vertex sweep.
+	steal bool
 }
 
 // NewKernel returns a matching kernel over g executed on m. g must be
@@ -86,6 +91,7 @@ func NewKernel(m *machine.Machine, g *graph.Graph) *Kernel {
 	}
 	n := g.NumVertices()
 	k := &Kernel{
+		steal:       graph.DegreeSkewed(g),
 		m:           m,
 		g:           g,
 		n:           n,
@@ -106,6 +112,16 @@ func NewKernel(m *machine.Machine, g *graph.Graph) *Kernel {
 	})
 	return k
 }
+
+// SetStealing selects whether the propose loop runs under the
+// work-stealing scheduler instead of the machine's configured policy.
+// Defaults to graph.DegreeSkewed(g). Stealing changes which worker walks
+// which arcs, never who may write what, so results are unaffected. Call it
+// before Run*, not during.
+func (k *Kernel) SetStealing(on bool) { k.steal = on }
+
+// Stealing returns whether the propose loop uses work stealing.
+func (k *Kernel) Stealing() bool { return k.steal }
 
 // Prepare resets the matching state. Untimed; CAS-LT cells carry over via
 // the round offset.
@@ -162,8 +178,10 @@ func (k *Kernel) RunExec(e machine.Exec, seed uint64) Result {
 			live.Set(it+1, 0) // prime next iteration's flag (common CW)
 			round := k.base + ctx.NextRound()
 
-			// Level 1 — propose: heads race on each live tail's slot.
-			ctx.Range(len(k.arcSrc), func(lo, hi, w int) {
+			// Level 1 — propose: heads race on each live tail's slot. The
+			// liveness flag is accumulated per share (or per stolen chunk —
+			// the flag set is an idempotent common write either way).
+			propose := func(lo, hi, w int) {
 				sh := rec.Shard(w)
 				sawLive := false
 				for j := lo; j < hi; j++ {
@@ -184,7 +202,12 @@ func (k *Kernel) RunExec(e machine.Exec, seed uint64) Result {
 				if sawLive {
 					live.Set(it, 1)
 				}
-			})
+			}
+			if k.steal {
+				ctx.StealRange(len(k.arcSrc), propose)
+			} else {
+				ctx.Range(len(k.arcSrc), propose)
+			}
 
 			// Level 2 — accept: proposed-to tails race on their proposer's
 			// slot; the winner forms the match and both endpoints die.

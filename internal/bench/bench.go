@@ -33,6 +33,7 @@ import (
 	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/machine"
 	"crcwpram/internal/graph"
+	"crcwpram/internal/sched"
 	"crcwpram/internal/stats"
 )
 
@@ -87,11 +88,21 @@ type Config struct {
 	// their kernels (the -balance axis); the zero value is the paper's
 	// vertex-count split.
 	Balance graph.Balance
+	// Policy selects the machines' loop-scheduling policy for the figure
+	// and list-ranking sweeps (the -policy axis); the zero value is Block,
+	// the static split every other sweep uses.
+	Policy sched.Policy
 	// EBScale and EBStar size the edge-balance sweep's workloads: an RMAT
 	// graph on 2^EBScale vertices with 8·2^EBScale edges, and the star on
 	// EBStar vertices.
 	EBScale int
 	EBStar  int
+
+	// StealScale sizes the stealing sweep's workloads (an RMAT graph and a
+	// uniform random graph, both on 2^StealScale vertices with
+	// 4·2^StealScale edges); StealThreads is its worker-count axis.
+	StealScale   int
+	StealThreads []int
 
 	// Log, when non-nil, receives progress lines during a sweep.
 	Log io.Writer
@@ -119,6 +130,8 @@ func DefaultConfig() Config {
 		ListRankSizes:  []int{4096, 16384, 65536},
 		EBScale:        16,
 		EBStar:         1 << 16,
+		StealScale:     16,
+		StealThreads:   []int{2, 4, 8},
 	}
 }
 
@@ -144,6 +157,8 @@ func TinyConfig() Config {
 		ListRankSizes:  []int{128, 256},
 		EBScale:        8,
 		EBStar:         1 << 8,
+		StealScale:     8,
+		StealThreads:   []int{2, 4},
 	}
 }
 
@@ -223,6 +238,12 @@ func (c Config) withDefaults() Config {
 	if c.EBStar == 0 {
 		c.EBStar = d.EBStar
 	}
+	if c.StealScale == 0 {
+		c.StealScale = d.StealScale
+	}
+	if len(c.StealThreads) == 0 {
+		c.StealThreads = d.StealThreads
+	}
 	return c
 }
 
@@ -230,6 +251,12 @@ func (c Config) logf(format string, args ...any) {
 	if c.Log != nil {
 		fmt.Fprintf(c.Log, format, args...)
 	}
+}
+
+// newMachine builds a sweep machine honoring the config's scheduling
+// policy.
+func (c Config) newMachine(p int) *machine.Machine {
+	return machine.New(p, machine.WithPolicy(c.Policy))
 }
 
 // Point is one measured cell of a figure: method's median time at one
@@ -252,6 +279,7 @@ type Table struct {
 	Kernel   string // kernel name for machine-readable output
 	Exec     string // execution mode the series were measured under
 	Balance  string // work-partitioning policy, when the kernel honors one
+	Policy   string // machine loop-scheduling policy the sweep ran under
 	XLabel   string
 	Xs       []int
 	Series   []Series

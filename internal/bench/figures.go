@@ -95,11 +95,12 @@ func Fig5MaxBySize(cfg Config) Table {
 		Title:    fmt.Sprintf("Constant-time maximum: time vs list size (%d threads, %s exec)", cfg.Threads, cfg.Exec),
 		Kernel:   "maxfind",
 		Exec:     cfg.Exec.String(),
+		Policy:   cfg.Policy.String(),
 		XLabel:   "list size",
 		Xs:       cfg.MaxSizes,
 		Baseline: cw.Naive,
 	}
-	m := machine.New(cfg.Threads)
+	m := cfg.newMachine(cfg.Threads)
 	defer m.Close()
 	for _, method := range methods {
 		ser := Series{Method: method}
@@ -130,6 +131,7 @@ func Fig6MaxByThreads(cfg Config) Table {
 		Title:    fmt.Sprintf("Constant-time maximum: time vs threads (N=%d, %s exec)", cfg.MaxN, cfg.Exec),
 		Kernel:   "maxfind",
 		Exec:     cfg.Exec.String(),
+		Policy:   cfg.Policy.String(),
 		XLabel:   "threads",
 		Xs:       cfg.ThreadSweep,
 		Baseline: cw.Naive,
@@ -139,7 +141,7 @@ func Fig6MaxByThreads(cfg Config) Table {
 	for _, method := range methods {
 		ser := Series{Method: method}
 		for _, p := range cfg.ThreadSweep {
-			m := machine.New(p)
+			m := cfg.newMachine(p)
 			k := maxfind.NewKernel(m, cfg.MaxN)
 			pt := measure(cfg.Reps, func() { k.Prepare(list) }, func() {
 				if got := runMax(k, method, cfg.Exec); got != want {
@@ -164,6 +166,7 @@ func bfsFigure(id int, cfg Config, title, xlabel string, xs []int, pick func(x i
 		Title:    title,
 		Kernel:   "bfs",
 		Exec:     cfg.Exec.String(),
+		Policy:   cfg.Policy.String(),
 		Balance:  cfg.Balance.String(),
 		XLabel:   xlabel,
 		Xs:       xs,
@@ -174,7 +177,7 @@ func bfsFigure(id int, cfg Config, title, xlabel string, xs []int, pick func(x i
 		for i, x := range xs {
 			nv, ne, p := pick(x)
 			g := graph.ConnectedRandom(nv, ne, cfg.Seed+int64(i))
-			m := machine.New(p)
+			m := cfg.newMachine(p)
 			k := bfs.NewKernel(m, g)
 			k.SetBalance(cfg.Balance)
 			pt := measure(cfg.Reps, func() { k.Prepare(0) }, func() { runBFS(k, method, cfg.Exec) })
@@ -229,6 +232,7 @@ func ccFigure(id int, cfg Config, title, xlabel string, xs []int) Table {
 		Title:    title,
 		Kernel:   "cc",
 		Exec:     cfg.Exec.String(),
+		Policy:   cfg.Policy.String(),
 		XLabel:   xlabel,
 		Xs:       xs,
 		Baseline: cw.Gatekeeper,
@@ -246,7 +250,7 @@ func ccFigure(id int, cfg Config, title, xlabel string, xs []int) Table {
 				p = xs[i]
 			}
 			g := graph.RandomUndirected(nv, ne, cfg.Seed+int64(i))
-			m := machine.New(p)
+			m := cfg.newMachine(p)
 			k := cc.NewKernel(m, g)
 			pt := measure(cfg.Reps, func() { k.Prepare() }, func() { runCC(k, method, cfg.Exec) })
 			k.Prepare()

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"crcwpram/internal/sched"
 )
 
 // Row is one machine-readable measurement, the unit of the -json output:
@@ -29,6 +31,7 @@ type Row struct {
 	// separate balance from scheduling noise.
 	Graph     string  `json:"graph,omitempty"`   // workload graph name
 	Balance   string  `json:"balance,omitempty"` // partitioning: vertex | edge
+	Policy    string  `json:"policy,omitempty"`  // scheduling policy of the cell
 	Depth     int     `json:"depth,omitempty"`   // BFS depth reached
 	WorkTotal uint64  `json:"work_total,omitempty"`
 	WorkCrit  uint64  `json:"work_crit,omitempty"`
@@ -58,6 +61,13 @@ type Row struct {
 	// per executed attempt, so their wall clock is not a measurement —
 	// but the exec field names the timed backend that ran them, because
 	// contention only exists under genuine concurrency.
+	// Steal counters (benches "stealing" and "metrics"): the deque-claim
+	// split of the stealing scheduler, aggregated from the same per-worker
+	// shards. Zero by construction for every policy but stealing.
+	ChunksLocal uint64 `json:"chunks_local,omitempty"` // chunks a worker popped from its own deque
+	Steals      uint64 `json:"steals,omitempty"`       // chunks taken from a victim's deque
+	StealFails  uint64 `json:"steal_fails,omitempty"`  // steal attempts that found nothing (or lost the CAS)
+
 	CASAttempts   uint64 `json:"cas_attempts,omitempty"`    // executed RMWs (wins + losses)
 	CASWins       uint64 `json:"cas_wins,omitempty"`        // winning RMWs
 	CASLosses     uint64 `json:"cas_losses,omitempty"`      // losing RMWs
@@ -92,6 +102,7 @@ func (t *Table) Rows(defaultThreads int) []Row {
 				Method:  s.Method.String(),
 				Exec:    t.Exec,
 				Balance: t.Balance,
+				Policy:  t.Policy,
 				Threads: threads,
 				XLabel:  t.XLabel,
 				X:       x,
@@ -199,6 +210,39 @@ func ValidateJSON(r io.Reader) (int, error) {
 			case row.WorkIdeal == 0 || row.WorkCrit < row.WorkIdeal || row.WorkTotal < row.WorkCrit:
 				return fail("inconsistent work model total=%d crit=%d ideal=%d",
 					row.WorkTotal, row.WorkCrit, row.WorkIdeal)
+			case row.Imbalance < 1:
+				return fail("imbalance %v < 1", row.Imbalance)
+			}
+		}
+		if row.Policy != "" {
+			// Any policy-carrying row (benches "stealing" and "metrics"): the
+			// name must parse, and the live deque counters must be nonzero
+			// exactly for the stealing-policy cells — a stealing run that
+			// claimed no chunks through its deques did not exercise the
+			// scheduler it reports on.
+			if _, ok := sched.ParsePolicy(row.Policy); !ok {
+				return fail("unknown policy %q", row.Policy)
+			}
+			if row.Policy == "stealing" {
+				// Only the counter-carrying benches promise live deque
+				// counters; figure rows run uninstrumented machines.
+				if (row.Bench == "stealing" || row.Bench == "metrics") && row.ChunksLocal == 0 {
+					return fail("stealing-policy row claimed no local chunks")
+				}
+			} else if row.ChunksLocal != 0 || row.Steals != 0 || row.StealFails != 0 {
+				return fail("policy %q row carries steal counters", row.Policy)
+			}
+		}
+		if row.Bench == "stealing" {
+			// Stealing rows carry the scheduling model; its Crit includes
+			// per-chunk acquisition costs, so Crit >= Ideal is the invariant
+			// (Total is the acquisition-free sum).
+			switch {
+			case row.Graph == "" || row.Policy == "":
+				return fail("stealing row missing graph/policy")
+			case row.WorkIdeal == 0 || row.WorkCrit < row.WorkIdeal:
+				return fail("inconsistent scheduling model crit=%d ideal=%d",
+					row.WorkCrit, row.WorkIdeal)
 			case row.Imbalance < 1:
 				return fail("imbalance %v < 1", row.Imbalance)
 			}

@@ -39,7 +39,7 @@ func ListRank(cfg Config, execs []machine.Exec) ([]ListRankRow, error) {
 		next := listrank.RandomList(n, cfg.Seed+int64(n))
 		want := listrank.SequentialRank(next)
 		for _, e := range execs {
-			m := machine.New(cfg.Threads)
+			m := cfg.newMachine(cfg.Threads)
 			var got []uint32
 			pt := measure(cfg.Reps, func() {}, func() { got = listrank.RankExec(m, e, next) })
 			m.Close()

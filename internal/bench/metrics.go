@@ -19,6 +19,7 @@ import (
 	"crcwpram/internal/core/machine"
 	"crcwpram/internal/core/metrics"
 	"crcwpram/internal/graph"
+	"crcwpram/internal/sched"
 )
 
 // MetricsRow is one kernel run's live-contention snapshot: the aggregated
@@ -31,6 +32,10 @@ type MetricsRow struct {
 	Kernel string
 	Method string // "" for listrank (EREW by construction: no CW method)
 	Exec   machine.Exec
+	// Policy is set only for the stealing-scheduler rows (the default
+	// machine's rows leave it empty); those rows additionally carry the
+	// deque-claim counters in the snapshot.
+	Policy string
 	Snap   metrics.Snapshot
 }
 
@@ -167,6 +172,47 @@ func Contention(threads, vertices, edges int, seed int64, execs []machine.Exec) 
 			return nil, err
 		}
 	}
+
+	// The stealing-scheduler observability pass: random-mate CC on a
+	// stealing-policy machine with its hooking loop opted into StealRange,
+	// so the snapshot's deque-claim counters (chunks_local / steals /
+	// steal_fails) are live alongside the usual contention split. Random
+	// mate is the vehicle because its CAS-LT hooking both consumes round
+	// ids (NextRound, so the rounds-to-convergence column stays populated)
+	// and relaxes an arc-shaped irregular loop — the loop stealing exists
+	// for. One row per timed backend, tagged with the policy.
+	sm := machine.New(threads, machine.WithMetrics(), machine.WithPolicy(sched.Stealing))
+	defer sm.Close()
+	srec := sm.Metrics()
+	sck := cc.NewKernel(sm, ug)
+	sck.SetStealing(true)
+	for _, e := range execs {
+		if e == machine.ExecTrace {
+			continue
+		}
+		srec.Reset()
+		srec.EnableProbe(vertices)
+		sck.Prepare()
+		srec.Reset()
+		if err := cc.Validate(ug, sck.RunRandMateExec(e, uint64(seed))); err != nil {
+			return nil, fmt.Errorf("bench: metrics cc/caslt/%s policy=stealing: %w", e, err)
+		}
+		snap := sm.Snapshot()
+		if snap.MaxCellClaims > uint64(threads) {
+			return nil, fmt.Errorf("bench: metrics cc/caslt/%s policy=stealing: %d executed CASes on one cell in one round, paper bounds it by %d",
+				e, snap.MaxCellClaims, threads)
+		}
+		if snap.ChunksLocal == 0 {
+			return nil, fmt.Errorf("bench: metrics cc/caslt/%s policy=stealing: no deque claims recorded", e)
+		}
+		rows = append(rows, MetricsRow{
+			Kernel: "cc",
+			Method: cw.CASLT.String(),
+			Exec:   e,
+			Policy: sched.Stealing.String(),
+			Snap:   snap,
+		})
+	}
 	return rows, nil
 }
 
@@ -175,8 +221,8 @@ func FormatContention(w io.Writer, threads, vertices, edges int, rows []MetricsR
 	var b strings.Builder
 	fmt.Fprintf(&b, "== metrics: live contention per full run (p=%d, n=%d, m=%d; maxfind n=512) ==\n",
 		threads, vertices, edges)
-	out := [][]string{{"kernel", "method", "exec", "attempts", "wins", "losses",
-		"skips", "max/cell/round", "rounds", "busy", "barrier", "roundwall"}}
+	out := [][]string{{"kernel", "method", "exec", "policy", "attempts", "wins", "losses",
+		"skips", "max/cell/round", "rounds", "steals", "busy", "barrier", "roundwall"}}
 	ms := func(ns int64) string {
 		return time.Duration(ns).Round(10 * time.Microsecond).String()
 	}
@@ -185,16 +231,22 @@ func FormatContention(w io.Writer, threads, vertices, edges int, rows []MetricsR
 		if method == "" {
 			method = "-"
 		}
+		policy := r.Policy
+		if policy == "" {
+			policy = "-"
+		}
 		out = append(out, []string{
 			r.Kernel,
 			method,
 			r.Exec.String(),
+			policy,
 			strconv.FormatUint(r.Snap.CASAttempts, 10),
 			strconv.FormatUint(r.Snap.CASWins, 10),
 			strconv.FormatUint(r.Snap.CASLosses, 10),
 			strconv.FormatUint(r.Snap.PrecheckSkips, 10),
 			strconv.FormatUint(r.Snap.MaxCellClaims, 10),
 			strconv.FormatUint(r.Snap.Rounds, 10),
+			strconv.FormatUint(r.Snap.Steals, 10),
 			ms(r.Snap.BusyNs),
 			ms(r.Snap.BarrierWaitNs),
 			ms(r.Snap.RoundNs),
@@ -224,6 +276,7 @@ func ContentionJSONRows(rows []MetricsRow, threads int) []Row {
 			Kernel:        r.Kernel,
 			Method:        r.Method,
 			Exec:          r.Exec.String(),
+			Policy:        r.Policy,
 			Threads:       threads,
 			Rounds:        r.Snap.Rounds,
 			CASAttempts:   r.Snap.CASAttempts,
@@ -231,6 +284,9 @@ func ContentionJSONRows(rows []MetricsRow, threads int) []Row {
 			CASLosses:     r.Snap.CASLosses,
 			PrecheckSkips: r.Snap.PrecheckSkips,
 			MaxCellClaims: r.Snap.MaxCellClaims,
+			ChunksLocal:   r.Snap.ChunksLocal,
+			Steals:        r.Snap.Steals,
+			StealFails:    r.Snap.StealFails,
 			BusyNs:        r.Snap.BusyNs,
 			BarrierWaitNs: r.Snap.BarrierWaitNs,
 			RoundNs:       r.Snap.RoundNs,

@@ -23,11 +23,30 @@ func TestContentionSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Per timed exec: 4 kernels x 3 guarded methods + matching + listrank.
-	// The trace entry must be skipped, not reported.
-	want := 2 * (4*len(contentionMethods) + 2)
+	// Per timed exec: 4 kernels x 3 guarded methods + matching + listrank +
+	// the stealing-scheduler frontier-BFS row. The trace entry must be
+	// skipped, not reported.
+	want := 2 * (4*len(contentionMethods) + 3)
 	if len(rows) != want {
 		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	stealingRows := 0
+	for _, r := range rows {
+		if r.Policy == "stealing" {
+			stealingRows++
+			if r.Kernel != "cc" {
+				t.Fatalf("stealing metrics row on kernel %q, want cc", r.Kernel)
+			}
+			if r.Snap.ChunksLocal == 0 {
+				t.Fatalf("stealing metrics row without deque claims: %+v", r.Snap)
+			}
+		} else if r.Snap.ChunksLocal != 0 || r.Snap.Steals != 0 || r.Snap.StealFails != 0 {
+			t.Fatalf("%s/%s/%s: default-policy row carries steal counters: %+v",
+				r.Kernel, r.Method, r.Exec, r.Snap)
+		}
+	}
+	if stealingRows != 2 {
+		t.Fatalf("got %d stealing metrics rows, want one per timed exec", stealingRows)
 	}
 	for _, r := range rows {
 		if r.Exec == machine.ExecTrace {

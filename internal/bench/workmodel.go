@@ -91,6 +91,7 @@ type bfsModel struct {
 	// scratch
 	shard []uint64
 	cum   []uint32
+	costs []uint64 // per-index round costs for the scheduling model
 }
 
 // newBFSModel builds the replay state from a sequential BFS result.

@@ -70,6 +70,17 @@ type Ctx interface {
 	// Bounds is Range over caller-supplied shard boundaries
 	// (len(bounds) == P()+1, non-decreasing), the edge-balanced form.
 	Bounds(bounds []int, body func(lo, hi, w int))
+	// StealRange executes one round under work stealing regardless of the
+	// machine's configured policy: [0, n) is cut into chunks seeded onto
+	// per-worker deques (each worker's block share), and body receives each
+	// claimed chunk [lo, hi) with the claiming worker's id — owners in
+	// ascending index order, thieves wherever they struck. It is the form
+	// for irregular loops whose per-index cost is skewed (frontier
+	// relaxation, randmate hooking); regular sweeps should keep Range or
+	// the edge-balanced Bounds. Under trace, the replay walks each worker's
+	// seeded chunk log in worker order, so traced coverage equals the
+	// block partition and stays deterministic.
+	StealRange(n int, body func(lo, hi, w int))
 	// Barrier closes the current PRAM round: no dependent read proceeds
 	// until every write of the round is visible. Under pool it is free
 	// (each loop already closed its step); under team it is one sense
@@ -135,7 +146,7 @@ func Run(m *machine.Machine, e machine.Exec, body func(Ctx)) *TraceStats {
 		return nil
 	case machine.ExecTrace:
 		st := &TraceStats{P: m.P(), Iters: make([]uint64, m.P())}
-		body(&traceCtx{p: m.P(), flag: flag, stats: st})
+		body(&traceCtx{p: m.P(), chunk: m.Chunk(), flag: flag, stats: st})
 		return st
 	default:
 		body(&poolCtx{m: m, flag: flag, rec: m.Metrics()})

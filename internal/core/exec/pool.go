@@ -68,6 +68,16 @@ func (c *poolCtx) Bounds(b []int, body func(lo, hi, w int)) {
 	c.m.ParallelBounds(b, body)
 }
 
+func (c *poolCtx) StealRange(n int, body func(lo, hi, w int)) {
+	if c.rec != nil {
+		t0 := time.Now()
+		c.m.ParallelSteal(n, body)
+		c.rec.AddRoundTime(time.Since(t0))
+		return
+	}
+	c.m.ParallelSteal(n, body)
+}
+
 // Barrier is a no-op: each pool loop closed its own step, which is the
 // barrier. Nothing runs concurrently with the caller between loops.
 func (c *poolCtx) Barrier() {}

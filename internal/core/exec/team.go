@@ -73,6 +73,17 @@ func (c *teamCtx) Bounds(bounds []int, body func(lo, hi, w int)) {
 	c.tc.Bounds(bounds, func(lo, hi int) { body(lo, hi, w) })
 }
 
+func (c *teamCtx) StealRange(n int, body func(lo, hi, w int)) {
+	w := c.tc.W
+	if c.coordinates() {
+		t0 := time.Now()
+		c.tc.Steal(n, func(lo, hi int) { body(lo, hi, w) })
+		c.rec.AddRoundTime(time.Since(t0))
+		return
+	}
+	c.tc.Steal(n, func(lo, hi int) { body(lo, hi, w) })
+}
+
 func (c *teamCtx) Barrier()        { c.tc.Barrier() }
 func (c *teamCtx) Single(f func()) { c.tc.Single(f) }
 

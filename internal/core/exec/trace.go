@@ -63,6 +63,7 @@ func (st *TraceStats) TotalIters() uint64 {
 // execution in differential tests.
 type traceCtx struct {
 	p     int
+	chunk int // machine chunk size, bounding the stealing chunk geometry
 	flag  *Flag
 	stats *TraceStats
 	round uint32
@@ -124,6 +125,32 @@ func (c *traceCtx) Bounds(bounds []int, body func(lo, hi, w int)) {
 		if lo, hi := bounds[w], bounds[w+1]; lo < hi {
 			c.stats.Iters[w] += uint64(hi - lo)
 			body(lo, hi, w)
+		}
+	}
+}
+
+// StealRange replays the stealing loop's recorded chunk log: with a serial
+// replay no worker ever idles, so no steals occur and each logical worker's
+// log is exactly its seeded deque drained in ascending index order — the
+// block partition of [0, n), walked chunk by chunk with the real chunk
+// geometry (sched.StealChunk of the machine's chunk bound). Deterministic,
+// like every trace loop.
+func (c *traceCtx) StealRange(n int, body func(lo, hi, w int)) {
+	c.stats.Steps++
+	c.stats.Barriers++
+	if n <= 0 {
+		return
+	}
+	chunk := sched.StealChunk(n, c.p, c.chunk)
+	for w := 0; w < c.p; w++ {
+		lo, hi := sched.BlockRange(n, c.p, w)
+		c.stats.Iters[w] += uint64(hi - lo)
+		for clo := lo; clo < hi; clo += chunk {
+			chi := clo + chunk
+			if chi > hi {
+				chi = hi
+			}
+			body(clo, chi, w)
 		}
 	}
 }

@@ -61,6 +61,12 @@ type Machine struct {
 	teamReady   atomic.Uint64
 	teamAborted atomic.Bool
 
+	// steal is the one pre-allocated work-stealing deque set shared by all
+	// stealing loops (the sched.Stealing policy and ParallelSteal). Like
+	// teamCur it is reset per loop, never per machine: caller-side under
+	// the pool backend, via the team ticket protocol in-region.
+	steal *sched.Stealer
+
 	// rec is the live-metrics recorder, nil unless WithMetrics was given.
 	// Every instrumented path in the machine hangs off a single
 	// `m.rec != nil` branch, so the metrics-off hot path is unchanged.
@@ -77,9 +83,13 @@ type stepDesc struct {
 	ranged func(lo, hi, w int)
 	bounds []int // optional shard boundaries for ranged (ParallelBounds)
 	cursor *sched.Cursor
-	team   func(tc *TeamCtx)
-	quit   bool
-	panics []any // one slot per worker, pre-sized; nil = no panic
+	// stealer, when non-nil, makes workers drain the work-stealing deques
+	// instead of a static share or cursor: body (if set) runs per index,
+	// otherwise ranged runs per claimed chunk.
+	stealer *sched.Stealer
+	team    func(tc *TeamCtx)
+	quit    bool
+	panics  []any // one slot per worker, pre-sized; nil = no panic
 }
 
 // Option configures a Machine.
@@ -127,6 +137,7 @@ func New(p int, opts ...Option) *Machine {
 	m.bar = barrier.New(m.barKind, p+1)
 	m.teamBar = newTeamBarrier(p)
 	m.teamCur = sched.NewCursor(m.policy, 0, p, m.chunk)
+	m.steal = sched.NewStealer(p)
 	m.step.panics = make([]any, p)
 	for w := 0; w < p; w++ {
 		go m.worker(w)
@@ -139,6 +150,11 @@ func (m *Machine) P() int { return m.p }
 
 // Policy returns the partitioning policy.
 func (m *Machine) Policy() sched.Policy { return m.policy }
+
+// Chunk returns the configured chunk size (WithChunk, default
+// sched.DefaultChunk). The trace backend needs it to replay the stealing
+// policy's chunk geometry deterministically.
+func (m *Machine) Chunk() int { return m.chunk }
 
 // Exec returns the default execution backend chosen with WithExec.
 func (m *Machine) Exec() Exec { return m.exec }
@@ -210,10 +226,46 @@ func (m *Machine) ParallelForWorker(n int, body func(i, w int)) {
 		return
 	}
 	m.step = stepDesc{
-		n:      n,
-		body:   body,
-		cursor: m.cursorFor(n),
-		panics: m.step.panics,
+		n:       n,
+		body:    body,
+		cursor:  m.cursorFor(n),
+		stealer: m.stealerFor(n),
+		panics:  m.step.panics,
+	}
+	m.runStep()
+}
+
+// ParallelSteal executes one PRAM round under work stealing regardless of
+// the machine's configured policy: the index space [0, n) is cut into
+// chunks seeded onto per-worker deques (each worker's block share), and
+// body receives claimed chunks [lo, hi) with the claiming worker's id —
+// owners in ascending index order, thieves wherever they struck. It is the
+// entry point for irregular loops (skewed per-index cost) whose kernels
+// opt into stealing explicitly; regular loops should keep ParallelRange /
+// ParallelBounds. Implicit barrier on return, like every Parallel* round.
+func (m *Machine) ParallelSteal(n int, body func(lo, hi, w int)) {
+	if m.closed {
+		panic("machine: use after Close")
+	}
+	if n <= 0 {
+		return
+	}
+	if m.p == 1 {
+		if m.rec != nil {
+			t0 := time.Now()
+			body(0, n, 0)
+			m.rec.Shard(0).AddBusy(time.Since(t0))
+			return
+		}
+		body(0, n, 0)
+		return
+	}
+	m.steal.Reset(n, m.chunk)
+	m.step = stepDesc{
+		n:       n,
+		ranged:  body,
+		stealer: m.steal,
+		panics:  m.step.panics,
 	}
 	m.runStep()
 }
@@ -306,6 +358,18 @@ func (m *Machine) cursorFor(n int) *sched.Cursor {
 	return nil
 }
 
+// stealerFor resets and returns the machine's stealer when the configured
+// policy is Stealing, nil otherwise. Safe to reset caller-side: all claims
+// of the previous round happened before its end barrier, which the caller
+// passed before setting up this round.
+func (m *Machine) stealerFor(n int) *sched.Stealer {
+	if m.policy != sched.Stealing {
+		return nil
+	}
+	m.steal.Reset(n, m.chunk)
+	return m.steal
+}
+
 func (m *Machine) runStep() {
 	m.bar.Wait(m.p) // start phase: workers pick up m.step
 	m.bar.Wait(m.p) // end phase: all workers finished their shares
@@ -388,6 +452,20 @@ func (m *Machine) runShare(st stepDesc, id int) {
 			st.panics[id] = pv
 		}
 	}()
+	if st.stealer != nil {
+		var c sched.StealCounts
+		if st.body != nil {
+			c = st.stealer.Run(id, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					st.body(i, id)
+				}
+			})
+		} else {
+			c = st.stealer.Run(id, func(lo, hi int) { st.ranged(lo, hi, id) })
+		}
+		m.rec.Shard(id).AddSteal(c.Local, c.Steals, c.Fails)
+		return
+	}
 	if st.ranged != nil {
 		var lo, hi int
 		if st.bounds != nil {

@@ -131,7 +131,17 @@ func (tc *TeamCtx) For(n int, body func(i int)) {
 		return
 	}
 	if n > 0 {
-		sched.For(m.policy, tc.loopCursor(n), n, m.p, tc.W, body)
+		if m.policy == sched.Stealing {
+			st := tc.loopStealer(n)
+			c := st.Run(tc.W, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					body(i)
+				}
+			})
+			m.rec.Shard(tc.W).AddSteal(c.Local, c.Steals, c.Fails)
+		} else {
+			sched.For(m.policy, tc.loopCursor(n), n, m.p, tc.W, body)
+		}
 	}
 	tc.Barrier()
 }
@@ -187,6 +197,28 @@ func (tc *TeamCtx) Bounds(bounds []int, body func(lo, hi int)) {
 	tc.Barrier()
 }
 
+// Steal executes one work-shared round under work stealing regardless of
+// the machine's policy — the in-region analogue of Machine.ParallelSteal.
+// The index space [0, n) is cut into chunks seeded onto per-worker deques;
+// body receives each chunk this worker claims (its own share in ascending
+// order, then whatever it steals), followed by a team barrier. All workers
+// must call Steal with the same n (SPMD discipline).
+func (tc *TeamCtx) Steal(n int, body func(lo, hi int)) {
+	m := tc.m
+	if m.p == 1 {
+		if n > 0 {
+			body(0, n)
+		}
+		return
+	}
+	if n > 0 {
+		st := tc.loopStealer(n)
+		c := st.Run(tc.W, body)
+		m.rec.Shard(tc.W).AddSteal(c.Local, c.Steals, c.Fails)
+	}
+	tc.Barrier()
+}
+
 // Single executes f on exactly one worker (worker 0) while the others wait
 // at the closing team barrier — the in-region replacement for caller-side
 // serial sections (OpenMP's `single`). Data f reads must have been
@@ -232,6 +264,32 @@ func (tc *TeamCtx) loopCursor(n int) *sched.Cursor {
 		}
 	}
 	return m.teamCur
+}
+
+// loopStealer is loopCursor's work-stealing twin: exactly one worker per
+// stealing loop wins the reset ticket, seeds the machine's stealer for
+// [0, n), and publishes it through the ready word. It shares the epoch
+// sequence with loopCursor — a worker has one loop counter, and all
+// workers execute the same loop sequence, so the ticket words stay
+// consistent however cursor and stealing loops interleave.
+func (tc *TeamCtx) loopStealer(n int) *sched.Stealer {
+	m := tc.m
+	tc.epoch++
+	e := tc.epoch
+	if m.teamTicket.CompareAndSwap(e-1, e) {
+		m.steal.Reset(n, m.chunk)
+		m.teamReady.Store(e)
+	} else {
+		for spins := 0; m.teamReady.Load() < e; spins++ {
+			if spins > teamSpins {
+				if m.teamAborted.Load() {
+					panic(teamAbort{})
+				}
+				runtime.Gosched()
+			}
+		}
+	}
+	return m.steal
 }
 
 // Team runs body once on all P workers simultaneously — one persistent

@@ -65,8 +65,16 @@ type Shard struct {
 	// It is still uncontended (only the owning worker adds) and happens
 	// once per step/barrier, not per recorded claim.
 	barrierNs atomic.Int64
-	probe     *Probe // nil unless Recorder.EnableProbe
-	_         [128 - 7*8]byte
+	// Work-stealing scheduler counters (the sched.Stealing policy): chunks
+	// popped from the worker's own deque, chunks stolen from victims, and
+	// steal CAS attempts lost to a racing claimant. Credited once per
+	// stealing loop from the worker's own StealCounts — plain fields,
+	// ordered by the loop's closing barrier like the claim counters.
+	chunksLocal uint64
+	steals      uint64
+	stealFails  uint64
+	probe       *Probe // nil unless Recorder.EnableProbe
+	_           [128 - 10*8]byte
 }
 
 // Claim records the outcome of one winner-selection attempt on cell i in
@@ -103,6 +111,17 @@ func (s *Shard) record(i int, round uint32, o cw.Outcome) bool {
 		p.touch(i, round)
 	}
 	return o == cw.OutcomeWin
+}
+
+// AddSteal credits one stealing loop's chunk-dispatch outcome to this
+// worker: local own-deque pops, successful steals, and failed steal CAS
+// attempts. Called once per stealing loop, not per chunk. Nil-safe.
+func (s *Shard) AddSteal(local, steals, fails uint64) {
+	if s != nil {
+		s.chunksLocal += local
+		s.steals += steals
+		s.stealFails += fails
+	}
 }
 
 // AddBusy credits d of loop-body execution time to this worker. Nil-safe.
@@ -221,6 +240,7 @@ func (r *Recorder) Reset() {
 	for w := range r.shards {
 		sh := &r.shards[w]
 		sh.attempts, sh.wins, sh.losses, sh.skips = 0, 0, 0, 0
+		sh.chunksLocal, sh.steals, sh.stealFails = 0, 0, 0
 		sh.busyNs = 0
 		sh.barrierNs.Store(0)
 	}
@@ -251,7 +271,13 @@ type Snapshot struct {
 	// MaxCellClaims is the maximum number of executed attempts observed on
 	// any single cell within any single round — the paper's ≤ P quantity.
 	// Zero unless a probe was enabled.
-	MaxCellClaims  uint64
+	MaxCellClaims uint64
+	// Work-stealing chunk dispatch totals (zero unless some loop ran under
+	// sched.Stealing): own-deque pops, successful steals, and steal CAS
+	// attempts lost to a racing claimant.
+	ChunksLocal    uint64
+	Steals         uint64
+	StealFails     uint64
 	WorkerBusyNs   []int64
 	WorkerBarrier  []int64
 	WorkerAttempts []uint64
@@ -277,6 +303,9 @@ func (r *Recorder) Snapshot() Snapshot {
 		s.CASWins += sh.wins
 		s.CASLosses += sh.losses
 		s.PrecheckSkips += sh.skips
+		s.ChunksLocal += sh.chunksLocal
+		s.Steals += sh.steals
+		s.StealFails += sh.stealFails
 		s.BusyNs += sh.busyNs
 		bw := sh.barrierNs.Load()
 		s.BarrierWaitNs += bw

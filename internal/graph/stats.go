@@ -66,6 +66,34 @@ func ComputeStats(g *Graph) Stats {
 	return s
 }
 
+// DegreeSkewed reports whether g's degree distribution is hub-heavy enough
+// that equal-count vertex shards are likely to straggle — the condition
+// under which the irregular kernels (frontier BFS relaxation, randmate CC
+// hooking, matching proposals) default to the work-stealing scheduler
+// instead of static partitioning. The test is deliberately coarse: some
+// vertex carries both an absolute hub's worth of arcs (≥ stealHubDegree)
+// and ≥ stealSkewFactor times the average, which holds for R-MAT and star
+// families and fails for paths, grids and uniform random multigraphs.
+// One O(n) degree sweep; no allocation.
+func DegreeSkewed(g *Graph) bool {
+	const (
+		stealHubDegree  = 64
+		stealSkewFactor = 8
+	)
+	n := g.NumVertices()
+	if n == 0 {
+		return false
+	}
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if d := g.Degree(uint32(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(g.NumArcs()) / float64(n)
+	return maxDeg >= stealHubDegree && float64(maxDeg) >= stealSkewFactor*avg
+}
+
 // CountComponents returns the number of connected components, treating arcs
 // as traversable in the stored direction only (for undirected graphs both
 // directions are stored, so this is the usual undirected component count).

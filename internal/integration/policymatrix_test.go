@@ -1,0 +1,204 @@
+// The scheduling-policy differential matrix: every kernel of the suite
+// runs on fixed-seed inputs under every partitioning policy
+// (block | cyclic | dynamic | guided | stealing) on both timed backends,
+// and the deterministic projection of each result must be byte-identical
+// to the block/pool reference. Policy selects which worker visits which
+// index — never who may write what — so any divergence here is a
+// partition-coverage bug (an index visited twice or not at all) or a
+// missing synchronization edge in a policy's claim path. CI runs this
+// package under -race, which puts the stealing deques' owner-pop/thief-CAS
+// races and the dynamic/guided cursor fetch-adds under the detector with
+// real concurrency.
+//
+// The kernels whose irregular loops auto-default to stealing on skewed
+// graphs (BFS frontier/hybrid, randmate CC, matching) keep their defaults
+// here: on the hub-skewed workload their StealRange path runs in every
+// cell on top of the machine-policy axis, so both stealing entry points
+// (machine policy and kernel opt-in) are covered.
+package integration
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"crcwpram/internal/alg/bfs"
+	"crcwpram/internal/alg/cc"
+	"crcwpram/internal/alg/listrank"
+	"crcwpram/internal/alg/matching"
+	"crcwpram/internal/alg/maxfind"
+	"crcwpram/internal/alg/mis"
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/sched"
+)
+
+// policyExecs are the timed backends; the trace replay is policy-blind by
+// design (it always replays the block partition) and is covered by the
+// exec matrix.
+var policyExecs = []machine.Exec{machine.ExecPool, machine.ExecTeam}
+
+// policyMachines returns one 4-worker machine per scheduling policy,
+// closed on test cleanup. Policies[0] is Block — the reference cell.
+func policyMachines(t *testing.T) []*machine.Machine {
+	t.Helper()
+	ms := make([]*machine.Machine, 0, len(sched.Policies))
+	for _, pol := range sched.Policies {
+		m := machine.New(4, machine.WithPolicy(pol))
+		t.Cleanup(m.Close)
+		ms = append(ms, m)
+	}
+	return ms
+}
+
+// runPolicyMatrix evaluates one kernel cell under every policy × backend
+// and fails unless all projections match the block/pool reference.
+func runPolicyMatrix(t *testing.T, ms []*machine.Machine, tag string, run func(m *machine.Machine, e machine.Exec) []byte) {
+	t.Helper()
+	var want []byte
+	first := true
+	for i, m := range ms {
+		for _, e := range policyExecs {
+			got := run(m, e)
+			if first {
+				want = got
+				first = false
+				continue
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: policy %v under %s diverges from %v/%s (projections %d vs %d bytes)",
+					tag, sched.Policies[i], e, sched.Policies[0], policyExecs[0], len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestPolicyMatrixBFS(t *testing.T) {
+	ms := policyMachines(t)
+	for _, wl := range matrixGraphs() {
+		// One kernel per machine: kernels borrow their machine for life.
+		for name, variant := range map[string]func(*bfs.Kernel, machine.Exec) bfs.Result{
+			"caslt":    func(k *bfs.Kernel, e machine.Exec) bfs.Result { return k.RunExec(e, cw.CASLT) },
+			"frontier": func(k *bfs.Kernel, e machine.Exec) bfs.Result { return k.RunCASLTFrontierExec(e) },
+			"hybrid":   func(k *bfs.Kernel, e machine.Exec) bfs.Result { return k.RunCASLTHybridExec(e) },
+		} {
+			kernels := make(map[*machine.Machine]*bfs.Kernel, len(ms))
+			for _, m := range ms {
+				kernels[m] = bfs.NewKernel(m, wl.g)
+			}
+			tag := fmt.Sprintf("%s bfs-%s", wl.name, name)
+			runPolicyMatrix(t, ms, tag, func(m *machine.Machine, e machine.Exec) []byte {
+				k := kernels[m]
+				k.Prepare(0)
+				r := variant(k, e)
+				if err := bfs.ValidateBidir(wl.g, 0, r); err != nil {
+					t.Fatalf("%s policy=%v under %s: %v", tag, m.Policy(), e, err)
+				}
+				return bfsProjection(r)
+			})
+		}
+	}
+}
+
+func TestPolicyMatrixCC(t *testing.T) {
+	ms := policyMachines(t)
+	for _, wl := range matrixGraphs() {
+		kernels := make(map[*machine.Machine]*cc.Kernel, len(ms))
+		for _, m := range ms {
+			kernels[m] = cc.NewKernel(m, wl.g)
+		}
+		tag := fmt.Sprintf("%s cc/caslt", wl.name)
+		runPolicyMatrix(t, ms, tag, func(m *machine.Machine, e machine.Exec) []byte {
+			k := kernels[m]
+			k.Prepare()
+			r := k.RunExec(e, cw.CASLT)
+			if err := cc.Validate(wl.g, r); err != nil {
+				t.Fatalf("%s policy=%v under %s: %v", tag, m.Policy(), e, err)
+			}
+			return u32bytes(canonicalPartition(r.Labels))
+		})
+		tag = fmt.Sprintf("%s cc/randmate", wl.name)
+		runPolicyMatrix(t, ms, tag, func(m *machine.Machine, e machine.Exec) []byte {
+			k := kernels[m]
+			k.Prepare()
+			r := k.RunRandMateExec(e, 42)
+			if err := cc.Validate(wl.g, r); err != nil {
+				t.Fatalf("%s policy=%v under %s: %v", tag, m.Policy(), e, err)
+			}
+			return u32bytes(canonicalPartition(r.Labels))
+		})
+	}
+}
+
+func TestPolicyMatrixMaxfindMIS(t *testing.T) {
+	ms := policyMachines(t)
+
+	list := make([]uint32, 300)
+	for i := range list {
+		list[i] = uint32((i * 131) % 197)
+	}
+	want := maxfind.Sequential(list)
+	kernels := make(map[*machine.Machine]*maxfind.Kernel, len(ms))
+	for _, m := range ms {
+		kernels[m] = maxfind.NewKernel(m, len(list))
+	}
+	runPolicyMatrix(t, ms, "maxfind/caslt", func(m *machine.Machine, e machine.Exec) []byte {
+		k := kernels[m]
+		k.Prepare(list)
+		got := k.RunExec(e, cw.CASLT)
+		if got != want {
+			t.Fatalf("maxfind policy=%v under %s: max %d, want %d", m.Policy(), e, got, want)
+		}
+		return []byte{byte(got), byte(got >> 8), byte(got >> 16), byte(got >> 24)}
+	})
+
+	for _, wl := range matrixGraphs() {
+		misKernels := make(map[*machine.Machine]*mis.Kernel, len(ms))
+		for _, m := range ms {
+			misKernels[m] = mis.NewKernel(m, wl.g)
+		}
+		tag := fmt.Sprintf("%s mis/caslt", wl.name)
+		runPolicyMatrix(t, ms, tag, func(m *machine.Machine, e machine.Exec) []byte {
+			k := misKernels[m]
+			k.Prepare()
+			inSet := k.RunExec(e, cw.CASLT, 7)
+			if err := mis.Validate(wl.g, inSet); err != nil {
+				t.Fatalf("%s policy=%v under %s: %v", tag, m.Policy(), e, err)
+			}
+			return u32bytes(inSet)
+		})
+	}
+}
+
+func TestPolicyMatrixMatchingListRank(t *testing.T) {
+	ms := policyMachines(t)
+
+	for _, wl := range matrixGraphs() {
+		kernels := make(map[*machine.Machine]*matching.Kernel, len(ms))
+		for _, m := range ms {
+			kernels[m] = matching.NewKernel(m, wl.g)
+		}
+		tag := fmt.Sprintf("%s matching", wl.name)
+		runPolicyMatrix(t, ms, tag, func(m *machine.Machine, e machine.Exec) []byte {
+			k := kernels[m]
+			k.Prepare()
+			r := k.RunExec(e, 7)
+			if err := matching.Validate(wl.g, r); err != nil {
+				t.Fatalf("%s policy=%v under %s: %v", tag, m.Policy(), e, err)
+			}
+			// At P=4 the arbitrary-write winners legitimately differ per
+			// policy; the validator is the check (as in the exec matrix).
+			return nil
+		})
+	}
+
+	next := listrank.RandomList(2000, 2000)
+	want := u32bytes(listrank.SequentialRank(next))
+	runPolicyMatrix(t, ms, "listrank", func(m *machine.Machine, e machine.Exec) []byte {
+		got := u32bytes(listrank.RankExec(m, e, next))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("listrank policy=%v under %s: ranks diverge from sequential", m.Policy(), e)
+		}
+		return got
+	})
+}

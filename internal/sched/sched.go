@@ -43,10 +43,14 @@ const (
 	Dynamic
 	// Guided hands out geometrically shrinking chunks from a shared cursor.
 	Guided
+	// Stealing seeds per-worker deques with the chunks of each worker's
+	// block share; idle workers steal chunks from random victims. No shared
+	// cursor on the common path — see Stealer.
+	Stealing
 )
 
 // Policies lists all policies in presentation order.
-var Policies = []Policy{Block, Cyclic, Dynamic, Guided}
+var Policies = []Policy{Block, Cyclic, Dynamic, Guided, Stealing}
 
 func (p Policy) String() string {
 	switch p {
@@ -58,6 +62,8 @@ func (p Policy) String() string {
 		return "dynamic"
 	case Guided:
 		return "guided"
+	case Stealing:
+		return "stealing"
 	default:
 		return "unknown-policy"
 	}
@@ -107,8 +113,17 @@ type Cursor struct {
 // For Dynamic, chunk is the grab size (DefaultChunk if <= 0). For Guided,
 // chunk is the minimum grab size.
 func NewCursor(policy Policy, n, p, chunk int) *Cursor {
+	// Sanitize here rather than in every caller: a nonsensical chunk falls
+	// back to the default, a negative index space is empty, and a party
+	// larger than the index space (n < p) must not push Guided's
+	// remaining/parties quotient to zero-size grabs — Next floors every
+	// grab at the minimum chunk, so oversubscribed parties still make
+	// progress one chunk at a time.
 	if chunk <= 0 {
 		chunk = DefaultChunk
+	}
+	if n < 0 {
+		n = 0
 	}
 	return &Cursor{
 		n:       int64(n),
@@ -181,6 +196,17 @@ func For(policy Policy, cur *Cursor, n, p, w int, body func(i int)) {
 			for i := lo; i < hi; i++ {
 				body(i)
 			}
+		}
+	case Stealing:
+		// Work stealing needs per-loop deque state (a Stealer), which the
+		// machine owns and drives directly. Callers that reach this
+		// cursor-shaped entry point (serial fallbacks, p == 1) get the
+		// stealing policy's seed order, which is exactly the block
+		// partition: each worker's deque is seeded with its block share,
+		// and an uncontended owner drains it in ascending index order.
+		lo, hi := BlockRange(n, p, w)
+		for i := lo; i < hi; i++ {
+			body(i)
 		}
 	default:
 		panic("sched: unknown policy " + policy.String())

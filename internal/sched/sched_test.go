@@ -141,6 +141,80 @@ func TestGuidedChunksShrink(t *testing.T) {
 	}
 }
 
+// Regression: the constructor sanitizes degenerate shapes instead of
+// relying on callers — chunk <= 0 falls back to the default, a negative
+// index space is empty, and an oversubscribed party (n < p) still makes
+// progress under Guided because grabs floor at the minimum chunk rather
+// than shrinking to remaining/parties = 0.
+func TestNewCursorClamps(t *testing.T) {
+	// chunk <= 0: Dynamic grabs DefaultChunk, not 0 (which would spin).
+	cur := NewCursor(Dynamic, 1000, 4, 0)
+	lo, hi, ok := cur.Next()
+	if !ok || lo != 0 || hi != DefaultChunk {
+		t.Fatalf("Dynamic chunk<=0: first grab [%d,%d) ok=%v, want [0,%d)", lo, hi, ok, DefaultChunk)
+	}
+	cur = NewCursor(Dynamic, 1000, 4, -7)
+	if _, hi, _ := cur.Next(); hi != DefaultChunk {
+		t.Fatalf("Dynamic negative chunk: grab ends at %d, want %d", hi, DefaultChunk)
+	}
+
+	// Negative n: empty, exhausted immediately.
+	cur = NewCursor(Dynamic, -10, 4, 16)
+	if _, _, ok := cur.Next(); ok {
+		t.Fatal("cursor over negative n yielded a chunk")
+	}
+
+	// n < p under Guided: remaining/parties is 0 for every grab, so the
+	// floor at chunk is what makes progress. Exact cover, chunk-size grabs.
+	cur = NewCursor(Guided, 10, 16, 4)
+	var sizes []int
+	total := 0
+	for {
+		lo, hi, ok := cur.Next()
+		if !ok {
+			break
+		}
+		sizes = append(sizes, hi-lo)
+		total += hi - lo
+	}
+	if total != 10 {
+		t.Fatalf("guided n<p covered %d indices, want 10", total)
+	}
+	for i, s := range sizes[:len(sizes)-1] {
+		if s != 4 {
+			t.Fatalf("guided n<p grab %d has size %d, want the 4-index floor", i, s)
+		}
+	}
+
+	// p <= 0 is clamped to a party of one.
+	cur = NewCursor(Guided, 100, 0, 10)
+	if lo, hi, ok := cur.Next(); !ok || lo != 0 || hi-lo < 10 {
+		t.Fatalf("guided p=0: first grab [%d,%d) ok=%v", lo, hi, ok)
+	}
+}
+
+// Regression: Guided's geometric shrink floors at the minimum chunk — tail
+// grabs must never degrade to per-index fetch-adds.
+func TestGuidedFloorsAtChunk(t *testing.T) {
+	cur := NewCursor(Guided, 5000, 8, 32)
+	var sizes []int
+	for {
+		lo, hi, ok := cur.Next()
+		if !ok {
+			break
+		}
+		sizes = append(sizes, hi-lo)
+	}
+	for i, s := range sizes[:len(sizes)-1] {
+		if s < 32 {
+			t.Fatalf("guided grab %d has size %d < floor 32", i, s)
+		}
+	}
+	if last := sizes[len(sizes)-1]; last > 32 && last != 5000%32 && sizes[0] == 32 {
+		t.Fatalf("unexpected final grab %d", last)
+	}
+}
+
 // Property: for any (n, p, policy, chunk) the partition is an exact cover.
 func TestQuickExactCover(t *testing.T) {
 	f := func(nRaw uint16, pRaw, chunkRaw uint8, polRaw uint8) bool {

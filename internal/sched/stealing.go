@@ -1,0 +1,259 @@
+package sched
+
+// Work-stealing partitioning (the Stealing policy).
+//
+// Dynamic and Guided serialize every chunk grab through one shared atomic
+// cursor — a centralized hot word that all P workers hammer, which is the
+// contention pattern the CAS-LT cells were designed to avoid at the data
+// level. Stealing removes the shared cursor from the common path entirely:
+// each worker owns a bounded Chase–Lev deque seeded once per loop with the
+// chunk descriptors of that worker's block share. The owner pops chunks
+// from its own deque with plain loads and stores (one CAS only when racing
+// a thief for the last element); a worker whose deque runs dry turns thief
+// and CASes a chunk off the top of a randomly chosen victim's deque, with
+// exponential backoff between unsuccessful sweeps.
+//
+// Because chunks are seeded up front and never pushed mid-loop, the deque
+// is implicit: two atomic counters (top, bottom) index a virtual sequence
+// of chunk descriptors derived arithmetically from the worker's block range
+// [lo, hi) and the chunk size. There is no buffer array to race on, no
+// resizing, and no ABA — top is strictly monotone within one loop.
+//
+// Seed order is chosen so the uncontended case degenerates to Block: the
+// deque position q maps to chunk index nch-1-q, so the owner's LIFO pops
+// walk its block share in ascending index order (stream-friendly, and the
+// order the trace backend replays), while thieves take from the top — the
+// chunk farthest from the owner's current working set.
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+const (
+	// stealMinChunk is the smallest chunk the Stealing policy hands out;
+	// below this the per-chunk dispatch cost dominates the work.
+	stealMinChunk = 8
+	// stealChunksPerWorker is the seeding target: each worker's share is cut
+	// into about this many chunks, enough slack for thieves without
+	// shredding locality.
+	stealChunksPerWorker = 16
+)
+
+// StealChunk returns the chunk size the Stealing policy uses for an n-index
+// loop over a party of p, bounded above by maxChunk (DefaultChunk when
+// maxChunk <= 0). The trace backend and the bench scheduling model call this
+// too: all backends must agree on the chunk geometry for the replay to be
+// faithful.
+func StealChunk(n, p, maxChunk int) int {
+	if p < 1 {
+		p = 1
+	}
+	if maxChunk <= 0 {
+		maxChunk = DefaultChunk
+	}
+	c := n / (p * stealChunksPerWorker)
+	if c < stealMinChunk {
+		c = stealMinChunk
+	}
+	if c > maxChunk {
+		c = maxChunk
+	}
+	return c
+}
+
+// stealDeque is one worker's implicit Chase–Lev deque over the virtual
+// chunk positions [0, nch). Positions [top, bottom) are unclaimed; the
+// owner pops at bottom, thieves CAS top forward. lo/hi/chunk/nch are plain
+// fields: Reset writes them while the party is quiescent and the loop-entry
+// barrier (or the team epoch word) publishes them before any claim.
+type stealDeque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	lo     int64
+	hi     int64
+	chunk  int64
+	nch    int64
+	_      [128 - 6*8]byte // one deque per cache-line pair; no false sharing
+}
+
+// chunkAt maps deque position q to its chunk's index range. Position 0 (the
+// steal end) is the highest chunk of the share; position nch-1 (the first
+// owner pop) is the lowest.
+func (d *stealDeque) chunkAt(q int64) (lo, hi int) {
+	idx := d.nch - 1 - q
+	clo := d.lo + idx*d.chunk
+	chi := clo + d.chunk
+	if chi > d.hi {
+		chi = d.hi
+	}
+	return int(clo), int(chi)
+}
+
+// pop claims the bottom element (owner only). The only CAS is the
+// last-element race against thieves.
+func (d *stealDeque) pop() (q int64, ok bool) {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	// Go's sync/atomic is sequentially consistent, so this load cannot be
+	// reordered before the bottom store — a thief observing the old bottom
+	// and this owner cannot both claim the same position.
+	t := d.top.Load()
+	if t < b {
+		return b, true
+	}
+	if t == b {
+		// Last element: race any thief that read the old bottom.
+		ok = d.top.CompareAndSwap(t, t+1)
+		d.bottom.Store(t + 1)
+		return b, ok
+	}
+	// Already empty; undo the decrement.
+	d.bottom.Store(t)
+	return 0, false
+}
+
+// steal claims the top element (thieves only). contended distinguishes a
+// lost CAS race from an empty deque so the caller can count failures
+// without retrying on exhausted victims.
+func (d *stealDeque) steal() (q int64, ok, contended bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return 0, false, false
+	}
+	if d.top.CompareAndSwap(t, t+1) {
+		return t, true, false
+	}
+	return 0, false, true
+}
+
+// empty reports whether the deque has no unclaimed positions.
+func (d *stealDeque) empty() bool {
+	return d.top.Load() >= d.bottom.Load()
+}
+
+// StealCounts summarizes one worker's share of a stealing loop.
+type StealCounts struct {
+	// Local counts chunks the worker popped from its own deque.
+	Local uint64
+	// Steals counts chunks taken from other workers' deques.
+	Steals uint64
+	// Fails counts steal CAS attempts lost to a racing claimant (empty
+	// victims are not failures; they end the sweep).
+	Fails uint64
+}
+
+// Stealer is the per-loop shared state of the Stealing policy: one deque
+// per worker. A machine allocates one Stealer per party and Resets it for
+// each stealing loop, exactly like a Cursor.
+type Stealer struct {
+	deques []stealDeque
+	p      int
+}
+
+// NewStealer returns a stealer for a party of p workers.
+func NewStealer(p int) *Stealer {
+	if p < 1 {
+		p = 1
+	}
+	return &Stealer{deques: make([]stealDeque, p), p: p}
+}
+
+// Reset seeds every worker's deque with the chunk descriptors of that
+// worker's block share of a fresh index space [0, n), using
+// StealChunk(n, p, maxChunk) as the chunk size. Like Cursor.Reset it is NOT
+// safe against concurrent Run: the caller must publish it to the party
+// through an acquire/release edge (a barrier, or the machine's team epoch
+// word) before any worker claims.
+func (s *Stealer) Reset(n, maxChunk int) {
+	if n < 0 {
+		n = 0
+	}
+	chunk := int64(StealChunk(n, s.p, maxChunk))
+	for w := range s.deques {
+		d := &s.deques[w]
+		lo, hi := BlockRange(n, s.p, w)
+		d.lo, d.hi, d.chunk = int64(lo), int64(hi), chunk
+		d.nch = (int64(hi-lo) + chunk - 1) / chunk
+		d.top.Store(0)
+		d.bottom.Store(d.nch)
+	}
+}
+
+// Run executes worker w's part of the current stealing loop: drain the own
+// deque bottom-up (ascending index order), then turn thief until every
+// deque in the party is empty. body is invoked with claimed chunk ranges
+// [lo, hi); across the whole party every index is visited exactly once.
+// Chunks in flight when Run returns belong to other workers — the loop's
+// closing barrier, not Run, is what makes all effects visible.
+func (s *Stealer) Run(w int, body func(lo, hi int)) StealCounts {
+	var c StealCounts
+	own := &s.deques[w]
+	for {
+		q, ok := own.pop()
+		if !ok {
+			break
+		}
+		lo, hi := own.chunkAt(q)
+		body(lo, hi)
+		c.Local++
+	}
+	if s.p == 1 {
+		return c
+	}
+	// Own deque is dry: steal. Victim selection is a cheap xorshift walk —
+	// random enough to avoid convoying, deterministic-free of shared state.
+	rng := uint64(w)*0x9e3779b97f4a7c15 + 0x6b79d8a65d2c8f1d
+	backoff := 1
+	for {
+		stole := false
+		for tries := 0; tries < 2*s.p; tries++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			v := int(rng % uint64(s.p))
+			if v == w {
+				continue
+			}
+			q, ok, contended := s.deques[v].steal()
+			if contended {
+				c.Fails++
+				continue
+			}
+			if !ok {
+				continue
+			}
+			lo, hi := s.deques[v].chunkAt(q)
+			body(lo, hi)
+			c.Steals++
+			stole = true
+			backoff = 1
+			break
+		}
+		if stole {
+			continue
+		}
+		// Precise termination: an unclaimed chunk is always visible in some
+		// deque (pop/steal linearize claims on top/bottom), so one clean
+		// sweep over all deques proves there is nothing left to take.
+		drained := true
+		for v := range s.deques {
+			if !s.deques[v].empty() {
+				drained = false
+				break
+			}
+		}
+		if drained {
+			return c
+		}
+		// Exponential backoff between sweeps; Gosched rather than spin so
+		// oversubscribed parties (more workers than cores) make progress.
+		for i := 0; i < backoff; i++ {
+			runtime.Gosched()
+		}
+		if backoff < 64 {
+			backoff <<= 1
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestStealChunkBounds(t *testing.T) {
+	cases := []struct{ n, p, maxChunk, want int }{
+		{0, 4, 0, stealMinChunk},                              // empty loop still gets a sane chunk
+		{100, 4, 0, stealMinChunk},                            // small n floors at the minimum
+		{1 << 20, 4, 0, DefaultChunk},                         // large n caps at the default
+		{1 << 20, 4, 64, 64},                                  // explicit machine chunk caps
+		{1 << 14, 4, 0, 1 << 14 / (4 * stealChunksPerWorker)}, // interior
+		{1000, 0, 0, 1000 / stealChunksPerWorker},             // p clamped to 1
+		{1 << 20, 1, -5, DefaultChunk},                        // maxChunk <= 0 falls back
+	}
+	for _, c := range cases {
+		if got := StealChunk(c.n, c.p, c.maxChunk); got != c.want {
+			t.Errorf("StealChunk(%d, %d, %d) = %d, want %d", c.n, c.p, c.maxChunk, got, c.want)
+		}
+	}
+}
+
+// An uncontended owner must drain its own deque first, in ascending index
+// order over exactly its block share — the property the trace backend's
+// deterministic replay depends on. Run here as a single worker against
+// still-seeded victims: the own pops come first and in order, then the
+// thief phase sweeps up everything the absent workers left behind.
+func TestStealerOwnerOrderIsBlock(t *testing.T) {
+	const n, p = 1000, 4
+	s := NewStealer(p)
+	s.Reset(n, 0)
+	blo, bhi := BlockRange(n, p, 0)
+	next := blo
+	ownDone := false
+	covered := make([]int, n)
+	c := s.Run(0, func(lo, hi int) {
+		if !ownDone {
+			if lo != next {
+				t.Fatalf("own chunk starts at %d, want %d (ascending order broken)", lo, next)
+			}
+			next = hi
+			if next == bhi {
+				ownDone = true
+			}
+		}
+		for i := lo; i < hi; i++ {
+			covered[i]++
+		}
+	})
+	if !ownDone {
+		t.Fatalf("own share drained only to %d, want %d", next, bhi)
+	}
+	if c.Local == 0 || c.Steals == 0 {
+		t.Fatalf("lone worker should both pop (%d) and steal (%d)", c.Local, c.Steals)
+	}
+	// The other workers arrive late to a picked-clean party.
+	for w := 1; w < p; w++ {
+		s.Run(w, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				covered[i]++
+			}
+		})
+	}
+	for i, k := range covered {
+		if k != 1 {
+			t.Fatalf("index %d covered %d times", i, k)
+		}
+	}
+}
+
+func TestStealerConcurrentExactCover(t *testing.T) {
+	cases := []struct{ n, p, maxChunk int }{
+		{0, 4, 0}, {1, 4, 0}, {7, 8, 0}, {1000, 4, 16}, {10000, 8, 0}, {257, 3, 8},
+	}
+	for _, c := range cases {
+		counts := make([]atomic.Int32, c.n)
+		s := NewStealer(c.p)
+		s.Reset(c.n, c.maxChunk)
+		var wg sync.WaitGroup
+		wg.Add(c.p)
+		var local, steals atomic.Uint64
+		for w := 0; w < c.p; w++ {
+			w := w
+			go func() {
+				defer wg.Done()
+				sc := s.Run(w, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						counts[i].Add(1)
+					}
+				})
+				local.Add(sc.Local)
+				steals.Add(sc.Steals)
+			}()
+		}
+		wg.Wait()
+		for i := range counts {
+			if k := counts[i].Load(); k != 1 {
+				t.Fatalf("n=%d p=%d chunk=%d: index %d visited %d times", c.n, c.p, c.maxChunk, i, k)
+			}
+		}
+		chunk := int64(StealChunk(c.n, c.p, c.maxChunk))
+		wantChunks := int64(0)
+		for w := 0; w < c.p; w++ {
+			lo, hi := BlockRange(c.n, c.p, w)
+			wantChunks += (int64(hi-lo) + chunk - 1) / chunk
+		}
+		if got := local.Load() + steals.Load(); int64(got) != wantChunks {
+			t.Fatalf("n=%d p=%d: %d chunks claimed, want %d", c.n, c.p, got, wantChunks)
+		}
+	}
+}
+
+// Reuse across Reset mirrors the team backend's per-round reuse.
+func TestStealerResetReuse(t *testing.T) {
+	s := NewStealer(3)
+	for round, n := range []int{100, 0, 57, 1000} {
+		s.Reset(n, 0)
+		counts := make([]atomic.Int32, n)
+		var wg sync.WaitGroup
+		wg.Add(3)
+		for w := 0; w < 3; w++ {
+			w := w
+			go func() {
+				defer wg.Done()
+				s.Run(w, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						counts[i].Add(1)
+					}
+				})
+			}()
+		}
+		wg.Wait()
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				t.Fatalf("round %d n=%d: index %d not covered exactly once", round, n, i)
+			}
+		}
+	}
+}
+
+// Property test: exact cover for arbitrary shapes, including n < p and a
+// negative n (clamped to empty).
+func TestQuickStealerExactCover(t *testing.T) {
+	f := func(nRaw uint16, pRaw, chunkRaw uint8) bool {
+		n := int(nRaw) % 3000
+		p := int(pRaw)%8 + 1
+		maxChunk := int(chunkRaw) % 64
+		counts := make([]atomic.Int32, n)
+		s := NewStealer(p)
+		s.Reset(n, maxChunk)
+		var wg sync.WaitGroup
+		wg.Add(p)
+		for w := 0; w < p; w++ {
+			w := w
+			go func() {
+				defer wg.Done()
+				s.Run(w, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						counts[i].Add(1)
+					}
+				})
+			}()
+		}
+		wg.Wait()
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStealerNegativeN(t *testing.T) {
+	s := NewStealer(2)
+	s.Reset(-5, 0)
+	ran := false
+	s.Run(0, func(lo, hi int) { ran = true })
+	s.Run(1, func(lo, hi int) { ran = true })
+	if ran {
+		t.Fatal("stealer visited indices of a negative index space")
+	}
+}

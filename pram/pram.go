@@ -169,7 +169,18 @@ const (
 	Cyclic  = sched.Cyclic
 	Dynamic = sched.Dynamic
 	Guided  = sched.Guided
+	// Stealing partitions each loop onto per-worker chunk deques (each
+	// worker's block share); idle workers steal chunks from random victims,
+	// with no shared cursor on the common path.
+	Stealing = sched.Stealing
 )
+
+// ParsePolicy converts a policy name ("block", "cyclic", "dynamic",
+// "guided", "stealing") to a Policy for WithPolicy.
+func ParsePolicy(s string) (sched.Policy, bool) { return sched.ParsePolicy(s) }
+
+// Policies lists all scheduling policies in presentation order.
+var Policies = sched.Policies
 
 // Barrier constructions for WithBarrier.
 const (
