@@ -62,6 +62,17 @@
 //	                path with per-chunk acquisition costs vs the ideal
 //	                split) and the live deque counters of the stealing
 //	                cells; combinable like -roundoverhead
+//	-locality       run the memory-layout sweep: pull and hybrid BFS on an
+//	                RMAT graph across the representation axis (word-per-cell
+//	                membership arrays vs bit-packed fetch-OR frontiers), the
+//	                CSR relabeling axis and the LocThreads axis, reporting
+//	                wall medians plus the deterministic cache-line-touch
+//	                model on the bitmap cells; combinable like
+//	                -roundoverhead
+//	-relabel LIST   comma-separated CSR relabeling modes for the locality
+//	                sweep: none (identity), degree (descending-degree
+//	                sort) and/or bfs (visitation order); default is all
+//	                three
 //
 // Live contention metrics (the observability layer, not a timing figure —
 // the per-cell probe adds contention of its own, so these runs are never
@@ -108,6 +119,8 @@
 //	crcwbench -listrank -threads 8
 //	crcwbench -stealing -json BENCH_stealing.json
 //	crcwbench -stealing -cpuprofile steal.prof
+//	crcwbench -locality -json BENCH_locality.json
+//	crcwbench -locality -relabel none,degree -threads 8
 //	crcwbench -tiny -metrics -exec pool,team -metricsjson metrics.json
 //	crcwbench -kernelops -kerneltrace -json kernelops.json
 package main
@@ -154,6 +167,8 @@ func run(args []string) (err error) {
 		edgebalance   = fs.Bool("edgebalance", false, "run the BFS load-balance sweep (balance x kernel x exec) with the deterministic work model")
 		listrankSweep = fs.Bool("listrank", false, "time Wyllie's list ranking across the size sweep under both timed execution modes")
 		stealingSweep = fs.Bool("stealing", false, "run the scheduling-policy sweep (kernel x policy x threads on RMAT and uniform graphs) with the deterministic scheduling model and live deque counters")
+		localitySweep = fs.Bool("locality", false, "run the memory-layout sweep (kernel x repr x relabel x threads on an RMAT graph) with the deterministic cache-line-touch model")
+		relabelList   = fs.String("relabel", "", "comma-separated CSR relabeling modes for the locality sweep: none, degree and/or bfs (empty = all)")
 		validateJSON  = fs.String("validatejson", "", "validate a -json output file and exit")
 		opcount       = fs.Bool("opcount", false, "run the Section-6 atomic-operation-count validation instead of a timing figure")
 		kernelops     = fs.Bool("kernelops", false, "count selection-protocol operations over full BFS/CC runs (trace backend) instead of timing")
@@ -214,6 +229,16 @@ func run(args []string) (err error) {
 			return fmt.Errorf("unknown balance policy %q (known: %v)", name, graph.Balances)
 		}
 		balances = append(balances, b)
+	}
+	if *relabelList != "" {
+		cfg.Relabels = nil
+		for _, name := range strings.Split(*relabelList, ",") {
+			mode, ok := graph.ParseRelabel(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("unknown relabel mode %q (known: %v)", name, graph.RelabelModes)
+			}
+			cfg.Relabels = append(cfg.Relabels, mode)
+		}
 	}
 	if *policyName != "" {
 		pol, ok := sched.ParsePolicy(strings.TrimSpace(*policyName))
@@ -375,6 +400,20 @@ func run(args []string) (err error) {
 		jsonRows = append(jsonRows, bench.StealingJSONRows(rows)...)
 	}
 
+	if *localitySweep {
+		// The representation axis IS the comparison here; like -stealing,
+		// the first listed exec mode drives the timed cells.
+		rows, err := bench.Locality(cfg, execs[0])
+		if err != nil {
+			return err
+		}
+		section()
+		if err := bench.FormatLocality(os.Stdout, rows); err != nil {
+			return err
+		}
+		jsonRows = append(jsonRows, bench.LocalityJSONRows(rows)...)
+	}
+
 	figureSet := false
 	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "figure" {
@@ -384,8 +423,8 @@ func run(args []string) (err error) {
 	ids := bench.SortedFigureIDs()
 	if *figure != 0 {
 		ids = []int{*figure}
-	} else if (*roundoverhead || *edgebalance || *listrankSweep || *stealingSweep || *kernelops ||
-		*kerneltrace || *metricsTable || *metricsJSON != "") && !figureSet {
+	} else if (*roundoverhead || *edgebalance || *listrankSweep || *stealingSweep || *localitySweep ||
+		*kernelops || *kerneltrace || *metricsTable || *metricsJSON != "") && !figureSet {
 		// The dedicated sweeps and analyses alone run only themselves; add
 		// -figure 0 explicitly to also sweep every figure.
 		ids = nil

@@ -246,6 +246,37 @@ func TestRunStealingSweep(t *testing.T) {
 	}
 }
 
+func TestRunLocalitySweep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "loc.json")
+	out, err := capture(t, func() error {
+		return run([]string{"-tiny", "-locality", "-relabel", "none,degree", "-reps", "1", "-json", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"locality", "relabel=none", "relabel=degree", "bfs-pull", "bitmap", "ratio"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "relabel=bfs") {
+		t.Fatal("-relabel none,degree also ran the bfs mode")
+	}
+	if strings.Contains(out, "fig5") {
+		t.Fatal("-locality without -figure ran the figure sweep")
+	}
+	// The emitted file must pass the CLI's own validator.
+	vout, err := capture(t, func() error {
+		return run([]string{"-validatejson", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(vout, "rows ok") {
+		t.Fatalf("validatejson output wrong:\n%s", vout)
+	}
+}
+
 func TestRunPolicyFlag(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "pol.json")
 	_, err := capture(t, func() error {
@@ -360,6 +391,7 @@ func TestRunErrors(t *testing.T) {
 		{"-exec", "bogus"},
 		{"-balance", "bogus"},
 		{"-policy", "bogus"},
+		{"-relabel", "bogus"},
 		{"-tiny", "-paper"},
 		{"-nonexistent-flag"},
 	}

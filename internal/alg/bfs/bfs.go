@@ -85,6 +85,18 @@ type Kernel struct {
 	// both are on, the WeightedRange shards already equalize arc work.
 	steal bool
 
+	// bitmap switches the pull/hybrid/frontier CAS-LT variants to
+	// bit-packed visited and frontier-membership state (see SetBitmap).
+	// visBits is the visited set (doubling as the claim state: the
+	// fetch-OR winner owns the discovery tuple); curBits/nextBits are the
+	// double-buffered level-membership bitmaps of the pure pull driver,
+	// with curBits rebuilt from the explicit frontier each hybrid pull
+	// level (the push→pull conversion round).
+	bitmap   bool
+	visBits  *cw.BitArray
+	curBits  *cw.BitArray
+	nextBits *cw.BitArray
+
 	// Frontier-variant state (frontier.go), allocated on first use.
 	frontier []uint32
 	next     []uint32
@@ -145,6 +157,34 @@ func (k *Kernel) SetStealing(on bool) { k.steal = on }
 // Stealing returns whether the frontier relaxation uses work stealing.
 func (k *Kernel) Stealing() bool { return k.steal }
 
+// SetBitmap selects bit-packed (cw.BitArray) visited and frontier state for
+// the CAS-LT pull, hybrid and frontier variants — the Beamer/GAP bottom-up
+// representation. The visited filter, the pull membership probe and the
+// discovery claim then read 512 vertices per cache line instead of 16, and
+// the claim itself is a fetch-OR common write (the discovery payload "u is
+// now visited" is identical for all writers, so no round stamp is needed;
+// winner selection still picks exactly one tuple writer per vertex). Like
+// balance and stealing this changes the memory representation of who-saw-
+// what, never which vertex gets which level, so results are byte-identical
+// to the word-per-vertex runs. The push level-sweep variants (RunCASLT,
+// gatekeeper, naive, mutex) ignore it. Call it before Prepare, not during
+// a run.
+func (k *Kernel) SetBitmap(on bool) { k.bitmap = on }
+
+// Bitmap returns whether the pull/hybrid/frontier variants use bit-packed
+// visited and frontier state.
+func (k *Kernel) Bitmap() bool { return k.bitmap }
+
+// ensureBits lazily allocates the bitmap-state arrays. Must be called from
+// the driver goroutine (before any region opens).
+func (k *Kernel) ensureBits() {
+	if k.visBits == nil {
+		k.visBits = cw.NewBitArray(k.n)
+		k.curBits = cw.NewBitArray(k.n)
+		k.nextBits = cw.NewBitArray(k.n)
+	}
+}
+
 // ensureArcBounds caches the equal-arc shards of the full vertex range.
 // Must be called from the driver goroutine (in team mode: before the
 // region opens).
@@ -183,6 +223,9 @@ func (k *Kernel) Prepare(source uint32) {
 		k.m.ParallelRange(k.n, func(lo, hi, _ int) { k.cells.ResetRange(lo, hi) })
 		k.base = 0
 	}
+	if k.bitmap {
+		k.ensureBits()
+	}
 	k.m.ParallelRange(k.n, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			k.level[i] = Unreached
@@ -191,9 +234,18 @@ func (k *Kernel) Prepare(source uint32) {
 			k.selEdge[i] = Unreached
 		}
 		k.gates.ResetRange(lo, hi)
+		if k.bitmap {
+			// Sharded bit clears are word-boundary safe (BitArray.ResetRange).
+			k.visBits.ResetRange(lo, hi)
+			k.curBits.ResetRange(lo, hi)
+			k.nextBits.ResetRange(lo, hi)
+		}
 	})
 	k.level[source] = 0
 	k.visited[source] = 1
+	if k.bitmap {
+		k.visBits.Set(int(source))
+	}
 }
 
 // Run executes BFS with the given method under the machine's default

@@ -69,6 +69,27 @@ func (k *Kernel) relaxFrontier(ctx exec.Ctx, frontier []uint32, L, round uint32)
 		sh := rec.Shard(w)
 		for j := offsets[v]; j < offsets[v+1]; j++ {
 			u := targets[j]
+			if k.bitmap {
+				// Bit-packed path: the visited filter and the claim both live
+				// in visBits. The filter Test plays the role of the word
+				// path's visited load (unrecorded, zero RMWs); the claim's
+				// own pre-check then mirrors the CAS-LT cell pre-check, so
+				// cas_attempts/precheck_skips keep their meaning. The winning
+				// fetch-OR needs no round id — "visited" is a common write —
+				// and winner selection arbitrates the tuple exactly as the
+				// round-stamped cell does.
+				if k.visBits.Test(int(u)) {
+					continue
+				}
+				if sh.Claim(int(u), round, k.visBits.TryClaimBitOutcome(int(u))) {
+					k.parent[u] = v
+					k.selEdge[u] = j
+					atomic.StoreUint32(&k.level[u], L+1)
+					bufs[w] = append(bufs[w], u)
+					k.degSum[w] += uint64(offsets[u+1] - offsets[u])
+				}
+				continue
+			}
 			if atomic.LoadUint32(&k.visited[u]) != 0 {
 				continue
 			}

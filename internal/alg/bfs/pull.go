@@ -98,6 +98,41 @@ func (k *Kernel) pullLevel(lo, hi int, L uint32, onFound func(u uint32)) bool {
 	return progress
 }
 
+// pullLevelBits is pullLevel over the bit-packed representation: the
+// unreached filter reads visBits and the neighbor-membership probe reads
+// curBits (512 vertices per cache line each, versus 16 for the word
+// arrays — the point of the bitmap variant). A discovery sets the vertex's
+// bit in visBits and nextBits by fetch-OR; the bits are common CWs (every
+// writer stores "set"), and since u is shard-owned this level the write is
+// in fact exclusive — the OR only arbitrates word aliasing with the 63
+// neighboring bits. level/parent/selEdge are written exactly as in
+// pullLevel, so the output arrays stay byte-identical.
+func (k *Kernel) pullLevelBits(lo, hi int, L uint32, onFound func(u uint32)) bool {
+	offsets, targets := k.g.Offsets(), k.g.Targets()
+	progress := false
+	for u := lo; u < hi; u++ {
+		if k.visBits.Test(u) {
+			continue
+		}
+		for j := offsets[u]; j < offsets[u+1]; j++ {
+			v := targets[j]
+			if k.curBits.Test(int(v)) {
+				k.parent[u] = v
+				k.selEdge[u] = j
+				k.visBits.Set(u)
+				k.nextBits.Set(u)
+				atomic.StoreUint32(&k.level[u], L+1)
+				progress = true
+				if onFound != nil {
+					onFound(uint32(u))
+				}
+				break
+			}
+		}
+	}
+	return progress
+}
+
 // requireSymmetric guards the bottom-up variants: pull scans a vertex's
 // *out*-arcs to find a parent, which finds the in-neighbors only when the
 // CSR stores both directions.
@@ -118,11 +153,56 @@ func (k *Kernel) RunCASLTPull() Result { return k.RunCASLTPullExec(k.m.Exec()) }
 // RunCASLTPullExec is RunCASLTPull under an explicit execution backend.
 func (k *Kernel) RunCASLTPullExec(e machine.Exec) Result {
 	k.requireSymmetric()
+	if k.bitmap {
+		return k.runPullBitmap(e)
+	}
 	// Pull's writes are exclusive (each vertex writes only its own tuple),
 	// so there are no selection attempts to record — the shard is unused.
 	depth := k.runLevels(e, func(lo, hi, _ int, L, _ uint32, _ *metrics.Shard) bool {
 		return k.pullLevel(lo, hi, L, nil)
 	}, false)
+	return k.result(int(depth))
+}
+
+// runPullBitmap is the bit-packed pure pull driver: the level-membership
+// set lives in double-buffered bitmaps (curBits holds level L, discoveries
+// OR into nextBits), swapped in a Single and followed by an O(N/64)
+// clearing round of the consumed buffer. Per level that is three region
+// rounds — sweep, swap, clear — versus runLevels' one, but the sweep (the
+// part proportional to arcs) now reads 32× denser membership state.
+func (k *Kernel) runPullBitmap(e machine.Exec) Result {
+	if k.balance == graph.BalanceEdge {
+		k.ensureArcBounds() // allocate outside the region
+	}
+	k.curBits.Set(int(k.source))
+	var depth uint32
+	k.trace = exec.Run(k.m, e, func(ctx exec.Ctx) {
+		rec := ctx.Metrics()
+		progress := ctx.Flag()
+		L := uint32(0)
+		for {
+			progress.Set(L+1, 0) // prime next level's flag (common CW)
+			if ctx.Worker() == 0 {
+				rec.AddRounds(1)
+			}
+			k.ctxSweep(ctx, func(lo, hi, w int) {
+				if k.pullLevelBits(lo, hi, L, nil) {
+					progress.Set(L, 1)
+				}
+			})
+			if progress.Get(L) == 0 {
+				if ctx.Worker() == 0 {
+					depth = L
+				}
+				break
+			}
+			ctx.Single(func() { k.curBits, k.nextBits = k.nextBits, k.curBits })
+			// Clear the consumed buffer (now nextBits) for level L+1's
+			// discoveries; sharded bit clears are word-boundary safe.
+			ctx.Range(k.n, func(lo, hi, _ int) { k.nextBits.ResetRange(lo, hi) })
+			L++
+		}
+	})
 	return k.result(int(depth))
 }
 
@@ -160,12 +240,28 @@ func (k *Kernel) RunCASLTHybridExec(e machine.Exec) Result {
 			round := k.base + L + 1
 			frontier := k.frontier
 			if pull {
-				k.ctxSweep(ctx, func(lo, hi, w int) {
-					k.pullLevel(lo, hi, L, func(u uint32) {
+				onFound := func(w int) func(u uint32) {
+					return func(u uint32) {
 						k.bufs[w] = append(k.bufs[w], u)
 						k.degSum[w] += uint64(offsets[u+1] - offsets[u])
+					}
+				}
+				if k.bitmap {
+					// Push→pull conversion: rebuild the level-L membership
+					// bitmap from the explicit frontier list (one clearing
+					// round plus one fetch-OR per frontier vertex), so the
+					// pull sweep probes bits regardless of which direction
+					// produced the frontier.
+					ctx.Range(k.n, func(lo, hi, _ int) { k.curBits.ResetRange(lo, hi) })
+					ctx.ForWorker(len(frontier), func(i, _ int) { k.curBits.Set(int(frontier[i])) })
+					k.ctxSweep(ctx, func(lo, hi, w int) {
+						k.pullLevelBits(lo, hi, L, onFound(w))
 					})
-				})
+				} else {
+					k.ctxSweep(ctx, func(lo, hi, w int) {
+						k.pullLevel(lo, hi, L, onFound(w))
+					})
+				}
 			} else {
 				k.relaxFrontier(ctx, frontier, L, round)
 			}

@@ -95,6 +95,12 @@ type Kernel struct {
 	// and the CAS contention on one worker. Defaults to the graph's degree
 	// skew; see SetStealing.
 	steal bool
+
+	// bitmap switches random mate's hooking claim to a bit-packed
+	// fetch-OR array (see SetBitmap); hookBits is cleared each iteration
+	// inside the snapshot round.
+	bitmap   bool
+	hookBits *cw.BitArray
 }
 
 // NewKernel returns a CC kernel over g executed on m. The machine and graph
@@ -146,6 +152,23 @@ func (k *Kernel) SetStealing(on bool) { k.steal = on }
 
 // Stealing returns whether random mate's hooking uses work stealing.
 func (k *Kernel) Stealing() bool { return k.steal }
+
+// SetBitmap selects a bit-packed (cw.BitArray) winner-selection state for
+// random mate's hooking claim: "root r hooked this iteration" is a boolean
+// common write, so a fetch-OR on r's bit replaces the round-stamped CAS-LT
+// cell, and the root checks that precede most attempts read 512 roots per
+// cache line instead of 16. The bits carry no round id, so — unlike
+// CAS-LT, whose point is reinit-free rounds — the bitmap is cleared once
+// per iteration, folded into the forest-snapshot round at 1/64 of the
+// word-array cost (see DESIGN §3e for why this trade differs from the
+// gatekeeper's O(N) word reinit). Winner selection semantics are
+// unchanged: at most one hook commits per root per iteration, so results
+// match the word runs. The Awerbuch–Shiloach runs ignore it. Call it
+// before Run*, not during.
+func (k *Kernel) SetBitmap(on bool) { k.bitmap = on }
+
+// Bitmap returns whether random mate's hooking claim is bit-packed.
+func (k *Kernel) Bitmap() bool { return k.bitmap }
 
 // Prepare resets the forest to singletons and the hook records. Prepare is
 // the untimed initialization phase; CAS-LT cells are reused across runs via

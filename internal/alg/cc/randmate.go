@@ -3,6 +3,7 @@ package cc
 import (
 	"math/bits"
 
+	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/exec"
 	"crcwpram/internal/core/machine"
 )
@@ -50,6 +51,9 @@ func (k *Kernel) RunRandMateExec(e machine.Exec, seed uint64) Result {
 	// an astronomically unlucky seed) rather than a slow input.
 	maxIter := 8*bits.Len(uint(k.n)) + 64
 
+	if k.bitmap && k.hookBits == nil {
+		k.hookBits = cw.NewBitArray(k.n) // allocate outside the region
+	}
 	d, dprev, arcSrc, targets := k.d, k.dprev, k.arcSrc, k.g.Targets()
 	// The region's Flag tracks per-iteration progress; cross-tree liveness
 	// needs a second rotating flag, declared driver-side so every SPMD copy
@@ -65,9 +69,16 @@ func (k *Kernel) RunRandMateExec(e machine.Exec, seed uint64) Result {
 			live.Set(it+1, 0)
 			round := k.base + ctx.NextRound()
 
-			// Snapshot the forest: hooks read phase-start roots only.
+			// Snapshot the forest: hooks read phase-start roots only. In
+			// bitmap mode the same round clears the hook bits — the
+			// per-iteration reinit the bit representation reintroduces, at
+			// 1/64 of a word array's store count (sharded clears are
+			// word-boundary safe).
 			ctx.Range(k.n, func(lo, hi, _ int) {
 				copy(dprev[lo:hi], d[lo:hi])
+				if k.bitmap {
+					k.hookBits.ResetRange(lo, hi)
+				}
 			})
 
 			// Hooking: arcs whose source's root is a head and whose target's
@@ -99,8 +110,16 @@ func (k *Kernel) RunRandMateExec(e machine.Exec, seed uint64) Result {
 					if !coin(seed, it, ru) || coin(seed, it, rv) {
 						continue // not a head-to-tail pairing this iteration
 					}
-					if sh.Claim(int(ru), round, k.cells.TryClaimOutcome(int(ru), round)) &&
-						k.commit(int(ru), uint32(j), rv) {
+					// Winner selection: one hook per head root per iteration.
+					// The bit-packed claim is a fetch-OR ("r hooked" is a
+					// common write); the word claim stamps the round id.
+					var o cw.Outcome
+					if k.bitmap {
+						o = k.hookBits.TryClaimBitOutcome(int(ru))
+					} else {
+						o = k.cells.TryClaimOutcome(int(ru), round)
+					}
+					if sh.Claim(int(ru), round, o) && k.commit(int(ru), uint32(j), rv) {
 						progress = true
 					}
 				}

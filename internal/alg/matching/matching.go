@@ -81,6 +81,14 @@ type Kernel struct {
 	// through the work-stealing scheduler. Defaults to the graph's degree
 	// skew; see SetStealing. The accept loop stays a regular vertex sweep.
 	steal bool
+
+	// bitmap switches the boolean per-vertex state to bit-packed arrays
+	// (see SetBitmap): propBits replaces the proposal claim cells, deadBits
+	// the alive words. The accept claim keeps its word cells — its payload
+	// (mate + arc) is multi-word either way.
+	bitmap   bool
+	propBits *cw.BitArray
+	deadBits *cw.BitArray
 }
 
 // NewKernel returns a matching kernel over g executed on m. g must be
@@ -123,6 +131,22 @@ func (k *Kernel) SetStealing(on bool) { k.steal = on }
 // Stealing returns whether the propose loop uses work stealing.
 func (k *Kernel) Stealing() bool { return k.steal }
 
+// SetBitmap selects bit-packed (cw.BitArray) state for the matching's
+// boolean payloads: the proposal flag ("tail v was proposed to this
+// iteration" — the arbitration is who fills proposer[v], and the flag
+// itself is a common write) becomes a fetch-OR claim on propBits, and the
+// liveness words become deadBits ("v left the graph" is a monotone common
+// write, set by the accept winner for both endpoints). The propose loop's
+// two liveness reads per arc and the accept loop's proposal filter then
+// scan 512 vertices per cache line instead of 16. propBits carries no
+// round id, so it is cleared once per iteration in its own O(N/64) round —
+// see DESIGN §3e for the bound trade. Winner arbitration is unchanged, so
+// results match the word runs. Call it before Prepare, not during a run.
+func (k *Kernel) SetBitmap(on bool) { k.bitmap = on }
+
+// Bitmap returns whether the boolean matching state is bit-packed.
+func (k *Kernel) Bitmap() bool { return k.bitmap }
+
 // Prepare resets the matching state. Untimed; CAS-LT cells carry over via
 // the round offset.
 func (k *Kernel) Prepare() {
@@ -133,11 +157,19 @@ func (k *Kernel) Prepare() {
 		})
 		k.base = 0
 	}
+	if k.bitmap && k.propBits == nil {
+		k.propBits = cw.NewBitArray(k.n)
+		k.deadBits = cw.NewBitArray(k.n)
+	}
 	k.m.ParallelRange(k.n, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			k.alive[i] = 1
 			k.mate[i] = Unmatched
 			k.mateEdge[i] = Unmatched
+		}
+		if k.bitmap {
+			// Everyone alive again; sharded bit clears are word-boundary safe.
+			k.deadBits.ResetRange(lo, hi)
 		}
 	})
 }
@@ -178,6 +210,12 @@ func (k *Kernel) RunExec(e machine.Exec, seed uint64) Result {
 			live.Set(it+1, 0) // prime next iteration's flag (common CW)
 			round := k.base + ctx.NextRound()
 
+			if k.bitmap {
+				// The bit claims carry no round id: clear last iteration's
+				// proposal bits in their own O(N/64) round before proposing.
+				ctx.Range(k.n, func(lo, hi, _ int) { k.propBits.ResetRange(lo, hi) })
+			}
+
 			// Level 1 — propose: heads race on each live tail's slot. The
 			// liveness flag is accumulated per share (or per stolen chunk —
 			// the flag set is an idempotent common write either way).
@@ -187,14 +225,24 @@ func (k *Kernel) RunExec(e machine.Exec, seed uint64) Result {
 				for j := lo; j < hi; j++ {
 					u := k.arcSrc[j]
 					v := targets[j]
-					if k.alive[u] == 0 || k.alive[v] == 0 || u == v {
+					if k.bitmap {
+						if k.deadBits.Test(int(u)) || k.deadBits.Test(int(v)) || u == v {
+							continue
+						}
+					} else if k.alive[u] == 0 || k.alive[v] == 0 || u == v {
 						continue
 					}
 					sawLive = true
 					if !head(seed, it, u) || head(seed, it, v) {
 						continue
 					}
-					if sh.Claim(int(v), round, k.propCells.TryClaimOutcome(int(v), round)) {
+					var o cw.Outcome
+					if k.bitmap {
+						o = k.propBits.TryClaimBitOutcome(int(v))
+					} else {
+						o = k.propCells.TryClaimOutcome(int(v), round)
+					}
+					if sh.Claim(int(v), round, o) {
 						k.proposer[v] = u
 						k.propArc[v] = uint32(j)
 					}
@@ -214,7 +262,11 @@ func (k *Kernel) RunExec(e machine.Exec, seed uint64) Result {
 			ctx.Range(k.n, func(lo, hi, w int) {
 				sh := rec.Shard(w)
 				for v := lo; v < hi; v++ {
-					if !k.propCells.Written(v, round) {
+					if k.bitmap {
+						if !k.propBits.Test(v) {
+							continue
+						}
+					} else if !k.propCells.Written(v, round) {
 						continue
 					}
 					u := k.proposer[v]
@@ -225,9 +277,16 @@ func (k *Kernel) RunExec(e machine.Exec, seed uint64) Result {
 						k.mateEdge[v] = j
 						k.mateEdge[u] = j
 						// Dying is a write to the vertex's own cells plus the
-						// partner's; the acceptance win makes it exclusive.
-						atomic.StoreUint32(&k.alive[v], 0)
-						atomic.StoreUint32(&k.alive[u], 0)
+						// partner's; the acceptance win makes it exclusive —
+						// and in bitmap form a monotone common write (the OR
+						// arbitrates only word aliasing with neighbor bits).
+						if k.bitmap {
+							k.deadBits.Set(v)
+							k.deadBits.Set(int(u))
+						} else {
+							atomic.StoreUint32(&k.alive[v], 0)
+							atomic.StoreUint32(&k.alive[u], 0)
+						}
 					}
 				}
 			})

@@ -104,6 +104,14 @@ type Config struct {
 	StealScale   int
 	StealThreads []int
 
+	// LocScale sizes the locality sweep's workload (an RMAT graph on
+	// 2^LocScale vertices with 8·2^LocScale edges); LocThreads is its
+	// worker-count axis; Relabels restricts its CSR-relabeling axis (the
+	// -relabel list; empty means all of graph.RelabelModes).
+	LocScale   int
+	LocThreads []int
+	Relabels   []graph.RelabelMode
+
 	// Log, when non-nil, receives progress lines during a sweep.
 	Log io.Writer
 }
@@ -132,6 +140,9 @@ func DefaultConfig() Config {
 		EBStar:         1 << 16,
 		StealScale:     16,
 		StealThreads:   []int{2, 4, 8},
+		LocScale:       16,
+		LocThreads:     []int{2, 4, 8},
+		Relabels:       graph.RelabelModes,
 	}
 }
 
@@ -159,6 +170,9 @@ func TinyConfig() Config {
 		EBStar:         1 << 8,
 		StealScale:     8,
 		StealThreads:   []int{2, 4},
+		LocScale:       8,
+		LocThreads:     []int{2},
+		Relabels:       graph.RelabelModes,
 	}
 }
 
@@ -243,6 +257,15 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.StealThreads) == 0 {
 		c.StealThreads = d.StealThreads
+	}
+	if c.LocScale == 0 {
+		c.LocScale = d.LocScale
+	}
+	if len(c.LocThreads) == 0 {
+		c.LocThreads = d.LocThreads
+	}
+	if len(c.Relabels) == 0 {
+		c.Relabels = d.Relabels
 	}
 	return c
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"crcwpram/internal/graph"
 	"crcwpram/internal/sched"
 )
 
@@ -67,6 +68,19 @@ type Row struct {
 	ChunksLocal uint64 `json:"chunks_local,omitempty"` // chunks a worker popped from its own deque
 	Steals      uint64 `json:"steals,omitempty"`       // chunks taken from a victim's deque
 	StealFails  uint64 `json:"steal_fails,omitempty"`  // steal attempts that found nothing (or lost the CAS)
+
+	// Locality extras (bench "locality"): the representation and CSR-order
+	// axes plus the deterministic cache-line-touch model (localitymodel.go).
+	// Bitmap rows carry the modelled line-touch pair — their own number and
+	// the word-representation baseline of the same cell — so the packing
+	// ratio is diffable from a single row; word rows are pure timings.
+	// PermHash fingerprints the applied CSR permutation and is nonzero
+	// exactly on relabeled rows.
+	Repr            string `json:"repr,omitempty"`              // membership repr: word | bitmap
+	Relabel         string `json:"relabel,omitempty"`           // CSR order: none | degree | bfs
+	LineTouches     uint64 `json:"line_touches,omitempty"`      // modelled distinct line touches
+	LineTouchesWord uint64 `json:"line_touches_word,omitempty"` // word baseline of the same cell
+	PermHash        uint64 `json:"perm_hash,omitempty"`         // relabeling permutation fingerprint
 
 	CASAttempts   uint64 `json:"cas_attempts,omitempty"`    // executed RMWs (wins + losses)
 	CASWins       uint64 `json:"cas_wins,omitempty"`        // winning RMWs
@@ -231,6 +245,32 @@ func ValidateJSON(r io.Reader) (int, error) {
 				}
 			} else if row.ChunksLocal != 0 || row.Steals != 0 || row.StealFails != 0 {
 				return fail("policy %q row carries steal counters", row.Policy)
+			}
+		}
+		if row.Bench == "locality" {
+			// Locality rows are timed cells on the representation × relabel
+			// axes. The line-touch model rides on bitmap rows only (carrying
+			// both representations' numbers), and the permutation fingerprint
+			// rides on relabeled rows only.
+			if row.Graph == "" || row.Kernel == "" {
+				return fail("locality row missing graph/kernel")
+			}
+			if row.Repr != "word" && row.Repr != "bitmap" {
+				return fail("locality row with repr %q, want word or bitmap", row.Repr)
+			}
+			if _, ok := graph.ParseRelabel(row.Relabel); !ok {
+				return fail("unknown relabel mode %q", row.Relabel)
+			}
+			if row.Repr == "bitmap" {
+				if row.LineTouches == 0 || row.LineTouchesWord == 0 {
+					return fail("bitmap locality row missing line-touch model (%d/%d)",
+						row.LineTouches, row.LineTouchesWord)
+				}
+			} else if row.LineTouches != 0 || row.LineTouchesWord != 0 {
+				return fail("word locality row carries line touches")
+			}
+			if (row.Relabel != "none") != (row.PermHash != 0) {
+				return fail("relabel %q with perm_hash %#x", row.Relabel, row.PermHash)
 			}
 		}
 		if row.Bench == "stealing" {

@@ -1,0 +1,150 @@
+package cw
+
+import "sync/atomic"
+
+// bitsPerWord is the packing factor of BitArray: one uint64 carries 64
+// boolean common-write cells, so 512 cells share each 64-byte cache line
+// (versus 16 for a Packed Array of 4-byte cells).
+const bitsPerWord = 64
+
+// BitArray is a bit-packed array of boolean common-concurrent-write cells:
+// 64 cells per atomic.Uint64 word. It implements common CW for the special
+// case where every writer stores the same value ("this bit is now set") —
+// BFS visited flags, CC hook markers, matching proposal flags. Because the
+// winning value is identical for all writers, a fetch-OR on the word is a
+// complete common-write implementation: it needs no round stamp, no
+// gatekeeper reinit, and the paper's arbitration question ("which writer's
+// value survives?") is vacuous. Winner *selection* (who gets to execute the
+// dependent exclusive writes) still matters, and TryClaimBit provides it by
+// reporting whether the caller's OR was the one that flipped the bit.
+//
+// Cost model versus the word-per-cell CAS-LT Array. CAS-LT bounds executed
+// RMWs at ≤P per cell per round (each of P workers attempts a cell at most
+// once, and the load pre-check turns late arrivals into plain loads).
+// BitArray keeps the per-*cell* bound — Test pre-check skips set bits with
+// zero RMWs, and at most P workers race one bit — but 64 cells now alias
+// one word, so the per-*word* bound weakens to ≤64P executed RMWs (every
+// one of the 64 bits contended by all P workers in the same round). That is
+// the price of packing; what it buys is a 32× cache-line density gain
+// (512 vs 16 cells per line), so scan-heavy phases (the pull direction's
+// membership probes, the accept phase's proposal filter) touch 64× fewer
+// words and 32× fewer lines. Correctness is unaffected: an OR that loses
+// the race still leaves the bit set to the common value; Set's discarded-
+// result atomic Or compiles to a single wait-free LOCK OR on amd64, while
+// TryClaimBit observes the old word and so pays a CAS loop.
+type BitArray struct {
+	words []atomic.Uint64
+	n     int
+}
+
+// NewBitArray returns an n-bit array with every bit clear.
+func NewBitArray(n int) *BitArray {
+	return &BitArray{words: make([]atomic.Uint64, (n+bitsPerWord-1)/bitsPerWord), n: n}
+}
+
+// Len returns the number of bits (cells).
+func (b *BitArray) Len() int { return b.n }
+
+// Words returns the number of backing uint64 words.
+func (b *BitArray) Words() int { return len(b.words) }
+
+// Test reports whether bit i is set: one atomic load, the pre-check that
+// lets late arrivals complete with zero RMWs (CAS-LT Figure 1 line 6 shape).
+func (b *BitArray) Test(i int) bool {
+	return b.words[i/bitsPerWord].Load()&(uint64(1)<<(uint(i)%bitsPerWord)) != 0
+}
+
+// Set sets bit i unconditionally — the pure common concurrent write. The
+// fetch-OR's old value is discarded, which on amd64 compiles to one
+// wait-free LOCK OR instruction (no CAS loop); concurrent Sets of any bits
+// in the same word all land, and repeating Set is idempotent.
+func (b *BitArray) Set(i int) {
+	b.words[i/bitsPerWord].Or(uint64(1) << (uint(i) % bitsPerWord))
+}
+
+// TryClaimBit sets bit i and reports whether this call was the one that
+// flipped it — the winner-selection form, the BitArray analogue of
+// Array.TryClaim. The Test pre-check resolves late arrivals with a plain
+// load and zero RMWs; otherwise a CAS loop ORs the bit in and the caller
+// won exactly when the bit was clear in the word it swapped out. At most
+// one caller per bit ever observes a win, under any interleaving.
+//
+// The loop is spelled out with CompareAndSwap rather than w.Or(mask) with
+// the returned old value inspected: go1.24.0's inlined expansion of the
+// Or-with-result intrinsic can clobber a register the caller holds a live
+// value in (observed corrupting a loop counter in an enclosing kernel),
+// while the CompareAndSwap intrinsic is sound. Semantically the two are
+// identical — Or with an observed result lowers to this same CAS loop.
+func (b *BitArray) TryClaimBit(i int) bool {
+	w := &b.words[i/bitsPerWord]
+	mask := uint64(1) << (uint(i) % bitsPerWord)
+	for {
+		old := w.Load()
+		if old&mask != 0 {
+			return false
+		}
+		if w.CompareAndSwap(old, old|mask) {
+			return true
+		}
+	}
+}
+
+// TryClaimBitOutcome is TryClaimBit reporting how the attempt resolved for
+// the metrics layer: OutcomeSkip when the pre-check observed a set bit (no
+// RMW executed), OutcomeWin when this call's OR flipped the bit,
+// OutcomeLoss when the OR executed but another writer had already flipped
+// it. o.Won() is equivalent to what TryClaimBit would have returned, so
+// cas_attempts/precheck_skips aggregate exactly as they do for cw.Array.
+func (b *BitArray) TryClaimBitOutcome(i int) Outcome {
+	w := &b.words[i/bitsPerWord]
+	mask := uint64(1) << (uint(i) % bitsPerWord)
+	old := w.Load()
+	if old&mask != 0 {
+		return OutcomeSkip
+	}
+	for {
+		if w.CompareAndSwap(old, old|mask) {
+			return OutcomeWin
+		}
+		if old = w.Load(); old&mask != 0 {
+			return OutcomeLoss
+		}
+	}
+}
+
+// ResetRange clears bits [lo, hi). Callers may shard a full clear over
+// workers with arbitrary contiguous bit ranges: words fully inside the
+// range are cleared with a plain atomic store, and a word that straddles a
+// range boundary is cleared with an atomic AND of just this range's bits,
+// so two workers meeting in the middle of a word never lose each other's
+// clears. Like Array.ResetRange this is a between-rounds operation — it
+// must not race concurrent Set/TryClaimBit on the same bits.
+func (b *BitArray) ResetRange(lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	first, last := lo/bitsPerWord, (hi-1)/bitsPerWord
+	headMask := ^uint64(0) << (uint(lo) % bitsPerWord)
+	tailMask := ^uint64(0) >> (bitsPerWord - 1 - uint(hi-1)%bitsPerWord)
+	if first == last {
+		if m := headMask & tailMask; m == ^uint64(0) {
+			b.words[first].Store(0)
+		} else {
+			b.words[first].And(^m)
+		}
+		return
+	}
+	if headMask == ^uint64(0) {
+		b.words[first].Store(0)
+	} else {
+		b.words[first].And(^headMask)
+	}
+	for w := first + 1; w < last; w++ {
+		b.words[w].Store(0)
+	}
+	if tailMask == ^uint64(0) {
+		b.words[last].Store(0)
+	} else {
+		b.words[last].And(^tailMask)
+	}
+}

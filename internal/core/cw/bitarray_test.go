@@ -1,0 +1,172 @@
+package cw
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBitArrayBasics(t *testing.T) {
+	b := NewBitArray(130) // three words: two full, one 2-bit tail
+	if b.Len() != 130 {
+		t.Fatalf("Len() = %d, want 130", b.Len())
+	}
+	if b.Words() != 3 {
+		t.Fatalf("Words() = %d, want 3", b.Words())
+	}
+	for i := 0; i < b.Len(); i++ {
+		if b.Test(i) {
+			t.Fatalf("fresh bit %d set", i)
+		}
+	}
+	// Set bits around word boundaries and check only they read back.
+	set := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, i := range set {
+		b.Set(i)
+		b.Set(i) // idempotent
+	}
+	want := make(map[int]bool, len(set))
+	for _, i := range set {
+		want[i] = true
+	}
+	for i := 0; i < b.Len(); i++ {
+		if b.Test(i) != want[i] {
+			t.Fatalf("bit %d = %v, want %v", i, b.Test(i), want[i])
+		}
+	}
+}
+
+func TestBitArrayTryClaimBit(t *testing.T) {
+	b := NewBitArray(70)
+	for i := 0; i < b.Len(); i++ {
+		if !b.TryClaimBit(i) {
+			t.Fatalf("TryClaimBit(%d) lost on a fresh bit", i)
+		}
+		if b.TryClaimBit(i) {
+			t.Fatalf("duplicate winner on bit %d", i)
+		}
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set after claim", i)
+		}
+	}
+	// Outcome parity: a set bit skips, a fresh bit wins.
+	if got := b.TryClaimBitOutcome(5); got != OutcomeSkip {
+		t.Fatalf("TryClaimBitOutcome on set bit = %v, want skip", got)
+	}
+	c := NewBitArray(8)
+	if got := c.TryClaimBitOutcome(3); got != OutcomeWin {
+		t.Fatalf("TryClaimBitOutcome on fresh bit = %v, want win", got)
+	}
+	if !c.Test(3) {
+		t.Fatal("winning outcome did not set the bit")
+	}
+}
+
+func TestBitArrayResetRange(t *testing.T) {
+	const n = 256
+	cases := [][2]int{{0, n}, {0, 64}, {64, 128}, {3, 61}, {3, 64}, {60, 70},
+		{63, 65}, {0, 1}, {255, 256}, {1, 255}, {128, 128}}
+	for _, c := range cases {
+		b := NewBitArray(n)
+		for i := 0; i < n; i++ {
+			b.Set(i)
+		}
+		b.ResetRange(c[0], c[1])
+		for i := 0; i < n; i++ {
+			want := i < c[0] || i >= c[1]
+			if b.Test(i) != want {
+				t.Fatalf("ResetRange(%d, %d): bit %d = %v, want %v", c[0], c[1], i, b.Test(i), want)
+			}
+		}
+	}
+}
+
+// Sharded clears meeting mid-word must not lose each other's bits: clear
+// [0, 100) and [100, 256) concurrently, with survivors outside.
+func TestBitArrayResetRangeSharded(t *testing.T) {
+	const n = 300
+	b := NewBitArray(n)
+	for i := 0; i < n; i++ {
+		b.Set(i)
+	}
+	var wg sync.WaitGroup
+	for _, r := range [][2]int{{0, 100}, {100, 256}} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.ResetRange(r[0], r[1])
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		want := i >= 256
+		if b.Test(i) != want {
+			t.Fatalf("bit %d = %v, want %v", i, b.Test(i), want)
+		}
+	}
+}
+
+// Concurrent TryClaimBit on bits sharing one word: exactly one winner per
+// bit per round even though all claims RMW the same uint64, mirroring
+// TestArrayConcurrentPerCellWinners. Rounds are separated by a full clear.
+func TestBitArrayConcurrentPerBitWinners(t *testing.T) {
+	const bits = 64 // all in one word: the maximum-aliasing case
+	const claimersPerBit = 16
+	const rounds = 3
+	b := NewBitArray(bits)
+	for r := 0; r < rounds; r++ {
+		winners := make([]atomic.Int32, bits)
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(bits * claimersPerBit)
+		for i := 0; i < bits; i++ {
+			for j := 0; j < claimersPerBit; j++ {
+				i := i
+				go func() {
+					defer done.Done()
+					start.Wait()
+					if b.TryClaimBit(i) {
+						winners[i].Add(1)
+					}
+				}()
+			}
+		}
+		start.Done()
+		done.Wait()
+		for i := 0; i < bits; i++ {
+			if w := winners[i].Load(); w != 1 {
+				t.Fatalf("round %d: bit %d has %d winners, want 1", r, i, w)
+			}
+		}
+		b.ResetRange(0, bits)
+	}
+}
+
+// Set is idempotent and race-free under concurrent writers to every bit of
+// a shared word; afterwards all bits read set.
+func TestBitArrayConcurrentSetIdempotent(t *testing.T) {
+	const bits = 64
+	const writersPerBit = 8
+	b := NewBitArray(bits)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(bits * writersPerBit)
+	for i := 0; i < bits; i++ {
+		for j := 0; j < writersPerBit; j++ {
+			i := i
+			go func() {
+				defer done.Done()
+				start.Wait()
+				b.Set(i)
+				b.Set(i)
+			}()
+		}
+	}
+	start.Done()
+	done.Wait()
+	for i := 0; i < bits; i++ {
+		if !b.Test(i) {
+			t.Fatalf("bit %d clear after concurrent Sets", i)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package graph
+
+import "sort"
+
+// RelabelMode selects a vertex-relabeling order for cache locality.
+//
+// Relabeling permutes vertex ids so that vertices touched together sit in
+// nearby CSR rows (and nearby bits of a bitmap frontier). The kernels are
+// unchanged — they run on the permuted graph and their per-vertex outputs
+// are mapped back through the inverse permutation, so results stay
+// byte-comparable with the unrelabeled run.
+type RelabelMode int
+
+const (
+	// RelabelNone keeps the original vertex ids (identity permutation).
+	RelabelNone RelabelMode = iota
+	// RelabelDegree orders vertices by decreasing degree (ties by original
+	// id). Hubs — the vertices most frontier scans and membership probes
+	// hit — land in the first few cache lines of every per-vertex array.
+	RelabelDegree
+	// RelabelBFS orders vertices by their breadth-first discovery order
+	// from vertex 0 (unreached vertices keep their relative order after
+	// the reached ones). Vertices of one BFS level, which pull rounds scan
+	// as the current-frontier membership set, become contiguous.
+	RelabelBFS
+)
+
+// RelabelModes lists all relabel modes in presentation order.
+var RelabelModes = []RelabelMode{RelabelNone, RelabelDegree, RelabelBFS}
+
+func (m RelabelMode) String() string {
+	switch m {
+	case RelabelNone:
+		return "none"
+	case RelabelDegree:
+		return "degree"
+	case RelabelBFS:
+		return "bfs"
+	default:
+		return "unknown-relabel"
+	}
+}
+
+// ParseRelabel converts a relabel-mode name (as produced by String) back to
+// a RelabelMode.
+func ParseRelabel(s string) (RelabelMode, bool) {
+	for _, m := range RelabelModes {
+		if m.String() == s {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// Relabeling is a relabeled graph together with its permutation maps.
+type Relabeling struct {
+	G    *Graph
+	Perm []uint32 // Perm[old] = new id
+	Inv  []uint32 // Inv[new] = old id
+}
+
+// Relabel builds the permuted CSR graph for the given mode. For
+// RelabelNone the returned Relabeling aliases g itself with an identity
+// permutation. Arc order within each relabeled adjacency list follows the
+// original list's order (targets mapped in place), so the permuted graph is
+// the exact isomorphic image of g.
+func Relabel(g *Graph, mode RelabelMode) Relabeling {
+	n := g.NumVertices()
+	perm := make([]uint32, n)
+	inv := make([]uint32, n)
+	switch mode {
+	case RelabelDegree:
+		order := make([]uint32, n)
+		for v := range order {
+			order[v] = uint32(v)
+		}
+		sort.SliceStable(order, func(i, j int) bool {
+			di, dj := g.Degree(order[i]), g.Degree(order[j])
+			if di != dj {
+				return di > dj
+			}
+			return order[i] < order[j]
+		})
+		copy(inv, order)
+	case RelabelBFS:
+		next := bfsOrder(g, inv[:0])
+		// Unreached vertices follow in original-id order.
+		seen := make([]bool, n)
+		for _, v := range next {
+			seen[v] = true
+		}
+		for v := 0; v < n; v++ {
+			if !seen[v] {
+				next = append(next, uint32(v))
+			}
+		}
+		copy(inv, next)
+	default:
+		for v := range perm {
+			perm[v] = uint32(v)
+			inv[v] = uint32(v)
+		}
+		return Relabeling{G: g, Perm: perm, Inv: inv}
+	}
+	for newID, oldID := range inv {
+		perm[oldID] = uint32(newID)
+	}
+	offsets := make([]uint32, n+1)
+	for newID := 0; newID < n; newID++ {
+		offsets[newID+1] = offsets[newID] + uint32(g.Degree(inv[newID]))
+	}
+	targets := make([]uint32, g.NumArcs())
+	for newID := 0; newID < n; newID++ {
+		row := targets[offsets[newID]:offsets[newID+1]]
+		for i, u := range g.Neighbors(inv[newID]) {
+			row[i] = perm[u]
+		}
+	}
+	return Relabeling{
+		G:    &Graph{offsets: offsets, targets: targets, undirected: g.undirected},
+		Perm: perm,
+		Inv:  inv,
+	}
+}
+
+// bfsOrder appends the breadth-first discovery order from vertex 0 to dst
+// (arc order within each list decides ties, matching bfs.Sequential).
+func bfsOrder(g *Graph, dst []uint32) []uint32 {
+	n := g.NumVertices()
+	if n == 0 {
+		return dst
+	}
+	visited := make([]bool, n)
+	visited[0] = true
+	dst = append(dst, 0)
+	for head := len(dst) - 1; head < len(dst); head++ {
+		for _, u := range g.Neighbors(dst[head]) {
+			if !visited[u] {
+				visited[u] = true
+				dst = append(dst, u)
+			}
+		}
+	}
+	return dst
+}
+
+// Unpermute maps a per-vertex result array computed on the relabeled graph
+// back to original vertex ids: dst[old] = src[Perm[old]]. dst and src must
+// both have length NumVertices and must not alias.
+func (r Relabeling) Unpermute(dst, src []uint32) {
+	for old, newID := range r.Perm {
+		dst[old] = src[newID]
+	}
+}
+
+// PermHash returns a deterministic FNV-1a hash of the permutation, the
+// fingerprint the locality bench emits so a baseline diff can tell two
+// relabelings apart without storing the permutation itself. The identity
+// permutation of any length hashes to a nonzero value like any other, so
+// callers that want "zero means unrelabeled" emit the hash only for
+// non-identity modes.
+func PermHash(perm []uint32) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range perm {
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(v>>s) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}

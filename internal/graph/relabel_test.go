@@ -1,0 +1,197 @@
+package graph_test
+
+import (
+	"sort"
+	"testing"
+
+	"crcwpram/internal/alg/bfs"
+	"crcwpram/internal/alg/cc"
+	"crcwpram/internal/graph"
+)
+
+func checkBijection(t *testing.T, r graph.Relabeling, n int) {
+	t.Helper()
+	if len(r.Perm) != n || len(r.Inv) != n {
+		t.Fatalf("perm/inv lengths %d/%d, want %d", len(r.Perm), len(r.Inv), n)
+	}
+	seen := make([]bool, n)
+	for old, newID := range r.Perm {
+		if int(newID) >= n || seen[newID] {
+			t.Fatalf("Perm[%d] = %d is out of range or duplicated", old, newID)
+		}
+		seen[newID] = true
+		if r.Inv[newID] != uint32(old) {
+			t.Fatalf("Inv[Perm[%d]] = %d, want %d", old, r.Inv[newID], old)
+		}
+	}
+}
+
+func degreeMultiset(g *graph.Graph) []int {
+	degs := make([]int, g.NumVertices())
+	for v := range degs {
+		degs[v] = g.Degree(uint32(v))
+	}
+	sort.Ints(degs)
+	return degs
+}
+
+func TestRelabelNoneIsIdentity(t *testing.T) {
+	g := graph.RMAT(6, 128, 0.45, 0.22, 0.22, 7)
+	r := graph.Relabel(g, graph.RelabelNone)
+	if r.G != g {
+		t.Fatal("RelabelNone should alias the input graph")
+	}
+	checkBijection(t, r, g.NumVertices())
+	for v := range r.Perm {
+		if r.Perm[v] != uint32(v) {
+			t.Fatalf("Perm[%d] = %d, want identity", v, r.Perm[v])
+		}
+	}
+}
+
+func TestRelabelDegreeOrdersByDegree(t *testing.T) {
+	g := graph.RMAT(7, 400, 0.5, 0.2, 0.2, 3)
+	r := graph.Relabel(g, graph.RelabelDegree)
+	checkBijection(t, r, g.NumVertices())
+	for newID := 1; newID < r.G.NumVertices(); newID++ {
+		prev, cur := r.G.Degree(uint32(newID-1)), r.G.Degree(uint32(newID))
+		if cur > prev {
+			t.Fatalf("degree order violated at new id %d: %d > %d", newID, cur, prev)
+		}
+		if cur == prev && r.Inv[newID-1] > r.Inv[newID] {
+			t.Fatalf("degree tie at new id %d not broken by original id", newID)
+		}
+	}
+}
+
+func TestRelabelBFSOrdersByDiscovery(t *testing.T) {
+	g := graph.ConnectedRandom(300, 900, 11)
+	r := graph.Relabel(g, graph.RelabelBFS)
+	checkBijection(t, r, g.NumVertices())
+	// Vertex 0 maps to new id 0 and levels are non-decreasing in new-id
+	// order (BFS discovery order never goes back a level).
+	if r.Perm[0] != 0 {
+		t.Fatalf("Perm[0] = %d, want 0", r.Perm[0])
+	}
+	seq := bfs.Sequential(g, 0)
+	for newID := 1; newID < g.NumVertices(); newID++ {
+		if seq.Level[r.Inv[newID]] < seq.Level[r.Inv[newID-1]] {
+			t.Fatalf("BFS order violated at new id %d", newID)
+		}
+	}
+}
+
+func TestRelabelUnpermute(t *testing.T) {
+	g := graph.RMAT(6, 100, 0.45, 0.22, 0.22, 5)
+	r := graph.Relabel(g, graph.RelabelDegree)
+	n := g.NumVertices()
+	src := make([]uint32, n)
+	for newID := range src {
+		src[newID] = uint32(newID) * 10
+	}
+	dst := make([]uint32, n)
+	r.Unpermute(dst, src)
+	for old := 0; old < n; old++ {
+		if dst[old] != r.Perm[old]*10 {
+			t.Fatalf("Unpermute: dst[%d] = %d, want %d", old, dst[old], r.Perm[old]*10)
+		}
+	}
+}
+
+func TestPermHash(t *testing.T) {
+	a := []uint32{0, 1, 2, 3}
+	b := []uint32{1, 0, 2, 3}
+	if graph.PermHash(a) == graph.PermHash(b) {
+		t.Fatal("distinct permutations hashed equal")
+	}
+	if graph.PermHash(a) != graph.PermHash([]uint32{0, 1, 2, 3}) {
+		t.Fatal("hash not deterministic")
+	}
+	if graph.PermHash(a) == 0 || graph.PermHash(nil) == 0 {
+		t.Fatal("hash returned the zero sentinel")
+	}
+}
+
+// checkRelabelInvariants is the shared body of the fuzz test and its seed
+// cases: for every mode, the permutation is a bijection, the degree
+// multiset is preserved, and BFS levels / CC component structure computed
+// on the relabeled graph map back exactly through the inverse permutation.
+func checkRelabelInvariants(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	n := g.NumVertices()
+	wantDegs := degreeMultiset(g)
+	seqLevels := bfs.Sequential(g, 0).Level
+	ccLabels := cc.SequentialLabels(g)
+	for _, mode := range graph.RelabelModes {
+		r := graph.Relabel(g, mode)
+		checkBijection(t, r, n)
+		if got := degreeMultiset(r.G); len(got) != len(wantDegs) {
+			t.Fatalf("%v: degree multiset length changed", mode)
+		} else {
+			for i := range got {
+				if got[i] != wantDegs[i] {
+					t.Fatalf("%v: degree multiset differs at %d: %d != %d", mode, i, got[i], wantDegs[i])
+				}
+			}
+		}
+		if r.G.NumArcs() != g.NumArcs() || r.G.Undirected() != g.Undirected() {
+			t.Fatalf("%v: arc count or undirectedness changed", mode)
+		}
+		// BFS from the image of vertex 0 maps back to the original levels.
+		rel := bfs.Sequential(r.G, r.Perm[0])
+		mapped := make([]uint32, n)
+		r.Unpermute(mapped, rel.Level)
+		for v := 0; v < n; v++ {
+			if mapped[v] != seqLevels[v] {
+				t.Fatalf("%v: BFS level of %d maps back to %d, want %d", mode, v, mapped[v], seqLevels[v])
+			}
+		}
+		// CC labels are representatives, not canonical across relabelings;
+		// the partition must match: the label-to-label correspondence
+		// between original and mapped-back labels must be one-to-one.
+		relCC := cc.SequentialLabels(r.G)
+		r.Unpermute(mapped, relCC)
+		fwd := make(map[uint32]uint32, 8)
+		rev := make(map[uint32]uint32, 8)
+		for v := 0; v < n; v++ {
+			if want, ok := fwd[ccLabels[v]]; ok && want != mapped[v] {
+				t.Fatalf("%v: component of %d split by relabeling", mode, v)
+			}
+			fwd[ccLabels[v]] = mapped[v]
+			if want, ok := rev[mapped[v]]; ok && want != ccLabels[v] {
+				t.Fatalf("%v: components of %d merged by relabeling", mode, v)
+			}
+			rev[mapped[v]] = ccLabels[v]
+		}
+	}
+}
+
+func FuzzRelabel(f *testing.F) {
+	f.Add(uint8(5), []byte{0, 1, 1, 2, 2, 3})
+	f.Add(uint8(1), []byte{})
+	f.Add(uint8(9), []byte{0, 8, 8, 0, 3, 3, 7, 2, 2, 7, 5, 6})
+	f.Add(uint8(16), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 0, 15})
+	f.Fuzz(func(t *testing.T, nRaw uint8, data []byte) {
+		n := int(nRaw%64) + 1
+		edges := make([]graph.Edge, 0, len(data)/2)
+		for i := 0; i+1 < len(data); i += 2 {
+			edges = append(edges, graph.Edge{
+				U: uint32(data[i]) % uint32(n),
+				V: uint32(data[i+1]) % uint32(n),
+			})
+		}
+		checkRelabelInvariants(t, graph.MustFromEdges(n, edges, true))
+	})
+}
+
+func TestRelabelInvariantsOnGenerators(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.RMAT(7, 500, 0.45, 0.22, 0.22, 42),
+		graph.ConnectedRandom(500, 1500, 4),
+		graph.Star(64),
+		graph.Path(100),
+		graph.Disjoint(graph.Path(40), 3),
+	} {
+		checkRelabelInvariants(t, g)
+	}
+}

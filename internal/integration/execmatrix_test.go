@@ -2,7 +2,11 @@
 // under every concurrent-write method it supports, runs on fixed-seed
 // inputs under all three exec backends (pool, team, trace), and the
 // deterministic projection of each result must be byte-identical across
-// backends. This is the single test that replaces the per-algorithm
+// backends. Kernels with a bit-packed membership representation (BFS
+// frontiers, CC hook claims, matching proposal flags) run under both
+// representations, and the bitmap projection must additionally match the
+// word run's; the relabeling axis (TestExecMatrixRelabel) runs on permuted
+// CSR images and must match the unrelabeled run after unpermuting. This is the single test that replaces the per-algorithm
 // team_test.go files: a kernel whose SPMD body behaves differently under
 // any backend — a missed barrier, a stale flag slot, a partition mismatch
 // — diverges here. CI additionally runs this package under -race, where
@@ -140,22 +144,36 @@ func TestExecMatrixBFS(t *testing.T) {
 					return bfsProjection(r)
 				})
 			}
-			// The CAS-LT formulation variants share the same projection.
+			// The CAS-LT formulation variants share the same projection,
+			// across both membership representations: the word run seeds the
+			// reference and every bitmap run must match it byte for byte (the
+			// level metric is unique, so bit-packing the visited and frontier
+			// state must not move a single level).
 			variants := map[string]func(e machine.Exec) bfs.Result{
 				"frontier": k.RunCASLTFrontierExec,
 				"pull":     k.RunCASLTPullExec,
 				"hybrid":   k.RunCASLTHybridExec,
 			}
 			for name, run := range variants {
-				tag := fmt.Sprintf("p=%d %s bfs-%s", p, wl.name, name)
-				runMatrix(t, tag, func(e machine.Exec) []byte {
-					k.Prepare(0)
-					r := run(e)
-					if err := bfs.ValidateBidir(wl.g, 0, r); err != nil {
-						t.Fatalf("%s under %s: %v", tag, e, err)
-					}
-					return bfsProjection(r)
-				})
+				var word []byte
+				for _, bitmap := range []bool{false, true} {
+					k.SetBitmap(bitmap)
+					tag := fmt.Sprintf("p=%d %s bfs-%s/bitmap=%v", p, wl.name, name, bitmap)
+					runMatrix(t, tag, func(e machine.Exec) []byte {
+						k.Prepare(0)
+						r := run(e)
+						if err := bfs.ValidateBidir(wl.g, 0, r); err != nil {
+							t.Fatalf("%s under %s: %v", tag, e, err)
+						}
+						got := bfsProjection(r)
+						if bitmap && !bytes.Equal(got, word) {
+							t.Fatalf("%s under %s: bitmap projection diverges from the word representation", tag, e)
+						}
+						word = got
+						return got
+					})
+				}
+				k.SetBitmap(false)
 			}
 		}
 	}
@@ -177,15 +195,28 @@ func TestExecMatrixCC(t *testing.T) {
 					return u32bytes(canonicalPartition(r.Labels))
 				})
 			}
-			tag := fmt.Sprintf("p=%d %s cc/randmate", p, wl.name)
-			runMatrix(t, tag, func(e machine.Exec) []byte {
-				k.Prepare()
-				r := k.RunRandMateExec(e, 42)
-				if err := cc.Validate(wl.g, r); err != nil {
-					t.Fatalf("%s under %s: %v", tag, e, err)
-				}
-				return u32bytes(canonicalPartition(r.Labels))
-			})
+			// Random mate joins under both hook-claim representations: the
+			// partition is unique, so the bit-packed fetch-OR claim must
+			// reproduce the word run's canonical partition exactly.
+			var word []byte
+			for _, bitmap := range []bool{false, true} {
+				k.SetBitmap(bitmap)
+				tag := fmt.Sprintf("p=%d %s cc/randmate/bitmap=%v", p, wl.name, bitmap)
+				runMatrix(t, tag, func(e machine.Exec) []byte {
+					k.Prepare()
+					r := k.RunRandMateExec(e, 42)
+					if err := cc.Validate(wl.g, r); err != nil {
+						t.Fatalf("%s under %s: %v", tag, e, err)
+					}
+					got := u32bytes(canonicalPartition(r.Labels))
+					if bitmap && !bytes.Equal(got, word) {
+						t.Fatalf("%s under %s: bitmap partition diverges from the word representation", tag, e)
+					}
+					word = got
+					return got
+				})
+			}
+			k.SetBitmap(false)
 		}
 	}
 }
@@ -238,21 +269,35 @@ func TestExecMatrixMatching(t *testing.T) {
 		m := testMachine(t, p)
 		for _, wl := range matrixGraphs() {
 			k := matching.NewKernel(m, wl.g)
-			tag := fmt.Sprintf("p=%d %s matching", p, wl.name)
-			runMatrix(t, tag, func(e machine.Exec) []byte {
-				k.Prepare()
-				r := k.RunExec(e, 7)
-				if err := matching.Validate(wl.g, r); err != nil {
-					t.Fatalf("%s under %s: %v", tag, e, err)
-				}
-				if p == 1 {
-					return append(u32bytes(r.Mate), u32bytes(r.MateEdge)...)
-				}
-				// At P>1 the arbitrary-write winners (and thus the matching)
-				// legitimately differ per backend; the validator above is the
-				// check, and the projection collapses to nothing.
-				return nil
-			})
+			// Both proposal-flag representations join; at P=1 all backends
+			// (and both representations) execute serially with the same
+			// id-order winners, so the full mate vector must coincide.
+			var word []byte
+			for _, bitmap := range []bool{false, true} {
+				k.SetBitmap(bitmap)
+				tag := fmt.Sprintf("p=%d %s matching/bitmap=%v", p, wl.name, bitmap)
+				runMatrix(t, tag, func(e machine.Exec) []byte {
+					k.Prepare()
+					r := k.RunExec(e, 7)
+					if err := matching.Validate(wl.g, r); err != nil {
+						t.Fatalf("%s under %s: %v", tag, e, err)
+					}
+					if p != 1 {
+						// At P>1 the arbitrary-write winners (and thus the
+						// matching) legitimately differ per backend; the
+						// validator above is the check, and the projection
+						// collapses to nothing.
+						return nil
+					}
+					got := append(u32bytes(r.Mate), u32bytes(r.MateEdge)...)
+					if bitmap && !bytes.Equal(got, word) {
+						t.Fatalf("%s under %s: bitmap mates diverge from the word representation", tag, e)
+					}
+					word = got
+					return got
+				})
+			}
+			k.SetBitmap(false)
 		}
 	}
 }
@@ -271,6 +316,66 @@ func TestExecMatrixListRank(t *testing.T) {
 				}
 				return got
 			})
+		}
+	}
+}
+
+// TestExecMatrixRelabel adds the CSR-relabeling axis: BFS and CC run on the
+// degree- and BFS-relabeled images of every matrix graph, under every
+// backend and both membership representations, and the per-vertex results
+// mapped back through the inverse permutation must be byte-identical to the
+// unrelabeled pool run's projection. Relabeling is a pure memory-layout
+// change — an exact isomorphism — so it must be invisible up to vertex
+// names, on top of being backend- and representation-invariant.
+func TestExecMatrixRelabel(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		m := testMachine(t, p)
+		for _, wl := range matrixGraphs() {
+			// Unrelabeled word-representation references (pool backend).
+			bk := bfs.NewKernel(m, wl.g)
+			bk.Prepare(0)
+			wantBFS := bfsProjection(bk.RunCASLTHybridExec(machine.ExecPool))
+			ck := cc.NewKernel(m, wl.g)
+			ck.Prepare()
+			wantCC := u32bytes(canonicalPartition(ck.RunExec(machine.ExecPool, cw.CASLT).Labels))
+			for _, mode := range []graph.RelabelMode{graph.RelabelDegree, graph.RelabelBFS} {
+				rl := graph.Relabel(wl.g, mode)
+				rbk := bfs.NewKernel(m, rl.G)
+				rck := cc.NewKernel(m, rl.G)
+				unperm := make([]uint32, wl.g.NumVertices())
+				for _, bitmap := range []bool{false, true} {
+					rbk.SetBitmap(bitmap)
+					src := rl.Perm[0]
+					tag := fmt.Sprintf("p=%d %s relabel=%v bfs-hybrid/bitmap=%v", p, wl.name, mode, bitmap)
+					runMatrix(t, tag, func(e machine.Exec) []byte {
+						rbk.Prepare(src)
+						r := rbk.RunCASLTHybridExec(e)
+						if err := bfs.ValidateBidir(rl.G, src, r); err != nil {
+							t.Fatalf("%s under %s: %v", tag, e, err)
+						}
+						rl.Unpermute(unperm, r.Level)
+						got := bfsProjection(bfs.Result{Level: unperm, Depth: r.Depth})
+						if !bytes.Equal(got, wantBFS) {
+							t.Fatalf("%s under %s: unpermuted levels diverge from the unrelabeled run", tag, e)
+						}
+						return got
+					})
+				}
+				tag := fmt.Sprintf("p=%d %s relabel=%v cc", p, wl.name, mode)
+				runMatrix(t, tag, func(e machine.Exec) []byte {
+					rck.Prepare()
+					r := rck.RunExec(e, cw.CASLT)
+					if err := cc.Validate(rl.G, r); err != nil {
+						t.Fatalf("%s under %s: %v", tag, e, err)
+					}
+					rl.Unpermute(unperm, r.Labels)
+					got := u32bytes(canonicalPartition(unperm))
+					if !bytes.Equal(got, wantCC) {
+						t.Fatalf("%s under %s: unpermuted partition diverges from the unrelabeled run", tag, e)
+					}
+					return got
+				})
+			}
 		}
 	}
 }

@@ -48,6 +48,10 @@ type (
 	Cell64 = cw.Cell64
 	// CellArray is a fixed array of CAS-LT cells.
 	CellArray = cw.Array
+	// BitArray is a bit-packed common-CW array: 64 one-bit cells per
+	// atomic word (512 per cache line), wait-free fetch-OR Set plus the
+	// winner-selecting TryClaimBit forms.
+	BitArray = cw.BitArray
 	// Gate is the prior-practice gatekeeper (atomic prefix-sum) word.
 	Gate = cw.Gate
 	// GateArray is a fixed array of gatekeeper words.
@@ -94,6 +98,9 @@ const (
 
 // NewCellArray returns an n-cell CAS-LT array.
 func NewCellArray(n int, layout Layout) *CellArray { return cw.NewArray(n, layout) }
+
+// NewBitArray returns an n-cell bit-packed common-CW array.
+func NewBitArray(n int) *BitArray { return cw.NewBitArray(n) }
 
 // NewGateArray returns an n-gate gatekeeper array.
 func NewGateArray(n int, layout Layout) *GateArray { return cw.NewGateArray(n, layout) }
