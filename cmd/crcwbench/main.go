@@ -88,6 +88,19 @@
 //	-metricsjson F  write just the metrics rows as JSON to F (the rows are
 //	                also appended to -json output when both are given)
 //
+// Registry introspection and single runs (every kernel and axis below
+// comes from the kernel registry — a kernel added by one Register call
+// appears here with no crcwbench edits):
+//
+//	-list           print every registered kernel with its swept axes and
+//	                their legal values; runs nothing else
+//	-run SEL        run one registered kernel under one full axis
+//	                assignment, e.g.
+//	                kernel=bfs,method=caslt,exec=team,balance=edge,threads=4;
+//	                unset axes keep the sweep defaults (pool exec, CAS-LT
+//	                where supported, block policy, -threads workers); runs
+//	                nothing else
+//
 // And a baseline checker:
 //
 //	-validatejson F  parse a -json output file and verify its shape (used
@@ -123,11 +136,14 @@
 //	crcwbench -locality -relabel none,degree -threads 8
 //	crcwbench -tiny -metrics -exec pool,team -metricsjson metrics.json
 //	crcwbench -kernelops -kerneltrace -json kernelops.json
+//	crcwbench -list
+//	crcwbench -run kernel=bfs-hybrid,repr=bitmap,policy=stealing -tiny
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -137,6 +153,7 @@ import (
 	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/machine"
 	"crcwpram/internal/graph"
+	"crcwpram/internal/kernel"
 	"crcwpram/internal/sched"
 )
 
@@ -170,6 +187,8 @@ func run(args []string) (err error) {
 		localitySweep = fs.Bool("locality", false, "run the memory-layout sweep (kernel x repr x relabel x threads on an RMAT graph) with the deterministic cache-line-touch model")
 		relabelList   = fs.String("relabel", "", "comma-separated CSR relabeling modes for the locality sweep: none, degree and/or bfs (empty = all)")
 		validateJSON  = fs.String("validatejson", "", "validate a -json output file and exit")
+		listKernelSet = fs.Bool("list", false, "print every registered kernel with its sweepable axes and exit")
+		runSelector   = fs.String("run", "", "run one kernel under one axis assignment, e.g. kernel=bfs,method=caslt,exec=team,threads=4; runs nothing else")
 		opcount       = fs.Bool("opcount", false, "run the Section-6 atomic-operation-count validation instead of a timing figure")
 		kernelops     = fs.Bool("kernelops", false, "count selection-protocol operations over full BFS/CC runs (trace backend) instead of timing")
 		kerneltrace   = fs.Bool("kerneltrace", false, "report every kernel's structural cost (steps, barriers, rounds) under the trace backend")
@@ -288,6 +307,17 @@ func run(args []string) (err error) {
 		return nil
 	}
 
+	if *listKernelSet {
+		return listKernels(os.Stdout)
+	}
+	if *runSelector != "" {
+		res, err := bench.RunSelector(kernel.Default, cfg, *runSelector)
+		if err != nil {
+			return err
+		}
+		return bench.FormatSelector(os.Stdout, res)
+	}
+
 	if *opcount {
 		rows := bench.OpCountTable(cfg.Threads, []int{1000, 10000, 100000, 1000000})
 		return bench.FormatOpCounts(os.Stdout, cfg.Threads, rows)
@@ -308,7 +338,7 @@ func run(args []string) (err error) {
 
 	if *kernelops {
 		nv, ne := cfg.BFSVertices, cfg.BFSEdges
-		rows := bench.KernelOpCounts(cfg.Threads, nv, ne, cfg.Seed)
+		rows := bench.KernelOpCounts(kernel.Default, cfg.Threads, nv, ne, cfg.Seed)
 		section()
 		if err := bench.FormatKernelOps(os.Stdout, nv, ne, rows); err != nil {
 			return err
@@ -318,7 +348,7 @@ func run(args []string) (err error) {
 
 	if *kerneltrace {
 		nv, ne := cfg.BFSVertices, cfg.BFSEdges
-		rows := bench.KernelTraceCounts(cfg.Threads, nv, ne, cfg.Seed)
+		rows := bench.KernelTraceCounts(kernel.Default, cfg.Threads, nv, ne, cfg.Seed)
 		section()
 		if err := bench.FormatKernelTraces(os.Stdout, nv, ne, rows); err != nil {
 			return err
@@ -328,7 +358,7 @@ func run(args []string) (err error) {
 
 	if *metricsTable || *metricsJSON != "" {
 		nv, ne := cfg.BFSVertices, cfg.BFSEdges
-		rows, err := bench.Contention(cfg.Threads, nv, ne, cfg.Seed, execs)
+		rows, err := bench.Contention(kernel.Default, cfg.Threads, nv, ne, cfg.Seed, execs)
 		if err != nil {
 			return err
 		}
@@ -480,6 +510,25 @@ func run(args []string) (err error) {
 		}
 	}
 	return nil
+}
+
+// listKernels prints the registry: every kernel with its summary and its
+// sweepable axes with their legal values. This output is derived entirely
+// from the descriptors, so a kernel added by a single registration appears
+// here (and becomes -run addressable) with no other edits.
+func listKernels(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "registered kernels (%d):\n", len(kernel.All()))
+	for _, d := range kernel.All() {
+		fmt.Fprintf(&b, "\n%s (%s)\n", d.Name, d.Pkg)
+		fmt.Fprintf(&b, "  %s\n", d.Summary)
+		for _, ax := range d.Axes() {
+			fmt.Fprintf(&b, "  %-8s %s\n", ax.Name, strings.Join(ax.Values, " | "))
+		}
+		fmt.Fprintf(&b, "  %-8s any positive integer\n", kernel.AxisThreads)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // writeHeapProfile dumps the live-heap profile after forcing a collection,

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +11,8 @@ import (
 
 	"crcwpram/internal/race"
 )
+
+var update = flag.Bool("update", false, "rewrite the golden files")
 
 // capture redirects the process stdout around f. The CLI writes through
 // os.Stdout directly, so tests swap the file descriptor.
@@ -380,6 +384,72 @@ func TestRunOpCount(t *testing.T) {
 	}
 	if !strings.Contains(out, "section-6") || !strings.Contains(out, "P_PRAM") {
 		t.Fatalf("opcount output wrong:\n%s", out)
+	}
+}
+
+// TestListGolden pins the -list introspection output. The listing is
+// generated from the kernel registry, so this is the contract that every
+// registered kernel and every axis it supports is user-addressable;
+// regenerate with `go test ./cmd/crcwbench -run TestListGolden -update`
+// after a deliberate registration change.
+func TestListGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := listKernels(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const golden = "testdata/list.golden"
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("-list output drifted from %s (rerun with -update after a deliberate registry change):\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestRunSelectorFlag drives the generic -run path through the real CLI
+// entry point: one legal assignment per input kind must execute, validate
+// and report; an illegal one must fail with a diagnostic naming the axis.
+func TestRunSelectorFlag(t *testing.T) {
+	good := map[string]string{
+		"kernel=maxfind,exec=pool,method=gatekeeper":               "median",
+		"kernel=bfs,method=caslt,exec=team,balance=edge,threads=4": "depth",
+		"kernel=bfs-frontier,repr=bitmap,policy=stealing":          "policy=stealing",
+		"kernel=listrank,exec=trace":                               "trace replay",
+		"kernel=cc,relabel=degree":                                 "relabel=degree",
+	}
+	for sel, wantSub := range good {
+		out, err := capture(t, func() error { return run([]string{"-tiny", "-run", sel}) })
+		if err != nil {
+			t.Errorf("-run %s: %v", sel, err)
+			continue
+		}
+		if !strings.Contains(out, wantSub) {
+			t.Errorf("-run %s output missing %q:\n%s", sel, wantSub, out)
+		}
+	}
+	bad := map[string]string{
+		"kernel=bfs,method=bogus":    "method",
+		"kernel=nope":                "unknown kernel",
+		"kernel=maxfind,repr=bitmap": "no repr axis",
+		"kernel=bfs,threads=zero":    "threads",
+		"method=caslt":               "missing kernel",
+	}
+	for sel, wantSub := range bad {
+		_, err := capture(t, func() error { return run([]string{"-tiny", "-run", sel}) })
+		if err == nil {
+			t.Errorf("-run %s: accepted", sel)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("-run %s: error %q does not mention %q", sel, err, wantSub)
+		}
 	}
 }
 

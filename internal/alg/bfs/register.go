@@ -1,0 +1,147 @@
+package bfs
+
+import (
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/exec"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
+	"crcwpram/internal/kernel"
+)
+
+// variant selects which BFS formulation a registered descriptor runs.
+type variant int
+
+const (
+	vSweep variant = iota
+	vFrontier
+	vPull
+	vHybrid
+)
+
+// instance adapts Kernel to the registry's Instance contract for one
+// variant. Run leaves validation to Validate so timed regions stay pure.
+type instance struct {
+	k        *Kernel
+	g        *graph.Graph
+	src      uint32
+	v        variant
+	stealDef bool
+	last     Result
+	strict   bool
+}
+
+func newInstance(v variant) func(m *machine.Machine, w kernel.Workload) kernel.Instance {
+	return func(m *machine.Machine, w kernel.Workload) kernel.Instance {
+		k := NewKernel(m, w.Graph)
+		in := &instance{k: k, g: w.Graph, src: w.Source, v: v, stealDef: k.Stealing(), strict: true}
+		if v == vSweep {
+			return resolverInstance{in}
+		}
+		return in
+	}
+}
+
+func (in *instance) Prepare(s kernel.Settings) {
+	in.k.SetBalance(s.Balance)
+	in.k.SetBitmap(s.Bitmap)
+	switch s.Steal {
+	case kernel.StealOn:
+		in.k.SetStealing(true)
+	case kernel.StealOff:
+		in.k.SetStealing(false)
+	default:
+		in.k.SetStealing(in.stealDef)
+	}
+	in.k.Prepare(in.src)
+}
+
+func (in *instance) Run(s kernel.Settings) kernel.Outcome {
+	var r Result
+	switch in.v {
+	case vFrontier:
+		r = in.k.RunCASLTFrontierExec(s.Exec)
+	case vPull:
+		r = in.k.RunCASLTPullExec(s.Exec)
+	case vHybrid:
+		r = in.k.RunCASLTHybridExec(s.Exec)
+	default:
+		r = in.k.RunExec(s.Exec, s.Method)
+	}
+	in.last = r
+	in.strict = in.v != vSweep || s.Method.SafeForArbitrary()
+	return kernel.Outcome{Vector: r.Level, Depth: r.Depth}
+}
+
+func (in *instance) Validate() error {
+	if in.v == vPull || in.v == vHybrid {
+		return ValidateBidir(in.g, in.src, in.last)
+	}
+	return Validate(in.g, in.src, in.last, in.strict)
+}
+
+func (in *instance) Trace() *exec.TraceStats { return in.k.Trace() }
+
+// resolverInstance exposes the generic-resolver entry point on the sweep
+// variant only (the frontier formulations hard-wire CAS-LT).
+type resolverInstance struct{ *instance }
+
+func (in resolverInstance) RunResolver(e machine.Exec, r cw.Resolver) kernel.Outcome {
+	res := in.k.RunResolverExec(e, r)
+	in.last, in.strict = res, true
+	return kernel.Outcome{Vector: res.Level, Depth: res.Depth}
+}
+
+func init() {
+	kernel.Register(kernel.Descriptor{
+		Name:        "bfs",
+		Pkg:         "bfs",
+		Summary:     "level-synchronous BFS, full vertex sweep per round, one variant per CW method",
+		Methods:     cw.Methods,
+		Balanced:    true,
+		Stealable:   true,
+		Relabelable: true,
+		Input:       kernel.InputGraph,
+		Contention:  kernel.ContentionGuarded,
+		New:         newInstance(vSweep),
+	})
+	kernel.Register(kernel.Descriptor{
+		Name:        "bfs-frontier",
+		Pkg:         "bfs",
+		Summary:     "frontier-queue BFS, CAS-LT claims, optional bit-packed visited set",
+		Methods:     []cw.Method{cw.CASLT},
+		Bitmap:      true,
+		Balanced:    true,
+		Stealable:   true,
+		Relabelable: true,
+		Input:       kernel.InputGraph,
+		Contention:  kernel.ContentionCAS,
+		New:         newInstance(vFrontier),
+	})
+	kernel.Register(kernel.Descriptor{
+		Name:        "bfs-pull",
+		Pkg:         "bfs",
+		Summary:     "bottom-up (pull) BFS; exclusive writes, needs a symmetric graph",
+		Methods:     []cw.Method{cw.CASLT},
+		Bitmap:      true,
+		Balanced:    true,
+		Relabelable: true,
+		Input:       kernel.InputGraph,
+		Symmetric:   true,
+		Contention:  kernel.ContentionNone,
+		New:         newInstance(vPull),
+	})
+	kernel.Register(kernel.Descriptor{
+		Name:        "bfs-hybrid",
+		Pkg:         "bfs",
+		Summary:     "direction-optimizing BFS switching push/pull per round",
+		Methods:     []cw.Method{cw.CASLT},
+		Bitmap:      true,
+		Balanced:    true,
+		Stealable:   true,
+		Relabelable: true,
+		Input:       kernel.InputGraph,
+		Symmetric:   true,
+		Contention:  kernel.ContentionCAS,
+		New:         newInstance(vHybrid),
+	})
+}

@@ -1,0 +1,96 @@
+package cc
+
+import (
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/exec"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
+	"crcwpram/internal/kernel"
+)
+
+// instance adapts Kernel to the registry's Instance contract. randmate
+// selects the random-mate formulation (seeded, CAS-LT claims, bitmap-able
+// star membership) instead of the deterministic hook-and-shortcut one.
+type instance struct {
+	k        *Kernel
+	g        *graph.Graph
+	seed     uint64
+	randmate bool
+	stealDef bool
+	last     Result
+}
+
+func newInstance(randmate bool) func(m *machine.Machine, w kernel.Workload) kernel.Instance {
+	return func(m *machine.Machine, w kernel.Workload) kernel.Instance {
+		k := NewKernel(m, w.Graph)
+		in := &instance{k: k, g: w.Graph, seed: w.Seed, randmate: randmate, stealDef: k.Stealing()}
+		if !randmate {
+			return resolverInstance{in}
+		}
+		return in
+	}
+}
+
+func (in *instance) Prepare(s kernel.Settings) {
+	in.k.SetBitmap(s.Bitmap)
+	switch s.Steal {
+	case kernel.StealOn:
+		in.k.SetStealing(true)
+	case kernel.StealOff:
+		in.k.SetStealing(false)
+	default:
+		in.k.SetStealing(in.stealDef)
+	}
+	in.k.Prepare()
+}
+
+func (in *instance) Run(s kernel.Settings) kernel.Outcome {
+	if in.randmate {
+		in.last = in.k.RunRandMateExec(s.Exec, in.seed)
+	} else {
+		in.last = in.k.RunExec(s.Exec, s.Method)
+	}
+	return kernel.Outcome{Vector: in.last.Labels}
+}
+
+func (in *instance) Validate() error { return Validate(in.g, in.last) }
+
+func (in *instance) Trace() *exec.TraceStats { return in.k.Trace() }
+
+type resolverInstance struct{ *instance }
+
+func (in resolverInstance) RunResolver(e machine.Exec, r cw.Resolver) kernel.Outcome {
+	in.last = in.k.RunResolverExec(e, r)
+	return kernel.Outcome{Vector: in.last.Labels}
+}
+
+func init() {
+	kernel.Register(kernel.Descriptor{
+		Name:    "cc",
+		Pkg:     "cc",
+		Summary: "hook-and-shortcut connected components (Shiloach-Vishkin style)",
+		// Naive is excluded: unguarded hooking can tear the parent forest.
+		Methods:     []cw.Method{cw.CASLT, cw.Gatekeeper, cw.GatekeeperChecked, cw.Mutex},
+		Stealable:   true,
+		Relabelable: true,
+		Input:       kernel.InputGraph,
+		Symmetric:   true,
+		Contention:  kernel.ContentionGuarded,
+		Canon:       kernel.CanonicalPartition,
+		New:         newInstance(false),
+	})
+	kernel.Register(kernel.Descriptor{
+		Name:        "cc-randmate",
+		Pkg:         "cc",
+		Summary:     "random-mate connected components, seeded coin flips, CAS-LT hooks",
+		Methods:     []cw.Method{cw.CASLT},
+		Bitmap:      true,
+		Stealable:   true,
+		Relabelable: true,
+		Input:       kernel.InputGraph,
+		Symmetric:   true,
+		Contention:  kernel.ContentionGuarded,
+		Canon:       kernel.CanonicalPartition,
+		New:         newInstance(true),
+	})
+}

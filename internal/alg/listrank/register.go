@@ -1,0 +1,54 @@
+package listrank
+
+import (
+	"fmt"
+
+	"crcwpram/internal/core/exec"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/kernel"
+)
+
+// instance adapts the pointer-jumping ranker to the registry's Instance
+// contract. Ranking is EREW — no concurrent writes at all — so it carries
+// no method axis and serves as the contention sweep's negative control.
+type instance struct {
+	m     *machine.Machine
+	next  []uint32
+	want  []uint32
+	last  []uint32
+	trace *exec.TraceStats
+}
+
+func (in *instance) Prepare(kernel.Settings) {}
+
+func (in *instance) Run(s kernel.Settings) kernel.Outcome {
+	in.last, in.trace = RankExecTrace(in.m, s.Exec, in.next)
+	return kernel.Outcome{Vector: in.last}
+}
+
+func (in *instance) Validate() error {
+	if in.want == nil {
+		in.want = SequentialRank(in.next)
+	}
+	for i := range in.want {
+		if in.last[i] != in.want[i] {
+			return fmt.Errorf("listrank: rank[%d] = %d, want %d", i, in.last[i], in.want[i])
+		}
+	}
+	return nil
+}
+
+func (in *instance) Trace() *exec.TraceStats { return in.trace }
+
+func init() {
+	kernel.Register(kernel.Descriptor{
+		Name:       "listrank",
+		Pkg:        "listrank",
+		Summary:    "Wyllie pointer-jumping list ranking (EREW negative control)",
+		Input:      kernel.InputChain,
+		Contention: kernel.ContentionEREW,
+		New: func(m *machine.Machine, w kernel.Workload) kernel.Instance {
+			return &instance{m: m, next: w.Next}
+		},
+	})
+}

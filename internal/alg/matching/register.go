@@ -1,0 +1,67 @@
+package matching
+
+import (
+	"crcwpram/internal/core/exec"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
+	"crcwpram/internal/kernel"
+)
+
+// instance adapts Kernel to the registry's Instance contract. The outcome
+// vector is Mate followed by MateEdge, rebuilt into a reused buffer; at
+// P>1 the arbitrary-write winners legitimately differ, which the
+// descriptor's DetP=1 declares.
+type instance struct {
+	k        *Kernel
+	g        *graph.Graph
+	seed     uint64
+	stealDef bool
+	last     Result
+	buf      []uint32
+}
+
+func (in *instance) Prepare(s kernel.Settings) {
+	in.k.SetBitmap(s.Bitmap)
+	switch s.Steal {
+	case kernel.StealOn:
+		in.k.SetStealing(true)
+	case kernel.StealOff:
+		in.k.SetStealing(false)
+	default:
+		in.k.SetStealing(in.stealDef)
+	}
+	in.k.Prepare()
+}
+
+func (in *instance) Run(s kernel.Settings) kernel.Outcome {
+	in.last = in.k.RunExec(s.Exec, in.seed)
+	in.buf = in.buf[:0]
+	in.buf = append(in.buf, in.last.Mate...)
+	in.buf = append(in.buf, in.last.MateEdge...)
+	return kernel.Outcome{Vector: in.buf}
+}
+
+func (in *instance) Validate() error { return Validate(in.g, in.last) }
+
+func (in *instance) Trace() *exec.TraceStats { return in.k.Trace() }
+
+func init() {
+	kernel.Register(kernel.Descriptor{
+		Name:    "matching",
+		Pkg:     "matching",
+		Summary: "randomized greedy maximal matching, propose/accept CW rounds",
+		// The matching's propose and accept arrays share the probe's index
+		// space, hence the doubled per-cell claim bound.
+		Bitmap:           true,
+		Stealable:        true,
+		Input:            kernel.InputGraph,
+		Symmetric:        true,
+		Contention:       kernel.ContentionGuarded,
+		ProbeBoundFactor: 2,
+		DetP:             1,
+		New: func(m *machine.Machine, w kernel.Workload) kernel.Instance {
+			k := NewKernel(m, w.Graph)
+			return &instance{k: k, g: w.Graph, seed: w.Seed, stealDef: k.Stealing()}
+		},
+	})
+}

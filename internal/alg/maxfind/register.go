@@ -1,0 +1,55 @@
+package maxfind
+
+import (
+	"fmt"
+
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/exec"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/kernel"
+)
+
+// instance adapts Kernel to the registry's Instance contract. The winner
+// index is compared against the sequential scan computed once up front.
+type instance struct {
+	k    *Kernel
+	list []uint32
+	want int
+	last int
+	out  [1]uint32
+}
+
+func (in *instance) Prepare(kernel.Settings) { in.k.Prepare(in.list) }
+
+func (in *instance) Run(s kernel.Settings) kernel.Outcome {
+	in.last = in.k.RunExec(s.Exec, s.Method)
+	in.out[0] = uint32(in.last)
+	return kernel.Outcome{Vector: in.out[:]}
+}
+
+func (in *instance) Validate() error {
+	if in.last != in.want {
+		return fmt.Errorf("maxfind: winner %d, want %d", in.last, in.want)
+	}
+	return nil
+}
+
+func (in *instance) Trace() *exec.TraceStats { return in.k.Trace() }
+
+func init() {
+	kernel.Register(kernel.Descriptor{
+		Name:       "maxfind",
+		Pkg:        "maxfind",
+		Summary:    "constant-round CRCW maximum finding (the paper's Section 3 kernel)",
+		Methods:    cw.Methods,
+		Input:      kernel.InputList,
+		Contention: kernel.ContentionGuarded,
+		New: func(m *machine.Machine, w kernel.Workload) kernel.Instance {
+			return &instance{
+				k:    NewKernel(m, len(w.List)),
+				list: w.List,
+				want: Sequential(w.List),
+			}
+		},
+	})
+}

@@ -1,0 +1,45 @@
+package mis
+
+import (
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/exec"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
+	"crcwpram/internal/kernel"
+)
+
+// instance adapts Kernel to the registry's Instance contract. The returned
+// membership vector aliases kernel state (valid until the next Prepare),
+// which Outcome permits.
+type instance struct {
+	k    *Kernel
+	g    *graph.Graph
+	seed uint64
+	last []uint32
+}
+
+func (in *instance) Prepare(kernel.Settings) { in.k.Prepare() }
+
+func (in *instance) Run(s kernel.Settings) kernel.Outcome {
+	in.last = in.k.RunExec(s.Exec, s.Method, in.seed)
+	return kernel.Outcome{Vector: in.last}
+}
+
+func (in *instance) Validate() error { return Validate(in.g, in.last) }
+
+func (in *instance) Trace() *exec.TraceStats { return in.k.Trace() }
+
+func init() {
+	kernel.Register(kernel.Descriptor{
+		Name:       "mis",
+		Pkg:        "mis",
+		Summary:    "Luby-style maximal independent set, seeded priorities",
+		Methods:    cw.Methods,
+		Input:      kernel.InputGraph,
+		Symmetric:  true,
+		Contention: kernel.ContentionGuarded,
+		New: func(m *machine.Machine, w kernel.Workload) kernel.Instance {
+			return &instance{k: NewKernel(m, w.Graph), g: w.Graph, seed: w.Seed}
+		},
+	})
+}

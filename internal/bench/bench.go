@@ -309,19 +309,6 @@ type Table struct {
 	Baseline cw.Method // speedups reported as baseline / method
 }
 
-// measure runs prepare (untimed) + run (timed) reps times and returns the
-// sample.
-func measure(reps int, prepare func(), run func()) Point {
-	var s stats.Sample
-	for r := 0; r < reps; r++ {
-		prepare()
-		start := time.Now()
-		run()
-		s.Add(time.Since(start))
-	}
-	return Point{Median: s.Median(), Sample: s}
-}
-
 // seriesFor returns the Series for a method, or nil.
 func (t *Table) seriesFor(m cw.Method) *Series {
 	for i := range t.Series {

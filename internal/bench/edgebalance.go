@@ -7,8 +7,11 @@ import (
 	"strings"
 
 	"crcwpram/internal/alg/bfs"
+	"crcwpram/internal/bench/sweep"
+	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/machine"
 	"crcwpram/internal/graph"
+	"crcwpram/internal/kernel"
 )
 
 // The edge-balance sweep is the load-balancing experiment behind the
@@ -42,36 +45,12 @@ type EdgeBalanceRow struct {
 	Model   WorkModel
 }
 
-// ebRunner maps a kernel name and execution mode to the kernel entry point.
-func ebRunner(k *bfs.Kernel, kernel string, exec machine.Exec) func() bfs.Result {
-	switch kernel {
-	case "bfs":
-		return func() bfs.Result { return k.RunCASLTExec(exec) }
-	case "bfs-frontier":
-		return func() bfs.Result { return k.RunCASLTFrontierExec(exec) }
-	case "bfs-pull":
-		return func() bfs.Result { return k.RunCASLTPullExec(exec) }
-	case "bfs-hybrid":
-		return func() bfs.Result { return k.RunCASLTHybridExec(exec) }
-	default:
-		panic("bench: unknown edge-balance kernel " + kernel)
-	}
-}
-
-// ebValidate checks a result with the validator matching the kernel's
-// traversal direction: strict push validation for the push formulations,
-// bidirectional for pull and hybrid.
-func ebValidate(g *graph.Graph, source uint32, kernel string, r bfs.Result) error {
-	if kernel == "bfs-pull" || kernel == "bfs-hybrid" {
-		return bfs.ValidateBidir(g, source, r)
-	}
-	return bfs.Validate(g, source, r, true)
-}
-
 // EdgeBalance runs the sweep: for each workload × balance × kernel ×
 // execution mode, the median wall time over cfg.Reps runs (validated once
-// per cell) plus the replayed work model. The workload sizes come from
-// cfg.EBScale / cfg.EBStar; the worker count is cfg.Threads.
+// per cell, outside the timed region, by the registered kernel's own
+// oracle) plus the replayed work model. The workload sizes come from
+// cfg.EBScale / cfg.EBStar; the worker count is cfg.Threads. Dispatch goes
+// through the kernel registry: ebKernels is pure configuration.
 func EdgeBalance(cfg Config, execs []machine.Exec) ([]EdgeBalanceGraph, []EdgeBalanceRow, error) {
 	cfg = cfg.withDefaults()
 	if len(execs) == 0 {
@@ -90,6 +69,9 @@ func EdgeBalance(cfg Config, execs []machine.Exec) ([]EdgeBalanceGraph, []EdgeBa
 			graph.RMAT(cfg.EBScale, 8<<cfg.EBScale, 0.57, 0.19, 0.19, cfg.Seed), 0},
 		{fmt.Sprintf("star%d", cfg.EBStar), graph.Star(cfg.EBStar), 1},
 	}
+	run := sweep.NewRunner(cfg.Reps)
+	defer run.Close()
+	m := run.Machine(sweep.MachineKey{Threads: cfg.Threads})
 	var infos []EdgeBalanceGraph
 	var rows []EdgeBalanceRow
 	for _, wl := range workloads {
@@ -100,37 +82,38 @@ func EdgeBalance(cfg Config, execs []machine.Exec) ([]EdgeBalanceGraph, []EdgeBa
 		})
 		seq := bfs.Sequential(wl.g, wl.source)
 		model := newBFSModel(wl.g, wl.source, cfg.Threads, seq)
+		w := &kernel.Workload{Graph: wl.g, Source: wl.source}
 		for _, bal := range graph.Balances {
 			models := make(map[string]WorkModel, len(ebKernels))
-			for _, kernel := range ebKernels {
-				models[kernel] = model.For(kernel, bal)
+			for _, kname := range ebKernels {
+				models[kname] = model.For(kname, bal)
 			}
-			for _, exec := range execs {
-				m := machine.New(cfg.Threads)
-				k := bfs.NewKernel(m, wl.g)
-				k.SetBalance(bal)
-				for _, kernel := range ebKernels {
-					run := ebRunner(k, kernel, exec)
-					var r bfs.Result
-					pt := measure(cfg.Reps, func() { k.Prepare(wl.source) }, func() { r = run() })
-					if err := ebValidate(wl.g, wl.source, kernel, r); err != nil {
-						m.Close()
+			for _, e := range execs {
+				for _, kname := range ebKernels {
+					d, ok := kernel.Lookup(kname)
+					if !ok {
+						return nil, nil, fmt.Errorf("edgebalance: unregistered kernel %s", kname)
+					}
+					inst := run.Instance(d, m, w)
+					cell, err := run.Timed(inst, kernel.Settings{
+						Exec: e, Method: cw.CASLT, Balance: bal,
+					})
+					if err != nil {
 						return nil, nil, fmt.Errorf("edgebalance %s %s %s %s: %w",
-							wl.name, kernel, bal, exec, err)
+							wl.name, kname, bal, e, err)
 					}
 					rows = append(rows, EdgeBalanceRow{
 						Graph:   wl.name,
-						Kernel:  kernel,
+						Kernel:  kname,
 						Balance: bal,
-						Exec:    exec.String(),
+						Exec:    e.String(),
 						Threads: cfg.Threads,
-						NsOp:    float64(pt.Median.Nanoseconds()),
-						Model:   models[kernel],
+						NsOp:    float64(cell.Median.Nanoseconds()),
+						Model:   models[kname],
 					})
 					cfg.logf("edgebalance %s kernel=%s bal=%s exec=%s median=%v imbal=%.2f\n",
-						wl.name, kernel, bal, exec, pt.Median, models[kernel].Imbalance())
+						wl.name, kname, bal, e, cell.Median, models[kname].Imbalance())
 				}
-				m.Close()
 			}
 		}
 	}

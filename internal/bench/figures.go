@@ -5,12 +5,10 @@ import (
 	"math/rand"
 	"sort"
 
-	"crcwpram/internal/alg/bfs"
-	"crcwpram/internal/alg/cc"
-	"crcwpram/internal/alg/maxfind"
+	"crcwpram/internal/bench/sweep"
 	"crcwpram/internal/core/cw"
-	"crcwpram/internal/core/machine"
 	"crcwpram/internal/graph"
+	"crcwpram/internal/kernel"
 )
 
 // maxMethods is the method set of Figures 5-9 (the paper compares naive,
@@ -61,19 +59,15 @@ func methodsOr(cfg Config, def []cw.Method) []cw.Method {
 	return def
 }
 
-// runMax/runBFS/runCC dispatch a kernel run to the configured execution
-// backend, so every figure measures (and validates) the same code path the
-// -exec axis selects.
-func runMax(k *maxfind.Kernel, method cw.Method, exec machine.Exec) int {
-	return k.RunExec(exec, method)
-}
-
-func runBFS(k *bfs.Kernel, method cw.Method, exec machine.Exec) bfs.Result {
-	return k.RunExec(exec, method)
-}
-
-func runCC(k *cc.Kernel, method cw.Method, exec machine.Exec) cc.Result {
-	return k.RunExec(exec, method)
+// figKernel resolves a registered kernel for a figure, panicking on a
+// missing registration — a figure naming an unregistered kernel is a
+// programming error, not a runtime condition.
+func figKernel(name string) *kernel.Descriptor {
+	d, ok := kernel.Lookup(name)
+	if !ok {
+		panic("bench: figure kernel " + name + " not registered")
+	}
+	return d
 }
 
 func randomList(n int, seed int64) []uint32 {
@@ -83,6 +77,17 @@ func randomList(n int, seed int64) []uint32 {
 		list[i] = rng.Uint32()
 	}
 	return list
+}
+
+// figPoint measures one figure cell through the sweep engine and panics on
+// a validation failure: the figures' contract is that a table they return
+// is a table whose every point was checked.
+func figPoint(run *sweep.Runner, d *kernel.Descriptor, inst kernel.Instance, s kernel.Settings, what string) Point {
+	cell, err := run.Timed(inst, s)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %s: %v", what, err))
+	}
+	return Point{Median: cell.Median, Sample: cell.Sample}
 }
 
 // Fig5MaxBySize reproduces Figure 5: constant-time maximum execution time
@@ -100,21 +105,22 @@ func Fig5MaxBySize(cfg Config) Table {
 		Xs:       cfg.MaxSizes,
 		Baseline: cw.Naive,
 	}
-	m := cfg.newMachine(cfg.Threads)
-	defer m.Close()
+	d := figKernel("maxfind")
+	run := sweep.NewRunner(cfg.Reps)
+	defer run.Close()
+	m := run.Machine(sweep.MachineKey{Threads: cfg.Threads, Policy: cfg.Policy})
+	workloads := make([]*kernel.Workload, len(cfg.MaxSizes))
+	for i, n := range cfg.MaxSizes {
+		workloads[i] = &kernel.Workload{List: randomList(n, cfg.Seed+int64(n))}
+	}
 	for _, method := range methods {
 		ser := Series{Method: method}
-		for _, n := range cfg.MaxSizes {
-			k := maxfind.NewKernel(m, n)
-			list := randomList(n, cfg.Seed+int64(n))
-			want := maxfind.Sequential(list)
-			p := measure(cfg.Reps, func() { k.Prepare(list) }, func() {
-				if got := runMax(k, method, cfg.Exec); got != want {
-					panic(fmt.Sprintf("bench: fig5 %v returned %d, want %d", method, got, want))
-				}
-			})
-			ser.Points = append(ser.Points, p)
-			cfg.logf("fig5 %s n=%d median=%v\n", method, n, p.Median)
+		for i, n := range cfg.MaxSizes {
+			inst := run.Instance(d, m, workloads[i])
+			pt := figPoint(run, d, inst, kernel.Settings{Exec: cfg.Exec, Method: method},
+				fmt.Sprintf("fig5 %v n=%d", method, n))
+			ser.Points = append(ser.Points, pt)
+			cfg.logf("fig5 %s n=%d median=%v\n", method, n, pt.Median)
 		}
 		t.Series = append(t.Series, ser)
 	}
@@ -136,19 +142,17 @@ func Fig6MaxByThreads(cfg Config) Table {
 		Xs:       cfg.ThreadSweep,
 		Baseline: cw.Naive,
 	}
-	list := randomList(cfg.MaxN, cfg.Seed)
-	want := maxfind.Sequential(list)
+	d := figKernel("maxfind")
+	run := sweep.NewRunner(cfg.Reps)
+	defer run.Close()
+	w := &kernel.Workload{List: randomList(cfg.MaxN, cfg.Seed)}
 	for _, method := range methods {
 		ser := Series{Method: method}
 		for _, p := range cfg.ThreadSweep {
-			m := cfg.newMachine(p)
-			k := maxfind.NewKernel(m, cfg.MaxN)
-			pt := measure(cfg.Reps, func() { k.Prepare(list) }, func() {
-				if got := runMax(k, method, cfg.Exec); got != want {
-					panic(fmt.Sprintf("bench: fig6 %v returned %d, want %d", method, got, want))
-				}
-			})
-			m.Close()
+			m := run.Machine(sweep.MachineKey{Threads: p, Policy: cfg.Policy})
+			inst := run.Instance(d, m, w)
+			pt := figPoint(run, d, inst, kernel.Settings{Exec: cfg.Exec, Method: method},
+				fmt.Sprintf("fig6 %v p=%d", method, p))
 			ser.Points = append(ser.Points, pt)
 			cfg.logf("fig6 %s p=%d median=%v\n", method, p, pt.Median)
 		}
@@ -172,21 +176,24 @@ func bfsFigure(id int, cfg Config, title, xlabel string, xs []int, pick func(x i
 		Xs:       xs,
 		Baseline: cw.Naive,
 	}
+	d := figKernel("bfs")
+	run := sweep.NewRunner(cfg.Reps)
+	defer run.Close()
+	workloads := make([]*kernel.Workload, len(xs))
+	threads := make([]int, len(xs))
+	for i, x := range xs {
+		nv, ne, p := pick(x)
+		workloads[i] = &kernel.Workload{Graph: graph.ConnectedRandom(nv, ne, cfg.Seed+int64(i))}
+		threads[i] = p
+	}
 	for _, method := range methods {
 		ser := Series{Method: method}
 		for i, x := range xs {
-			nv, ne, p := pick(x)
-			g := graph.ConnectedRandom(nv, ne, cfg.Seed+int64(i))
-			m := cfg.newMachine(p)
-			k := bfs.NewKernel(m, g)
-			k.SetBalance(cfg.Balance)
-			pt := measure(cfg.Reps, func() { k.Prepare(0) }, func() { runBFS(k, method, cfg.Exec) })
-			// Validate once per point, outside the timed region.
-			k.Prepare(0)
-			if err := bfs.Validate(g, 0, runBFS(k, method, cfg.Exec), method.SafeForArbitrary()); err != nil {
-				panic(fmt.Sprintf("bench: fig%d %v: %v", id, method, err))
-			}
-			m.Close()
+			m := run.Machine(sweep.MachineKey{Threads: threads[i], Policy: cfg.Policy})
+			inst := run.Instance(d, m, workloads[i])
+			pt := figPoint(run, d, inst,
+				kernel.Settings{Exec: cfg.Exec, Method: method, Balance: cfg.Balance},
+				fmt.Sprintf("fig%d %v x=%d", id, method, x))
 			ser.Points = append(ser.Points, pt)
 			cfg.logf("fig%d %s x=%d median=%v\n", id, method, x, pt.Median)
 		}
@@ -237,27 +244,31 @@ func ccFigure(id int, cfg Config, title, xlabel string, xs []int) Table {
 		Xs:       xs,
 		Baseline: cw.Gatekeeper,
 	}
+	d := figKernel("cc")
+	run := sweep.NewRunner(cfg.Reps)
+	defer run.Close()
+	workloads := make([]*kernel.Workload, len(xs))
+	threads := make([]int, len(xs))
+	for i := range xs {
+		nv, ne, p := cfg.CCVertices, cfg.CCEdges, cfg.Threads
+		switch xlabel {
+		case "edges":
+			ne = xs[i]
+		case "vertices":
+			nv = xs[i]
+		case "threads":
+			p = xs[i]
+		}
+		workloads[i] = &kernel.Workload{Graph: graph.RandomUndirected(nv, ne, cfg.Seed+int64(i))}
+		threads[i] = p
+	}
 	for _, method := range methods {
 		ser := Series{Method: method}
 		for i := range xs {
-			nv, ne, p := cfg.CCVertices, cfg.CCEdges, cfg.Threads
-			switch xlabel {
-			case "edges":
-				ne = xs[i]
-			case "vertices":
-				nv = xs[i]
-			case "threads":
-				p = xs[i]
-			}
-			g := graph.RandomUndirected(nv, ne, cfg.Seed+int64(i))
-			m := cfg.newMachine(p)
-			k := cc.NewKernel(m, g)
-			pt := measure(cfg.Reps, func() { k.Prepare() }, func() { runCC(k, method, cfg.Exec) })
-			k.Prepare()
-			if err := cc.Validate(g, runCC(k, method, cfg.Exec)); err != nil {
-				panic(fmt.Sprintf("bench: fig%d %v: %v", id, method, err))
-			}
-			m.Close()
+			m := run.Machine(sweep.MachineKey{Threads: threads[i], Policy: cfg.Policy})
+			inst := run.Instance(d, m, workloads[i])
+			pt := figPoint(run, d, inst, kernel.Settings{Exec: cfg.Exec, Method: method},
+				fmt.Sprintf("fig%d %v x=%d", id, method, xs[i]))
 			ser.Points = append(ser.Points, pt)
 			cfg.logf("fig%d %s x=%d median=%v\n", id, method, xs[i], pt.Median)
 		}

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"crcwpram/internal/graph"
+	"crcwpram/internal/kernel"
 	"crcwpram/internal/sched"
 )
 
@@ -144,6 +145,13 @@ func WriteJSON(w io.Writer, rows []Row) error {
 // (Total >= Crit >= Ideal > 0). CI's perf-smoke step runs this so a
 // malformed trajectory fails the build instead of polluting committed
 // baselines. It returns the number of rows checked.
+//
+// The legal value sets — exec names, method names, representation and
+// relabel axes, scheduling policies — come from the axis metadata of the
+// kernel registry and the parsers it is built on, not from literals
+// duplicated per sweep, so a kernel or axis value added by registration is
+// accepted here with no edits. Which counter discipline applies to a
+// metrics row likewise follows the registered kernel's contention class.
 func ValidateJSON(r io.Reader) (int, error) {
 	dec := json.NewDecoder(r)
 	var rows []Row
@@ -163,7 +171,7 @@ func ValidateJSON(r io.Reader) (int, error) {
 		if row.Bench == "" {
 			return fail("missing bench")
 		}
-		if row.Exec != "pool" && row.Exec != "team" && row.Exec != "trace" {
+		if !kernel.ValidAxisValue(kernel.AxisExec, row.Exec) {
 			return fail("unknown exec %q", row.Exec)
 		}
 		if row.Threads <= 0 {
@@ -185,8 +193,10 @@ func ValidateJSON(r io.Reader) (int, error) {
 		} else if row.Bench == "metrics" {
 			// Contention rows come from a probe-carrying run under a timed
 			// backend: no ns_op, but every guarded kernel must have executed
-			// attempts (listrank is the EREW negative control — its counters
-			// must be zero) and the time split must be populated.
+			// attempts, and the EREW negative controls (registered with
+			// ContentionEREW, e.g. listrank) must have zero counters. The
+			// class is looked up in the registry; an unregistered kernel name
+			// defaults to the guarded discipline.
 			if row.Exec == "trace" {
 				return fail("metrics row with exec trace, want a timed backend")
 			}
@@ -200,9 +210,13 @@ func ValidateJSON(r io.Reader) (int, error) {
 				return fail("metrics row attempts %d != wins %d + losses %d",
 					row.CASAttempts, row.CASWins, row.CASLosses)
 			}
-			if row.Kernel == "listrank" {
+			erew := false
+			if d, ok := kernel.Lookup(row.Kernel); ok {
+				erew = d.Contention == kernel.ContentionEREW
+			}
+			if erew {
 				if row.CASAttempts != 0 || row.PrecheckSkips != 0 {
-					return fail("listrank (EREW) metrics row carries CW counters")
+					return fail("%s (EREW) metrics row carries CW counters", row.Kernel)
 				}
 			} else if row.CASAttempts == 0 || row.CASWins == 0 {
 				return fail("metrics row for %s without executed attempts", row.Kernel)
@@ -255,7 +269,7 @@ func ValidateJSON(r io.Reader) (int, error) {
 			if row.Graph == "" || row.Kernel == "" {
 				return fail("locality row missing graph/kernel")
 			}
-			if row.Repr != "word" && row.Repr != "bitmap" {
+			if !kernel.ValidAxisValue(kernel.AxisRepr, row.Repr) {
 				return fail("locality row with repr %q, want word or bitmap", row.Repr)
 			}
 			if _, ok := graph.ParseRelabel(row.Relabel); !ok {

@@ -6,16 +6,12 @@ import (
 	"strconv"
 	"strings"
 
-	"crcwpram/internal/alg/bfs"
-	"crcwpram/internal/alg/cc"
 	"crcwpram/internal/alg/listrank"
-	"crcwpram/internal/alg/matching"
-	"crcwpram/internal/alg/maxfind"
-	"crcwpram/internal/alg/mis"
 	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/exec"
 	"crcwpram/internal/core/machine"
 	"crcwpram/internal/graph"
+	"crcwpram/internal/kernel"
 )
 
 // KernelOpRow reports the selection-protocol memory operations one method
@@ -67,116 +63,106 @@ func traceRow(kernel string, st *exec.TraceStats) KernelTraceRow {
 	}
 }
 
-// KernelOpCounts runs BFS and CC over a generated random graph once per
-// method with instrumented resolvers under the trace backend and reports
-// the atomic traffic each method generated — the whole-kernel extension of
-// the single-cell Section 6 experiment — alongside the step/barrier
-// structure of the traced run. Results are validated before being
-// reported.
-func KernelOpCounts(threads, vertices, edges int, seed int64) []KernelOpRow {
+// countWorkload builds the standard counting-sweep workload for a
+// registered kernel: a random graph of the requested size (undirected when
+// the kernel demands symmetry), a chain of `vertices` nodes for the EREW
+// ranker, or the fixed 512-element list for maxfind (its work is N², so the
+// BFS-sized n would swamp the replay for no extra information).
+func countWorkload(d *kernel.Descriptor, vertices, edges int, seed int64) kernel.Workload {
+	switch d.Input {
+	case kernel.InputList:
+		const maxfindN = 512
+		return kernel.Workload{List: randomList(maxfindN, seed), Seed: uint64(seed)}
+	case kernel.InputChain:
+		return kernel.Workload{Next: listrank.RandomList(vertices, seed), Seed: uint64(seed)}
+	default:
+		g := graph.ConnectedRandom(vertices, edges, seed)
+		if d.Symmetric {
+			g = graph.RandomUndirected(vertices, edges, seed)
+		}
+		return kernel.Workload{Graph: g, Seed: uint64(seed)}
+	}
+}
+
+// countCells is the concurrent-write cell count a workload exposes to the
+// counting resolver and the contention probe: one per vertex or list
+// element, none for the EREW chain.
+func countCells(d *kernel.Descriptor, w kernel.Workload) int {
+	switch d.Input {
+	case kernel.InputList:
+		return len(w.List)
+	case kernel.InputChain:
+		return 0
+	default:
+		return w.Graph.NumVertices()
+	}
+}
+
+// KernelOpCounts runs every registered kernel exposing the generic-resolver
+// hook (BFS and CC in the base suite) over a generated random graph once
+// per counting-capable method under the trace backend and reports the
+// atomic traffic each method generated — the whole-kernel extension of the
+// single-cell Section 6 experiment — alongside the step/barrier structure
+// of the traced run. Results are validated before being reported.
+func KernelOpCounts(reg *kernel.Registry, threads, vertices, edges int, seed int64) []KernelOpRow {
 	m := machine.New(threads)
 	defer m.Close()
 	var rows []KernelOpRow
-
-	bg := graph.ConnectedRandom(vertices, edges, seed)
-	bk := bfs.NewKernel(m, bg)
-	for _, method := range kernelOpMethods {
-		var ops cw.OpCounts
-		r := cw.NewCountingResolver(method, bg.NumVertices(), &ops)
-		bk.Prepare(0)
-		res := bk.RunResolverExec(machine.ExecTrace, r)
-		if err := bfs.Validate(bg, 0, res, true); err != nil {
-			panic(fmt.Sprintf("bench: kernelops bfs %v: %v", method, err))
+	for _, d := range reg.All() {
+		w := countWorkload(d, vertices, edges, seed)
+		inst := d.New(m, w)
+		rr, ok := inst.(kernel.ResolverRunner)
+		if !ok {
+			continue
 		}
-		loads, rmws, wins := ops.Snapshot()
-		st := bk.Trace()
-		rows = append(rows, KernelOpRow{
-			Kernel: "bfs", Method: method,
-			Loads: loads, RMWs: rmws, Wins: wins,
-			Steps: uint64(st.Steps), Barriers: uint64(st.Barriers),
-		})
-	}
-
-	cg := graph.RandomUndirected(vertices, edges, seed)
-	ck := cc.NewKernel(m, cg)
-	for _, method := range kernelOpMethods {
-		var ops cw.OpCounts
-		r := cw.NewCountingResolver(method, cg.NumVertices(), &ops)
-		ck.Prepare()
-		res := ck.RunResolverExec(machine.ExecTrace, r)
-		if err := cc.Validate(cg, res); err != nil {
-			panic(fmt.Sprintf("bench: kernelops cc %v: %v", method, err))
+		for _, method := range kernelOpMethods {
+			if !d.SupportsMethod(method) {
+				continue
+			}
+			var ops cw.OpCounts
+			r := cw.NewCountingResolver(method, countCells(d, w), &ops)
+			inst.Prepare(kernel.Settings{Exec: machine.ExecTrace, Method: method})
+			rr.RunResolver(machine.ExecTrace, r)
+			if err := inst.Validate(); err != nil {
+				panic(fmt.Sprintf("bench: kernelops %s %v: %v", d.Name, method, err))
+			}
+			loads, rmws, wins := ops.Snapshot()
+			st := inst.Trace()
+			if st == nil {
+				panic("bench: kernelops " + d.Name + " recorded no trace")
+			}
+			rows = append(rows, KernelOpRow{
+				Kernel: d.Name, Method: method,
+				Loads: loads, RMWs: rmws, Wins: wins,
+				Steps: uint64(st.Steps), Barriers: uint64(st.Barriers),
+			})
 		}
-		loads, rmws, wins := ops.Snapshot()
-		st := ck.Trace()
-		rows = append(rows, KernelOpRow{
-			Kernel: "cc", Method: method,
-			Loads: loads, RMWs: rmws, Wins: wins,
-			Steps: uint64(st.Steps), Barriers: uint64(st.Barriers),
-		})
 	}
 	return rows
 }
 
-// KernelTraceCounts replays every kernel of the suite once under the trace
+// KernelTraceCounts replays every registered kernel once under the trace
 // backend with P logical workers and reports each run's structural cost.
-// maxfind runs on its own much smaller list (its work is N², so the
-// BFS-sized n would swamp the replay for no extra information). Every
-// result is validated before its trace is reported.
-func KernelTraceCounts(threads, vertices, edges int, seed int64) []KernelTraceRow {
+// Every result is validated before its trace is reported. A kernel added by
+// a single registration shows up here with no other edits.
+func KernelTraceCounts(reg *kernel.Registry, threads, vertices, edges int, seed int64) []KernelTraceRow {
 	m := machine.New(threads, machine.WithExec(machine.ExecTrace))
 	defer m.Close()
 	var rows []KernelTraceRow
-
-	const maxfindN = 512
-	list := randomList(maxfindN, seed)
-	mk := maxfind.NewKernel(m, maxfindN)
-	mk.Prepare(list)
-	if got, want := mk.Run(cw.CASLT), maxfind.Sequential(list); got != want {
-		panic(fmt.Sprintf("bench: kerneltrace maxfind: got %d, want %d", got, want))
-	}
-	rows = append(rows, traceRow("maxfind", mk.Trace()))
-
-	bg := graph.ConnectedRandom(vertices, edges, seed)
-	bk := bfs.NewKernel(m, bg)
-	bk.Prepare(0)
-	if err := bfs.Validate(bg, 0, bk.RunCASLT(), true); err != nil {
-		panic(fmt.Sprintf("bench: kerneltrace bfs: %v", err))
-	}
-	rows = append(rows, traceRow("bfs", bk.Trace()))
-
-	ug := graph.RandomUndirected(vertices, edges, seed)
-	ck := cc.NewKernel(m, ug)
-	ck.Prepare()
-	if err := cc.Validate(ug, ck.RunCASLT()); err != nil {
-		panic(fmt.Sprintf("bench: kerneltrace cc: %v", err))
-	}
-	rows = append(rows, traceRow("cc", ck.Trace()))
-
-	sk := mis.NewKernel(m, ug)
-	sk.Prepare()
-	if err := mis.Validate(ug, sk.Run(cw.CASLT, uint64(seed))); err != nil {
-		panic(fmt.Sprintf("bench: kerneltrace mis: %v", err))
-	}
-	rows = append(rows, traceRow("mis", sk.Trace()))
-
-	wk := matching.NewKernel(m, ug)
-	wk.Prepare()
-	if err := matching.Validate(ug, wk.Run(uint64(seed))); err != nil {
-		panic(fmt.Sprintf("bench: kerneltrace matching: %v", err))
-	}
-	rows = append(rows, traceRow("matching", wk.Trace()))
-
-	next := listrank.RandomList(vertices, seed)
-	ranks, st := listrank.RankExecTrace(m, machine.ExecTrace, next)
-	want := listrank.SequentialRank(next)
-	for i := range ranks {
-		if ranks[i] != want[i] {
-			panic(fmt.Sprintf("bench: kerneltrace listrank: rank[%d] = %d, want %d", i, ranks[i], want[i]))
+	for _, d := range reg.All() {
+		w := countWorkload(d, vertices, edges, seed)
+		inst := d.New(m, w)
+		s := kernel.Settings{Exec: machine.ExecTrace, Method: cw.CASLT}
+		if len(d.Methods) > 0 && !d.SupportsMethod(cw.CASLT) {
+			s.Method = d.Methods[0]
 		}
+		inst.Prepare(s)
+		inst.Run(s)
+		if err := inst.Validate(); err != nil {
+			panic(fmt.Sprintf("bench: kerneltrace %s: %v", d.Name, err))
+		}
+		rows = append(rows, traceRow(d.Name, inst.Trace()))
 	}
-	rows = append(rows, traceRow("listrank", st))
-
 	return rows
 }
 

@@ -7,7 +7,9 @@ import (
 	"strings"
 
 	"crcwpram/internal/alg/listrank"
+	"crcwpram/internal/bench/sweep"
 	"crcwpram/internal/core/machine"
+	"crcwpram/internal/kernel"
 )
 
 // The list-ranking sweep is the EREW comparison point the paper's
@@ -34,28 +36,29 @@ func ListRank(cfg Config, execs []machine.Exec) ([]ListRankRow, error) {
 	if len(execs) == 0 {
 		execs = machine.Execs
 	}
+	d, ok := kernel.Lookup("listrank")
+	if !ok {
+		return nil, fmt.Errorf("listrank: kernel not registered")
+	}
+	run := sweep.NewRunner(cfg.Reps)
+	defer run.Close()
+	m := run.Machine(sweep.MachineKey{Threads: cfg.Threads, Policy: cfg.Policy})
 	var rows []ListRankRow
 	for _, n := range cfg.ListRankSizes {
-		next := listrank.RandomList(n, cfg.Seed+int64(n))
-		want := listrank.SequentialRank(next)
+		w := &kernel.Workload{Next: listrank.RandomList(n, cfg.Seed+int64(n))}
 		for _, e := range execs {
-			m := cfg.newMachine(cfg.Threads)
-			var got []uint32
-			pt := measure(cfg.Reps, func() {}, func() { got = listrank.RankExec(m, e, next) })
-			m.Close()
-			for i := range got {
-				if got[i] != want[i] {
-					return nil, fmt.Errorf("listrank n=%d exec=%s: rank[%d] = %d, want %d",
-						n, e, i, got[i], want[i])
-				}
+			inst := run.Instance(d, m, w)
+			cell, err := run.Timed(inst, kernel.Settings{Exec: e})
+			if err != nil {
+				return nil, fmt.Errorf("listrank n=%d exec=%s: %w", n, e, err)
 			}
 			rows = append(rows, ListRankRow{
 				N:       n,
 				Exec:    e.String(),
 				Threads: cfg.Threads,
-				NsOp:    float64(pt.Median.Nanoseconds()),
+				NsOp:    float64(cell.Median.Nanoseconds()),
 			})
-			cfg.logf("listrank n=%d exec=%s median=%v\n", n, e, pt.Median)
+			cfg.logf("listrank n=%d exec=%s median=%v\n", n, e, cell.Median)
 		}
 	}
 	return rows, nil

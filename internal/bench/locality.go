@@ -7,8 +7,11 @@ import (
 	"strings"
 
 	"crcwpram/internal/alg/bfs"
+	"crcwpram/internal/bench/sweep"
+	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/machine"
 	"crcwpram/internal/graph"
+	"crcwpram/internal/kernel"
 )
 
 // The locality sweep is the memory-layout experiment behind -locality: the
@@ -63,6 +66,8 @@ func Locality(cfg Config, exec machine.Exec) ([]LocalityRow, error) {
 	cfg = cfg.withDefaults()
 	name := fmt.Sprintf("rmat%d", cfg.LocScale)
 	g := graph.RMAT(cfg.LocScale, 8<<cfg.LocScale, 0.57, 0.19, 0.19, cfg.Seed)
+	run := sweep.NewRunner(cfg.Reps)
+	defer run.Close()
 	var rows []LocalityRow
 	for _, mode := range cfg.Relabels {
 		rl := graph.Relabel(g, mode)
@@ -74,42 +79,44 @@ func Locality(cfg Config, exec machine.Exec) ([]LocalityRow, error) {
 		// runs the same BFS up to vertex names.
 		src := rl.Perm[0]
 		seq := bfs.Sequential(rl.G, src)
+		w := &kernel.Workload{Graph: rl.G, Source: src}
 		for _, p := range cfg.LocThreads {
 			lm := newLineModel(newBFSModel(rl.G, src, p, seq))
-			m := cfg.newMachine(p)
-			k := bfs.NewKernel(m, rl.G)
-			for _, kernel := range locKernels {
+			m := run.Machine(sweep.MachineKey{Threads: p, Policy: cfg.Policy})
+			for _, kname := range locKernels {
+				d, ok := kernel.Lookup(kname)
+				if !ok {
+					return nil, fmt.Errorf("locality: unregistered kernel %s", kname)
+				}
+				inst := run.Instance(d, m, w)
 				for _, repr := range locReprs {
-					k.SetBitmap(repr == "bitmap")
-					run := ebRunner(k, kernel, exec)
-					var r bfs.Result
-					pt := measure(cfg.Reps, func() { k.Prepare(src) }, func() { r = run() })
-					if err := ebValidate(rl.G, src, kernel, r); err != nil {
-						m.Close()
+					cell, err := run.Timed(inst, kernel.Settings{
+						Exec: exec, Method: cw.CASLT, Bitmap: repr == "bitmap",
+					})
+					if err != nil {
 						return nil, fmt.Errorf("locality %s %s %s relabel=%s p=%d: %w",
-							name, kernel, repr, mode, p, err)
+							name, kname, repr, mode, p, err)
 					}
 					row := LocalityRow{
 						Graph:    name,
-						Kernel:   kernel,
+						Kernel:   kname,
 						Repr:     repr,
 						Relabel:  mode,
 						Exec:     exec.String(),
 						Threads:  p,
-						NsOp:     float64(pt.Median.Nanoseconds()),
+						NsOp:     float64(cell.Median.Nanoseconds()),
 						Depth:    seq.Depth,
 						PermHash: hash,
 					}
 					if repr == "bitmap" {
-						row.Lines = lm.Lines(kernel, true)
-						row.LinesWord = lm.Lines(kernel, false)
+						row.Lines = lm.Lines(kname, true)
+						row.LinesWord = lm.Lines(kname, false)
 					}
 					rows = append(rows, row)
 					cfg.logf("locality %s kernel=%s repr=%s relabel=%s p=%d median=%v lines=%d\n",
-						name, kernel, repr, mode, p, pt.Median, row.Lines)
+						name, kname, repr, mode, p, cell.Median, row.Lines)
 				}
 			}
-			m.Close()
 		}
 	}
 	return rows, nil

@@ -9,16 +9,10 @@ import (
 	"strings"
 	"time"
 
-	"crcwpram/internal/alg/bfs"
-	"crcwpram/internal/alg/cc"
-	"crcwpram/internal/alg/listrank"
-	"crcwpram/internal/alg/matching"
-	"crcwpram/internal/alg/maxfind"
-	"crcwpram/internal/alg/mis"
 	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/machine"
 	"crcwpram/internal/core/metrics"
-	"crcwpram/internal/graph"
+	"crcwpram/internal/kernel"
 	"crcwpram/internal/sched"
 )
 
@@ -45,131 +39,117 @@ type MetricsRow struct {
 // the lock, not in a countable RMW.
 var contentionMethods = []cw.Method{cw.CASLT, cw.GatekeeperChecked, cw.Gatekeeper}
 
-// Contention runs every kernel of the suite on a metrics-enabled machine
-// under each requested timed backend (trace entries are skipped: the trace
-// backend is serial, so its "contention" is vacuous and Ctx.Metrics is nil
-// by design) and reports each run's aggregated metrics snapshot. The
-// per-cell probe is attached for every run, so the table includes the
-// paper's bound quantity — the maximum executed read-modify-writes any
-// cell absorbed in a single round — and the run times are therefore NOT
-// reported as measurements (the probe is an observer that adds a CAS per
-// executed attempt).
+// contentionRunMethods intersects the contention method set with a guarded
+// descriptor's method axis; a kernel whose method is fixed by construction
+// (an empty intersection) runs once under its own fixed method.
+func contentionRunMethods(d *kernel.Descriptor) []cw.Method {
+	var out []cw.Method
+	for _, m := range contentionMethods {
+		if d.SupportsMethod(m) {
+			out = append(out, m)
+		}
+	}
+	if len(out) == 0 {
+		fixed := cw.CASLT
+		if len(d.Methods) > 0 {
+			fixed = d.Methods[0]
+		}
+		out = []cw.Method{fixed}
+	}
+	return out
+}
+
+// Contention runs every registered contention-classified kernel on a
+// metrics-enabled machine under each requested timed backend (trace entries
+// are skipped: the trace backend is serial, so its "contention" is vacuous
+// and Ctx.Metrics is nil by design) and reports each run's aggregated
+// metrics snapshot. ContentionNone and ContentionCAS kernels are skipped
+// (no guarded round-structured CW to observe); the EREW ranker is the
+// negative control whose counters must stay zero. The per-cell probe is
+// attached for every run, so the table includes the paper's bound quantity
+// — the maximum executed read-modify-writes any cell absorbed in a single
+// round — and the run times are therefore NOT reported as measurements
+// (the probe is an observer that adds a CAS per executed attempt).
 //
 // For CAS-LT rows the probe maximum is checked against the paper's bound:
-// at most P executed CASes per cell per round (2P for matching, whose
-// propose and accept cell arrays share the probe's index space, giving two
-// guarded writes per vertex id per round). A violation returns an error —
-// it would falsify the claim the metrics layer exists to verify.
+// at most P executed CASes per cell per round, scaled by the descriptor's
+// ProbeBoundFactor (2 for matching, whose propose and accept cell arrays
+// share the probe's index space, giving two guarded writes per vertex id
+// per round). A violation returns an error — it would falsify the claim
+// the metrics layer exists to verify.
 //
 // Every result is validated against its sequential oracle before its
 // snapshot is reported.
-func Contention(threads, vertices, edges int, seed int64, execs []machine.Exec) ([]MetricsRow, error) {
+func Contention(reg *kernel.Registry, threads, vertices, edges int, seed int64, execs []machine.Exec) ([]MetricsRow, error) {
 	m := machine.New(threads, machine.WithMetrics())
 	defer m.Close()
 	rec := m.Metrics()
 
 	var rows []MetricsRow
-	// run resets the recorder (Prepare's untimed machine loops have already
-	// polluted it), attaches a cells-sized probe, executes body under pprof
-	// labels identifying the run, validates, then snapshots.
-	run := func(kernel, method string, e machine.Exec, cells int, body func() error) error {
+	// run resets the recorder, attaches a cells-sized probe, executes one
+	// prepared run under pprof labels identifying it (resetting again after
+	// Prepare, whose untimed machine loops pollute the counters), validates,
+	// then snapshots.
+	run := func(d *kernel.Descriptor, inst kernel.Instance, name string, e machine.Exec, cells int, s kernel.Settings) error {
 		rec.Reset()
 		rec.EnableProbe(cells)
 		var err error
-		labels := pprof.Labels("kernel", kernel, "method", method, "exec", e.String())
-		pprof.Do(context.Background(), labels, func(context.Context) { err = body() })
+		labels := pprof.Labels("kernel", d.Name, "method", name, "exec", e.String())
+		pprof.Do(context.Background(), labels, func(context.Context) {
+			inst.Prepare(s)
+			rec.Reset()
+			inst.Run(s)
+			err = inst.Validate()
+		})
 		if err != nil {
-			return fmt.Errorf("bench: metrics %s/%s/%s: %w", kernel, method, e, err)
+			return fmt.Errorf("bench: metrics %s/%s/%s: %w", d.Name, name, e, err)
 		}
 		snap := m.Snapshot()
-		if method == cw.CASLT.String() {
-			bound := uint64(threads)
-			if kernel == "matching" {
-				bound *= 2 // two cell arrays share the probe index space
-			}
+		if name == cw.CASLT.String() {
+			bound := uint64(threads) * uint64(d.ProbeBoundFactor)
 			if snap.MaxCellClaims > bound {
 				return fmt.Errorf("bench: metrics %s/%s/%s: %d executed CASes on one cell in one round, paper bounds it by %d",
-					kernel, method, e, snap.MaxCellClaims, bound)
+					d.Name, name, e, snap.MaxCellClaims, bound)
 			}
 		}
-		rows = append(rows, MetricsRow{Kernel: kernel, Method: method, Exec: e, Snap: snap})
+		rows = append(rows, MetricsRow{Kernel: d.Name, Method: name, Exec: e, Snap: snap})
 		return nil
 	}
 
-	const maxfindN = 512
-	list := randomList(maxfindN, seed)
-	maxWant := maxfind.Sequential(list)
-	mk := maxfind.NewKernel(m, maxfindN)
-
-	bg := graph.ConnectedRandom(vertices, edges, seed)
-	bk := bfs.NewKernel(m, bg)
-	ug := graph.RandomUndirected(vertices, edges, seed)
-	ck := cc.NewKernel(m, ug)
-	sk := mis.NewKernel(m, ug)
-	wk := matching.NewKernel(m, ug)
-
-	next := listrank.RandomList(vertices, seed)
-	rankWant := listrank.SequentialRank(next)
+	insts := map[string]kernel.Instance{}
+	cells := map[string]int{}
+	var swept []*kernel.Descriptor
+	for _, d := range reg.All() {
+		if d.Contention == kernel.ContentionNone || d.Contention == kernel.ContentionCAS {
+			continue
+		}
+		w := countWorkload(d, vertices, edges, seed)
+		insts[d.Name] = d.New(m, w)
+		cells[d.Name] = countCells(d, w)
+		swept = append(swept, d)
+	}
 
 	for _, e := range execs {
 		if e == machine.ExecTrace {
 			continue
 		}
-		for _, method := range contentionMethods {
-			name := method.String()
-			if err := run("maxfind", name, e, maxfindN, func() error {
-				mk.Prepare(list)
-				rec.Reset()
-				if got := mk.RunExec(e, method); got != maxWant {
-					return fmt.Errorf("got max %d, want %d", got, maxWant)
+		for _, d := range swept {
+			inst := insts[d.Name]
+			if d.Contention == kernel.ContentionEREW {
+				// The EREW kernels are the negative control: no concurrent
+				// writes, so their rows carry only the time split with the
+				// counters at zero. No probe, no method label.
+				if err := run(d, inst, "", e, 0, kernel.Settings{Exec: e}); err != nil {
+					return nil, err
 				}
-				return nil
-			}); err != nil {
-				return nil, err
+				continue
 			}
-			if err := run("bfs", name, e, vertices, func() error {
-				bk.Prepare(0)
-				rec.Reset()
-				return bfs.Validate(bg, 0, bk.RunExec(e, method), true)
-			}); err != nil {
-				return nil, err
-			}
-			if err := run("cc", name, e, vertices, func() error {
-				ck.Prepare()
-				rec.Reset()
-				return cc.Validate(ug, ck.RunExec(e, method))
-			}); err != nil {
-				return nil, err
-			}
-			if err := run("mis", name, e, vertices, func() error {
-				sk.Prepare()
-				rec.Reset()
-				return mis.Validate(ug, sk.RunExec(e, method, uint64(seed)))
-			}); err != nil {
-				return nil, err
-			}
-		}
-		// Matching's two-level arbitrary CW is CAS-LT by construction.
-		if err := run("matching", cw.CASLT.String(), e, vertices, func() error {
-			wk.Prepare()
-			rec.Reset()
-			return matching.Validate(ug, wk.RunExec(e, uint64(seed)))
-		}); err != nil {
-			return nil, err
-		}
-		// List ranking is the EREW comparison kernel: no concurrent writes,
-		// so its row carries only the time split and shows the counters at
-		// zero — the observability layer's negative control.
-		if err := run("listrank", "", e, 0, func() error {
-			ranks := listrank.RankExec(m, e, next)
-			for i := range ranks {
-				if ranks[i] != rankWant[i] {
-					return fmt.Errorf("rank[%d] = %d, want %d", i, ranks[i], rankWant[i])
+			for _, method := range contentionRunMethods(d) {
+				s := kernel.Settings{Exec: e, Method: method}
+				if err := run(d, inst, method.String(), e, cells[d.Name], s); err != nil {
+					return nil, err
 				}
 			}
-			return nil
-		}); err != nil {
-			return nil, err
 		}
 	}
 
@@ -180,33 +160,40 @@ func Contention(threads, vertices, edges int, seed int64, execs []machine.Exec) 
 	// mate is the vehicle because its CAS-LT hooking both consumes round
 	// ids (NextRound, so the rounds-to-convergence column stays populated)
 	// and relaxes an arc-shaped irregular loop — the loop stealing exists
-	// for. One row per timed backend, tagged with the policy.
+	// for. One row per timed backend, tagged with the policy. A registry
+	// without the kernel (a pruned test registry) simply skips the pass.
+	sd, ok := reg.Lookup("cc-randmate")
+	if !ok {
+		return rows, nil
+	}
 	sm := machine.New(threads, machine.WithMetrics(), machine.WithPolicy(sched.Stealing))
 	defer sm.Close()
 	srec := sm.Metrics()
-	sck := cc.NewKernel(sm, ug)
-	sck.SetStealing(true)
+	sw := countWorkload(sd, vertices, edges, seed)
+	sinst := sd.New(sm, sw)
 	for _, e := range execs {
 		if e == machine.ExecTrace {
 			continue
 		}
+		s := kernel.Settings{Exec: e, Method: cw.CASLT, Steal: kernel.StealOn}
 		srec.Reset()
-		srec.EnableProbe(vertices)
-		sck.Prepare()
+		srec.EnableProbe(countCells(sd, sw))
+		sinst.Prepare(s)
 		srec.Reset()
-		if err := cc.Validate(ug, sck.RunRandMateExec(e, uint64(seed))); err != nil {
-			return nil, fmt.Errorf("bench: metrics cc/caslt/%s policy=stealing: %w", e, err)
+		sinst.Run(s)
+		if err := sinst.Validate(); err != nil {
+			return nil, fmt.Errorf("bench: metrics %s/caslt/%s policy=stealing: %w", sd.Name, e, err)
 		}
 		snap := sm.Snapshot()
-		if snap.MaxCellClaims > uint64(threads) {
-			return nil, fmt.Errorf("bench: metrics cc/caslt/%s policy=stealing: %d executed CASes on one cell in one round, paper bounds it by %d",
-				e, snap.MaxCellClaims, threads)
+		if snap.MaxCellClaims > uint64(threads)*uint64(sd.ProbeBoundFactor) {
+			return nil, fmt.Errorf("bench: metrics %s/caslt/%s policy=stealing: %d executed CASes on one cell in one round, paper bounds it by %d",
+				sd.Name, e, snap.MaxCellClaims, threads)
 		}
 		if snap.ChunksLocal == 0 {
-			return nil, fmt.Errorf("bench: metrics cc/caslt/%s policy=stealing: no deque claims recorded", e)
+			return nil, fmt.Errorf("bench: metrics %s/caslt/%s policy=stealing: no deque claims recorded", sd.Name, e)
 		}
 		rows = append(rows, MetricsRow{
-			Kernel: "cc",
+			Kernel: sd.Name,
 			Method: cw.CASLT.String(),
 			Exec:   e,
 			Policy: sched.Stealing.String(),

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"crcwpram/internal/core/machine"
+	"crcwpram/internal/kernel"
 )
 
 // TestContentionSweep runs the miniature live-contention sweep end to end:
@@ -19,14 +20,25 @@ func TestContentionSweep(t *testing.T) {
 		seed     = 7
 	)
 	execs := []machine.Exec{machine.ExecPool, machine.ExecTeam, machine.ExecTrace}
-	rows, err := Contention(threads, vertices, edges, seed, execs)
+	rows, err := Contention(kernel.Default, threads, vertices, edges, seed, execs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Per timed exec: 4 kernels x 3 guarded methods + matching + listrank +
-	// the stealing-scheduler frontier-BFS row. The trace entry must be
-	// skipped, not reported.
-	want := 2 * (4*len(contentionMethods) + 3)
+	// The expected row count is derived from the registry the sweep walks:
+	// per timed exec, one row per guarded (kernel, contention method) pair
+	// plus one per EREW control; plus the stealing-scheduler pass. The trace
+	// entry must be skipped, not reported.
+	perExec := 0
+	for _, d := range kernel.All() {
+		switch d.Contention {
+		case kernel.ContentionNone, kernel.ContentionCAS:
+		case kernel.ContentionEREW:
+			perExec++
+		default:
+			perExec += len(contentionRunMethods(d))
+		}
+	}
+	want := 2*perExec + 2
 	if len(rows) != want {
 		t.Fatalf("got %d rows, want %d", len(rows), want)
 	}
@@ -34,8 +46,8 @@ func TestContentionSweep(t *testing.T) {
 	for _, r := range rows {
 		if r.Policy == "stealing" {
 			stealingRows++
-			if r.Kernel != "cc" {
-				t.Fatalf("stealing metrics row on kernel %q, want cc", r.Kernel)
+			if r.Kernel != "cc-randmate" {
+				t.Fatalf("stealing metrics row on kernel %q, want cc-randmate", r.Kernel)
 			}
 			if r.Snap.ChunksLocal == 0 {
 				t.Fatalf("stealing metrics row without deque claims: %+v", r.Snap)

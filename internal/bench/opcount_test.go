@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"crcwpram/internal/kernel"
 )
 
 func TestOpCountTableValidatesSectionSix(t *testing.T) {
@@ -54,7 +56,7 @@ func TestOpCountTableValidatesSectionSix(t *testing.T) {
 }
 
 func TestKernelOpCounts(t *testing.T) {
-	rows := KernelOpCounts(2, 300, 1200, 7)
+	rows := KernelOpCounts(kernel.Default, 2, 300, 1200, 7)
 	if len(rows) != 6 {
 		t.Fatalf("%d rows, want 6 (2 kernels x 3 methods)", len(rows))
 	}

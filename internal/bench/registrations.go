@@ -1,0 +1,14 @@
+package bench
+
+// The sweeps are configured by kernel *name* against the shared registry
+// (kernel.Default); importing the algorithm packages is what populates it.
+// Every package under internal/alg self-registers in its init, so linking
+// them here is the bench suite's single registration point.
+import (
+	_ "crcwpram/internal/alg/bfs"
+	_ "crcwpram/internal/alg/cc"
+	_ "crcwpram/internal/alg/listrank"
+	_ "crcwpram/internal/alg/matching"
+	_ "crcwpram/internal/alg/maxfind"
+	_ "crcwpram/internal/alg/mis"
+)

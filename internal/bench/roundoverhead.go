@@ -5,11 +5,9 @@ import (
 	"io"
 	"strconv"
 	"strings"
-	"time"
 
 	"crcwpram/internal/core/exec"
 	"crcwpram/internal/core/machine"
-	"crcwpram/internal/stats"
 )
 
 // This file measures the fixed cost of one PRAM round under both execution
@@ -44,22 +42,28 @@ func RoundOverhead(ps []int, rounds, reps int, log io.Writer) []OverheadRow {
 	var out []OverheadRow
 	for _, p := range ps {
 		for _, e := range machine.Execs {
-			var s stats.Sample
-			for r := 0; r < reps; r++ {
-				m := machine.New(p)
-				start := time.Now()
+			// Machine construction is the untimed per-repetition reset; a
+			// fresh machine per rep keeps barrier state cold, as before the
+			// timing helpers were shared.
+			var m *machine.Machine
+			body := func() {
 				exec.Run(m, e, func(ctx exec.Ctx) {
 					for i := 0; i < rounds; i++ {
 						ctx.For(p, func(int) {})
 					}
 				})
-				s.Add(time.Since(start))
-				m.Close()
 			}
+			ns := medianNs(reps, func() {
+				if m != nil {
+					m.Close()
+				}
+				m = machine.New(p)
+			}, body)
+			m.Close()
 			row := OverheadRow{
 				P:          p,
 				Exec:       e.String(),
-				NsPerRound: float64(s.Median().Nanoseconds()) / float64(rounds),
+				NsPerRound: ns / float64(rounds),
 			}
 			out = append(out, row)
 			if log != nil {

@@ -7,8 +7,11 @@ import (
 	"strings"
 
 	"crcwpram/internal/alg/bfs"
+	"crcwpram/internal/bench/sweep"
+	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/machine"
 	"crcwpram/internal/graph"
+	"crcwpram/internal/kernel"
 	"crcwpram/internal/sched"
 )
 
@@ -70,42 +73,52 @@ func Stealing(cfg Config, exec machine.Exec) ([]StealingRow, error) {
 		{fmt.Sprintf("uniform%d", cfg.StealScale),
 			graph.ConnectedRandom(1<<cfg.StealScale, 4<<cfg.StealScale, cfg.Seed)},
 	}
+	run := sweep.NewRunner(cfg.Reps)
+	defer run.Close()
 	var rows []StealingRow
 	for _, wl := range workloads {
 		seq := bfs.Sequential(wl.g, 0)
+		w := &kernel.Workload{Graph: wl.g}
 		for _, p := range cfg.StealThreads {
 			model := newBFSModel(wl.g, 0, p, seq)
 			for _, pol := range sched.Policies {
-				m := machine.New(p, machine.WithPolicy(pol), machine.WithMetrics())
-				k := bfs.NewKernel(m, wl.g)
-				k.SetStealing(pol == sched.Stealing)
-				for _, kernel := range stealKernels {
-					run := ebRunner(k, kernel, exec)
-					var r bfs.Result
+				m := run.Machine(sweep.MachineKey{Threads: p, Policy: pol, Metrics: true})
+				// Kernels are pinned to the cell's policy: stealing
+				// relaxation exactly when the machine policy is stealing.
+				steal := kernel.StealOff
+				if pol == sched.Stealing {
+					steal = kernel.StealOn
+				}
+				for _, kname := range stealKernels {
+					d, ok := kernel.Lookup(kname)
+					if !ok {
+						return nil, fmt.Errorf("stealing: unregistered kernel %s", kname)
+					}
+					inst := run.Instance(d, m, w)
 					m.Metrics().Reset()
-					pt := measure(cfg.Reps, func() { k.Prepare(0) }, func() { r = run() })
-					if err := ebValidate(wl.g, 0, kernel, r); err != nil {
-						m.Close()
+					cell, err := run.Timed(inst, kernel.Settings{
+						Exec: exec, Method: cw.CASLT, Steal: steal,
+					})
+					if err != nil {
 						return nil, fmt.Errorf("stealing %s %s %s p=%d: %w",
-							wl.name, kernel, pol, p, err)
+							wl.name, kname, pol, p, err)
 					}
 					snap := m.Snapshot()
 					rows = append(rows, StealingRow{
 						Graph:       wl.name,
-						Kernel:      kernel,
+						Kernel:      kname,
 						Policy:      pol,
 						Exec:        exec.String(),
 						Threads:     p,
-						NsOp:        float64(pt.Median.Nanoseconds()),
-						Model:       model.ForSched(kernel, pol, m.Chunk()),
+						NsOp:        float64(cell.Median.Nanoseconds()),
+						Model:       model.ForSched(kname, pol, m.Chunk()),
 						ChunksLocal: snap.ChunksLocal,
 						Steals:      snap.Steals,
 						StealFails:  snap.StealFails,
 					})
 					cfg.logf("stealing %s kernel=%s policy=%s p=%d median=%v crit=%d steals=%d\n",
-						wl.name, kernel, pol, p, pt.Median, rows[len(rows)-1].Model.Crit, snap.Steals)
+						wl.name, kname, pol, p, cell.Median, rows[len(rows)-1].Model.Crit, snap.Steals)
 				}
-				m.Close()
 			}
 		}
 	}

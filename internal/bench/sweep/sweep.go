@@ -1,0 +1,194 @@
+// Package sweep is the generic engine behind the bench sweeps: it expands
+// axis products into runs, binds registered kernels to cached machines, and
+// applies the paper's timing protocol (prepare untimed, run timed, median
+// of repetitions, validation outside the timed region) uniformly, so each
+// sweep in internal/bench is a thin configuration — a workload list, an
+// axis product, and a row emitter — instead of a hand-wired harness.
+package sweep
+
+import (
+	"fmt"
+	"time"
+
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/exec"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
+	"crcwpram/internal/kernel"
+	"crcwpram/internal/sched"
+	"crcwpram/internal/stats"
+)
+
+// Time applies the measurement protocol shared by every timed sweep: reps
+// iterations of prepare (untimed) followed by run (timed), returning the
+// full sample. Callers take the median; the sample keeps the spread.
+func Time(reps int, prepare, run func()) stats.Sample {
+	var s stats.Sample
+	for r := 0; r < reps; r++ {
+		prepare()
+		start := time.Now()
+		run()
+		s.Add(time.Since(start))
+	}
+	return s
+}
+
+// MachineKey identifies one machine configuration the engine caches:
+// everything that is fixed at machine construction rather than per run.
+type MachineKey struct {
+	Threads int
+	Policy  sched.Policy
+	Metrics bool
+}
+
+// Cell is one measured sweep cell: the timing sample and the final
+// repetition's (validated) outcome.
+type Cell struct {
+	Median time.Duration
+	Sample stats.Sample
+	Out    kernel.Outcome
+}
+
+type instKey struct {
+	kernel string
+	m      *machine.Machine
+	w      *kernel.Workload
+}
+
+// Runner executes sweep cells against cached machines and kernel
+// instances. Machines are keyed by MachineKey and closed by Close;
+// instances are keyed by (kernel, machine, workload identity) so revisiting
+// a cell's neighborhood along another axis reuses the bound kernel exactly
+// as the hand-written sweeps did.
+type Runner struct {
+	Reps      int
+	machines  map[MachineKey]*machine.Machine
+	instances map[instKey]kernel.Instance
+}
+
+// NewRunner returns a Runner timing each cell over reps repetitions.
+func NewRunner(reps int) *Runner {
+	return &Runner{
+		Reps:      reps,
+		machines:  map[MachineKey]*machine.Machine{},
+		instances: map[instKey]kernel.Instance{},
+	}
+}
+
+// Machine returns the cached machine for key, creating it on first use.
+func (r *Runner) Machine(key MachineKey) *machine.Machine {
+	if m, ok := r.machines[key]; ok {
+		return m
+	}
+	opts := []machine.Option{machine.WithPolicy(key.Policy)}
+	if key.Metrics {
+		opts = append(opts, machine.WithMetrics())
+	}
+	m := machine.New(key.Threads, opts...)
+	r.machines[key] = m
+	return m
+}
+
+// Instance returns the kernel d bound to machine m and workload w, creating
+// it on first use. Workload identity is the pointer: a sweep builds each
+// workload once and revisits it across axis values.
+func (r *Runner) Instance(d *kernel.Descriptor, m *machine.Machine, w *kernel.Workload) kernel.Instance {
+	key := instKey{d.Name, m, w}
+	if in, ok := r.instances[key]; ok {
+		return in
+	}
+	in := d.New(m, *w)
+	r.instances[key] = in
+	return in
+}
+
+// Timed measures one axis assignment on a bound instance and validates the
+// final repetition's result after timing ends.
+func (r *Runner) Timed(inst kernel.Instance, s kernel.Settings) (Cell, error) {
+	var out kernel.Outcome
+	sample := Time(r.Reps, func() { inst.Prepare(s) }, func() { out = inst.Run(s) })
+	if err := inst.Validate(); err != nil {
+		return Cell{}, err
+	}
+	return Cell{Median: sample.Median(), Sample: sample, Out: out}, nil
+}
+
+// Counted runs one untimed assignment (the counting sweeps' mode: trace
+// replay or metrics collection), validates it, and returns the outcome with
+// the structural trace when the backend recorded one.
+func (r *Runner) Counted(inst kernel.Instance, s kernel.Settings) (kernel.Outcome, *exec.TraceStats, error) {
+	inst.Prepare(s)
+	out := inst.Run(s)
+	if err := inst.Validate(); err != nil {
+		return kernel.Outcome{}, nil, err
+	}
+	return out, inst.Trace(), nil
+}
+
+// Close releases every machine the runner created.
+func (r *Runner) Close() {
+	for _, m := range r.machines {
+		m.Close()
+	}
+	r.machines = map[MachineKey]*machine.Machine{}
+	r.instances = map[instKey]kernel.Instance{}
+}
+
+// Product expands the cross product of the given axes in declaration order,
+// invoking f once per full assignment. The selector passed to f is reused
+// across calls; copy it to retain. An axis with no values collapses the
+// product to nothing, mirroring an empty sweep.
+func Product(axes []kernel.Axis, f func(kernel.Selector) error) error {
+	sel := kernel.Selector{}
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(axes) {
+			return f(sel)
+		}
+		for _, v := range axes[i].Values {
+			sel[axes[i].Name] = v
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		delete(sel, axes[i].Name)
+		return nil
+	}
+	return rec(0)
+}
+
+// ParseSettings resolves the kernel-level axes of a selector into Settings
+// (machine-level axes — threads, policy — are the caller's MachineKey).
+// Absent axes keep zero defaults; the selector is assumed pre-validated by
+// kernel.ParseSelector.
+func ParseSettings(sel kernel.Selector) (kernel.Settings, error) {
+	var s kernel.Settings
+	if v, ok := sel[kernel.AxisExec]; ok {
+		e, ok := machine.ParseExec(v)
+		if !ok {
+			return s, fmt.Errorf("sweep: bad exec %q", v)
+		}
+		s.Exec = e
+	}
+	if v, ok := sel[kernel.AxisMethod]; ok {
+		m, ok := cw.ParseMethod(v)
+		if !ok {
+			return s, fmt.Errorf("sweep: bad method %q", v)
+		}
+		s.Method = m
+	}
+	if v, ok := sel[kernel.AxisBalance]; ok {
+		b, ok := graph.ParseBalance(v)
+		if !ok {
+			return s, fmt.Errorf("sweep: bad balance %q", v)
+		}
+		s.Balance = b
+	}
+	if v, ok := sel[kernel.AxisRepr]; ok {
+		if v != "word" && v != "bitmap" {
+			return s, fmt.Errorf("sweep: bad repr %q", v)
+		}
+		s.Bitmap = v == "bitmap"
+	}
+	return s, nil
+}

@@ -1,0 +1,204 @@
+package sweep
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"crcwpram/internal/core/cw"
+	"crcwpram/internal/core/exec"
+	"crcwpram/internal/core/machine"
+	"crcwpram/internal/graph"
+	"crcwpram/internal/kernel"
+	"crcwpram/internal/sched"
+)
+
+// countingInstance records the engine's calls so the tests can pin the
+// timing protocol (prepare untimed before every run, validate once after).
+type countingInstance struct {
+	prepares, runs, validates int
+	failValidate              bool
+}
+
+func (c *countingInstance) Prepare(kernel.Settings) { c.prepares++ }
+func (c *countingInstance) Run(kernel.Settings) kernel.Outcome {
+	c.runs++
+	return kernel.Outcome{Vector: []uint32{uint32(c.runs)}}
+}
+func (c *countingInstance) Validate() error {
+	c.validates++
+	if c.failValidate {
+		return fmt.Errorf("bad run")
+	}
+	return nil
+}
+func (c *countingInstance) Trace() *exec.TraceStats { return nil }
+
+func testDescriptor(name string) *kernel.Descriptor {
+	return &kernel.Descriptor{
+		Name: name, Pkg: "sweep",
+		New: func(*machine.Machine, kernel.Workload) kernel.Instance {
+			return &countingInstance{}
+		},
+	}
+}
+
+func TestTimeSampleSize(t *testing.T) {
+	prepares, runs := 0, 0
+	s := Time(5, func() { prepares++ }, func() {
+		if runs == prepares {
+			t.Fatal("run executed before its prepare")
+		}
+		runs++
+	})
+	if prepares != 5 || runs != 5 || s.N() != 5 {
+		t.Fatalf("prepares=%d runs=%d n=%d, want 5 each", prepares, runs, s.N())
+	}
+}
+
+func TestRunnerMachineCaching(t *testing.T) {
+	r := NewRunner(1)
+	defer r.Close()
+	a := r.Machine(MachineKey{Threads: 2, Policy: sched.Block})
+	b := r.Machine(MachineKey{Threads: 2, Policy: sched.Block})
+	c := r.Machine(MachineKey{Threads: 2, Policy: sched.Block, Metrics: true})
+	if a != b {
+		t.Error("same key returned distinct machines")
+	}
+	if a == c {
+		t.Error("metrics key shared the plain machine")
+	}
+	if a.P() != 2 {
+		t.Errorf("machine has %d workers, want 2", a.P())
+	}
+}
+
+func TestRunnerInstanceCaching(t *testing.T) {
+	r := NewRunner(1)
+	defer r.Close()
+	m := r.Machine(MachineKey{Threads: 1, Policy: sched.Block})
+	d := testDescriptor("toy")
+	w1, w2 := &kernel.Workload{}, &kernel.Workload{}
+	if r.Instance(d, m, w1) != r.Instance(d, m, w1) {
+		t.Error("same (kernel, machine, workload) returned distinct instances")
+	}
+	if r.Instance(d, m, w1) == r.Instance(d, m, w2) {
+		t.Error("distinct workloads shared an instance")
+	}
+	if r.Instance(d, m, w1) == r.Instance(testDescriptor("toy2"), m, w1) {
+		t.Error("distinct kernels shared an instance")
+	}
+}
+
+func TestRunnerTimedProtocol(t *testing.T) {
+	r := NewRunner(3)
+	defer r.Close()
+	inst := &countingInstance{}
+	cell, err := r.Timed(inst, kernel.Settings{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.prepares != 3 || inst.runs != 3 || inst.validates != 1 {
+		t.Errorf("prepares=%d runs=%d validates=%d, want 3/3/1",
+			inst.prepares, inst.runs, inst.validates)
+	}
+	if cell.Sample.N() != 3 {
+		t.Errorf("sample n=%d, want 3", cell.Sample.N())
+	}
+	// The cell keeps the final repetition's outcome.
+	if !reflect.DeepEqual(cell.Out.Vector, []uint32{3}) {
+		t.Errorf("cell outcome = %v, want the last run's", cell.Out.Vector)
+	}
+
+	if _, err := r.Timed(&countingInstance{failValidate: true}, kernel.Settings{}); err == nil {
+		t.Error("Timed swallowed a validation failure")
+	}
+}
+
+func TestRunnerCounted(t *testing.T) {
+	r := NewRunner(7)
+	defer r.Close()
+	inst := &countingInstance{}
+	out, tr, err := r.Counted(inst, kernel.Settings{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.prepares != 1 || inst.runs != 1 {
+		t.Errorf("counted mode ran %d/%d times, want once regardless of reps", inst.prepares, inst.runs)
+	}
+	if tr != nil || !reflect.DeepEqual(out.Vector, []uint32{1}) {
+		t.Errorf("counted = %v trace %v", out.Vector, tr)
+	}
+	if _, _, err := r.Counted(&countingInstance{failValidate: true}, kernel.Settings{}); err == nil {
+		t.Error("Counted swallowed a validation failure")
+	}
+}
+
+func TestProductExpansion(t *testing.T) {
+	axes := []kernel.Axis{
+		{Name: "a", Values: []string{"1", "2"}},
+		{Name: "b", Values: []string{"x", "y", "z"}},
+	}
+	var got []string
+	if err := Product(axes, func(sel kernel.Selector) error {
+		got = append(got, sel["a"]+sel["b"])
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1x", "1y", "1z", "2x", "2y", "2z"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("product = %v, want %v", got, want)
+	}
+
+	// An empty axis collapses the product; an error aborts it mid-way.
+	calls := 0
+	if err := Product(append(axes, kernel.Axis{Name: "c"}), func(kernel.Selector) error {
+		calls++
+		return nil
+	}); err != nil || calls != 0 {
+		t.Errorf("empty axis: calls=%d err=%v, want no expansion", calls, err)
+	}
+	calls = 0
+	wantErr := fmt.Errorf("stop")
+	if err := Product(axes, func(kernel.Selector) error {
+		calls++
+		if calls == 2 {
+			return wantErr
+		}
+		return nil
+	}); err != wantErr || calls != 2 {
+		t.Errorf("error propagation: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestParseSettings(t *testing.T) {
+	s, err := ParseSettings(kernel.Selector{
+		kernel.AxisExec:    "team",
+		kernel.AxisMethod:  "gatekeeper",
+		kernel.AxisBalance: "edge",
+		kernel.AxisRepr:    "bitmap",
+		kernel.AxisThreads: "8", // machine-level: ignored here
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := kernel.Settings{Exec: machine.ExecTeam, Method: cw.Gatekeeper, Balance: graph.BalanceEdge, Bitmap: true}
+	if s != want {
+		t.Errorf("settings = %+v, want %+v", s, want)
+	}
+
+	if s, err = ParseSettings(kernel.Selector{}); err != nil || s != (kernel.Settings{}) {
+		t.Errorf("empty selector = %+v, %v; want zero settings", s, err)
+	}
+	for _, bad := range []kernel.Selector{
+		{kernel.AxisExec: "block"},
+		{kernel.AxisMethod: "fetch-or"},
+		{kernel.AxisBalance: "spin"},
+		{kernel.AxisRepr: "tape"},
+	} {
+		if _, err := ParseSettings(bad); err == nil {
+			t.Errorf("ParseSettings(%v) accepted an illegal value", bad)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"time"
+
+	"crcwpram/internal/bench/sweep"
+)
+
+// This file is the bench layer's single timing vocabulary. The protocol
+// itself (prepare untimed, run timed, median of repetitions) lives in
+// sweep.Time so the declarative engine and the hand-shaped sweeps below
+// measure identically.
+
+// measure runs prepare (untimed) + run (timed) reps times and returns the
+// sample as a Point.
+func measure(reps int, prepare func(), run func()) Point {
+	s := sweep.Time(reps, prepare, run)
+	return Point{Median: s.Median(), Sample: s}
+}
+
+// medianNs times body (with an untimed per-repetition reset) reps times and
+// returns the median in nanoseconds — the scalar sweeps (round overhead)
+// that report ns directly rather than Points use it.
+func medianNs(reps int, reset func(), body func()) float64 {
+	return float64(sweep.Time(reps, reset, body).Median()) / float64(time.Nanosecond)
+}
+
+// warmup runs body once, discarding the measurement — the first run pays
+// one-time costs (page faults, lazily allocated kernel state) that the
+// paper's protocol excludes from samples.
+func warmup(body func()) { body() }

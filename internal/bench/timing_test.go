@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+func TestMeasure(t *testing.T) {
+	prepares, runs := 0, 0
+	p := measure(4, func() { prepares++ }, func() {
+		if runs == prepares {
+			t.Fatal("run executed before its prepare")
+		}
+		runs++
+	})
+	if prepares != 4 || runs != 4 {
+		t.Fatalf("prepares=%d runs=%d, want 4 each", prepares, runs)
+	}
+	if p.Sample.N() != 4 {
+		t.Fatalf("sample n=%d, want 4", p.Sample.N())
+	}
+	if p.Median != p.Sample.Median() {
+		t.Fatalf("point median %v != sample median %v", p.Median, p.Sample.Median())
+	}
+}
+
+func TestMedianNs(t *testing.T) {
+	resets, bodies := 0, 0
+	ns := medianNs(3, func() { resets++ }, func() { bodies++ })
+	if resets != 3 || bodies != 3 {
+		t.Fatalf("resets=%d bodies=%d, want 3 each", resets, bodies)
+	}
+	if ns < 0 {
+		t.Fatalf("median %v ns, want non-negative", ns)
+	}
+}
+
+func TestWarmup(t *testing.T) {
+	calls := 0
+	warmup(func() { calls++ })
+	if calls != 1 {
+		t.Fatalf("warmup ran the body %d times, want exactly once", calls)
+	}
+}

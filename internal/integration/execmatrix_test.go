@@ -1,84 +1,36 @@
-// The execution-backend differential matrix: every kernel of the suite,
-// under every concurrent-write method it supports, runs on fixed-seed
-// inputs under all three exec backends (pool, team, trace), and the
-// deterministic projection of each result must be byte-identical across
-// backends. Kernels with a bit-packed membership representation (BFS
-// frontiers, CC hook claims, matching proposal flags) run under both
-// representations, and the bitmap projection must additionally match the
-// word run's; the relabeling axis (TestExecMatrixRelabel) runs on permuted
-// CSR images and must match the unrelabeled run after unpermuting. This is the single test that replaces the per-algorithm
-// team_test.go files: a kernel whose SPMD body behaves differently under
-// any backend — a missed barrier, a stale flag slot, a partition mismatch
-// — diverges here. CI additionally runs this package under -race, where
-// the team backend's sense barriers and the pool backend's fork/join
-// steps are both exercised with real concurrency.
+// Cross-backend state tests: the differential matrices themselves (every
+// registered kernel × method × backend × representation × policy ×
+// relabeling, byte-compared against the pool/block/word reference) are
+// implemented in internal/kernel (DifferentialExec, DifferentialPolicy,
+// DifferentialRelabel, Smoke) and driven by registrymatrix_test.go in this
+// package. What remains here are the contracts a registry-driven sweep
+// cannot express: round-id continuity when one kernel instance alternates
+// backends without reset, and the trace backend's recording contract.
 //
-// What "deterministic projection" means per kernel:
-//
-//   - bfs (all variants): Level and Depth are the distance metric — unique
-//     regardless of which parent wins the arbitrary write.
-//   - cc (both algorithms): the partition (labels up to renaming); label
-//     values depend on hook winners, the partition cannot.
-//   - maxfind: the winning index (the tie-break is a total order).
-//   - mis: the membership vector (priorities are seed-deterministic and
-//     kills are common writes, so the set itself is unique).
-//   - matching: validator-checked always; the full mate vector is compared
-//     only at P=1, where all three backends execute serially and the
-//     arbitrary-write winners coincide.
-//   - listrank: the rank vector (EREW — no concurrent writes at all).
+// CI runs this package under -race, where the team backend's sense
+// barriers and the pool backend's fork/join steps are exercised with real
+// concurrency.
 package integration
 
 import (
-	"bytes"
 	"encoding/binary"
-	"fmt"
 	"testing"
 
 	"crcwpram/internal/alg/bfs"
 	"crcwpram/internal/alg/cc"
-	"crcwpram/internal/alg/listrank"
-	"crcwpram/internal/alg/matching"
-	"crcwpram/internal/alg/maxfind"
 	"crcwpram/internal/alg/mis"
 	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/machine"
 	"crcwpram/internal/graph"
-	"crcwpram/internal/race"
 )
 
 // matrixExecs is every backend, including the untimed trace replay.
 var matrixExecs = []machine.Exec{machine.ExecPool, machine.ExecTeam, machine.ExecTrace}
 
 // guardedMethods are the methods that safely implement the kernels'
-// arbitrary concurrent writes (cw.Naive is not among them; where a kernel's
-// writes are common, naive joins the matrix unless -race is on, matching
-// the per-package test policy for the intentionally racy Rodinia idiom).
+// arbitrary concurrent writes (cw.Naive is not among them; the metrics
+// differential sweeps them all).
 var guardedMethods = []cw.Method{cw.CASLT, cw.Gatekeeper, cw.GatekeeperChecked, cw.Mutex}
-
-func commonWriteMethods() []cw.Method {
-	if race.Enabled {
-		return guardedMethods
-	}
-	return append(append([]cw.Method(nil), guardedMethods...), cw.Naive)
-}
-
-// matrixGraphs are the fixed-seed workloads: a deep path (2000 levels — the
-// round-structure stress case), a hub-skewed power-law graph, and a
-// disconnected multi-component graph. All are undirected, so every BFS
-// variant (including pull and hybrid) runs on all of them.
-func matrixGraphs() []struct {
-	name string
-	g    *graph.Graph
-} {
-	return []struct {
-		name string
-		g    *graph.Graph
-	}{
-		{"path2000", graph.Path(2000)},
-		{"rmat", graph.RMAT(7, 600, 0.57, 0.19, 0.19, 9)},
-		{"disjoint", graph.Disjoint(graph.ConnectedRandom(60, 220, 5), 3)},
-	}
-}
 
 func u32bytes(xs []uint32) []byte {
 	out := make([]byte, 4*len(xs))
@@ -102,282 +54,8 @@ func canonicalPartition(labels []uint32) []uint32 {
 	return out
 }
 
-// runMatrix runs one (kernel, method, graph) cell under every backend and
-// fails unless every backend's projection is byte-identical to the pool
-// backend's.
-func runMatrix(t *testing.T, tag string, run func(e machine.Exec) []byte) {
-	t.Helper()
-	var want []byte
-	for i, e := range matrixExecs {
-		got := run(e)
-		if i == 0 {
-			want = got
-			continue
-		}
-		if !bytes.Equal(got, want) {
-			t.Fatalf("%s: %s backend diverges from %s (projections %d vs %d bytes)",
-				tag, e, matrixExecs[0], len(got), len(want))
-		}
-	}
-}
-
 func bfsProjection(r bfs.Result) []byte {
 	return append(u32bytes(r.Level), byte(r.Depth), byte(r.Depth>>8), byte(r.Depth>>16), byte(r.Depth>>24))
-}
-
-func TestExecMatrixBFS(t *testing.T) {
-	for _, p := range []int{1, 2, 4} {
-		m := testMachine(t, p)
-		for _, wl := range matrixGraphs() {
-			k := bfs.NewKernel(m, wl.g)
-			for _, method := range commonWriteMethods() {
-				// BFS's parent/selEdge writes are arbitrary; the naive method
-				// can only promise the level metric (validated non-strictly).
-				strict := method != cw.Naive
-				tag := fmt.Sprintf("p=%d %s bfs/%v", p, wl.name, method)
-				runMatrix(t, tag, func(e machine.Exec) []byte {
-					k.Prepare(0)
-					r := k.RunExec(e, method)
-					if err := bfs.Validate(wl.g, 0, r, strict); err != nil {
-						t.Fatalf("%s under %s: %v", tag, e, err)
-					}
-					return bfsProjection(r)
-				})
-			}
-			// The CAS-LT formulation variants share the same projection,
-			// across both membership representations: the word run seeds the
-			// reference and every bitmap run must match it byte for byte (the
-			// level metric is unique, so bit-packing the visited and frontier
-			// state must not move a single level).
-			variants := map[string]func(e machine.Exec) bfs.Result{
-				"frontier": k.RunCASLTFrontierExec,
-				"pull":     k.RunCASLTPullExec,
-				"hybrid":   k.RunCASLTHybridExec,
-			}
-			for name, run := range variants {
-				var word []byte
-				for _, bitmap := range []bool{false, true} {
-					k.SetBitmap(bitmap)
-					tag := fmt.Sprintf("p=%d %s bfs-%s/bitmap=%v", p, wl.name, name, bitmap)
-					runMatrix(t, tag, func(e machine.Exec) []byte {
-						k.Prepare(0)
-						r := run(e)
-						if err := bfs.ValidateBidir(wl.g, 0, r); err != nil {
-							t.Fatalf("%s under %s: %v", tag, e, err)
-						}
-						got := bfsProjection(r)
-						if bitmap && !bytes.Equal(got, word) {
-							t.Fatalf("%s under %s: bitmap projection diverges from the word representation", tag, e)
-						}
-						word = got
-						return got
-					})
-				}
-				k.SetBitmap(false)
-			}
-		}
-	}
-}
-
-func TestExecMatrixCC(t *testing.T) {
-	for _, p := range []int{1, 2, 4} {
-		m := testMachine(t, p)
-		for _, wl := range matrixGraphs() {
-			k := cc.NewKernel(m, wl.g)
-			for _, method := range guardedMethods {
-				tag := fmt.Sprintf("p=%d %s cc/%v", p, wl.name, method)
-				runMatrix(t, tag, func(e machine.Exec) []byte {
-					k.Prepare()
-					r := k.RunExec(e, method)
-					if err := cc.Validate(wl.g, r); err != nil {
-						t.Fatalf("%s under %s: %v", tag, e, err)
-					}
-					return u32bytes(canonicalPartition(r.Labels))
-				})
-			}
-			// Random mate joins under both hook-claim representations: the
-			// partition is unique, so the bit-packed fetch-OR claim must
-			// reproduce the word run's canonical partition exactly.
-			var word []byte
-			for _, bitmap := range []bool{false, true} {
-				k.SetBitmap(bitmap)
-				tag := fmt.Sprintf("p=%d %s cc/randmate/bitmap=%v", p, wl.name, bitmap)
-				runMatrix(t, tag, func(e machine.Exec) []byte {
-					k.Prepare()
-					r := k.RunRandMateExec(e, 42)
-					if err := cc.Validate(wl.g, r); err != nil {
-						t.Fatalf("%s under %s: %v", tag, e, err)
-					}
-					got := u32bytes(canonicalPartition(r.Labels))
-					if bitmap && !bytes.Equal(got, word) {
-						t.Fatalf("%s under %s: bitmap partition diverges from the word representation", tag, e)
-					}
-					word = got
-					return got
-				})
-			}
-			k.SetBitmap(false)
-		}
-	}
-}
-
-func TestExecMatrixMaxfind(t *testing.T) {
-	list := make([]uint32, 300)
-	for i := range list {
-		list[i] = uint32((i * 131) % 197)
-	}
-	want := maxfind.Sequential(list)
-	for _, p := range []int{1, 2, 4} {
-		m := testMachine(t, p)
-		k := maxfind.NewKernel(m, len(list))
-		for _, method := range commonWriteMethods() {
-			tag := fmt.Sprintf("p=%d maxfind/%v", p, method)
-			runMatrix(t, tag, func(e machine.Exec) []byte {
-				k.Prepare(list)
-				got := k.RunExec(e, method)
-				if got != want {
-					t.Fatalf("%s under %s: max %d, want %d", tag, e, got, want)
-				}
-				return []byte{byte(got), byte(got >> 8), byte(got >> 16), byte(got >> 24)}
-			})
-		}
-	}
-}
-
-func TestExecMatrixMIS(t *testing.T) {
-	for _, p := range []int{1, 2, 4} {
-		m := testMachine(t, p)
-		for _, wl := range matrixGraphs() {
-			k := mis.NewKernel(m, wl.g)
-			for _, method := range commonWriteMethods() {
-				tag := fmt.Sprintf("p=%d %s mis/%v", p, wl.name, method)
-				runMatrix(t, tag, func(e machine.Exec) []byte {
-					k.Prepare()
-					inSet := k.RunExec(e, method, 7)
-					if err := mis.Validate(wl.g, inSet); err != nil {
-						t.Fatalf("%s under %s: %v", tag, e, err)
-					}
-					return u32bytes(inSet)
-				})
-			}
-		}
-	}
-}
-
-func TestExecMatrixMatching(t *testing.T) {
-	for _, p := range []int{1, 2, 4} {
-		m := testMachine(t, p)
-		for _, wl := range matrixGraphs() {
-			k := matching.NewKernel(m, wl.g)
-			// Both proposal-flag representations join; at P=1 all backends
-			// (and both representations) execute serially with the same
-			// id-order winners, so the full mate vector must coincide.
-			var word []byte
-			for _, bitmap := range []bool{false, true} {
-				k.SetBitmap(bitmap)
-				tag := fmt.Sprintf("p=%d %s matching/bitmap=%v", p, wl.name, bitmap)
-				runMatrix(t, tag, func(e machine.Exec) []byte {
-					k.Prepare()
-					r := k.RunExec(e, 7)
-					if err := matching.Validate(wl.g, r); err != nil {
-						t.Fatalf("%s under %s: %v", tag, e, err)
-					}
-					if p != 1 {
-						// At P>1 the arbitrary-write winners (and thus the
-						// matching) legitimately differ per backend; the
-						// validator above is the check, and the projection
-						// collapses to nothing.
-						return nil
-					}
-					got := append(u32bytes(r.Mate), u32bytes(r.MateEdge)...)
-					if bitmap && !bytes.Equal(got, word) {
-						t.Fatalf("%s under %s: bitmap mates diverge from the word representation", tag, e)
-					}
-					word = got
-					return got
-				})
-			}
-			k.SetBitmap(false)
-		}
-	}
-}
-
-func TestExecMatrixListRank(t *testing.T) {
-	for _, p := range []int{1, 2, 4} {
-		m := testMachine(t, p)
-		for _, n := range []int{1, 2, 257, 2000} {
-			next := listrank.RandomList(n, int64(n))
-			want := u32bytes(listrank.SequentialRank(next))
-			tag := fmt.Sprintf("p=%d listrank n=%d", p, n)
-			runMatrix(t, tag, func(e machine.Exec) []byte {
-				got := u32bytes(listrank.RankExec(m, e, next))
-				if !bytes.Equal(got, want) {
-					t.Fatalf("%s under %s: ranks diverge from sequential", tag, e)
-				}
-				return got
-			})
-		}
-	}
-}
-
-// TestExecMatrixRelabel adds the CSR-relabeling axis: BFS and CC run on the
-// degree- and BFS-relabeled images of every matrix graph, under every
-// backend and both membership representations, and the per-vertex results
-// mapped back through the inverse permutation must be byte-identical to the
-// unrelabeled pool run's projection. Relabeling is a pure memory-layout
-// change — an exact isomorphism — so it must be invisible up to vertex
-// names, on top of being backend- and representation-invariant.
-func TestExecMatrixRelabel(t *testing.T) {
-	for _, p := range []int{1, 4} {
-		m := testMachine(t, p)
-		for _, wl := range matrixGraphs() {
-			// Unrelabeled word-representation references (pool backend).
-			bk := bfs.NewKernel(m, wl.g)
-			bk.Prepare(0)
-			wantBFS := bfsProjection(bk.RunCASLTHybridExec(machine.ExecPool))
-			ck := cc.NewKernel(m, wl.g)
-			ck.Prepare()
-			wantCC := u32bytes(canonicalPartition(ck.RunExec(machine.ExecPool, cw.CASLT).Labels))
-			for _, mode := range []graph.RelabelMode{graph.RelabelDegree, graph.RelabelBFS} {
-				rl := graph.Relabel(wl.g, mode)
-				rbk := bfs.NewKernel(m, rl.G)
-				rck := cc.NewKernel(m, rl.G)
-				unperm := make([]uint32, wl.g.NumVertices())
-				for _, bitmap := range []bool{false, true} {
-					rbk.SetBitmap(bitmap)
-					src := rl.Perm[0]
-					tag := fmt.Sprintf("p=%d %s relabel=%v bfs-hybrid/bitmap=%v", p, wl.name, mode, bitmap)
-					runMatrix(t, tag, func(e machine.Exec) []byte {
-						rbk.Prepare(src)
-						r := rbk.RunCASLTHybridExec(e)
-						if err := bfs.ValidateBidir(rl.G, src, r); err != nil {
-							t.Fatalf("%s under %s: %v", tag, e, err)
-						}
-						rl.Unpermute(unperm, r.Level)
-						got := bfsProjection(bfs.Result{Level: unperm, Depth: r.Depth})
-						if !bytes.Equal(got, wantBFS) {
-							t.Fatalf("%s under %s: unpermuted levels diverge from the unrelabeled run", tag, e)
-						}
-						return got
-					})
-				}
-				tag := fmt.Sprintf("p=%d %s relabel=%v cc", p, wl.name, mode)
-				runMatrix(t, tag, func(e machine.Exec) []byte {
-					rck.Prepare()
-					r := rck.RunExec(e, cw.CASLT)
-					if err := cc.Validate(rl.G, r); err != nil {
-						t.Fatalf("%s under %s: %v", tag, e, err)
-					}
-					rl.Unpermute(unperm, r.Labels)
-					got := u32bytes(canonicalPartition(unperm))
-					if !bytes.Equal(got, wantCC) {
-						t.Fatalf("%s under %s: unpermuted partition diverges from the unrelabeled run", tag, e)
-					}
-					return got
-				})
-			}
-		}
-	}
 }
 
 // TestExecInterleavedRoundOffsets drives one kernel instance through the
