@@ -101,6 +101,18 @@
 //	                where supported, block policy, -threads workers); runs
 //	                nothing else
 //
+// Adversarial robustness (the chaos layer; never a timing figure):
+//
+//	-chaos SPEC     run the registry-wide chaos matrix: every kernel ×
+//	                method × pool/team × block/stealing × seed under
+//	                deterministic schedule faults, byte-compared against
+//	                unperturbed references with the runtime CW invariant
+//	                checker attached; SPEC is
+//	                seed=S1+S2+...,faults=F1+F2+... with faults drawn from
+//	                stall, jitter, steal-delay, storm, sticky-loser, all
+//	                (-chaos default = seeds 1+2+3, all faults); runs
+//	                nothing else
+//
 // And a baseline checker:
 //
 //	-validatejson F  parse a -json output file and verify its shape (used
@@ -138,6 +150,8 @@
 //	crcwbench -kernelops -kerneltrace -json kernelops.json
 //	crcwbench -list
 //	crcwbench -run kernel=bfs-hybrid,repr=bitmap,policy=stealing -tiny
+//	crcwbench -chaos default
+//	crcwbench -chaos seed=7+8,faults=stall+storm+sticky-loser -v
 package main
 
 import (
@@ -150,6 +164,7 @@ import (
 	"strings"
 
 	"crcwpram/internal/bench"
+	"crcwpram/internal/core/chaos"
 	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/machine"
 	"crcwpram/internal/graph"
@@ -188,6 +203,7 @@ func run(args []string) (err error) {
 		relabelList   = fs.String("relabel", "", "comma-separated CSR relabeling modes for the locality sweep: none, degree and/or bfs (empty = all)")
 		validateJSON  = fs.String("validatejson", "", "validate a -json output file and exit")
 		listKernelSet = fs.Bool("list", false, "print every registered kernel with its sweepable axes and exit")
+		chaosSpec     = fs.String("chaos", "", "run the adversarial-schedule chaos matrix over every registered kernel and exit; value is seed=S1+S2+...,faults=F1+F2+... (faults: stall, jitter, steal-delay, storm, sticky-loser, all; empty value parts default to seeds 1+2+3 and all faults, so -chaos default works)")
 		runSelector   = fs.String("run", "", "run one kernel under one axis assignment, e.g. kernel=bfs,method=caslt,exec=team,threads=4; runs nothing else")
 		opcount       = fs.Bool("opcount", false, "run the Section-6 atomic-operation-count validation instead of a timing figure")
 		kernelops     = fs.Bool("kernelops", false, "count selection-protocol operations over full BFS/CC runs (trace backend) instead of timing")
@@ -309,6 +325,9 @@ func run(args []string) (err error) {
 
 	if *listKernelSet {
 		return listKernels(os.Stdout)
+	}
+	if *chaosSpec != "" {
+		return runChaos(os.Stdout, cfg.Threads, *chaosSpec, *verbose)
 	}
 	if *runSelector != "" {
 		res, err := bench.RunSelector(kernel.Default, cfg, *runSelector)
@@ -529,6 +548,29 @@ func listKernels(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// runChaos parses the -chaos spec and drives the registry-wide chaos
+// matrix: every kernel × method × timed backend × block/stealing policy ×
+// seed under the requested faults, byte-compared against unperturbed
+// references with the runtime invariant checker attached. It reports the
+// matrix shape on success and the first divergence or violation on
+// failure.
+func runChaos(w io.Writer, threads int, spec string, verbose bool) error {
+	s, err := chaos.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Fprintf(os.Stderr, "chaos: %d kernels, seeds %v, faults %s, threads %d\n",
+			len(kernel.All()), s.Seeds, s.Faults, threads)
+	}
+	if err := kernel.DifferentialChaos(kernel.Default, threads, s.Seeds, s.Faults); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "chaos matrix ok: %d kernels x methods x {pool, team} x {block, stealing} x %d seeds, faults=%s, threads=%d\n",
+		len(kernel.All()), len(s.Seeds), s.Faults, threads)
+	return nil
 }
 
 // writeHeapProfile dumps the live-heap profile after forcing a collection,

@@ -1,0 +1,124 @@
+package chaos
+
+import (
+	"testing"
+
+	"crcwpram/internal/core/cw"
+)
+
+// driveSequence exercises a fixed, worker-tagged sequence of hook calls
+// against an injector, simulating the per-worker call streams of a run.
+// Decisions are per-worker pure functions of the seed and call order, so
+// two injectors fed the same sequence must trace identically no matter
+// how a real run would interleave the workers.
+func driveSequence(in *Injector, p int) {
+	for round := 0; round < 50; round++ {
+		for w := 0; w < p; w++ {
+			for i := 0; i < 7; i++ {
+				in.IterPre(w)
+				o := cw.OutcomeWin
+				if (round+i+w)%3 == 0 {
+					o = cw.OutcomeLoss
+				}
+				in.OnClaim(w, i, uint32(round+1), o)
+				in.IterPost(w)
+			}
+			in.StealDelay(w)
+			in.BarrierJitter(w)
+		}
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	const p = 4
+	a := NewInjector(p, 42, AllFaults)
+	b := NewInjector(p, 42, AllFaults)
+	driveSequence(a, p)
+	driveSequence(b, p)
+	if a.TraceHash() != b.TraceHash() {
+		t.Fatalf("same seed, same call sequence: trace hashes differ (%#x vs %#x)",
+			a.TraceHash(), b.TraceHash())
+	}
+	if a.Decisions() != b.Decisions() {
+		t.Fatalf("decision counts differ: %d vs %d", a.Decisions(), b.Decisions())
+	}
+	if a.Decisions() == 0 {
+		t.Fatal("drive sequence took no fault decisions")
+	}
+	c := NewInjector(p, 43, AllFaults)
+	driveSequence(c, p)
+	if c.TraceHash() == a.TraceHash() {
+		t.Fatalf("different seeds produced identical trace hash %#x", a.TraceHash())
+	}
+}
+
+func TestInjectorFaultMaskGatesSites(t *testing.T) {
+	const p = 2
+	// With only barrier jitter enabled, iteration and claim hooks must not
+	// advance the streams: the trace hash depends only on barrier calls.
+	a := NewInjector(p, 7, FaultJitter)
+	b := NewInjector(p, 7, FaultJitter)
+	driveSequence(a, p)
+	for w := 0; w < p; w++ {
+		for i := 0; i < 50; i++ {
+			b.BarrierJitter(w)
+		}
+	}
+	if a.TraceHash() != b.TraceHash() {
+		t.Fatalf("jitter-only injector advanced non-barrier streams")
+	}
+}
+
+func TestInjectorNilSafe(t *testing.T) {
+	var in *Injector
+	in.IterPre(0)
+	in.IterPost(1)
+	in.BarrierJitter(2)
+	in.StealDelay(3)
+	in.OnClaim(0, 5, 1, cw.OutcomeLoss)
+	if in.TraceHash() != 0 || in.Decisions() != 0 || in.Seed() != 0 || in.Faults() != 0 {
+		t.Fatal("nil injector reported nonzero state")
+	}
+}
+
+func TestFaultStringParseRoundTrip(t *testing.T) {
+	cases := []Fault{0, FaultStall, FaultJitter | FaultStorm, AllFaults,
+		FaultStall | FaultStealDelay | FaultSticky}
+	for _, f := range cases {
+		got, err := ParseFaults(f.String())
+		if err != nil {
+			t.Fatalf("ParseFaults(%q): %v", f.String(), err)
+		}
+		if got != f {
+			t.Fatalf("round trip %q: got %#x want %#x", f.String(), got, f)
+		}
+	}
+	if _, err := ParseFaults("bogus"); err == nil {
+		t.Fatal("ParseFaults accepted bogus fault name")
+	}
+	if f, err := ParseFaults("all"); err != nil || f != AllFaults {
+		t.Fatalf("ParseFaults(all) = %#x, %v", f, err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("seed=5+9,faults=stall+sticky-loser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Seeds) != 2 || spec.Seeds[0] != 5 || spec.Seeds[1] != 9 {
+		t.Fatalf("seeds = %v", spec.Seeds)
+	}
+	if spec.Faults != FaultStall|FaultSticky {
+		t.Fatalf("faults = %v", spec.Faults)
+	}
+	def, err := ParseSpec("")
+	if err != nil || def.Faults != AllFaults || len(def.Seeds) != len(DefaultSeeds) {
+		t.Fatalf("default spec = %+v, %v", def, err)
+	}
+	for _, bad := range []string{"seed=x", "nonsense", "k=v", "seed="} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

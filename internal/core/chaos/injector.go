@@ -1,0 +1,226 @@
+package chaos
+
+import (
+	"runtime"
+
+	"crcwpram/internal/core/cw"
+)
+
+// site identifies one class of instrumented yield point; it feeds the
+// per-worker fault trace so two runs can be compared decision by decision.
+type site uint8
+
+const (
+	siteIterPre site = iota + 1
+	siteIterPost
+	siteBarrier
+	siteSteal
+	siteClaim
+	numSites
+)
+
+// Per-site firing rates: a fault decision at site s fires when the
+// worker's next pseudo-random draw is divisible by rate[s]. Iteration
+// stalls are kept rarer than barrier jitter and steal delays (there are
+// orders of magnitude more iterations than barriers), and every lost
+// claim perturbs — the loss itself is already the rare event worth
+// amplifying.
+var siteRate = [numSites]uint64{
+	siteIterPre:  13,
+	siteIterPost: 11,
+	siteBarrier:  3,
+	siteSteal:    2,
+	siteClaim:    1,
+}
+
+// wstate is one worker's private fault stream: a pseudo-random generator,
+// a running hash of every decision taken, and a decision counter. Padded
+// so adjacent workers' streams never share a cache line.
+type wstate struct {
+	rng   uint64
+	hash  uint64
+	calls uint64
+	_     [128 - 3*8]byte
+}
+
+// Injector is a deterministic schedule perturbator for one machine: one
+// decision stream per worker, each a pure function of (seed, worker,
+// event counter), so the fault schedule is replayable by seed alone and
+// independent of how the OS actually interleaves the workers. All methods
+// are nil-receiver safe no-ops, so call sites need no guards.
+//
+// An Injector burns time and yields; it never reads or writes algorithm
+// state. Attach one to a machine with machine.WithChaos; reuse across
+// runs is fine (the streams simply continue), but for a replayable fault
+// schedule use a fresh Injector per run.
+type Injector struct {
+	seed   uint64
+	faults Fault
+	ws     []wstate
+}
+
+// NewInjector returns an injector for p workers injecting the given fault
+// classes under the given seed.
+func NewInjector(p int, seed uint64, faults Fault) *Injector {
+	in := &Injector{seed: seed, faults: faults, ws: make([]wstate, p)}
+	for w := range in.ws {
+		// splitmix64 of (seed, w): well-distributed, never zero.
+		z := seed + uint64(w+1)*0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		in.ws[w].rng = z ^ (z >> 31) | 1
+	}
+	return in
+}
+
+// Seed returns the injector's seed. Zero on a nil injector.
+func (in *Injector) Seed() uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// Faults returns the injected fault mask. Zero on a nil injector.
+func (in *Injector) Faults() Fault {
+	if in == nil {
+		return 0
+	}
+	return in.faults
+}
+
+// decide advances worker w's stream by one decision at the given site and
+// reports whether the fault fires and with what magnitude. Every call —
+// firing or not — advances the stream and the trace hash, so the decision
+// sequence is a pure function of the call sequence.
+func (in *Injector) decide(w int, s site) (fire bool, mag uint32) {
+	st := &in.ws[w]
+	// xorshift64: full-period for nonzero state.
+	x := st.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	st.rng = x
+	st.calls++
+	fire = x%siteRate[s] == 0
+	mag = uint32(x>>33) & 0xff
+	bit := uint64(0)
+	if fire {
+		bit = 1
+	}
+	// Fold (site, fire, mag) into the trace hash (FNV-1a step).
+	st.hash = (st.hash ^ (uint64(s)<<16 | bit<<8 | uint64(mag&0xff))) * 0x100000001b3
+	return fire, mag
+}
+
+// perturb burns a magnitude-scaled mix of yields and spin. The yields are
+// the scheduling perturbation; the spin widens race windows on machines
+// with spare cores where a yield alone returns immediately.
+func perturb(mag uint32) {
+	for i := uint32(0); i <= mag&3; i++ {
+		runtime.Gosched()
+	}
+	spin := (mag >> 2) & 0x3f
+	for i := uint32(0); i < spin*8; i++ {
+		_ = i // pure delay; kept trivial so the compiler retains the loop shape
+	}
+}
+
+// IterPre perturbs worker w before a loop iteration — a stall immediately
+// before the iteration's claim site.
+func (in *Injector) IterPre(w int) {
+	if in == nil || in.faults&FaultStall == 0 {
+		return
+	}
+	if fire, mag := in.decide(w, siteIterPre); fire {
+		perturb(mag)
+	}
+}
+
+// IterPost perturbs worker w after a loop iteration — a stall between a
+// committed write and the barrier that publishes it.
+func (in *Injector) IterPost(w int) {
+	if in == nil || in.faults&FaultStall == 0 {
+		return
+	}
+	if fire, mag := in.decide(w, siteIterPost); fire {
+		perturb(mag)
+	}
+}
+
+// BarrierJitter perturbs worker w at barrier arrival, skewing the round
+// boundary.
+func (in *Injector) BarrierJitter(w int) {
+	if in == nil || in.faults&FaultJitter == 0 {
+		return
+	}
+	if fire, mag := in.decide(w, siteBarrier); fire {
+		perturb(mag | 0x80) // barriers get the heavy tail: fewer, larger delays
+	}
+}
+
+// StealDelay perturbs worker w between claiming a steal chunk and running
+// it.
+func (in *Injector) StealDelay(w int) {
+	if in == nil || in.faults&FaultStealDelay == 0 {
+		return
+	}
+	if fire, mag := in.decide(w, siteSteal); fire {
+		perturb(mag)
+	}
+}
+
+// OnClaim implements metrics.ClaimHook: it is called by the metrics layer
+// after every recorded winner-selection attempt. Lost attempts trigger
+// the storm fault (a Gosched burst, the preemption storm inside a CAS
+// retry loop) and the sticky-loser lingering (an extended burst keeping
+// the loser scheduled around its cell). Wins and the cell/round identity
+// advance the stream too, so the fault schedule covers every claim.
+func (in *Injector) OnClaim(w, cell int, round uint32, o cw.Outcome) {
+	if in == nil || in.faults&(FaultStorm|FaultSticky) == 0 {
+		return
+	}
+	fire, mag := in.decide(w, siteClaim)
+	if o != cw.OutcomeLoss || !fire {
+		return
+	}
+	if in.faults&FaultStorm != 0 {
+		perturb(mag)
+	}
+	if in.faults&FaultSticky != 0 {
+		// Linger: the loser stays hot near the cell for several extra
+		// scheduling quanta instead of retiring into the rest of its share.
+		for i := uint32(0); i <= mag&7; i++ {
+			perturb(mag >> 1)
+		}
+	}
+}
+
+// TraceHash folds every worker's decision stream into one fingerprint:
+// two injectors that made identical per-worker decision sequences — same
+// seed, same fault mask, same per-worker call sequences — hash equal,
+// regardless of how the OS interleaved the workers against each other.
+// Call at a synchronization point (no region in flight).
+func (in *Injector) TraceHash() uint64 {
+	if in == nil {
+		return 0
+	}
+	h := uint64(0xcbf29ce484222325)
+	for w := range in.ws {
+		h = (h ^ in.ws[w].hash ^ in.ws[w].calls<<1) * 0x100000001b3
+	}
+	return h
+}
+
+// Decisions returns the total number of fault decisions taken across all
+// workers. Call at a synchronization point.
+func (in *Injector) Decisions() uint64 {
+	if in == nil {
+		return 0
+	}
+	var n uint64
+	for w := range in.ws {
+		n += in.ws[w].calls
+	}
+	return n
+}

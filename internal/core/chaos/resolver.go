@@ -1,0 +1,86 @@
+package chaos
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"crcwpram/internal/core/cw"
+)
+
+// StickyResolver wraps a winner-selecting cw.Resolver so that losing
+// writers re-drive their claims for the remainder of the round — the
+// sticky-loser schedule. Under a correct protocol a re-driven claim can
+// never win: CAS-LT's cell already carries a stamp ≥ round, and a
+// gatekeeper's counter is already nonzero; the wrapper asserts exactly
+// that, counting any re-drive that wins as a double-commit violation
+// (the re-drive's write is swallowed, so a buggy inner resolver corrupts
+// the violation counter, not the algorithm's memory).
+//
+// The re-drive count per loss is a pure function of (cell, round), so the
+// sticky schedule is deterministic without any shared wrapper state on
+// the claim path. Only wrap winner-selecting methods (CAS-LT and the
+// gatekeepers): Naive and Mutex report every call as a win by design.
+type StickyResolver struct {
+	inner    cw.Resolver
+	redrives atomic.Uint64
+	rewins   atomic.Uint64
+}
+
+// NewStickyResolver wraps inner in sticky-loser re-driving. It panics if
+// inner's method has no winner selection (Naive, Mutex), for which
+// "re-drive must lose" is not a meaningful invariant.
+func NewStickyResolver(inner cw.Resolver) *StickyResolver {
+	switch inner.Method() {
+	case cw.Naive, cw.Mutex:
+		panic("chaos: StickyResolver requires a winner-selecting method, got " + inner.Method().String())
+	}
+	return &StickyResolver{inner: inner}
+}
+
+// Method reports the wrapped resolver's method.
+func (r *StickyResolver) Method() cw.Method { return r.inner.Method() }
+
+// Len reports the wrapped resolver's target count.
+func (r *StickyResolver) Len() int { return r.inner.Len() }
+
+// Do executes the claim through the wrapped resolver, re-driving on loss.
+func (r *StickyResolver) Do(i int, round uint32, write func()) bool {
+	return r.DoOutcome(i, round, write) == cw.OutcomeWin
+}
+
+// DoOutcome executes the claim through the wrapped resolver; on a loss it
+// re-drives the claim 1 + (cell+round) mod 4 more times with a yield
+// between drives, asserting every re-drive loses.
+func (r *StickyResolver) DoOutcome(i int, round uint32, write func()) cw.Outcome {
+	o := r.inner.DoOutcome(i, round, write)
+	if o != cw.OutcomeLoss {
+		return o
+	}
+	n := 1 + (uint32(i)+round)%4
+	for k := uint32(0); k < n; k++ {
+		runtime.Gosched()
+		r.redrives.Add(1)
+		if ro := r.inner.DoOutcome(i, round, func() {}); ro == cw.OutcomeWin {
+			r.rewins.Add(1)
+		}
+	}
+	return o
+}
+
+// ResetRange forwards to the wrapped resolver.
+func (r *StickyResolver) ResetRange(lo, hi int) { r.inner.ResetRange(lo, hi) }
+
+// Redrives returns the number of re-driven claims so far. Read at a
+// synchronization point.
+func (r *StickyResolver) Redrives() uint64 { return r.redrives.Load() }
+
+// Err returns nil if no re-driven claim ever won, and an error describing
+// the double-commit count otherwise.
+func (r *StickyResolver) Err() error {
+	if n := r.rewins.Load(); n != 0 {
+		return fmt.Errorf("chaos: %d re-driven %s claims won after losing the same round (double commit)",
+			n, r.inner.Method())
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+
+	"crcwpram/internal/core/cw"
+)
+
+// TestStickyResolverNeverRewins drives a sticky gatekeeper resolver —
+// whose losses are deterministic: every attempt executes a fetch-add, and
+// all but the first per (cell, round) lose — so every loss is re-driven
+// within its round, and the protocol must hold: no re-drive may ever win.
+func TestStickyResolverNeverRewins(t *testing.T) {
+	const n, workers, rounds = 64, 4, 20
+	sr := NewStickyResolver(cw.NewResolver(cw.Gatekeeper, n, cw.Packed))
+	for r := uint32(1); r <= rounds; r++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					sr.Do(i, r, func() {})
+				}
+			}()
+		}
+		wg.Wait()
+		sr.ResetRange(0, n)
+	}
+	if sr.Redrives() == 0 {
+		t.Fatal("contended sticky resolver recorded no re-drives")
+	}
+	if err := sr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Len() != n || sr.Method() != cw.Gatekeeper {
+		t.Fatalf("wrapper identity: len=%d method=%v", sr.Len(), sr.Method())
+	}
+}
+
+// TestStickyResolverCASLT races workers on a handful of CAS-LT cells; the
+// pre-check converts most late arrivals into skips, so re-drives only
+// occur in genuine race windows — whatever happens, none may win.
+func TestStickyResolverCASLT(t *testing.T) {
+	const n, workers, rounds = 4, 4, 50
+	sr := NewStickyResolver(cw.NewResolver(cw.CASLT, n, cw.Packed))
+	for r := uint32(1); r <= rounds; r++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					sr.Do(i, r, func() {})
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if err := sr.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStickyResolverGatekeeper runs the same schedule through the checked
+// gatekeeper, whose counter resets between rounds.
+func TestStickyResolverGatekeeper(t *testing.T) {
+	const n, workers = 32, 4
+	sr := NewStickyResolver(cw.NewResolver(cw.GatekeeperChecked, n, cw.Packed))
+	for r := uint32(1); r <= 10; r++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					sr.Do(i, r, func() {})
+				}
+			}()
+		}
+		wg.Wait()
+		sr.ResetRange(0, n)
+	}
+	if err := sr.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStickyResolverRejectsNonSelecting(t *testing.T) {
+	for _, m := range []cw.Method{cw.Naive, cw.Mutex} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewStickyResolver accepted %v", m)
+				}
+			}()
+			NewStickyResolver(cw.NewResolver(m, 8, cw.Packed))
+		}()
+	}
+}

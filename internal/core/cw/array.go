@@ -19,6 +19,7 @@ const (
 	PaddedLayout
 )
 
+// String names the layout ("packed", "padded").
 func (l Layout) String() string {
 	switch l {
 	case Packed:

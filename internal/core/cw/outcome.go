@@ -29,6 +29,7 @@ const (
 // Won reports whether the attempt won the concurrent write.
 func (o Outcome) Won() bool { return o == OutcomeWin }
 
+// String names the outcome ("win", "loss", "skip").
 func (o Outcome) String() string {
 	switch o {
 	case OutcomeSkip:

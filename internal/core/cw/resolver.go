@@ -33,6 +33,8 @@ const (
 // Methods lists all methods in presentation order.
 var Methods = []Method{CASLT, Gatekeeper, GatekeeperChecked, Naive, Mutex}
 
+// String names the method as the -methods flag and the JSON rows spell
+// it ("caslt", "gatekeeper", ...).
 func (m Method) String() string {
 	switch m {
 	case CASLT:

@@ -138,10 +138,19 @@ func Run(m *machine.Machine, e machine.Exec, body func(Ctx)) *TraceStats {
 	// The region's one shared Flag: allocated here, before the SPMD split,
 	// so every worker's Flag() call observes the same word.
 	flag := new(Flag)
+	// A machine carrying a chaos injector gets its timed backends wrapped
+	// in the fault-delivering context; the trace backend stays bare (a
+	// serial replay has no schedule to perturb).
+	wrap := func(c Ctx) Ctx {
+		if inj := m.Chaos(); inj != nil {
+			return &chaosCtx{inner: c, inj: inj}
+		}
+		return c
+	}
 	switch e {
 	case machine.ExecTeam:
 		m.Team(func(tc *machine.TeamCtx) {
-			body(&teamCtx{tc: tc, flag: flag, rec: m.Metrics()})
+			body(wrap(&teamCtx{tc: tc, flag: flag, rec: m.Metrics()}))
 		})
 		return nil
 	case machine.ExecTrace:
@@ -149,7 +158,7 @@ func Run(m *machine.Machine, e machine.Exec, body func(Ctx)) *TraceStats {
 		body(&traceCtx{p: m.P(), chunk: m.Chunk(), flag: flag, stats: st})
 		return st
 	default:
-		body(&poolCtx{m: m, flag: flag, rec: m.Metrics()})
+		body(wrap(&poolCtx{m: m, flag: flag, rec: m.Metrics()}))
 		return nil
 	}
 }

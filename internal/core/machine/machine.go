@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"crcwpram/internal/barrier"
+	"crcwpram/internal/core/chaos"
 	"crcwpram/internal/core/metrics"
 	"crcwpram/internal/sched"
 )
@@ -71,6 +72,11 @@ type Machine struct {
 	// Every instrumented path in the machine hangs off a single
 	// `m.rec != nil` branch, so the metrics-off hot path is unchanged.
 	rec *metrics.Recorder
+
+	// chaos is the schedule-perturbation injector, nil unless WithChaos
+	// was given. The exec backends wrap their contexts around it and the
+	// recorder drives it from the claim sites (it implies metrics).
+	chaos *chaos.Injector
 
 	exec   Exec
 	round  uint32
@@ -118,6 +124,18 @@ func WithExec(e Exec) Option { return func(m *Machine) { m.exec = e } }
 // should be separate: see metrics.Recorder.EnableProbe.
 func WithMetrics() Option { return func(m *Machine) { m.rec = metrics.NewRecorder(m.p) } }
 
+// WithChaos attaches a deterministic schedule-perturbation injector: the
+// pool and team execution backends deliver its faults at their
+// instrumented yield points (loop iterations, barrier arrivals, steal
+// chunk deliveries), and every recorded claim site drives its loss
+// perturbations through the metrics claim hook. Chaos implies metrics —
+// a machine built with WithChaos allocates a recorder even without
+// WithMetrics — because the claim sites are the metrics layer's. Faults
+// only burn time and yield, so a perturbed run of a deterministic kernel
+// must produce byte-identical results; kernel.DifferentialChaos enforces
+// that across the whole registry. Never time a chaos run.
+func WithChaos(inj *chaos.Injector) Option { return func(m *Machine) { m.chaos = inj } }
+
 // New returns a Machine with p workers. p must be >= 1. The caller owns the
 // machine and must Close it to release the workers.
 func New(p int, opts ...Option) *Machine {
@@ -132,6 +150,14 @@ func New(p int, opts ...Option) *Machine {
 	}
 	for _, o := range opts {
 		o(m)
+	}
+	if m.chaos != nil {
+		// Chaos implies metrics: the claim sites that feed the injector's
+		// loss faults (and the invariant checker) live on the recorder.
+		if m.rec == nil {
+			m.rec = metrics.NewRecorder(p)
+		}
+		m.rec.SetClaimHook(m.chaos)
 	}
 	// The caller participates in both barrier phases, so the party is p+1.
 	m.bar = barrier.New(m.barKind, p+1)
@@ -163,6 +189,11 @@ func (m *Machine) Exec() Exec { return m.exec }
 // machine was created without WithMetrics. The nil propagates through the
 // recorder's nil-safe methods, so callers thread it unconditionally.
 func (m *Machine) Metrics() *metrics.Recorder { return m.rec }
+
+// Chaos returns the machine's schedule-perturbation injector, or nil when
+// the machine was created without WithChaos. The exec backends consult it
+// when building their contexts.
+func (m *Machine) Chaos() *chaos.Injector { return m.chaos }
 
 // Snapshot aggregates the metrics recorder at a synchronization point (no
 // round or region in flight). It returns a zero Snapshot when metrics are

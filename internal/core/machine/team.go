@@ -408,6 +408,8 @@ const (
 // is deliberately absent: its serial replay measures structure, not time.
 var Execs = []Exec{ExecPool, ExecTeam}
 
+// String names the execution mode as the -exec flag spells it ("pool",
+// "team", "trace").
 func (e Exec) String() string {
 	switch e {
 	case ExecPool:

@@ -1,0 +1,289 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"crcwpram/internal/core/cw"
+)
+
+// ClaimHook observes every recorded winner-selection attempt, called from
+// Shard.record with the recording worker's id. The chaos injector
+// implements it to perturb losers (metrics must not import chaos, so the
+// dependency points this way). Hooks run on the claiming worker's hot
+// path — implementations must be safe for concurrent use and must not
+// touch algorithm state.
+type ClaimHook interface {
+	// OnClaim is called after the attempt on cell with outcome o in the
+	// given round was counted on worker w's shard. Pre-check skips are not
+	// reported.
+	OnClaim(w, cell int, round uint32, o cw.Outcome)
+}
+
+// ViolationKind classifies one invariant violation the Checker caught.
+type ViolationKind int
+
+const (
+	// ViolationDoubleWinner: more commits landed on one cell in one round
+	// than the kernel's winners-per-cell allowance (1 for every kernel
+	// except matching, whose propose and accept arrays share the cell
+	// index space) — the arbitrary-CW guarantee is broken.
+	ViolationDoubleWinner ViolationKind = iota
+	// ViolationBoundExceeded: more read-modify-writes executed on one cell
+	// in one round than the paper's ≤P bound (scaled by the kernel's
+	// probe-bound factor) allows under CAS-LT.
+	ViolationBoundExceeded
+	// ViolationLateWrite: a commit carrying round r was recorded after a
+	// commit from a later round had already been observed — a write from
+	// round r landed after round r's closing barrier.
+	ViolationLateWrite
+)
+
+// String names the violation kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case ViolationDoubleWinner:
+		return "double-winner"
+	case ViolationBoundExceeded:
+		return "bound-exceeded"
+	case ViolationLateWrite:
+		return "late-write"
+	default:
+		return "unknown-violation"
+	}
+}
+
+// Violation is one caught invariant breach: which invariant, where, and
+// the observed count that crossed the allowance.
+type Violation struct {
+	Kind   ViolationKind
+	Cell   int
+	Round  uint32
+	Worker int
+	// Count is the per-(cell, round) commit count (double-winner), the
+	// executed-attempt count (bound-exceeded), or the frontier round the
+	// late commit trailed (late-write), including the triggering event.
+	Count uint64
+}
+
+// String renders the violation for reports.
+func (v Violation) String() string {
+	switch v.Kind {
+	case ViolationLateWrite:
+		return fmt.Sprintf("late-write: worker %d committed round %d on cell %d after round %d had closed",
+			v.Worker, v.Round, v.Cell, v.Count)
+	case ViolationBoundExceeded:
+		return fmt.Sprintf("bound-exceeded: cell %d absorbed %d executed RMWs in round %d (worker %d crossed the bound)",
+			v.Cell, v.Count, v.Round, v.Worker)
+	default:
+		return fmt.Sprintf("double-winner: cell %d committed %d winners in round %d (worker %d's commit was extra)",
+			v.Cell, v.Count, v.Round, v.Worker)
+	}
+}
+
+// WinRecord is one decoded winner-log entry: worker won cell in round.
+type WinRecord struct {
+	Cell   int
+	Round  uint32
+	Worker int
+}
+
+// winnerRingSize is the winner-log capacity; the ring keeps the most
+// recent commits for diagnostics, overwriting the oldest.
+const winnerRingSize = 1024
+
+// maxViolations caps the retained violation records (the count keeps
+// growing past the cap).
+const maxViolations = 64
+
+// Checker verifies the concurrent-write invariants at runtime, fed from
+// Shard.record exactly like the Probe: per-(cell, round) commit and
+// executed-attempt counts in round-stamped words (round<<32|count, a
+// later round restarts the count — no reset pass between rounds), a
+// monotone frontier of the highest committed round, and a ring of recent
+// winner commits for diagnosing a violation's neighborhood. Like the
+// probe it adds contention of its own (two CAS words per executed
+// attempt), so it is opt-in via Recorder.EnableChecker and checked runs
+// should not be timed.
+//
+// The invariants, per the paper's CAS-LT argument:
+//
+//   - every cell commits at most winnersPerCell winners per round
+//     (ViolationDoubleWinner);
+//   - every cell absorbs at most attemptBound executed read-modify-writes
+//     per round, when attemptBound > 0 (ViolationBoundExceeded; enable
+//     for CAS-LT runs of guarded kernels, where the paper's bound is
+//     factor×P);
+//   - no commit carries a round older than one already observed
+//     (ViolationLateWrite) — rounds are globally monotone across a run's
+//     commits because a round's writes are barrier-separated from the
+//     next round.
+//
+// The checker's methods are safe for concurrent use by all workers; read
+// the report at a synchronization point.
+type Checker struct {
+	winners  uint64
+	bound    uint64
+	frontier atomic.Uint64
+	wins     []atomic.Uint64
+	attempts []atomic.Uint64
+
+	ringCur atomic.Uint64
+	ring    [winnerRingSize]atomic.Uint64
+
+	nviol atomic.Uint64
+	mu    sync.Mutex
+	viol  []Violation
+}
+
+// newChecker builds a checker over n cells allowing winnersPerCell
+// commits and (if > 0) attemptBound executed attempts per (cell, round).
+func newChecker(n int, winnersPerCell, attemptBound uint64) *Checker {
+	if winnersPerCell == 0 {
+		winnersPerCell = 1
+	}
+	return &Checker{
+		winners:  winnersPerCell,
+		bound:    attemptBound,
+		wins:     make([]atomic.Uint64, n),
+		attempts: make([]atomic.Uint64, n),
+	}
+}
+
+// stampedInc bumps the round-stamped counter word c for the given round
+// and returns the post-increment count: a word stamped with an older
+// round restarts at 1, the CAS-LT trick that makes per-round counters
+// need no reset pass. Counts from rounds newer than the word's stamp are
+// never destroyed (the stamp only moves forward).
+func stampedInc(c *atomic.Uint64, round uint32) uint64 {
+	for {
+		old := c.Load()
+		cnt := uint64(1)
+		if uint32(old>>32) == round {
+			cnt = old&0xffffffff + 1
+		} else if uint32(old>>32) > round {
+			// A later round already claimed the word: this event is stale
+			// (and the late-write check will flag its commit); count it as
+			// a fresh single event without clobbering the newer stamp.
+			return 1
+		}
+		if c.CompareAndSwap(old, uint64(round)<<32|cnt) {
+			return cnt
+		}
+	}
+}
+
+// observe is the Shard.record feed point: one executed attempt on cell in
+// round by worker w, with outcome o (never a skip).
+func (c *Checker) observe(w, cell int, round uint32, o cw.Outcome) {
+	if cell < 0 || cell >= len(c.attempts) {
+		return
+	}
+	if n := stampedInc(&c.attempts[cell], round); c.bound != 0 && n > c.bound {
+		c.report(Violation{Kind: ViolationBoundExceeded, Cell: cell, Round: round, Worker: w, Count: n})
+	}
+	if o != cw.OutcomeWin {
+		return
+	}
+	if n := stampedInc(&c.wins[cell], round); n > c.winners {
+		c.report(Violation{Kind: ViolationDoubleWinner, Cell: cell, Round: round, Worker: w, Count: n})
+	}
+	// Advance the commit-round frontier; a commit trailing it is a write
+	// from a closed round.
+	for {
+		f := c.frontier.Load()
+		if uint64(round) <= f {
+			if uint64(round) < f {
+				c.report(Violation{Kind: ViolationLateWrite, Cell: cell, Round: round, Worker: w, Count: f})
+			}
+			break
+		}
+		if c.frontier.CompareAndSwap(f, uint64(round)) {
+			break
+		}
+	}
+	// Winner log: pack worker | round | cell into one word so readers can
+	// never observe a torn record. Cell and round are truncated to their
+	// field widths — the ring is diagnostic, not an oracle.
+	slot := c.ringCur.Add(1) - 1
+	c.ring[slot%winnerRingSize].Store(uint64(uint8(w))<<56 | uint64(round&0xffffff)<<32 | uint64(uint32(cell)))
+}
+
+func (c *Checker) report(v Violation) {
+	c.nviol.Add(1)
+	c.mu.Lock()
+	if len(c.viol) < maxViolations {
+		c.viol = append(c.viol, v)
+	}
+	c.mu.Unlock()
+}
+
+// Violations returns the retained violation records (at most
+// maxViolations; ViolationCount has the true total). Read at a
+// synchronization point.
+func (c *Checker) Violations() []Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Violation, len(c.viol))
+	copy(out, c.viol)
+	return out
+}
+
+// ViolationCount returns the total number of violations caught, including
+// any dropped past the retention cap.
+func (c *Checker) ViolationCount() uint64 { return c.nviol.Load() }
+
+// WinnerLog decodes the winner ring: the most recent commits (up to
+// winnerRingSize), oldest first. Read at a synchronization point.
+func (c *Checker) WinnerLog() []WinRecord {
+	cur := c.ringCur.Load()
+	n := cur
+	if n > winnerRingSize {
+		n = winnerRingSize
+	}
+	out := make([]WinRecord, 0, n)
+	for i := cur - n; i < cur; i++ {
+		e := c.ring[i%winnerRingSize].Load()
+		out = append(out, WinRecord{
+			Cell:   int(uint32(e)),
+			Round:  uint32(e >> 32 & 0xffffff),
+			Worker: int(e >> 56),
+		})
+	}
+	return out
+}
+
+// Err returns nil if no invariant was violated, and an error summarizing
+// the violations otherwise.
+func (c *Checker) Err() error {
+	n := c.nviol.Load()
+	if n == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	msg := fmt.Sprintf("metrics: checker caught %d invariant violation(s)", n)
+	for i, v := range c.viol {
+		if i == 3 {
+			msg += fmt.Sprintf("; ... (%d retained)", len(c.viol))
+			break
+		}
+		msg += "; " + v.String()
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// reset clears the checker's cells, frontier, ring, and violations.
+func (c *Checker) reset() {
+	for i := range c.wins {
+		c.wins[i].Store(0)
+		c.attempts[i].Store(0)
+	}
+	c.frontier.Store(0)
+	c.ringCur.Store(0)
+	c.nviol.Store(0)
+	c.mu.Lock()
+	c.viol = nil
+	c.mu.Unlock()
+}

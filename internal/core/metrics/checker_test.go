@@ -1,0 +1,196 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"crcwpram/internal/core/cw"
+)
+
+func TestCheckerCleanRun(t *testing.T) {
+	r := NewRecorder(2)
+	ck := r.EnableChecker(8, 1, 2)
+	// A legal round: per cell one winner, one loser, attempts within 2.
+	r.Shard(0).Claim(3, 1, cw.OutcomeWin)
+	r.Shard(1).Claim(3, 1, cw.OutcomeLoss)
+	r.Shard(1).Claim(4, 1, cw.OutcomeWin)
+	// Next round reuses cell 3 — the round stamp restarts the counters.
+	r.Shard(1).Claim(3, 2, cw.OutcomeWin)
+	r.Shard(0).Claim(3, 2, cw.OutcomeLoss)
+	if err := ck.Err(); err != nil {
+		t.Fatal(err)
+	}
+	log := ck.WinnerLog()
+	if len(log) != 3 {
+		t.Fatalf("winner log has %d entries, want 3: %v", len(log), log)
+	}
+	last := log[len(log)-1]
+	if last.Cell != 3 || last.Round != 2 || last.Worker != 1 {
+		t.Fatalf("last winner = %+v, want cell 3 round 2 worker 1", last)
+	}
+}
+
+func TestCheckerDoubleWinner(t *testing.T) {
+	r := NewRecorder(2)
+	ck := r.EnableChecker(8, 1, 0)
+	r.Shard(0).Claim(5, 1, cw.OutcomeWin)
+	r.Shard(1).Claim(5, 1, cw.OutcomeWin)
+	vs := ck.Violations()
+	if len(vs) != 1 || vs[0].Kind != ViolationDoubleWinner {
+		t.Fatalf("violations = %v, want one double-winner", vs)
+	}
+	if vs[0].Cell != 5 || vs[0].Round != 1 || vs[0].Count != 2 {
+		t.Fatalf("violation = %+v", vs[0])
+	}
+	if err := ck.Err(); err == nil || !strings.Contains(err.Error(), "double-winner") {
+		t.Fatalf("Err() = %v", err)
+	}
+}
+
+func TestCheckerWinnersAllowance(t *testing.T) {
+	// winnersPerCell = 2 (matching's shared propose/accept index space):
+	// two winners per (cell, round) are legal, a third is not.
+	r := NewRecorder(1)
+	ck := r.EnableChecker(4, 2, 0)
+	sh := r.Shard(0)
+	sh.Claim(0, 1, cw.OutcomeWin)
+	sh.Claim(0, 1, cw.OutcomeWin)
+	if err := ck.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sh.Claim(0, 1, cw.OutcomeWin)
+	if ck.ViolationCount() != 1 {
+		t.Fatalf("violations = %d, want 1", ck.ViolationCount())
+	}
+}
+
+func TestCheckerBoundExceeded(t *testing.T) {
+	r := NewRecorder(1)
+	ck := r.EnableChecker(4, 1, 2)
+	sh := r.Shard(0)
+	sh.Claim(2, 1, cw.OutcomeWin)
+	sh.Claim(2, 1, cw.OutcomeLoss)
+	if err := ck.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sh.Claim(2, 1, cw.OutcomeLoss)
+	vs := ck.Violations()
+	if len(vs) != 1 || vs[0].Kind != ViolationBoundExceeded || vs[0].Count != 3 {
+		t.Fatalf("violations = %v, want one bound-exceeded at count 3", vs)
+	}
+	// Skips execute no RMW and must not count against the bound.
+	sh.Claim(2, 2, cw.OutcomeWin)
+	sh.Claim(2, 2, cw.OutcomeSkip)
+	sh.Claim(2, 2, cw.OutcomeSkip)
+	sh.Claim(2, 2, cw.OutcomeSkip)
+	if ck.ViolationCount() != 1 {
+		t.Fatalf("skips counted as attempts: %d violations", ck.ViolationCount())
+	}
+}
+
+func TestCheckerLateWrite(t *testing.T) {
+	r := NewRecorder(2)
+	ck := r.EnableChecker(8, 1, 0)
+	r.Shard(0).Claim(1, 3, cw.OutcomeWin)
+	r.Shard(1).Claim(2, 2, cw.OutcomeWin) // round 2 commit after round 3 closed
+	vs := ck.Violations()
+	if len(vs) != 1 || vs[0].Kind != ViolationLateWrite {
+		t.Fatalf("violations = %v, want one late-write", vs)
+	}
+	if vs[0].Round != 2 || vs[0].Count != 3 {
+		t.Fatalf("violation = %+v, want round 2 trailing frontier 3", vs[0])
+	}
+}
+
+func TestCheckerOutOfRangeCellIgnored(t *testing.T) {
+	r := NewRecorder(1)
+	ck := r.EnableChecker(2, 1, 1)
+	sh := r.Shard(0)
+	sh.Claim(99, 1, cw.OutcomeWin)
+	sh.Claim(99, 1, cw.OutcomeWin)
+	sh.Claim(-1, 1, cw.OutcomeWin)
+	if ck.ViolationCount() != 0 {
+		t.Fatalf("out-of-range cells were checked: %v", ck.Violations())
+	}
+}
+
+func TestCheckerResetAndDisable(t *testing.T) {
+	r := NewRecorder(1)
+	ck := r.EnableChecker(4, 1, 0)
+	sh := r.Shard(0)
+	sh.Claim(0, 1, cw.OutcomeWin)
+	sh.Claim(0, 1, cw.OutcomeWin)
+	if ck.ViolationCount() == 0 {
+		t.Fatal("setup violation not caught")
+	}
+	r.Reset()
+	if ck.ViolationCount() != 0 || len(ck.WinnerLog()) != 0 || ck.Err() != nil {
+		t.Fatal("Reset did not clear the checker")
+	}
+	// The same double commit is again a fresh violation after Reset.
+	sh.Claim(0, 1, cw.OutcomeWin)
+	sh.Claim(0, 1, cw.OutcomeWin)
+	if ck.ViolationCount() != 1 {
+		t.Fatalf("post-reset violations = %d, want 1", ck.ViolationCount())
+	}
+	r.DisableChecker()
+	if r.Checker() != nil {
+		t.Fatal("DisableChecker left a checker attached")
+	}
+	sh.Claim(0, 1, cw.OutcomeWin) // must not panic or count
+	if ck.ViolationCount() != 1 {
+		t.Fatal("detached checker still observing")
+	}
+}
+
+// recordingHook captures claim-hook invocations for inspection.
+type recordingHook struct {
+	calls []struct {
+		w, cell int
+		round   uint32
+		o       cw.Outcome
+	}
+}
+
+func (h *recordingHook) OnClaim(w, cell int, round uint32, o cw.Outcome) {
+	h.calls = append(h.calls, struct {
+		w, cell int
+		round   uint32
+		o       cw.Outcome
+	}{w, cell, round, o})
+}
+
+func TestClaimHookSeesExecutedAttempts(t *testing.T) {
+	r := NewRecorder(2)
+	h := &recordingHook{}
+	r.SetClaimHook(h)
+	r.Shard(0).Claim(1, 1, cw.OutcomeWin)
+	r.Shard(1).Claim(2, 1, cw.OutcomeLoss)
+	r.Shard(1).Claim(3, 1, cw.OutcomeSkip) // pre-check skip: no RMW, no hook
+	if len(h.calls) != 2 {
+		t.Fatalf("hook saw %d calls, want 2", len(h.calls))
+	}
+	if h.calls[0].w != 0 || h.calls[0].o != cw.OutcomeWin {
+		t.Fatalf("first call = %+v", h.calls[0])
+	}
+	if h.calls[1].w != 1 || h.calls[1].cell != 2 || h.calls[1].o != cw.OutcomeLoss {
+		t.Fatalf("second call = %+v", h.calls[1])
+	}
+	r.SetClaimHook(nil)
+	r.Shard(0).Claim(1, 2, cw.OutcomeWin)
+	if len(h.calls) != 2 {
+		t.Fatal("detached hook still called")
+	}
+}
+
+func TestCheckerNilRecorder(t *testing.T) {
+	var r *Recorder
+	if ck := r.EnableChecker(4, 1, 0); ck != nil {
+		t.Fatal("nil recorder returned a checker")
+	}
+	r.DisableChecker()
+	r.SetClaimHook(&recordingHook{})
+	if r.Checker() != nil {
+		t.Fatal("nil recorder has a checker")
+	}
+}

@@ -73,8 +73,11 @@ type Shard struct {
 	chunksLocal uint64
 	steals      uint64
 	stealFails  uint64
-	probe       *Probe // nil unless Recorder.EnableProbe
-	_           [128 - 10*8]byte
+	probe       *Probe   // nil unless Recorder.EnableProbe
+	checker     *Checker // nil unless Recorder.EnableChecker
+	hook        ClaimHook
+	w           int // this shard's worker index, for checker/hook attribution
+	_           [128 - 14*8]byte
 }
 
 // Claim records the outcome of one winner-selection attempt on cell i in
@@ -109,6 +112,12 @@ func (s *Shard) record(i int, round uint32, o cw.Outcome) bool {
 	}
 	if p := s.probe; p != nil {
 		p.touch(i, round)
+	}
+	if c := s.checker; c != nil {
+		c.observe(s.w, i, round, o)
+	}
+	if h := s.hook; h != nil {
+		h.OnClaim(s.w, i, round, o)
 	}
 	return o == cw.OutcomeWin
 }
@@ -160,13 +169,18 @@ func (s *Shard) BarrierWaitTotal() time.Duration {
 type Recorder struct {
 	shards  []Shard
 	probe   *Probe
+	checker *Checker
 	roundNs int64  // wall time of the parallel rounds, as seen by the coordinator
 	rounds  uint64 // NextRound advances (rounds-to-convergence for looping kernels)
 }
 
 // NewRecorder returns a recorder with one shard per worker.
 func NewRecorder(p int) *Recorder {
-	return &Recorder{shards: make([]Shard, p)}
+	r := &Recorder{shards: make([]Shard, p)}
+	for w := range r.shards {
+		r.shards[w].w = w
+	}
+	return r
 }
 
 // P returns the number of shards (workers). Zero on a nil recorder.
@@ -227,6 +241,55 @@ func (r *Recorder) DisableProbe() {
 	}
 }
 
+// EnableChecker attaches a fresh n-cell invariant checker allowing
+// winnersPerCell commits per (cell, round) and — when attemptBound > 0 —
+// at most attemptBound executed attempts per (cell, round), replacing any
+// previous checker. Claims with cell index ≥ n are counted but not
+// checked. Like the probe, the checker adds CAS traffic per executed
+// attempt; do not time checked runs. Nil-safe (returns nil).
+func (r *Recorder) EnableChecker(n int, winnersPerCell, attemptBound uint64) *Checker {
+	if r == nil {
+		return nil
+	}
+	r.checker = newChecker(n, winnersPerCell, attemptBound)
+	for w := range r.shards {
+		r.shards[w].checker = r.checker
+	}
+	return r.checker
+}
+
+// DisableChecker detaches the checker.
+func (r *Recorder) DisableChecker() {
+	if r == nil {
+		return
+	}
+	r.checker = nil
+	for w := range r.shards {
+		r.shards[w].checker = nil
+	}
+}
+
+// Checker returns the attached invariant checker, or nil when none is
+// enabled.
+func (r *Recorder) Checker() *Checker {
+	if r == nil {
+		return nil
+	}
+	return r.checker
+}
+
+// SetClaimHook attaches h (nil to detach) to every shard: the hook runs
+// on the claiming worker after each executed attempt is counted. The
+// machine wires its chaos injector here (machine.WithChaos).
+func (r *Recorder) SetClaimHook(h ClaimHook) {
+	if r == nil {
+		return
+	}
+	for w := range r.shards {
+		r.shards[w].hook = h
+	}
+}
+
 // Reset zeroes all counters (keeping an enabled probe enabled, with its
 // cells cleared). It must not race with recording — call it between runs,
 // outside any parallel region. (The barrier-wait field is stored
@@ -247,6 +310,9 @@ func (r *Recorder) Reset() {
 	r.roundNs, r.rounds = 0, 0
 	if r.probe != nil {
 		r.probe.reset()
+	}
+	if r.checker != nil {
+		r.checker.reset()
 	}
 }
 

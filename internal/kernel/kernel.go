@@ -89,9 +89,10 @@ type StealMode int
 const (
 	// StealDefault leaves the kernel's own degree-skew default in place.
 	StealDefault StealMode = iota
-	// StealOn / StealOff pin the opt-in (the policy sweeps pin it to the
-	// machine policy so the axis is isolated).
+	// StealOn pins the opt-in on (the policy sweeps pin it to the machine
+	// policy so the axis is isolated).
 	StealOn
+	// StealOff pins the opt-in off.
 	StealOff
 )
 

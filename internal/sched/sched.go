@@ -52,6 +52,8 @@ const (
 // Policies lists all policies in presentation order.
 var Policies = []Policy{Block, Cyclic, Dynamic, Guided, Stealing}
 
+// String names the policy as the -policy flag spells it ("block",
+// "cyclic", "dynamic", "guided", "stealing").
 func (p Policy) String() string {
 	switch p {
 	case Block:
