@@ -87,6 +87,37 @@
 //	                barrier-wait split; combinable like -roundoverhead
 //	-metricsjson F  write just the metrics rows as JSON to F (the rows are
 //	                also appended to -json output when both are given)
+//	-overhead       time a full CAS-LT BFS run under the three
+//	                instrumentation variants (off / metrics / evtrace) at
+//	                p=1 and p=-threads; the JSON rows are the
+//	                BENCH_metrics_overhead.json baseline; combinable like
+//	                -roundoverhead
+//
+// Round-level timelines (the event-trace flight recorder,
+// internal/core/trace; attaches a recorder to every machine the sweeps
+// build, so combine these with any sweep, figure or -run):
+//
+//	-trace FILE     drain every machine's flight recorder when the run
+//	                finishes and write the merged timeline as Chrome
+//	                trace-event / Perfetto JSON (load in ui.perfetto.dev
+//	                or chrome://tracing): one track per worker with
+//	                round / region / barrier-wait / fault spans and
+//	                steal / claim instants, plus per-round CAS win/loss
+//	                counter tracks
+//	-runtimetrace F additionally write a runtime/trace of the whole run
+//	                to F, with PRAM rounds as trace regions aligned with
+//	                goroutine scheduling (view with go tool trace F)
+//	-httpaddr ADDR  serve the live observability endpoint on ADDR (e.g.
+//	                :6060) while the run executes: /debug/vars carries
+//	                the "evtrace" rolling counters (round rate, current
+//	                round, CAS wins/losses), /debug/pprof/* the standard
+//	                profiles
+//	-httphold DUR   keep the -httpaddr endpoint up DUR after the
+//	                benchmarks finish, so a scraper can read the final
+//	                counters (CI's trace-smoke job does)
+//	-validatetrace F schema-check a -trace output file against the
+//	                trace-event format and exit (used by CI); runs
+//	                nothing else
 //
 // Registry introspection and single runs (every kernel and axis below
 // comes from the kernel registry — a kernel added by one Register call
@@ -147,6 +178,10 @@
 //	crcwbench -locality -json BENCH_locality.json
 //	crcwbench -locality -relabel none,degree -threads 8
 //	crcwbench -tiny -metrics -exec pool,team -metricsjson metrics.json
+//	crcwbench -overhead -json BENCH_metrics_overhead.json
+//	crcwbench -locality -trace timeline.json -httpaddr :6060
+//	crcwbench -run kernel=bfs-hybrid,exec=team -trace out.json -runtimetrace rt.out
+//	crcwbench -validatetrace timeline.json
 //	crcwbench -kernelops -kerneltrace -json kernelops.json
 //	crcwbench -list
 //	crcwbench -run kernel=bfs-hybrid,repr=bitmap,policy=stealing -tiny
@@ -161,12 +196,15 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
+	"time"
 
 	"crcwpram/internal/bench"
 	"crcwpram/internal/core/chaos"
 	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/machine"
+	evtrace "crcwpram/internal/core/trace"
 	"crcwpram/internal/graph"
 	"crcwpram/internal/kernel"
 	"crcwpram/internal/sched"
@@ -210,6 +248,12 @@ func run(args []string) (err error) {
 		kerneltrace   = fs.Bool("kerneltrace", false, "report every kernel's structural cost (steps, barriers, rounds) under the trace backend")
 		metricsTable  = fs.Bool("metrics", false, "run every kernel on a metrics-enabled machine and report live contention (CAS attempts/wins/losses, pre-check skips, max RMWs per cell per round, busy/barrier time split) per listed timed exec mode")
 		metricsJSON   = fs.String("metricsjson", "", "write the -metrics contention rows alone as JSON to this file (implies -metrics)")
+		overhead      = fs.Bool("overhead", false, "time a full CAS-LT BFS run under the three instrumentation variants (off, metrics, evtrace) at p=1 and p=-threads")
+		tracePath     = fs.String("trace", "", "write the merged round-level timeline of every machine the run builds as Chrome trace-event / Perfetto JSON to this file")
+		runtimeTraceP = fs.String("runtimetrace", "", "write a runtime/trace of the whole run (PRAM rounds as regions) to this file; view with go tool trace")
+		httpAddr      = fs.String("httpaddr", "", "serve the live observability endpoint (/debug/vars with the evtrace counters, /debug/pprof) on this address while the run executes, e.g. :6060")
+		httpHold      = fs.Duration("httphold", 0, "keep the -httpaddr endpoint up this long after the benchmarks finish")
+		validateTrace = fs.String("validatetrace", "", "schema-check a -trace output file against the Chrome trace-event format and exit")
 		simulations   = fs.Bool("simulations", false, "time one Priority write step per rung of the CW hierarchy instead of a figure")
 		cpuProfile    = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memProfile    = fs.String("memprofile", "", "write a pprof heap profile (after a forced GC) to this file when the run finishes")
@@ -322,6 +366,20 @@ func run(args []string) (err error) {
 		fmt.Printf("%s: %d rows ok\n", *validateJSON, n)
 		return nil
 	}
+	if *validateTrace != "" {
+		f, err := os.Open(*validateTrace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		st, err := evtrace.ValidateChromeTrace(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *validateTrace, err)
+		}
+		fmt.Printf("%s: %d events ok (%d spans, %d instants, %d counter samples, %d worker tracks)\n",
+			*validateTrace, st.Events, st.Spans, st.Instants, st.Counters, st.Workers)
+		return nil
+	}
 
 	if *listKernelSet {
 		return listKernels(os.Stdout)
@@ -329,12 +387,80 @@ func run(args []string) (err error) {
 	if *chaosSpec != "" {
 		return runChaos(os.Stdout, cfg.Threads, *chaosSpec, *verbose)
 	}
+
+	// The event-trace sink rides along with whatever else was requested:
+	// every machine a sweep (or -run) builds gets a flight recorder, the
+	// live endpoint reads the rolling counters while runs execute, and the
+	// merged timeline is written once everything finishes.
+	var sink *evtrace.Sink
+	if *tracePath != "" || *httpAddr != "" || *runtimeTraceP != "" {
+		var sopts []evtrace.Option
+		if *runtimeTraceP != "" {
+			sopts = append(sopts, evtrace.WithRuntimeTrace())
+		}
+		sink = evtrace.NewSink(0, sopts...)
+		cfg.Events = sink
+	}
+	if *runtimeTraceP != "" {
+		f, err := os.Create(*runtimeTraceP)
+		if err != nil {
+			return fmt.Errorf("create runtime trace: %w", err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			return fmt.Errorf("start runtime trace: %w", err)
+		}
+		defer func() {
+			rtrace.Stop()
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("close runtime trace: %w", cerr)
+			}
+		}()
+	}
+	if *httpAddr != "" {
+		srv, addr, serr := sink.Serve(*httpAddr)
+		if serr != nil {
+			return fmt.Errorf("serve %s: %w", *httpAddr, serr)
+		}
+		fmt.Fprintf(os.Stderr, "crcwbench: live endpoint on http://%s/debug/vars\n", addr)
+		defer func() {
+			if *httpHold > 0 {
+				time.Sleep(*httpHold)
+			}
+			srv.Close()
+		}()
+	}
+
+	// writeTrace drains the sink into one merged timeline and writes the
+	// Chrome trace-event JSON; it runs after the last benchmark on every
+	// path that executes kernels (including -run's early return).
+	writeTrace := func() error {
+		if *tracePath == "" {
+			return nil
+		}
+		tl := sink.Timeline()
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fmt.Errorf("create trace: %w", err)
+		}
+		defer f.Close()
+		if err := tl.WriteChromeTrace(f); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "crcwbench: wrote %d spans over %d worker tracks (%d dropped) to %s\n",
+			len(tl.Spans), tl.P, tl.Dropped, *tracePath)
+		return nil
+	}
+
 	if *runSelector != "" {
 		res, err := bench.RunSelector(kernel.Default, cfg, *runSelector)
 		if err != nil {
 			return err
 		}
-		return bench.FormatSelector(os.Stdout, res)
+		if err := bench.FormatSelector(os.Stdout, res); err != nil {
+			return err
+		}
+		return writeTrace()
 	}
 
 	if *opcount {
@@ -397,6 +523,18 @@ func run(args []string) (err error) {
 				return fmt.Errorf("write metrics json: %w", err)
 			}
 		}
+	}
+
+	if *overhead {
+		rows, err := bench.ObservabilityOverhead(cfg)
+		if err != nil {
+			return err
+		}
+		section()
+		if err := bench.FormatObsOverhead(os.Stdout, rows); err != nil {
+			return err
+		}
+		jsonRows = append(jsonRows, bench.ObsOverheadJSONRows(rows)...)
 	}
 
 	if *roundoverhead {
@@ -472,7 +610,7 @@ func run(args []string) (err error) {
 	ids := bench.SortedFigureIDs()
 	if *figure != 0 {
 		ids = []int{*figure}
-	} else if (*roundoverhead || *edgebalance || *listrankSweep || *stealingSweep || *localitySweep ||
+	} else if (*roundoverhead || *overhead || *edgebalance || *listrankSweep || *stealingSweep || *localitySweep ||
 		*kernelops || *kerneltrace || *metricsTable || *metricsJSON != "") && !figureSet {
 		// The dedicated sweeps and analyses alone run only themselves; add
 		// -figure 0 explicitly to also sweep every figure.
@@ -528,7 +666,7 @@ func run(args []string) (err error) {
 			return fmt.Errorf("write json: %w", err)
 		}
 	}
-	return nil
+	return writeTrace()
 }
 
 // listKernels prints the registry: every kernel with its summary and its

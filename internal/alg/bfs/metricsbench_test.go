@@ -10,8 +10,8 @@ import (
 // BenchmarkMetricsOverheadBFS measures the metrics layer's cost on a real
 // kernel: a full CAS-LT BFS, metrics off vs on. The "off" sub-benchmark is
 // the committed overhead witness against the pre-metrics tree (the same
-// benchmark body runs there without the layer; BENCH_metrics_overhead.txt
-// holds the comparison): per-claim the off path costs one inlined nil
+// benchmark body runs there without the layer; BENCH_metrics_overhead.json
+// holds the committed comparison): per-claim the off path costs one inlined nil
 // branch plus materializing the claim outcome — about a nanosecond — and a
 // traversal kernel buries that in memory traffic. "on" additionally pays
 // the shard increments and the per-worker timestamping (no probe here;

@@ -30,8 +30,10 @@ import (
 	"io"
 	"time"
 
+	"crcwpram/internal/bench/sweep"
 	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/machine"
+	evtrace "crcwpram/internal/core/trace"
 	"crcwpram/internal/graph"
 	"crcwpram/internal/sched"
 	"crcwpram/internal/stats"
@@ -114,6 +116,25 @@ type Config struct {
 
 	// Log, when non-nil, receives progress lines during a sweep.
 	Log io.Writer
+
+	// Events, when non-nil, attaches an event-trace flight recorder
+	// (internal/core/trace) to every machine the sweeps build through
+	// the sweep engine. The caller owns the sink: it can serve the live
+	// endpoint while sweeps run and drain the merged Timeline when they
+	// finish. Nil (the default) is tracing off. Timed medians taken with
+	// a sink attached carry the recorder's (small, benchmarked) span
+	// cost; the committed figure baselines are always produced with it
+	// nil.
+	Events *evtrace.Sink
+}
+
+// newRunner builds the sweep engine for one driver, threading the
+// config's event-trace sink (nil means tracing off) so every machine a
+// sweep creates shows up in the merged timeline.
+func (cfg Config) newRunner() *sweep.Runner {
+	r := sweep.NewRunner(cfg.Reps)
+	r.Events = cfg.Events
+	return r
 }
 
 // DefaultConfig returns a configuration scaled to finish in minutes on a

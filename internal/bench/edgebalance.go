@@ -69,7 +69,7 @@ func EdgeBalance(cfg Config, execs []machine.Exec) ([]EdgeBalanceGraph, []EdgeBa
 			graph.RMAT(cfg.EBScale, 8<<cfg.EBScale, 0.57, 0.19, 0.19, cfg.Seed), 0},
 		{fmt.Sprintf("star%d", cfg.EBStar), graph.Star(cfg.EBStar), 1},
 	}
-	run := sweep.NewRunner(cfg.Reps)
+	run := cfg.newRunner()
 	defer run.Close()
 	m := run.Machine(sweep.MachineKey{Threads: cfg.Threads})
 	var infos []EdgeBalanceGraph

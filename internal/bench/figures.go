@@ -106,7 +106,7 @@ func Fig5MaxBySize(cfg Config) Table {
 		Baseline: cw.Naive,
 	}
 	d := figKernel("maxfind")
-	run := sweep.NewRunner(cfg.Reps)
+	run := cfg.newRunner()
 	defer run.Close()
 	m := run.Machine(sweep.MachineKey{Threads: cfg.Threads, Policy: cfg.Policy})
 	workloads := make([]*kernel.Workload, len(cfg.MaxSizes))
@@ -143,7 +143,7 @@ func Fig6MaxByThreads(cfg Config) Table {
 		Baseline: cw.Naive,
 	}
 	d := figKernel("maxfind")
-	run := sweep.NewRunner(cfg.Reps)
+	run := cfg.newRunner()
 	defer run.Close()
 	w := &kernel.Workload{List: randomList(cfg.MaxN, cfg.Seed)}
 	for _, method := range methods {
@@ -177,7 +177,7 @@ func bfsFigure(id int, cfg Config, title, xlabel string, xs []int, pick func(x i
 		Baseline: cw.Naive,
 	}
 	d := figKernel("bfs")
-	run := sweep.NewRunner(cfg.Reps)
+	run := cfg.newRunner()
 	defer run.Close()
 	workloads := make([]*kernel.Workload, len(xs))
 	threads := make([]int, len(xs))
@@ -245,7 +245,7 @@ func ccFigure(id int, cfg Config, title, xlabel string, xs []int) Table {
 		Baseline: cw.Gatekeeper,
 	}
 	d := figKernel("cc")
-	run := sweep.NewRunner(cfg.Reps)
+	run := cfg.newRunner()
 	defer run.Close()
 	workloads := make([]*kernel.Workload, len(xs))
 	threads := make([]int, len(xs))

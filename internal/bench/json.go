@@ -83,6 +83,20 @@ type Row struct {
 	LineTouchesWord uint64 `json:"line_touches_word,omitempty"` // word baseline of the same cell
 	PermHash        uint64 `json:"perm_hash,omitempty"`         // relabeling permutation fingerprint
 
+	// Observability-overhead extras (bench "metricsoverhead"): Variant
+	// names the instrumentation configuration of a timed cell — "off"
+	// (bare machine, the production default), "metrics" (counter shards
+	// attached) or "evtrace" (the event-trace flight recorder attached,
+	// which implies metrics) — so the committed baseline pins all three
+	// medians of the same kernel and the off-vs-on deltas are diffable
+	// across commits.
+	Variant string `json:"variant,omitempty"`
+
+	// RoundWallNs is the per-round coordinator wall-time series of a
+	// metrics row (metrics.Snapshot.RoundWallNs); its entries sum to
+	// RoundNs. Present only when the producing run recorded round times.
+	RoundWallNs []int64 `json:"round_wall_ns,omitempty"`
+
 	CASAttempts   uint64 `json:"cas_attempts,omitempty"`    // executed RMWs (wins + losses)
 	CASWins       uint64 `json:"cas_wins,omitempty"`        // winning RMWs
 	CASLosses     uint64 `json:"cas_losses,omitempty"`      // losing RMWs
@@ -228,8 +242,33 @@ func ValidateJSON(r io.Reader) (int, error) {
 			if row.Rounds == 0 {
 				return fail("metrics row for %s without rounds-to-convergence", row.Kernel)
 			}
+			if len(row.RoundWallNs) > 0 {
+				var sum int64
+				for _, ns := range row.RoundWallNs {
+					sum += ns
+				}
+				if sum != row.RoundNs {
+					return fail("metrics row round_wall_ns sums to %d, round_ns is %d",
+						sum, row.RoundNs)
+				}
+			}
 		} else if !(row.NsOp > 0) {
 			return fail("non-positive ns_op %v", row.NsOp)
+		}
+		if row.Bench == "metricsoverhead" {
+			// Overhead rows are timed triples of the same kernel under the
+			// three instrumentation variants; the variant axis is what the
+			// committed baseline exists to pin.
+			switch row.Variant {
+			case "off", "metrics", "evtrace":
+			default:
+				return fail("metricsoverhead row with variant %q, want off, metrics or evtrace", row.Variant)
+			}
+			if row.Kernel == "" {
+				return fail("metricsoverhead row missing kernel")
+			}
+		} else if row.Variant != "" {
+			return fail("%s row carries variant %q", row.Bench, row.Variant)
 		}
 		if row.Bench == "edgebalance" {
 			switch {

@@ -40,7 +40,7 @@ func ListRank(cfg Config, execs []machine.Exec) ([]ListRankRow, error) {
 	if !ok {
 		return nil, fmt.Errorf("listrank: kernel not registered")
 	}
-	run := sweep.NewRunner(cfg.Reps)
+	run := cfg.newRunner()
 	defer run.Close()
 	m := run.Machine(sweep.MachineKey{Threads: cfg.Threads, Policy: cfg.Policy})
 	var rows []ListRankRow

@@ -66,7 +66,7 @@ func Locality(cfg Config, exec machine.Exec) ([]LocalityRow, error) {
 	cfg = cfg.withDefaults()
 	name := fmt.Sprintf("rmat%d", cfg.LocScale)
 	g := graph.RMAT(cfg.LocScale, 8<<cfg.LocScale, 0.57, 0.19, 0.19, cfg.Seed)
-	run := sweep.NewRunner(cfg.Reps)
+	run := cfg.newRunner()
 	defer run.Close()
 	var rows []LocalityRow
 	for _, mode := range cfg.Relabels {

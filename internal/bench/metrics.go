@@ -277,6 +277,7 @@ func ContentionJSONRows(rows []MetricsRow, threads int) []Row {
 			BusyNs:        r.Snap.BusyNs,
 			BarrierWaitNs: r.Snap.BarrierWaitNs,
 			RoundNs:       r.Snap.RoundNs,
+			RoundWallNs:   r.Snap.RoundWallNs,
 		})
 	}
 	return out

@@ -80,7 +80,7 @@ func RunSelector(reg *kernel.Registry, cfg Config, selStr string) (*SelectorResu
 			w.Graph, w.Source = rl.G, rl.Perm[w.Source]
 		}
 	}
-	run := sweep.NewRunner(cfg.Reps)
+	run := cfg.newRunner()
 	defer run.Close()
 	m := run.Machine(sweep.MachineKey{Threads: threads, Policy: pol})
 	inst := run.Instance(d, m, &w)

@@ -73,7 +73,7 @@ func Stealing(cfg Config, exec machine.Exec) ([]StealingRow, error) {
 		{fmt.Sprintf("uniform%d", cfg.StealScale),
 			graph.ConnectedRandom(1<<cfg.StealScale, 4<<cfg.StealScale, cfg.Seed)},
 	}
-	run := sweep.NewRunner(cfg.Reps)
+	run := cfg.newRunner()
 	defer run.Close()
 	var rows []StealingRow
 	for _, wl := range workloads {

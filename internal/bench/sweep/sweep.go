@@ -13,6 +13,7 @@ import (
 	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/exec"
 	"crcwpram/internal/core/machine"
+	evtrace "crcwpram/internal/core/trace"
 	"crcwpram/internal/graph"
 	"crcwpram/internal/kernel"
 	"crcwpram/internal/sched"
@@ -61,7 +62,15 @@ type instKey struct {
 // a cell's neighborhood along another axis reuses the bound kernel exactly
 // as the hand-written sweeps did.
 type Runner struct {
-	Reps      int
+	Reps int
+	// Events, when non-nil, attaches an event-trace flight recorder
+	// (internal/core/trace) to every machine the runner builds — one
+	// recorder per cached machine, registered with the sink so the
+	// caller can serve live counters mid-sweep and drain a merged
+	// Timeline afterwards. Nil (the default) is tracing off: machines
+	// are built exactly as before. Set it before the first Machine call;
+	// machines created earlier stay untraced.
+	Events    *evtrace.Sink
 	machines  map[MachineKey]*machine.Machine
 	instances map[instKey]kernel.Instance
 }
@@ -83,6 +92,9 @@ func (r *Runner) Machine(key MachineKey) *machine.Machine {
 	opts := []machine.Option{machine.WithPolicy(key.Policy)}
 	if key.Metrics {
 		opts = append(opts, machine.WithMetrics())
+	}
+	if r.Events != nil {
+		opts = append(opts, machine.WithEventTrace(r.Events.Recorder(key.Threads)))
 	}
 	m := machine.New(key.Threads, opts...)
 	r.machines[key] = m

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"runtime"
+	"time"
 
 	"crcwpram/internal/core/cw"
 )
@@ -18,6 +19,36 @@ const (
 	siteClaim
 	numSites
 )
+
+// name spells the site as reported to a FaultSink — the names the
+// evtrace package recognizes for its fault-span labels.
+func (s site) name() string {
+	switch s {
+	case siteIterPre:
+		return "stall-pre"
+	case siteIterPost:
+		return "stall-post"
+	case siteBarrier:
+		return "barrier-jitter"
+	case siteSteal:
+		return "steal-delay"
+	case siteClaim:
+		return "claim-storm"
+	default:
+		return "unknown"
+	}
+}
+
+// FaultSink observes fired faults: the injector calls OnFault on the
+// perturbed worker after each fired fault finishes burning time, with
+// the site name and the measured perturbation duration. Observation
+// only — the decision stream (and so the replayable fault schedule and
+// TraceHash) is identical with and without a sink attached. The
+// event-trace recorder implements it to render injected faults as
+// timeline spans.
+type FaultSink interface {
+	OnFault(w int, site string, d time.Duration)
+}
 
 // Per-site firing rates: a fault decision at site s fires when the
 // worker's next pseudo-random draw is divisible by rate[s]. Iteration
@@ -56,6 +87,7 @@ type wstate struct {
 type Injector struct {
 	seed   uint64
 	faults Fault
+	sink   FaultSink
 	ws     []wstate
 }
 
@@ -87,6 +119,28 @@ func (in *Injector) Faults() Fault {
 		return 0
 	}
 	return in.faults
+}
+
+// SetSink attaches s (nil to detach) as the fired-fault observer. The
+// machine wires its event-trace recorder here (machine.WithEventTrace).
+// Nil-receiver safe.
+func (in *Injector) SetSink(s FaultSink) {
+	if in != nil {
+		in.sink = s
+	}
+}
+
+// firePerturb burns a fired fault's perturbation and, when a sink is
+// attached, reports the fault with its measured duration. The timing
+// exists only on the fired (already cold) path and only with a sink.
+func (in *Injector) firePerturb(w int, s site, mag uint32) {
+	if in.sink == nil {
+		perturb(mag)
+		return
+	}
+	t0 := time.Now()
+	perturb(mag)
+	in.sink.OnFault(w, s.name(), time.Since(t0))
 }
 
 // decide advances worker w's stream by one decision at the given site and
@@ -133,7 +187,7 @@ func (in *Injector) IterPre(w int) {
 		return
 	}
 	if fire, mag := in.decide(w, siteIterPre); fire {
-		perturb(mag)
+		in.firePerturb(w, siteIterPre, mag)
 	}
 }
 
@@ -144,7 +198,7 @@ func (in *Injector) IterPost(w int) {
 		return
 	}
 	if fire, mag := in.decide(w, siteIterPost); fire {
-		perturb(mag)
+		in.firePerturb(w, siteIterPost, mag)
 	}
 }
 
@@ -155,7 +209,8 @@ func (in *Injector) BarrierJitter(w int) {
 		return
 	}
 	if fire, mag := in.decide(w, siteBarrier); fire {
-		perturb(mag | 0x80) // barriers get the heavy tail: fewer, larger delays
+		// Barriers get the heavy tail: fewer, larger delays.
+		in.firePerturb(w, siteBarrier, mag|0x80)
 	}
 }
 
@@ -166,7 +221,7 @@ func (in *Injector) StealDelay(w int) {
 		return
 	}
 	if fire, mag := in.decide(w, siteSteal); fire {
-		perturb(mag)
+		in.firePerturb(w, siteSteal, mag)
 	}
 }
 
@@ -184,6 +239,10 @@ func (in *Injector) OnClaim(w, cell int, round uint32, o cw.Outcome) {
 	if o != cw.OutcomeLoss || !fire {
 		return
 	}
+	var t0 time.Time
+	if in.sink != nil {
+		t0 = time.Now()
+	}
 	if in.faults&FaultStorm != 0 {
 		perturb(mag)
 	}
@@ -193,6 +252,9 @@ func (in *Injector) OnClaim(w, cell int, round uint32, o cw.Outcome) {
 		for i := uint32(0); i <= mag&7; i++ {
 			perturb(mag >> 1)
 		}
+	}
+	if in.sink != nil {
+		in.sink.OnFault(w, siteClaim.name(), time.Since(t0))
 	}
 }
 

@@ -42,6 +42,8 @@
 package exec
 
 import (
+	"context"
+	rtrace "runtime/trace"
 	"sync/atomic"
 
 	"crcwpram/internal/core/machine"
@@ -135,6 +137,15 @@ func (f *Flag) Get(r uint32) uint32 { return f.slots[r%3].Load() }
 // counting replay). It returns the trace statistics for ExecTrace and nil
 // otherwise.
 func Run(m *machine.Machine, e machine.Exec, body func(Ctx)) *TraceStats {
+	// A machine whose event-trace recorder opts into runtime/trace gets
+	// the whole kernel execution wrapped in a runtime/trace task, so `go
+	// tool trace` groups the workers' per-round regions under one task
+	// per Run. No-op unless runtime tracing was requested (and inert
+	// until runtime/trace.Start actually collects).
+	if m.Events().RuntimeOn() {
+		_, task := rtrace.NewTask(context.Background(), "pram/"+e.String())
+		defer task.End()
+	}
 	// The region's one shared Flag: allocated here, before the SPMD split,
 	// so every worker's Flag() call observes the same word.
 	flag := new(Flag)

@@ -34,6 +34,7 @@ import (
 	"crcwpram/internal/barrier"
 	"crcwpram/internal/core/chaos"
 	"crcwpram/internal/core/metrics"
+	evtrace "crcwpram/internal/core/trace"
 	"crcwpram/internal/sched"
 )
 
@@ -78,6 +79,15 @@ type Machine struct {
 	// recorder drives it from the claim sites (it implies metrics).
 	chaos *chaos.Injector
 
+	// evt is the event-trace flight recorder, nil unless WithEventTrace
+	// was given. Like chaos it implies metrics: its span emission lives
+	// inside the instrumented step path behind the one `m.rec != nil`
+	// branch, so the tracing-off hot path is the metrics-off hot path.
+	evt *evtrace.Recorder
+	// stepSeq numbers the machine's pool steps and team regions for span
+	// round ids; advanced only when evt is attached.
+	stepSeq uint32
+
 	exec   Exec
 	round  uint32
 	closed bool
@@ -85,6 +95,7 @@ type Machine struct {
 
 type stepDesc struct {
 	n      int
+	seq    uint32 // step sequence number for event-trace span round ids
 	body   func(i, w int)
 	ranged func(lo, hi, w int)
 	bounds []int // optional shard boundaries for ranged (ParallelBounds)
@@ -124,6 +135,19 @@ func WithExec(e Exec) Option { return func(m *Machine) { m.exec = e } }
 // should be separate: see metrics.Recorder.EnableProbe.
 func WithMetrics() Option { return func(m *Machine) { m.rec = metrics.NewRecorder(m.p) } }
 
+// WithEventTrace attaches an event-trace flight recorder (see the
+// evtrace package at internal/core/trace): the pool and team backends
+// emit per-worker round, region, barrier-wait, and steal events into its
+// ring buffers, and every recorded claim feeds its sampled claim stream
+// through the metrics claim hook. Event tracing implies metrics — a
+// machine built with WithEventTrace allocates a recorder even without
+// WithMetrics — so the tracing-off hot path keeps the metrics
+// discipline's single branch (BenchmarkEventTraceOffOverhead pins it).
+// The recorder's worker count must match the machine's. Tracing only
+// observes; kernel.DifferentialEventTrace proves traced runs stay
+// byte-identical to untraced ones.
+func WithEventTrace(r *evtrace.Recorder) Option { return func(m *Machine) { m.evt = r } }
+
 // WithChaos attaches a deterministic schedule-perturbation injector: the
 // pool and team execution backends deliver its faults at their
 // instrumented yield points (loop iterations, barrier arrivals, steal
@@ -151,13 +175,30 @@ func New(p int, opts ...Option) *Machine {
 	for _, o := range opts {
 		o(m)
 	}
-	if m.chaos != nil {
-		// Chaos implies metrics: the claim sites that feed the injector's
-		// loss faults (and the invariant checker) live on the recorder.
+	if m.evt != nil && m.evt.P() != p {
+		panic(fmt.Sprintf("machine: event-trace recorder has %d workers, machine has %d", m.evt.P(), p))
+	}
+	if m.chaos != nil || m.evt != nil {
+		// Chaos and event tracing imply metrics: the claim sites that feed
+		// the injector's loss faults, the invariant checker, and the trace
+		// recorder's sampled claim stream all live on the recorder.
 		if m.rec == nil {
 			m.rec = metrics.NewRecorder(p)
 		}
-		m.rec.SetClaimHook(m.chaos)
+		var hooks metrics.ClaimHooks
+		if m.chaos != nil {
+			hooks = append(hooks, m.chaos)
+		}
+		if m.evt != nil {
+			hooks = append(hooks, m.evt)
+			// Fired chaos faults render as timeline spans.
+			m.chaos.SetSink(m.evt)
+		}
+		if len(hooks) == 1 {
+			m.rec.SetClaimHook(hooks[0])
+		} else {
+			m.rec.SetClaimHook(hooks)
+		}
 	}
 	// The caller participates in both barrier phases, so the party is p+1.
 	m.bar = barrier.New(m.barKind, p+1)
@@ -194,6 +235,22 @@ func (m *Machine) Metrics() *metrics.Recorder { return m.rec }
 // the machine was created without WithChaos. The exec backends consult it
 // when building their contexts.
 func (m *Machine) Chaos() *chaos.Injector { return m.chaos }
+
+// Events returns the machine's event-trace flight recorder, or nil when
+// the machine was created without WithEventTrace. The nil propagates
+// through the recorder's nil-safe methods, so callers thread it
+// unconditionally.
+func (m *Machine) Events() *evtrace.Recorder { return m.evt }
+
+// nextSeq advances the machine's step sequence for event-trace span
+// round ids. It stays zero with tracing off: the ids only label spans.
+func (m *Machine) nextSeq() uint32 {
+	if m.evt == nil {
+		return 0
+	}
+	m.stepSeq++
+	return m.stepSeq
+}
 
 // Snapshot aggregates the metrics recorder at a synchronization point (no
 // round or region in flight). It returns a zero Snapshot when metrics are
@@ -248,9 +305,11 @@ func (m *Machine) ParallelForWorker(n int, body func(i, w int)) {
 	// Single worker: run inline; the pool would only add barrier latency.
 	if m.p == 1 {
 		if m.rec != nil {
+			a := m.evt.Worker(0).Begin(evtrace.KindRound, m.nextSeq())
 			t0 := time.Now()
 			runSerial(m.policy, m.chunk, n, body)
 			m.rec.Shard(0).AddBusy(time.Since(t0))
+			a.End()
 			return
 		}
 		runSerial(m.policy, m.chunk, n, body)
@@ -258,6 +317,7 @@ func (m *Machine) ParallelForWorker(n int, body func(i, w int)) {
 	}
 	m.step = stepDesc{
 		n:       n,
+		seq:     m.nextSeq(),
 		body:    body,
 		cursor:  m.cursorFor(n),
 		stealer: m.stealerFor(n),
@@ -283,9 +343,11 @@ func (m *Machine) ParallelSteal(n int, body func(lo, hi, w int)) {
 	}
 	if m.p == 1 {
 		if m.rec != nil {
+			a := m.evt.Worker(0).Begin(evtrace.KindRound, m.nextSeq())
 			t0 := time.Now()
 			body(0, n, 0)
 			m.rec.Shard(0).AddBusy(time.Since(t0))
+			a.End()
 			return
 		}
 		body(0, n, 0)
@@ -294,6 +356,7 @@ func (m *Machine) ParallelSteal(n int, body func(lo, hi, w int)) {
 	m.steal.Reset(n, m.chunk)
 	m.step = stepDesc{
 		n:       n,
+		seq:     m.nextSeq(),
 		ranged:  body,
 		stealer: m.steal,
 		panics:  m.step.panics,
@@ -314,9 +377,11 @@ func (m *Machine) ParallelRange(n int, body func(lo, hi, w int)) {
 	}
 	if m.p == 1 {
 		if m.rec != nil {
+			a := m.evt.Worker(0).Begin(evtrace.KindRound, m.nextSeq())
 			t0 := time.Now()
 			body(0, n, 0)
 			m.rec.Shard(0).AddBusy(time.Since(t0))
+			a.End()
 			return
 		}
 		body(0, n, 0)
@@ -324,6 +389,7 @@ func (m *Machine) ParallelRange(n int, body func(lo, hi, w int)) {
 	}
 	m.step = stepDesc{
 		n:      n,
+		seq:    m.nextSeq(),
 		ranged: body,
 		panics: m.step.panics,
 	}
@@ -349,9 +415,11 @@ func (m *Machine) ParallelBounds(bounds []int, body func(lo, hi, w int)) {
 	}
 	if m.p == 1 {
 		if m.rec != nil {
+			a := m.evt.Worker(0).Begin(evtrace.KindRound, m.nextSeq())
 			t0 := time.Now()
 			body(bounds[0], bounds[1], 0)
 			m.rec.Shard(0).AddBusy(time.Since(t0))
+			a.End()
 			return
 		}
 		body(bounds[0], bounds[1], 0)
@@ -359,6 +427,7 @@ func (m *Machine) ParallelBounds(bounds []int, body func(lo, hi, w int)) {
 	}
 	m.step = stepDesc{
 		n:      bounds[m.p],
+		seq:    m.nextSeq(),
 		ranged: body,
 		bounds: bounds,
 		panics: m.step.panics,
@@ -456,9 +525,21 @@ func (m *Machine) worker(id int) {
 // end-phase pool wait runs under "round-phase: barrier-wait" and is
 // credited as barrier wait. The start-phase wait is deliberately not
 // counted: it measures the caller's serial sections, not the round.
+//
+// The event-trace spans ride the same two phases: the work share becomes
+// a per-worker round span (region span for team steps — the in-region
+// team loops emit their own nested round spans) and the end-phase wait a
+// barrier span. With tracing off the spans are nil-buffer no-ops, so the
+// path's enable stays the worker loop's single `m.rec != nil` branch.
 func (m *Machine) runStepMetrics(st stepDesc, id int) {
 	sh := m.rec.Shard(id)
+	eb := m.evt.Worker(id)
 	pprof.Do(context.Background(), pprof.Labels("round-phase", "work"), func(context.Context) {
+		kind := evtrace.KindRound
+		if st.team != nil {
+			kind = evtrace.KindRegion
+		}
+		a := eb.Begin(kind, st.seq)
 		b0 := sh.BarrierWaitTotal()
 		t0 := time.Now()
 		if st.team != nil {
@@ -467,11 +548,14 @@ func (m *Machine) runStepMetrics(st stepDesc, id int) {
 			m.runShare(st, id)
 		}
 		sh.AddBusy(time.Since(t0) - (sh.BarrierWaitTotal() - b0))
+		a.End()
 	})
 	pprof.Do(context.Background(), pprof.Labels("round-phase", "barrier-wait"), func(context.Context) {
+		a := eb.Begin(evtrace.KindBarrier, st.seq)
 		t0 := time.Now()
 		m.bar.Wait(id) // end phase
 		sh.AddBarrierWait(time.Since(t0))
+		a.End()
 	})
 }
 
@@ -495,6 +579,7 @@ func (m *Machine) runShare(st stepDesc, id int) {
 			c = st.stealer.Run(id, func(lo, hi int) { st.ranged(lo, hi, id) })
 		}
 		m.rec.Shard(id).AddSteal(c.Local, c.Steals, c.Fails)
+		m.evt.Worker(id).Point(evtrace.KindSteal, st.seq, evtrace.PackSteal(c.Local, c.Steals, c.Fails))
 		return
 	}
 	if st.ranged != nil {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"crcwpram/internal/core/cw"
+	evtrace "crcwpram/internal/core/trace"
 )
 
 // BenchmarkMetricsOffOverhead pins the claim in WithMetrics's doc comment:
@@ -14,8 +15,53 @@ import (
 // through Shard.Claim — so the "off" sub-benchmarks measure the
 // instrumented-off path end to end, and comparing them against the same
 // benchmark on the pre-metrics tree (or against "on" for the recording
-// cost) is the overhead argument. BENCH_metrics_overhead.txt at the repo
-// root holds a committed comparison.
+// cost) is the overhead argument. BENCH_metrics_overhead.json at the
+// repo root holds a committed comparison.
+// BenchmarkEventTraceOffOverhead extends the metrics overhead argument
+// one layer up: WithEventTrace implies metrics, so its "off" mode is the
+// same single-branch path BenchmarkMetricsOffOverhead measures, and the
+// "on" mode prices the full flight recorder — per-round span Begin/End
+// pairs, the sampled claim hook, and the atomic win/loss counters — on
+// the same claim-site-shaped body. The tracing-off row must stay within
+// noise of the metrics-off row; the committed comparison lives in
+// BENCH_metrics_overhead.json.
+func BenchmarkEventTraceOffOverhead(b *testing.B) {
+	const n = 1 << 15
+	for _, mode := range []string{"off", "on"} {
+		for _, p := range []int{1, 4} {
+			b.Run(mode+"/p="+itoa(p), func(b *testing.B) {
+				var opts []Option
+				if mode == "on" {
+					opts = append(opts, WithEventTrace(evtrace.New(p, evtrace.DefaultCap)))
+				}
+				m := New(p, opts...)
+				defer m.Close()
+				cells := cw.NewArray(n, cw.Packed)
+				rec := m.Metrics() // nil in the off mode, as in production
+				evt := m.Events()
+				round := uint32(0)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					round++
+					if round > 1<<31 {
+						b.StopTimer()
+						m.ParallelRange(n, func(lo, hi, _ int) { cells.ResetRange(lo, hi) })
+						evt.Reset()
+						round = 1
+						b.StartTimer()
+					}
+					m.ParallelRange(n, func(lo, hi, w int) {
+						sh := rec.Shard(w)
+						for j := lo; j < hi; j++ {
+							sh.Claim(j, round, cells.TryClaimOutcome(j, round))
+						}
+					})
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkMetricsOffOverhead(b *testing.B) {
 	const n = 1 << 15
 	for _, mode := range []string{"off", "on"} {

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	evtrace "crcwpram/internal/core/trace"
 	"crcwpram/internal/sched"
 )
 
@@ -90,6 +91,17 @@ type TeamCtx struct {
 	// the shared cursor's reset protocol. All workers execute the same
 	// loop sequence, so their epochs agree.
 	epoch uint64
+	// loops counts this worker's work-shared loops of every policy — the
+	// region-local round ids event-trace spans carry. Like epoch it
+	// advances identically in every SPMD copy.
+	loops uint32
+}
+
+// beginLoop advances the worker's loop counter and opens the loop's
+// event-trace round span — a nil-buffer no-op when tracing is off.
+func (tc *TeamCtx) beginLoop() evtrace.Active {
+	tc.loops++
+	return tc.m.evt.Worker(tc.W).Begin(evtrace.KindRound, tc.loops)
 }
 
 // P returns the team size (the machine's worker count).
@@ -103,11 +115,16 @@ func (tc *TeamCtx) Barrier() {
 		return
 	}
 	// Metrics on: time the wait and credit it to this worker's shard; the
-	// machine's region-wall accounting subtracts it from busy time.
+	// machine's region-wall accounting subtracts it from busy time. The
+	// event-trace barrier span (nil-buffer no-op when tracing is off)
+	// carries the current loop id, so barrier skew lines up with the
+	// round whose writes the barrier publishes.
 	if tc.m.rec != nil {
+		a := tc.m.evt.Worker(tc.W).Begin(evtrace.KindBarrier, tc.loops)
 		t0 := time.Now()
 		ok := tc.m.teamBar.wait(&tc.m.teamAborted)
 		tc.m.rec.Shard(tc.W).AddBarrierWait(time.Since(t0))
+		a.End()
 		if !ok {
 			panic(teamAbort{})
 		}
@@ -126,11 +143,14 @@ func (tc *TeamCtx) For(n int, body func(i int)) {
 	m := tc.m
 	if m.p == 1 {
 		if n > 0 {
+			a := tc.beginLoop()
 			runSerial(m.policy, m.chunk, n, func(i, _ int) { body(i) })
+			a.End()
 		}
 		return
 	}
 	if n > 0 {
+		a := tc.beginLoop()
 		if m.policy == sched.Stealing {
 			st := tc.loopStealer(n)
 			c := st.Run(tc.W, func(lo, hi int) {
@@ -139,9 +159,11 @@ func (tc *TeamCtx) For(n int, body func(i int)) {
 				}
 			})
 			m.rec.Shard(tc.W).AddSteal(c.Local, c.Steals, c.Fails)
+			m.evt.Worker(tc.W).Point(evtrace.KindSteal, tc.loops, evtrace.PackSteal(c.Local, c.Steals, c.Fails))
 		} else {
 			sched.For(m.policy, tc.loopCursor(n), n, m.p, tc.W, body)
 		}
+		a.End()
 	}
 	tc.Barrier()
 }
@@ -161,15 +183,19 @@ func (tc *TeamCtx) Range(n int, body func(lo, hi int)) {
 	m := tc.m
 	if m.p == 1 {
 		if n > 0 {
+			a := tc.beginLoop()
 			body(0, n)
+			a.End()
 		}
 		return
 	}
 	if n > 0 {
+		a := tc.beginLoop()
 		lo, hi := sched.BlockRange(n, m.p, tc.W)
 		if lo < hi {
 			body(lo, hi)
 		}
+		a.End()
 	}
 	tc.Barrier()
 }
@@ -187,13 +213,17 @@ func (tc *TeamCtx) Bounds(bounds []int, body func(lo, hi int)) {
 	}
 	if m.p == 1 {
 		if bounds[0] < bounds[1] {
+			a := tc.beginLoop()
 			body(bounds[0], bounds[1])
+			a.End()
 		}
 		return
 	}
+	a := tc.beginLoop()
 	if lo, hi := bounds[tc.W], bounds[tc.W+1]; lo < hi {
 		body(lo, hi)
 	}
+	a.End()
 	tc.Barrier()
 }
 
@@ -207,14 +237,19 @@ func (tc *TeamCtx) Steal(n int, body func(lo, hi int)) {
 	m := tc.m
 	if m.p == 1 {
 		if n > 0 {
+			a := tc.beginLoop()
 			body(0, n)
+			a.End()
 		}
 		return
 	}
 	if n > 0 {
+		a := tc.beginLoop()
 		st := tc.loopStealer(n)
 		c := st.Run(tc.W, body)
 		m.rec.Shard(tc.W).AddSteal(c.Local, c.Steals, c.Fails)
+		m.evt.Worker(tc.W).Point(evtrace.KindSteal, tc.loops, evtrace.PackSteal(c.Local, c.Steals, c.Fails))
+		a.End()
 	}
 	tc.Barrier()
 }
@@ -310,9 +345,11 @@ func (m *Machine) Team(body func(tc *TeamCtx)) {
 	if m.p == 1 {
 		// Single worker: the caller is the team. Barriers are no-ops.
 		if m.rec != nil {
+			a := m.evt.Worker(0).Begin(evtrace.KindRegion, m.nextSeq())
 			t0 := time.Now()
 			body(&TeamCtx{m: m})
 			m.rec.Shard(0).AddBusy(time.Since(t0))
+			a.End()
 			return
 		}
 		body(&TeamCtx{m: m})
@@ -322,7 +359,7 @@ func (m *Machine) Team(body func(tc *TeamCtx)) {
 	// cursor protocol words. The start barrier publishes this to workers.
 	m.teamTicket.Store(0)
 	m.teamReady.Store(0)
-	m.step = stepDesc{team: body, panics: m.step.panics}
+	m.step = stepDesc{team: body, seq: m.nextSeq(), panics: m.step.panics}
 	m.bar.Wait(m.p) // start phase: workers pick up the region body
 	m.bar.Wait(m.p) // end phase: all workers have left the region
 	if m.teamAborted.Load() {

@@ -170,8 +170,12 @@ type Recorder struct {
 	shards  []Shard
 	probe   *Probe
 	checker *Checker
-	roundNs int64  // wall time of the parallel rounds, as seen by the coordinator
-	rounds  uint64 // NextRound advances (rounds-to-convergence for looping kernels)
+	roundNs int64 // wall time of the parallel rounds, as seen by the coordinator
+	// roundDur keeps the individual per-round wall times behind the
+	// roundNs aggregate, in coordinator call order — the round-resolved
+	// view the timeline summaries and -metricsjson expose.
+	roundDur []int64
+	rounds   uint64 // NextRound advances (rounds-to-convergence for looping kernels)
 }
 
 // NewRecorder returns a recorder with one shard per worker.
@@ -201,11 +205,13 @@ func (r *Recorder) Shard(w int) *Shard {
 	return &r.shards[w]
 }
 
-// AddRoundTime credits d of parallel-round wall time. Coordinator only;
-// nil-safe.
+// AddRoundTime credits d of parallel-round wall time, both to the
+// aggregate and to the per-round slice Snapshot.RoundWallNs exposes.
+// Coordinator only; nil-safe.
 func (r *Recorder) AddRoundTime(d time.Duration) {
 	if r != nil {
 		r.roundNs += int64(d)
+		r.roundDur = append(r.roundDur, int64(d))
 	}
 }
 
@@ -278,9 +284,25 @@ func (r *Recorder) Checker() *Checker {
 	return r.checker
 }
 
+// ClaimHooks fans one claim notification out to several hooks in
+// order. The machine composes it when more than one observer wants the
+// claim stream (the chaos injector and the event-trace recorder); with
+// a single observer it attaches the hook directly, so the fan-out loop
+// costs nothing in the common case.
+type ClaimHooks []ClaimHook
+
+// OnClaim implements ClaimHook by forwarding to every hook in order.
+func (hs ClaimHooks) OnClaim(w, cell int, round uint32, o cw.Outcome) {
+	for _, h := range hs {
+		h.OnClaim(w, cell, round, o)
+	}
+}
+
 // SetClaimHook attaches h (nil to detach) to every shard: the hook runs
 // on the claiming worker after each executed attempt is counted. The
-// machine wires its chaos injector here (machine.WithChaos).
+// machine wires its chaos injector and event-trace recorder here
+// (machine.WithChaos, machine.WithEventTrace), composing them with
+// ClaimHooks when both are present.
 func (r *Recorder) SetClaimHook(h ClaimHook) {
 	if r == nil {
 		return
@@ -308,6 +330,7 @@ func (r *Recorder) Reset() {
 		sh.barrierNs.Store(0)
 	}
 	r.roundNs, r.rounds = 0, 0
+	r.roundDur = r.roundDur[:0]
 	if r.probe != nil {
 		r.probe.reset()
 	}
@@ -333,7 +356,11 @@ type Snapshot struct {
 	BusyNs        int64
 	BarrierWaitNs int64
 	RoundNs       int64
-	Rounds        uint64
+	// RoundWallNs lists each parallel round's wall time in coordinator
+	// call order; its entries sum to RoundNs. Empty when no rounds were
+	// timed.
+	RoundWallNs []int64
+	Rounds      uint64
 	// MaxCellClaims is the maximum number of executed attempts observed on
 	// any single cell within any single round — the paper's ≤ P quantity.
 	// Zero unless a probe was enabled.
@@ -358,6 +385,7 @@ func (r *Recorder) Snapshot() Snapshot {
 	s := Snapshot{
 		P:              len(r.shards),
 		RoundNs:        r.roundNs,
+		RoundWallNs:    append([]int64(nil), r.roundDur...),
 		Rounds:         r.rounds,
 		WorkerBusyNs:   make([]int64, len(r.shards)),
 		WorkerBarrier:  make([]int64, len(r.shards)),

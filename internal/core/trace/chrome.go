@@ -1,0 +1,168 @@
+package evtrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export: the Timeline serialized in the trace-event
+// JSON object format (https://docs.google.com/document/d/1CvAClvFfyA5R-
+// PhYUmn5OOQtYMH4h6I0nSsKchNAySU), loadable in ui.perfetto.dev and
+// chrome://tracing. The mapping is one process (pid 0) with one thread
+// track per PRAM worker (tid = worker id): duration events ("ph":"X")
+// for round / region / barrier / fault spans, instant events ("ph":"i")
+// for steal and claim points, and per-round counter tracks ("ph":"C")
+// for CAS wins and losses sampled at each round's start. Timestamps are
+// microseconds relative to the recorder's epoch, as the format requires.
+
+// WriteChromeTrace writes the timeline in Chrome trace-event JSON. The
+// output is deterministic for a given timeline (events in slice order,
+// fixed field order), which the golden test relies on.
+func (t *Timeline) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"traceEvents":[` + "\n")
+	fmt.Fprintf(bw, `{"name":"process_name","ph":"M","pid":0,"args":{"name":"crcwpram"}}`)
+	for w := 0; w < t.P; w++ {
+		fmt.Fprintf(bw, ",\n"+`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"worker %d"}}`, w, w)
+	}
+	for _, ev := range t.Spans {
+		bw.WriteString(",\n")
+		writeChromeEvent(bw, ev)
+	}
+	for _, rs := range t.Rounds {
+		fmt.Fprintf(bw, ",\n"+`{"name":"cas-wins","cat":"claims","ph":"C","ts":%.3f,"pid":0,"args":{"wins":%d}}`, us(rs.StartNs), rs.Wins)
+		fmt.Fprintf(bw, ",\n"+`{"name":"cas-losses","cat":"claims","ph":"C","ts":%.3f,"pid":0,"args":{"losses":%d}}`, us(rs.StartNs), rs.Losses)
+	}
+	bw.WriteString("\n" + `],"displayTimeUnit":"ms"}` + "\n")
+	return bw.Flush()
+}
+
+// us converts epoch-relative nanoseconds to trace-event microseconds.
+func us(ns int64) float64 { return float64(ns) / 1e3 }
+
+func writeChromeEvent(w io.Writer, ev Event) {
+	switch ev.Kind {
+	case KindRound:
+		wins, losses := UnpackClaims(ev.Arg)
+		fmt.Fprintf(w, `{"name":"round %d","cat":"round","ph":"X","ts":%.3f,"dur":%.3f,"pid":0,"tid":%d,"args":{"round":%d,"wins":%d,"losses":%d}}`,
+			ev.Round, us(ev.Start), us(ev.Dur), ev.Worker, ev.Round, wins, losses)
+	case KindRegion:
+		fmt.Fprintf(w, `{"name":"region %d","cat":"region","ph":"X","ts":%.3f,"dur":%.3f,"pid":0,"tid":%d,"args":{"round":%d}}`,
+			ev.Round, us(ev.Start), us(ev.Dur), ev.Worker, ev.Round)
+	case KindBarrier:
+		fmt.Fprintf(w, `{"name":"barrier-wait","cat":"barrier","ph":"X","ts":%.3f,"dur":%.3f,"pid":0,"tid":%d,"args":{"round":%d}}`,
+			us(ev.Start), us(ev.Dur), ev.Worker, ev.Round)
+	case KindFault:
+		fmt.Fprintf(w, `{"name":"fault:%s","cat":"fault","ph":"X","ts":%.3f,"dur":%.3f,"pid":0,"tid":%d,"args":{}}`,
+			FaultSiteName(ev.Arg), us(ev.Start), us(ev.Dur), ev.Worker)
+	case KindSteal:
+		local, steals, fails := UnpackSteal(ev.Arg)
+		fmt.Fprintf(w, `{"name":"steal","cat":"steal","ph":"i","s":"t","ts":%.3f,"pid":0,"tid":%d,"args":{"round":%d,"local":%d,"steals":%d,"fails":%d}}`,
+			us(ev.Start), ev.Worker, ev.Round, local, steals, fails)
+	case KindClaim:
+		fmt.Fprintf(w, `{"name":"claim","cat":"claim","ph":"i","s":"t","ts":%.3f,"pid":0,"tid":%d,"args":{"round":%d,"cell":%d,"won":%d}}`,
+			us(ev.Start), ev.Worker, ev.Round, ev.Arg>>1, ev.Arg&1)
+	default:
+		fmt.Fprintf(w, `{"name":"unknown","cat":"unknown","ph":"i","s":"t","ts":%.3f,"pid":0,"tid":%d,"args":{}}`,
+			us(ev.Start), ev.Worker)
+	}
+}
+
+// ChromeStats summarizes a validated trace-event file.
+type ChromeStats struct {
+	// Events counts all trace events, Spans the "X" duration events,
+	// Instants the "i" events, Counters the "C" samples.
+	Events, Spans, Instants, Counters int
+	// Workers counts distinct thread_name metadata tracks.
+	Workers int
+}
+
+// ValidateChromeTrace parses r as trace-event JSON and checks every
+// event against the schema subset this package emits: the object form
+// with a traceEvents array; every event carries a name and a known
+// phase; duration events carry non-negative ts/dur and a tid; counter
+// events carry ts and at least one numeric arg; metadata events are
+// process_name or thread_name with an args.name. It returns counts for
+// smoke checks (the CI trace-smoke job asserts Workers and Counters are
+// non-zero).
+func ValidateChromeTrace(r io.Reader) (ChromeStats, error) {
+	var st ChromeStats
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return st, fmt.Errorf("evtrace: trace JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return st, fmt.Errorf("evtrace: trace JSON: empty traceEvents")
+	}
+	for i, raw := range doc.TraceEvents {
+		var ev struct {
+			Name string                     `json:"name"`
+			Ph   string                     `json:"ph"`
+			Ts   *float64                   `json:"ts"`
+			Dur  *float64                   `json:"dur"`
+			Pid  *int                       `json:"pid"`
+			Tid  *int                       `json:"tid"`
+			Args map[string]json.RawMessage `json:"args"`
+		}
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return st, fmt.Errorf("evtrace: trace event %d: %w", i, err)
+		}
+		if ev.Name == "" {
+			return st, fmt.Errorf("evtrace: trace event %d: no name", i)
+		}
+		if ev.Pid == nil {
+			return st, fmt.Errorf("evtrace: trace event %d (%s): no pid", i, ev.Name)
+		}
+		st.Events++
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "process_name" && ev.Name != "thread_name" {
+				return st, fmt.Errorf("evtrace: trace event %d: unexpected metadata %q", i, ev.Name)
+			}
+			if _, ok := ev.Args["name"]; !ok {
+				return st, fmt.Errorf("evtrace: trace event %d (%s): metadata without args.name", i, ev.Name)
+			}
+			if ev.Name == "thread_name" {
+				if ev.Tid == nil {
+					return st, fmt.Errorf("evtrace: trace event %d: thread_name without tid", i)
+				}
+				st.Workers++
+			}
+		case "X":
+			if ev.Ts == nil || ev.Dur == nil || *ev.Ts < 0 || *ev.Dur < 0 {
+				return st, fmt.Errorf("evtrace: trace event %d (%s): duration event needs ts >= 0 and dur >= 0", i, ev.Name)
+			}
+			if ev.Tid == nil {
+				return st, fmt.Errorf("evtrace: trace event %d (%s): duration event without tid", i, ev.Name)
+			}
+			st.Spans++
+		case "i":
+			if ev.Ts == nil || *ev.Ts < 0 {
+				return st, fmt.Errorf("evtrace: trace event %d (%s): instant event needs ts >= 0", i, ev.Name)
+			}
+			st.Instants++
+		case "C":
+			if ev.Ts == nil || *ev.Ts < 0 {
+				return st, fmt.Errorf("evtrace: trace event %d (%s): counter event needs ts >= 0", i, ev.Name)
+			}
+			if len(ev.Args) == 0 {
+				return st, fmt.Errorf("evtrace: trace event %d (%s): counter event without args", i, ev.Name)
+			}
+			for k, v := range ev.Args {
+				var n float64
+				if err := json.Unmarshal(v, &n); err != nil {
+					return st, fmt.Errorf("evtrace: trace event %d (%s): counter arg %q not numeric", i, ev.Name, k)
+				}
+			}
+			st.Counters++
+		default:
+			return st, fmt.Errorf("evtrace: trace event %d (%s): unexpected phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	return st, nil
+}

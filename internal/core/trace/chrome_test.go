@@ -1,0 +1,93 @@
+package evtrace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/trace.golden")
+
+// goldenTimeline is a fixed small timeline covering every event kind,
+// built the way Drain builds one (sorted spans, recomputed summaries via
+// Merge) so the golden file tracks the real export path.
+func goldenTimeline() *Timeline {
+	return Merge(&Timeline{P: 2, Spans: []Event{
+		{Start: 1000, Dur: 5000, Round: 1, Worker: 0, Kind: KindRegion},
+		{Start: 1100, Dur: 1500, Round: 1, Worker: 0, Kind: KindRound, Arg: PackClaims(3, 1)},
+		{Start: 1200, Dur: 2000, Round: 1, Worker: 1, Kind: KindRound, Arg: PackClaims(2, 2)},
+		{Start: 1350, Dur: 0, Round: 1, Worker: 0, Kind: KindClaim, Arg: 42<<1 | 1},
+		{Start: 1400, Dur: 300, Worker: 1, Kind: KindFault, Arg: faultCode(FaultSiteBarrierJitter)},
+		{Start: 2600, Dur: 600, Round: 1, Worker: 0, Kind: KindBarrier},
+		{Start: 3300, Dur: 900, Round: 2, Worker: 0, Kind: KindRound, Arg: PackClaims(0, 0)},
+		{Start: 3300, Dur: 950, Round: 2, Worker: 1, Kind: KindRound, Arg: PackClaims(5, 0)},
+		{Start: 3400, Dur: 0, Round: 2, Worker: 1, Kind: KindSteal, Arg: PackSteal(7, 2, 1)},
+	}})
+}
+
+// TestChromeTraceGolden byte-compares the Chrome trace-event export of
+// a fixed timeline against testdata/trace.golden (regenerate with
+// -update) and validates both the golden bytes and the fresh export
+// against the trace-event schema checker.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTimeline().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome trace diverges from %s (re-run with -update after intentional format changes)\ngot:\n%s", golden, buf.String())
+	}
+	st, err := ValidateChromeTrace(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("golden file fails schema validation: %v", err)
+	}
+	if st.Workers != 2 {
+		t.Fatalf("golden trace has %d worker tracks, want 2", st.Workers)
+	}
+	// 2 rounds x {wins, losses} counter samples.
+	if st.Counters != 4 {
+		t.Fatalf("golden trace has %d counter samples, want 4", st.Counters)
+	}
+	// region + 4 rounds... (4 round spans + 1 region + 1 barrier + 1 fault).
+	if st.Spans != 7 {
+		t.Fatalf("golden trace has %d duration events, want 7", st.Spans)
+	}
+	if st.Instants != 2 {
+		t.Fatalf("golden trace has %d instants, want 2", st.Instants)
+	}
+}
+
+// TestValidateChromeTraceRejects feeds malformed documents through the
+// schema checker.
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not JSON":        `{"traceEvents":`,
+		"empty events":    `{"traceEvents":[]}`,
+		"unknown phase":   `{"traceEvents":[{"name":"x","ph":"Q","pid":0}]}`,
+		"span sans tid":   `{"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":1,"pid":0}]}`,
+		"span sans dur":   `{"traceEvents":[{"name":"x","ph":"X","ts":1,"pid":0,"tid":0}]}`,
+		"negative ts":     `{"traceEvents":[{"name":"x","ph":"i","ts":-1,"pid":0}]}`,
+		"counter no args": `{"traceEvents":[{"name":"x","ph":"C","ts":1,"pid":0,"args":{}}]}`,
+		"counter non-num": `{"traceEvents":[{"name":"x","ph":"C","ts":1,"pid":0,"args":{"v":"hi"}}]}`,
+		"nameless":        `{"traceEvents":[{"ph":"i","ts":1,"pid":0}]}`,
+		"bad metadata":    `{"traceEvents":[{"name":"frame_name","ph":"M","pid":0,"args":{"name":"z"}}]}`,
+	}
+	for what, doc := range cases {
+		if _, err := ValidateChromeTrace(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: validated unexpectedly", what)
+		}
+	}
+}

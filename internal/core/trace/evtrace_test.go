@@ -1,0 +1,297 @@
+package evtrace
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+
+	"crcwpram/internal/core/cw"
+)
+
+// TestNilSafety drives every nil-receiver path: a nil recorder and the
+// nil buffers it hands out must be complete no-ops, exactly like the
+// metrics layer's nil chain.
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	if r.P() != 0 || r.Cap() != 0 || r.RuntimeOn() {
+		t.Fatal("nil recorder reports non-zero configuration")
+	}
+	b := r.Worker(3)
+	if b != nil {
+		t.Fatal("nil recorder returned a non-nil buffer")
+	}
+	a := b.Begin(KindRound, 1)
+	a.End()
+	b.Point(KindSteal, 1, 7)
+	r.Reset()
+	r.OnFault(0, FaultSiteStallPre, 5)
+	if lc := r.Live(); lc != (LiveCounts{}) {
+		t.Fatalf("nil recorder live counts %+v", lc)
+	}
+	tl := r.Drain()
+	if len(tl.Spans) != 0 || len(tl.Rounds) != 0 {
+		t.Fatalf("nil recorder drained %d spans", len(tl.Spans))
+	}
+	var s *Sink
+	if s.Recorder(4) != nil {
+		t.Fatal("nil sink returned a recorder")
+	}
+	s.Timeline()
+	s.Live()
+}
+
+// TestRingWraparound overflows a tiny ring and checks the flight
+// recorder keeps exactly the newest cap events, reports the overwritten
+// ones as dropped, and drains the survivors oldest-first.
+func TestRingWraparound(t *testing.T) {
+	const cap, emitted = 4, 11
+	r := New(1, cap)
+	b := r.Worker(0)
+	for i := 0; i < emitted; i++ {
+		b.Point(KindSteal, uint32(i), uint64(i))
+	}
+	tl := r.Drain()
+	if len(tl.Spans) != cap {
+		t.Fatalf("drained %d spans, want %d", len(tl.Spans), cap)
+	}
+	if tl.Dropped != emitted-cap {
+		t.Fatalf("dropped %d, want %d", tl.Dropped, emitted-cap)
+	}
+	for i, ev := range tl.Spans {
+		if want := uint64(emitted - cap + i); ev.Arg != want {
+			t.Fatalf("span %d has arg %d, want %d (oldest-first drain)", i, ev.Arg, want)
+		}
+	}
+	if lc := r.Live(); lc.Events != emitted || lc.Dropped != emitted-cap {
+		t.Fatalf("live counts %+v, want events=%d dropped=%d", lc, emitted, emitted-cap)
+	}
+	r.Reset()
+	if tl := r.Drain(); len(tl.Spans) != 0 || tl.Dropped != 0 {
+		t.Fatalf("reset left %d spans, %d dropped", len(tl.Spans), tl.Dropped)
+	}
+}
+
+// TestDrainOrdering interleaves spans across workers and checks the
+// merged timeline is sorted by start time with worker ties broken by
+// worker id.
+func TestDrainOrdering(t *testing.T) {
+	r := New(3, 16)
+	// Emit round-robin across workers so per-worker rings hold
+	// non-adjacent positions of the global order.
+	for i := 0; i < 12; i++ {
+		w := i % 3
+		a := r.Worker(w).Begin(KindRound, uint32(i/3+1))
+		a.End()
+	}
+	tl := r.Drain()
+	if len(tl.Spans) != 12 {
+		t.Fatalf("drained %d spans, want 12", len(tl.Spans))
+	}
+	if !sort.SliceIsSorted(tl.Spans, func(i, j int) bool {
+		if tl.Spans[i].Start != tl.Spans[j].Start {
+			return tl.Spans[i].Start < tl.Spans[j].Start
+		}
+		return tl.Spans[i].Worker < tl.Spans[j].Worker
+	}) {
+		t.Fatal("drained spans not sorted by (start, worker)")
+	}
+	if len(tl.Rounds) != 4 {
+		t.Fatalf("summarized %d rounds, want 4", len(tl.Rounds))
+	}
+	for i, rs := range tl.Rounds {
+		if rs.Round != uint32(i+1) {
+			t.Fatalf("summary %d is round %d, want %d", i, rs.Round, i+1)
+		}
+		if rs.Workers != 3 {
+			t.Fatalf("round %d aggregated %d workers, want 3", rs.Round, rs.Workers)
+		}
+	}
+}
+
+// TestConcurrentEmission hammers the rings from one goroutine per
+// worker while the main goroutine polls the live counters — the
+// concurrency shape of a run with the HTTP endpoint attached. Run under
+// -race this pins the owner-only ring discipline and the atomic
+// live-counter reads.
+func TestConcurrentEmission(t *testing.T) {
+	const p, events = 4, 500
+	r := New(p, 64)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			b := r.Worker(w)
+			for i := 0; i < events; i++ {
+				a := b.Begin(KindRound, uint32(i+1))
+				r.OnClaim(w, i, uint32(i+1), cw.OutcomeWin)
+				r.OnClaim(w, i, uint32(i+1), cw.OutcomeLoss)
+				a.End()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = r.Live()
+		}
+	}()
+	wg.Wait()
+	<-done
+	lc := r.Live()
+	if lc.Wins != p*events || lc.Losses != p*events {
+		t.Fatalf("live wins/losses %d/%d, want %d/%d", lc.Wins, lc.Losses, p*events, p*events)
+	}
+	tl := r.Drain()
+	if tl.Wins != p*events || tl.Losses != p*events {
+		t.Fatalf("timeline wins/losses %d/%d, want %d/%d", tl.Wins, tl.Losses, p*events, p*events)
+	}
+	if len(tl.Spans) != 4*64 {
+		t.Fatalf("drained %d spans, want full rings (%d)", len(tl.Spans), 4*64)
+	}
+}
+
+// TestClaimSampling checks OnClaim counts every claim but only emits
+// every Nth as a ring event, with the cell and outcome packed into the
+// instant's arg.
+func TestClaimSampling(t *testing.T) {
+	r := New(1, 64, WithSampleEvery(3))
+	for i := 0; i < 10; i++ {
+		o := cw.OutcomeWin
+		if i%2 == 1 {
+			o = cw.OutcomeLoss
+		}
+		r.OnClaim(0, i, 5, o)
+	}
+	lc := r.Live()
+	if lc.Wins != 5 || lc.Losses != 5 {
+		t.Fatalf("wins/losses %d/%d, want 5/5", lc.Wins, lc.Losses)
+	}
+	tl := r.Drain()
+	if len(tl.Spans) != 3 {
+		t.Fatalf("sampled %d claim events, want 3 (every 3rd of 10)", len(tl.Spans))
+	}
+	for _, ev := range tl.Spans {
+		if ev.Kind != KindClaim || ev.Round != 5 {
+			t.Fatalf("unexpected sampled event %+v", ev)
+		}
+		// The 3rd, 6th, 9th claims are i=2,5,8: won, lost, won.
+		cell, won := ev.Arg>>1, ev.Arg&1
+		if wantWon := uint64(1 - cell%2); won != wantWon {
+			t.Fatalf("claim on cell %d has won=%d, want %d", cell, won, wantWon)
+		}
+	}
+}
+
+// TestSummaries feeds hand-built spans through Merge (which recomputes
+// summaries like Drain does) and checks the per-round aggregation:
+// bounds, critical worker, barrier skew, claim totals, histogram.
+func TestSummaries(t *testing.T) {
+	in := &Timeline{P: 2, Spans: []Event{
+		{Start: 100, Dur: 50, Round: 1, Worker: 0, Kind: KindRound, Arg: PackClaims(3, 1)},
+		{Start: 110, Dur: 200, Round: 1, Worker: 1, Kind: KindRound, Arg: PackClaims(0, 0)},
+		{Start: 150, Dur: 20, Round: 1, Worker: 0, Kind: KindBarrier},
+		{Start: 400, Dur: 80, Round: 2, Worker: 0, Kind: KindRound, Arg: PackClaims(300, 0)},
+		{Start: 400, Dur: 10, Round: 2, Worker: 1, Kind: KindRound, Arg: PackClaims(1, 0)},
+	}}
+	tl := Merge(in)
+	if len(tl.Rounds) != 2 {
+		t.Fatalf("summarized %d rounds, want 2", len(tl.Rounds))
+	}
+	r1 := tl.Rounds[0]
+	if r1.Round != 1 || r1.StartNs != 100 || r1.EndNs != 310 {
+		t.Fatalf("round 1 bounds %+v", r1)
+	}
+	if r1.CritWorker != 1 || r1.CritNs != 200 {
+		t.Fatalf("round 1 critical path %+v, want worker 1 at 200ns", r1)
+	}
+	// Work spans end at 150 (w0) and 310 (w1): skew 160.
+	if r1.BarrierSkewNs != 160 {
+		t.Fatalf("round 1 barrier skew %d, want 160", r1.BarrierSkewNs)
+	}
+	if r1.Wins != 3 || r1.Losses != 1 {
+		t.Fatalf("round 1 claims %d/%d, want 3/1", r1.Wins, r1.Losses)
+	}
+	// Worker 0 executed 4 claims (bucket 3: [4,8)), worker 1 zero.
+	if r1.ClaimHist[0] != 1 || r1.ClaimHist[3] != 1 {
+		t.Fatalf("round 1 claim hist %v", r1.ClaimHist)
+	}
+	r2 := tl.Rounds[1]
+	if r2.CritWorker != 0 || r2.Wins != 301 {
+		t.Fatalf("round 2 summary %+v", r2)
+	}
+}
+
+// TestMergeOffsetsWorkers checks Merge re-numbers the worker tracks of
+// successive timelines so they never collide.
+func TestMergeOffsetsWorkers(t *testing.T) {
+	a := &Timeline{P: 2, Spans: []Event{{Start: 1, Worker: 1, Kind: KindRound, Dur: 5, Round: 1}}}
+	b := &Timeline{P: 3, Spans: []Event{{Start: 2, Worker: 0, Kind: KindRound, Dur: 5, Round: 1}}}
+	tl := Merge(a, b)
+	if tl.P != 5 {
+		t.Fatalf("merged P=%d, want 5", tl.P)
+	}
+	if tl.Spans[0].Worker != 1 || tl.Spans[1].Worker != 2 {
+		t.Fatalf("merged workers %d,%d, want 1,2", tl.Spans[0].Worker, tl.Spans[1].Worker)
+	}
+}
+
+// TestPacking round-trips the packed payload helpers and their
+// saturation.
+func TestPacking(t *testing.T) {
+	if w, l := UnpackClaims(PackClaims(7, 9)); w != 7 || l != 9 {
+		t.Fatalf("claims round-trip %d/%d", w, l)
+	}
+	if w, _ := UnpackClaims(PackClaims(1<<40, 0)); w != 1<<32-1 {
+		t.Fatalf("claims saturation gave %d", w)
+	}
+	if lo, st, f := UnpackSteal(PackSteal(5, 6, 7)); lo != 5 || st != 6 || f != 7 {
+		t.Fatalf("steal round-trip %d/%d/%d", lo, st, f)
+	}
+	if lo, st, f := UnpackSteal(PackSteal(1<<30, 1<<30, 1<<30)); lo != 1<<24-1 || st != 1<<20-1 || f != 1<<20-1 {
+		t.Fatalf("steal saturation gave %d/%d/%d", lo, st, f)
+	}
+	if ClaimBucket(0) != 0 || ClaimBucket(1) != 1 || ClaimBucket(7) != 3 || ClaimBucket(1<<40) != ClaimHistBuckets-1 {
+		t.Fatal("claim bucket boundaries off")
+	}
+	if FaultSiteName(faultCode(FaultSiteBarrierJitter)) != FaultSiteBarrierJitter {
+		t.Fatal("fault site code round-trip failed")
+	}
+	if FaultSiteName(99) != "fault" {
+		t.Fatal("unknown fault code should name generically")
+	}
+}
+
+// TestLiveEndpoint serves the sink's handler and checks /debug/vars
+// publishes the evtrace counters.
+func TestLiveEndpoint(t *testing.T) {
+	s := NewSink(64)
+	r := s.Recorder(2)
+	a := r.Worker(0).Begin(KindRound, 1)
+	r.OnClaim(0, 3, 1, cw.OutcomeWin)
+	a.End()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Evtrace struct {
+			Machines    int     `json:"machines"`
+			RoundsTotal uint64  `json:"rounds_total"`
+			CasWins     uint64  `json:"cas_wins"`
+			RoundRate   float64 `json:"round_rate_hz"`
+		} `json:"evtrace"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Evtrace.Machines != 1 || vars.Evtrace.RoundsTotal != 1 || vars.Evtrace.CasWins != 1 {
+		t.Fatalf("live vars %+v", vars.Evtrace)
+	}
+}

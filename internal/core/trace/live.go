@@ -1,0 +1,170 @@
+package evtrace
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Sink collects the recorders of a run — one per machine, since a sweep
+// may build machines with different worker counts — behind one handle
+// the bench layer can thread around, merge into a single Timeline, and
+// publish live over HTTP. All methods are safe for concurrent use; a
+// nil Sink is a no-op whose Recorder returns nil (tracing off).
+type Sink struct {
+	capPerWorker int
+	opts         []Option
+
+	mu   sync.Mutex
+	recs []*Recorder
+	// Round-rate poll state: the previous poll's wall time and round
+	// total, so successive /debug/vars reads report rounds per second
+	// over the polling interval.
+	lastPoll   time.Time
+	lastRounds uint64
+}
+
+// NewSink returns a sink whose recorders use the given per-worker ring
+// capacity (capPerWorker < 1 selects DefaultCap) and options.
+func NewSink(capPerWorker int, opts ...Option) *Sink {
+	return &Sink{capPerWorker: capPerWorker, opts: opts}
+}
+
+// Recorder creates, registers, and returns a new recorder for a
+// p-worker machine. On a nil sink it returns nil — the tracing-off
+// value machine.WithEventTrace treats as absent — so call sites thread
+// the sink unconditionally.
+func (s *Sink) Recorder(p int) *Recorder {
+	if s == nil {
+		return nil
+	}
+	r := New(p, s.capPerWorker, s.opts...)
+	s.mu.Lock()
+	s.recs = append(s.recs, r)
+	s.mu.Unlock()
+	return r
+}
+
+// Timeline drains every registered recorder and merges the results
+// (worker tracks re-numbered per recorder; see Merge). Call at a
+// synchronization point. Nil-safe (empty timeline).
+func (s *Sink) Timeline() *Timeline {
+	if s == nil {
+		return &Timeline{}
+	}
+	s.mu.Lock()
+	recs := append([]*Recorder(nil), s.recs...)
+	s.mu.Unlock()
+	ts := make([]*Timeline, len(recs))
+	for i, r := range recs {
+		ts[i] = r.Drain()
+	}
+	return Merge(ts...)
+}
+
+// Live aggregates the mid-run counters of every registered recorder.
+// Safe to call while runs are in flight. Nil-safe.
+func (s *Sink) Live() LiveCounts {
+	if s == nil {
+		return LiveCounts{}
+	}
+	s.mu.Lock()
+	recs := append([]*Recorder(nil), s.recs...)
+	s.mu.Unlock()
+	var lc LiveCounts
+	for _, r := range recs {
+		c := r.Live()
+		lc.Rounds += c.Rounds
+		lc.CurrentRound = c.CurrentRound
+		lc.Wins += c.Wins
+		lc.Losses += c.Losses
+		lc.Events += c.Events
+		lc.Dropped += c.Dropped
+	}
+	return lc
+}
+
+// vars builds the expvar snapshot: the live counters plus a rolling
+// round rate over the interval since the previous poll.
+func (s *Sink) vars() any {
+	lc := s.Live()
+	s.mu.Lock()
+	now := time.Now()
+	var rate float64
+	if !s.lastPoll.IsZero() {
+		if dt := now.Sub(s.lastPoll).Seconds(); dt > 0 {
+			rate = float64(lc.Rounds-s.lastRounds) / dt
+		}
+	}
+	s.lastPoll, s.lastRounds = now, lc.Rounds
+	machines := len(s.recs)
+	s.mu.Unlock()
+	return map[string]any{
+		"machines":      machines,
+		"rounds_total":  lc.Rounds,
+		"current_round": lc.CurrentRound,
+		"round_rate_hz": rate,
+		"cas_wins":      lc.Wins,
+		"cas_losses":    lc.Losses,
+		"events":        lc.Events,
+		"dropped":       lc.Dropped,
+	}
+}
+
+// The "evtrace" expvar is published once per process and reads through
+// the most recently served sink, because expvar's global registry
+// panics on duplicate names.
+var (
+	liveMu   sync.Mutex
+	liveSink *Sink
+	liveOnce sync.Once
+)
+
+func (s *Sink) publish() {
+	liveMu.Lock()
+	liveSink = s
+	liveMu.Unlock()
+	liveOnce.Do(func() {
+		expvar.Publish("evtrace", expvar.Func(func() any {
+			liveMu.Lock()
+			cur := liveSink
+			liveMu.Unlock()
+			if cur == nil {
+				return map[string]any{}
+			}
+			return cur.vars()
+		}))
+	})
+}
+
+// Handler returns the live observability mux: /debug/vars (expvar,
+// including the "evtrace" rolling counters) and /debug/pprof/*
+// (net/http/pprof). Building the handler points the process-wide
+// "evtrace" var at this sink.
+func (s *Sink) Handler() http.Handler {
+	s.publish()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
+
+// Serve binds addr (e.g. ":6060"; ":0" picks a free port) and serves
+// Handler on it in a background goroutine. It returns the server and
+// the bound address; the caller shuts it down with Server.Close.
+func (s *Sink) Serve(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

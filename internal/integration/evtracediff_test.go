@@ -1,0 +1,37 @@
+// The event-trace differential: every registered kernel runs the same
+// fixed-seed inputs on a bare machine and on a machine carrying an
+// evtrace flight recorder (machine.WithEventTrace, which implies
+// metrics), across both timed backends and every method, and the
+// deterministic projections must be byte-identical — the timeline layer
+// observes the schedule, it must never perturb results. The recorder is
+// sized small enough that deep-path workloads wrap its rings, so the
+// matrix also covers flight-recorder overwrite. Each traced run's
+// drained timeline is structurally validated (round spans present,
+// summaries consistent, workers in range).
+//
+// The test names start with TestExec so CI's exec-matrix job (which
+// runs -run 'TestRegistry|TestExec' under -race) picks them up: under
+// -race they additionally prove the span-emission and live-counter
+// paths are race-free against real concurrency.
+package integration
+
+import (
+	"testing"
+
+	"crcwpram/internal/kernel"
+
+	_ "crcwpram/internal/alg/bfs"
+	_ "crcwpram/internal/alg/cc"
+	_ "crcwpram/internal/alg/listrank"
+	_ "crcwpram/internal/alg/matching"
+	_ "crcwpram/internal/alg/maxfind"
+	_ "crcwpram/internal/alg/mis"
+)
+
+// TestExecEventTraceDifferentialMatrix byte-compares tracing-on against
+// tracing-off for the whole registry at several worker counts.
+func TestExecEventTraceDifferentialMatrix(t *testing.T) {
+	if err := kernel.DifferentialEventTrace(kernel.Default, []int{1, 2, 4}); err != nil {
+		t.Fatal(err)
+	}
+}

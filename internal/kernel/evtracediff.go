@@ -1,0 +1,106 @@
+package kernel
+
+import (
+	"bytes"
+	"fmt"
+
+	"crcwpram/internal/core/machine"
+	evtrace "crcwpram/internal/core/trace"
+)
+
+// evtraceDiffCap is the per-worker ring capacity the tracing
+// differential uses: small enough that the deep-path workloads wrap the
+// rings, so the matrix also exercises flight-recorder overwrite under
+// load.
+const evtraceDiffCap = 512
+
+// DifferentialEventTrace cross-validates every registered kernel with
+// event tracing on against tracing off, at each worker count in ps: a
+// machine carrying an event-trace flight recorder (which implies
+// metrics) must validate every run and project byte-identically to a
+// bare machine across both timed backends and every method — tracing
+// observes the schedule, it must never perturb results. Each traced
+// machine's drained timeline is additionally checked for structure:
+// round spans must be present and summarized, and every span's worker
+// must be in range.
+func DifferentialEventTrace(reg *Registry, ps []int) error {
+	for _, d := range reg.All() {
+		for _, nw := range MatrixWorkloads(d) {
+			for _, p := range ps {
+				if err := diffEventTraceOne(d, nw, p); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func diffEventTraceOne(d *Descriptor, nw NamedWorkload, p int) error {
+	plain := machine.New(p)
+	defer plain.Close()
+	rec := evtrace.New(p, evtraceDiffCap)
+	traced := machine.New(p, machine.WithEventTrace(rec))
+	defer traced.Close()
+	refInst := d.New(plain, nw.W)
+	evtInst := d.New(traced, nw.W)
+	for _, method := range matrixMethods(d) {
+		for _, e := range machine.Execs {
+			s := Settings{Exec: e, Method: method}
+			want, err := oneRun(d, refInst, p, s)
+			if err != nil {
+				return fmt.Errorf("%s/%s p=%d %s/%s untraced: %w", d.Name, nw.Name, p, method, e, err)
+			}
+			got, err := oneRun(d, evtInst, p, s)
+			if err != nil {
+				return fmt.Errorf("%s/%s p=%d %s/%s traced: %w", d.Name, nw.Name, p, method, e, err)
+			}
+			if !bytes.Equal(got, want) {
+				return fmt.Errorf("%s/%s p=%d %s/%s: traced result diverges from untraced",
+					d.Name, nw.Name, p, method, e)
+			}
+			if err := checkTimeline(rec, p); err != nil {
+				return fmt.Errorf("%s/%s p=%d %s/%s: %w", d.Name, nw.Name, p, method, e, err)
+			}
+			rec.Reset()
+		}
+	}
+	return nil
+}
+
+// checkTimeline validates the structural invariants of a drained
+// timeline after one traced run: some round spans survived, the
+// summaries cover them, and every event stays within the worker tracks.
+func checkTimeline(rec *evtrace.Recorder, p int) error {
+	tl := rec.Drain()
+	rounds := 0
+	for _, ev := range tl.Spans {
+		if ev.Worker < 0 || int(ev.Worker) >= p {
+			return fmt.Errorf("timeline: span worker %d out of range [0,%d)", ev.Worker, p)
+		}
+		if ev.Dur < 0 {
+			return fmt.Errorf("timeline: negative span duration %d", ev.Dur)
+		}
+		if ev.Kind == evtrace.KindRound {
+			rounds++
+		}
+	}
+	if rounds == 0 {
+		return fmt.Errorf("timeline: no round spans recorded")
+	}
+	if len(tl.Rounds) == 0 {
+		return fmt.Errorf("timeline: %d round spans but no summaries", rounds)
+	}
+	for _, rs := range tl.Rounds {
+		if rs.Workers == 0 {
+			return fmt.Errorf("timeline: round %d summary with no workers", rs.Round)
+		}
+		if rs.CritWorker < 0 || rs.CritWorker >= p {
+			return fmt.Errorf("timeline: round %d crit worker %d out of range", rs.Round, rs.CritWorker)
+		}
+		if rs.EndNs < rs.StartNs {
+			return fmt.Errorf("timeline: round %d ends before it starts", rs.Round)
+		}
+	}
+	return nil
+}

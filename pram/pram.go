@@ -35,6 +35,7 @@ import (
 	"crcwpram/internal/core/cw"
 	"crcwpram/internal/core/machine"
 	"crcwpram/internal/core/metrics"
+	evtrace "crcwpram/internal/core/trace"
 	"crcwpram/internal/graph"
 	"crcwpram/internal/sched"
 )
@@ -139,7 +140,42 @@ var (
 	// WithMetrics enables the live contention-metrics recorder; read it
 	// with Machine.Snapshot after a run. Off by default at zero cost.
 	WithMetrics = machine.WithMetrics
+	// WithEventTrace attaches a round-level event-trace flight recorder
+	// (build one with NewEventTrace; its worker count must match the
+	// machine's). Implies metrics. Drain the recorder into a Timeline
+	// after a run and export it with Timeline.WriteChromeTrace.
+	WithEventTrace = machine.WithEventTrace
 )
+
+// Round-level execution tracing (see crcwpram/internal/core/trace): a
+// per-worker flight recorder of round / barrier / steal / fault / claim
+// span events, drained post-run into a sorted timeline with per-round
+// summaries and exportable as Chrome trace-event / Perfetto JSON.
+type (
+	// EventTrace is the flight recorder WithEventTrace attaches.
+	EventTrace = evtrace.Recorder
+	// Timeline is a drained recorder: sorted spans plus per-round
+	// summaries (critical-path worker, barrier skew, claim histogram).
+	Timeline = evtrace.Timeline
+	// TimelineEvent is one recorded span or instant.
+	TimelineEvent = evtrace.Event
+	// RoundSummary aggregates one round's spans across workers.
+	RoundSummary = evtrace.RoundSummary
+)
+
+// NewEventTrace returns a flight recorder for a p-worker machine with
+// the given per-worker ring capacity (capPerWorker < 1 selects the
+// default). Pass it to WithEventTrace; after a run, Drain it into a
+// Timeline. Options: WithRuntimeTrace emits matching runtime/trace
+// regions for go tool trace.
+func NewEventTrace(p, capPerWorker int, opts ...evtrace.Option) *EventTrace {
+	return evtrace.New(p, capPerWorker, opts...)
+}
+
+// WithRuntimeTrace makes an event-trace recorder additionally emit
+// runtime/trace regions, so PRAM rounds appear in go tool trace aligned
+// with goroutine scheduling.
+var WithRuntimeTrace = evtrace.WithRuntimeTrace
 
 // MetricsSnapshot is the aggregated view of a metrics-enabled machine's
 // recorder: CAS attempts/wins/losses, pre-check skips, busy and
